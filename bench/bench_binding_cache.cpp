@@ -1,0 +1,59 @@
+// Ablation A6 — binding reuse: per-access full binding (name resolution,
+// location lookup, key + certificate verification) vs a cached verified
+// binding amortized over a session.
+//
+// The paper's proxy binds to an object once and then serves page elements;
+// this ablation quantifies how much of GlobeDoc's cost is the one-time
+// secure binding and how quickly it amortizes — the reason Figures 5-7
+// show GlobeDoc competitive with plain HTTP despite its security checks.
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_world.hpp"
+
+using namespace globe;
+using namespace globe::bench;
+
+int main() {
+  PaperWorld world;
+  std::vector<globedoc::PageElement> elements;
+  for (int i = 0; i < 32; ++i) {
+    elements.push_back(globedoc::PageElement{
+        "el" + std::to_string(i) + ".html", "text/html",
+        synthetic_content(4 * 1024, static_cast<std::uint64_t>(i))});
+  }
+  world.add_object("session.vu.nl", std::move(elements));
+
+  std::printf("Ablation A6: per-access binding vs cached binding (Paris client)\n\n");
+  print_row({"elements", "rebind_ms", "cached_ms", "speedup", "ms/elem cached"});
+
+  for (int count : {1, 2, 4, 8, 16, 32}) {
+    auto run = [&](bool cache) {
+      auto flow = world.topo.net.open_quiescent_flow(world.topo.paris);
+      util::SimTime start = flow->now();
+      auto config = world.proxy_config_for(world.topo.paris);
+      config.cache_bindings = cache;
+      globedoc::GlobeDocProxy proxy(*flow, config);
+      for (int i = 0; i < count; ++i) {
+        auto r = proxy.fetch("session.vu.nl", "el" + std::to_string(i) + ".html");
+        if (!r.is_ok()) std::abort();
+      }
+      return util::to_millis(flow->now() - start);
+    };
+    double rebind = run(false);
+    double cached = run(true);
+
+    char a[32], b[32], c[32], d[32];
+    std::snprintf(a, sizeof a, "%.1f", rebind);
+    std::snprintf(b, sizeof b, "%.1f", cached);
+    std::snprintf(c, sizeof c, "%.2fx", rebind / cached);
+    std::snprintf(d, sizeof d, "%.1f", cached / count);
+    print_row({std::to_string(count), a, b, c, d});
+  }
+
+  std::printf(
+      "\nShape check: the speedup grows with session length and the cached\n"
+      "per-element cost approaches a bare element fetch — the security\n"
+      "machinery is a per-binding cost, not a per-element one.\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Ablation A5 — real wall-clock microbenchmarks of the from-scratch crypto
+// substrate (google-benchmark).  These are the 2026 numbers; the simulated
+// figures use the era CpuModel instead (see DESIGN.md §2).
+#include <benchmark/benchmark.h>
+
+#include "crypto/aes.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/prime.hpp"
+#include "crypto/rsa.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "globedoc/integrity.hpp"
+
+namespace {
+
+using namespace globe;
+
+util::Bytes test_data(std::size_t n) {
+  auto rng = crypto::HmacDrbg::from_seed(n);
+  return rng.bytes(n);
+}
+
+const crypto::RsaKeyPair& key1024() {
+  static const crypto::RsaKeyPair kp = [] {
+    auto rng = crypto::HmacDrbg::from_seed(1);
+    return crypto::rsa_generate(1024, rng);
+  }();
+  return kp;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  util::Bytes data = test_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha1::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(1024)->Arg(65536)->Arg(1048576);
+
+void BM_Sha256(benchmark::State& state) {
+  util::Bytes data = test_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(65536);
+
+void BM_HmacSha1(benchmark::State& state) {
+  util::Bytes key = test_data(20);
+  util::Bytes data = test_data(65536);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac<crypto::Sha1>(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_HmacSha1);
+
+void BM_AesCtr(benchmark::State& state) {
+  util::Bytes key = test_data(16);
+  util::Bytes nonce = test_data(12);
+  util::Bytes data = test_data(65536);
+  for (auto _ : state) {
+    crypto::AesCtr ctr(key, nonce);
+    util::Bytes copy = data;
+    ctr.process(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_AesCtr);
+
+void BM_RsaSign1024(benchmark::State& state) {
+  util::Bytes msg = test_data(256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_sign_sha1(key1024().priv, msg));
+  }
+}
+BENCHMARK(BM_RsaSign1024);
+
+void BM_RsaVerify1024(benchmark::State& state) {
+  util::Bytes msg = test_data(256);
+  util::Bytes sig = crypto::rsa_sign_sha1(key1024().priv, msg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::rsa_verify_sha1(key1024().pub, msg, sig));
+  }
+}
+BENCHMARK(BM_RsaVerify1024);
+
+void BM_ModPow1024(benchmark::State& state) {
+  auto rng = crypto::HmacDrbg::from_seed(2);
+  crypto::BigInt base = crypto::BigInt::random_bits(1024, rng);
+  crypto::BigInt exp = crypto::BigInt::random_bits(1024, rng);
+  crypto::BigInt mod = crypto::BigInt::random_bits(1024, rng);
+  if (mod.is_even()) mod = mod + crypto::BigInt(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::BigInt::mod_pow(base, exp, mod));
+  }
+}
+BENCHMARK(BM_ModPow1024);
+
+void BM_MillerRabin256(benchmark::State& state) {
+  auto rng = crypto::HmacDrbg::from_seed(3);
+  crypto::BigInt prime = crypto::generate_prime(256, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::is_probable_prime(prime, rng, 8));
+  }
+}
+BENCHMARK(BM_MillerRabin256);
+
+void BM_MerkleBuild(benchmark::State& state) {
+  std::vector<util::Bytes> leaves;
+  for (int i = 0; i < state.range(0); ++i) leaves.push_back(test_data(1024));
+  for (auto _ : state) {
+    crypto::MerkleTree tree(leaves);
+    benchmark::DoNotOptimize(tree.root());
+  }
+}
+BENCHMARK(BM_MerkleBuild)->Arg(16)->Arg(256);
+
+void BM_IntegrityCertBuild(benchmark::State& state) {
+  std::vector<globedoc::PageElement> elements;
+  for (int i = 0; i < state.range(0); ++i) {
+    elements.push_back({"el" + std::to_string(i), "text/plain", test_data(1024)});
+  }
+  auto oid = globedoc::Oid::from_public_key(key1024().pub);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(globedoc::IntegrityCertificate::build(
+        oid, 1, elements, 0, util::seconds(60), key1024().priv));
+  }
+}
+BENCHMARK(BM_IntegrityCertBuild)->Arg(11);
+
+void BM_CheckElement(benchmark::State& state) {
+  std::vector<globedoc::PageElement> elements = {
+      {"index.html", "text/html", test_data(65536)}};
+  auto oid = globedoc::Oid::from_public_key(key1024().pub);
+  auto cert = globedoc::IntegrityCertificate::build(oid, 1, elements, 0,
+                                                    util::seconds(60),
+                                                    key1024().priv);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cert.check_element("index.html", elements[0], 1));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 65536);
+}
+BENCHMARK(BM_CheckElement);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Figure 4 — Security overhead (%).
+//
+// Reproduces the paper's first experiment: six single-element GlobeDoc
+// objects (1 KB .. 1 MB images) hosted on the Amsterdam primary object
+// server; each is fetched through the secure proxy from the Amsterdam
+// secondary (LAN), Paris, and Ithaca hosts.  The reported value is the
+// fraction of total fetch time spent in security-specific operations
+// (public-key retrieval + OID check, certificate retrieval + signature
+// verification, element hashing + the three checks) — exactly the timer
+// placement described in §4.
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_world.hpp"
+
+int main() {
+  using namespace globe;
+  using namespace globe::bench;
+
+  const std::vector<std::size_t> kSizesKb = {1, 10, 100, 300, 600, 1000};
+
+  PaperWorld world;
+  for (std::size_t kb : kSizesKb) {
+    world.add_object("img" + std::to_string(kb) + ".vu.nl",
+                     {globedoc::PageElement{
+                         "image.jpg", "image/jpeg",
+                         synthetic_content(kb * 1024, 4000 + kb)}});
+  }
+
+  std::printf("Figure 4: Security overhead (percentage of total fetch time)\n\n");
+  print_row({"size_kb", "Amsterdam", "Paris", "Ithaca"});
+
+  for (std::size_t kb : kSizesKb) {
+    std::vector<std::string> cells = {std::to_string(kb)};
+    for (net::HostId client : world.topo.clients()) {
+      auto flow = world.topo.net.open_quiescent_flow(client);
+      globedoc::GlobeDocProxy proxy(*flow, world.proxy_config_for(client));
+      auto result = proxy.fetch("img" + std::to_string(kb) + ".vu.nl", "image.jpg");
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "fetch failed: %s\n", result.status().to_string().c_str());
+        return 1;
+      }
+      double overhead = 100.0 * static_cast<double>(result->metrics.security_time) /
+                        static_cast<double>(result->metrics.total_time);
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.1f%%", overhead);
+      cells.push_back(buf);
+    }
+    print_row(cells);
+  }
+
+  std::printf("\nAbsolute fetch / security times (ms):\n");
+  print_row({"size_kb", "Ams total", "Ams sec", "Par total", "Par sec", "Ith total",
+             "Ith sec"});
+  for (std::size_t kb : kSizesKb) {
+    std::vector<std::string> cells = {std::to_string(kb)};
+    for (net::HostId client : world.topo.clients()) {
+      auto flow = world.topo.net.open_quiescent_flow(client);
+      globedoc::GlobeDocProxy proxy(*flow, world.proxy_config_for(client));
+      auto result = proxy.fetch("img" + std::to_string(kb) + ".vu.nl", "image.jpg");
+      char total[32], sec[32];
+      std::snprintf(total, sizeof total, "%.1f",
+                    util::to_millis(result->metrics.total_time));
+      std::snprintf(sec, sizeof sec, "%.1f",
+                    util::to_millis(result->metrics.security_time));
+      cells.push_back(total);
+      cells.push_back(sec);
+    }
+    print_row(cells);
+  }
+  std::printf(
+      "\nPaper shape check: ~25%% overhead for small elements, decreasing with\n"
+      "size; for large transfers the LAN client (Amsterdam) shows the WORST\n"
+      "overhead because hashing dominates when transfer time is negligible.\n");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 5 — Performance comparison, Amsterdam client (LAN).
+#include "bench/perf_compare.hpp"
+
+int main() {
+  globe::bench::PaperWorld world;
+  globe::bench::add_perf_objects(world);
+  return globe::bench::run_perf_comparison(
+      world, world.topo.amsterdam_secondary,
+      "Figure 5: Performance comparison - Amsterdam client");
+}

@@ -1,0 +1,9 @@
+// Figure 7 — Performance comparison, Ithaca client (transatlantic path).
+#include "bench/perf_compare.hpp"
+
+int main() {
+  globe::bench::PaperWorld world;
+  globe::bench::add_perf_objects(world);
+  return globe::bench::run_perf_comparison(
+      world, world.topo.ithaca, "Figure 7: Performance comparison - Ithaca client");
+}

@@ -1,0 +1,136 @@
+// Ablation A3 — flash-crowd behaviour: a single origin replica vs dynamic
+// per-region replication (the motivating scenario of paper §1).
+//
+// A document hosted on the Amsterdam primary suddenly becomes popular in
+// Paris.  Without replication every request crosses the WAN and queues at
+// the origin; with the DynamicReplicator, a replica appears in Paris when
+// the observed rate crosses the threshold and client latency collapses to
+// LAN levels.  Every fetch runs the full secure pipeline (real signatures,
+// real verification).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/paper_world.hpp"
+#include "replication/coordinator.hpp"
+#include "replication/trace.hpp"
+
+using namespace globe;
+using namespace globe::bench;
+
+namespace {
+
+struct BucketStats {
+  double total_ms = 0;
+  std::size_t count = 0;
+};
+
+constexpr util::SimDuration kBucket = util::seconds(120);
+
+}  // namespace
+
+int main() {
+  const std::string kDoc = "hot.vu.nl";
+
+  // The flash crowd: Paris clients hammering one document.
+  replication::TraceConfig base;
+  base.documents = 1;
+  base.regions = 1;
+  base.duration = util::seconds(1200);
+  base.accesses_per_second = 0.5;
+  base.seed = 7;
+  replication::FlashCrowdConfig crowd;
+  crowd.document = 0;
+  crowd.hot_region = 0;
+  crowd.start = util::seconds(240);
+  crowd.ramp = util::seconds(120);
+  crowd.hold = util::seconds(400);
+  // Peak ~70 req/s: close to the origin's service capacity, so the static
+  // deployment queues visibly while the replicated one stays at LAN latency.
+  crowd.peak_multiplier = 140.0;
+  auto trace = replication::generate_flash_crowd(base, crowd);
+
+  std::printf("Ablation A3: flash crowd from Paris (%zu requests over %.0fs)\n\n",
+              trace.size(), util::to_seconds(base.duration));
+
+  std::map<std::string, std::map<std::uint64_t, BucketStats>> results;
+  std::map<std::uint64_t, std::size_t> replica_counts;
+
+  for (bool dynamic : {false, true}) {
+    PaperWorld world;
+    world.add_object(kDoc, {globedoc::PageElement{
+                               "index.html", "text/html",
+                               synthetic_content(20 * 1024, 99)}});
+
+    // A Paris object server the replicator may use.
+    globedoc::ObjectServer paris_server("paris-server", 1234);
+    paris_server.authorize(world.owner(kDoc).credential_key());
+    rpc::ServiceDispatcher paris_dispatcher;
+    paris_server.register_with(paris_dispatcher);
+    net::Endpoint paris_server_ep{world.topo.paris, 8000};
+    world.topo.net.bind(paris_server_ep, paris_dispatcher.handler());
+
+    auto owner_flow = world.topo.net.open_flow(world.topo.amsterdam_primary);
+    replication::DynamicReplicator::Config rconfig;
+    rconfig.replicate_above_rps = 3.0;
+    rconfig.retire_below_rps = 0.2;
+    rconfig.window = util::seconds(60);
+    replication::DynamicReplicator replicator(
+        world.owner(kDoc), *owner_flow,
+        {{"paris", paris_server_ep, world.tree->endpoint("site-paris")}}, rconfig);
+
+    const char* label = dynamic ? "dynamic" : "static";
+    util::SimTime next_rebalance = util::seconds(30);
+
+    for (const auto& access : trace) {
+      if (dynamic) {
+        replicator.record_access("paris", access.time);
+        if (access.time >= next_rebalance) {
+          owner_flow->set_time(std::max(owner_flow->now(), access.time));
+          if (!replicator.rebalance(access.time).is_ok()) return 1;
+          next_rebalance = access.time + util::seconds(30);
+        }
+      }
+      auto flow = world.topo.net.open_flow(world.topo.paris, access.time);
+      globedoc::GlobeDocProxy proxy(*flow,
+                                    world.proxy_config_for(world.topo.paris));
+      auto result = proxy.fetch(kDoc, "index.html");
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "fetch failed: %s\n",
+                     result.status().to_string().c_str());
+        return 1;
+      }
+      std::uint64_t bucket = access.time / kBucket;
+      auto& stats = results[label][bucket];
+      stats.total_ms += util::to_millis(result->metrics.total_time);
+      stats.count += 1;
+      if (dynamic) {
+        replica_counts[bucket] = 1 + replicator.replica_count();
+      }
+    }
+  }
+
+  std::printf("Mean secure-fetch latency (ms) per %0.0fs window:\n\n",
+              util::to_seconds(kBucket));
+  print_row({"t_start_s", "req/s", "static", "dynamic", "replicas"});
+  for (const auto& [bucket, stats] : results["static"]) {
+    const auto& dyn = results["dynamic"][bucket];
+    char t[32], rate[32], s_ms[32], d_ms[32];
+    std::snprintf(t, sizeof t, "%llu",
+                  static_cast<unsigned long long>(bucket * kBucket / util::kSecond));
+    std::snprintf(rate, sizeof rate, "%.1f",
+                  static_cast<double>(stats.count) / util::to_seconds(kBucket));
+    std::snprintf(s_ms, sizeof s_ms, "%.1f",
+                  stats.total_ms / static_cast<double>(stats.count));
+    std::snprintf(d_ms, sizeof d_ms,
+                  "%.1f", dyn.count ? dyn.total_ms / static_cast<double>(dyn.count) : 0);
+    print_row({t, rate, s_ms, d_ms, std::to_string(replica_counts[bucket])});
+  }
+
+  std::printf(
+      "\nPaper shape check: during the crowd the static deployment's latency\n"
+      "grows (WAN + origin queueing) while the dynamic deployment converges\n"
+      "to LAN-level latency once the Paris replica is created — replication\n"
+      "on (untrusted) nearby servers is exactly what GlobeDoc enables.\n");
+  return 0;
+}

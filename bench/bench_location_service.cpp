@@ -1,0 +1,87 @@
+// Ablation A4 — Location Service expanding-ring lookup cost (paper §2.1.2).
+//
+// A chain of domains (site ⊂ region ⊂ ... ⊂ root) with uniform 10ms links.
+// A replica registered at the far end is looked up from the near end: the
+// client climbs one ring per level, and the answering node resolves its
+// pointer down the other side.  Lookup cost grows with the number of rings
+// climbed; objects registered nearby answer at the first ring.
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_world.hpp"
+#include "location/builder.hpp"
+
+using namespace globe;
+using namespace globe::bench;
+
+int main() {
+  constexpr int kMaxDepth = 6;
+
+  std::printf("Ablation A4: expanding-ring lookup cost vs tree depth\n\n");
+  print_row({"depth", "near_ms", "near_rings", "far_ms", "far_rings"});
+
+  for (int depth = 1; depth <= kMaxDepth; ++depth) {
+    net::SimNet net;
+    // One host per tree level plus two leaf sites.
+    std::vector<net::HostId> hosts;
+    for (int i = 0; i < depth + 2; ++i) {
+      hosts.push_back(net.add_host({"h" + std::to_string(i), net::CpuModel{}}));
+    }
+    net.set_default_link({util::millis(10), 1e6});
+
+    // Chain: root -> r1 -> ... -> r(depth-1); two sites under the root path:
+    // site-near under the deepest interior node, site-far under the root.
+    std::vector<location::DomainSpec> specs;
+    specs.push_back({"d0", "", hosts[0], 100, false});
+    for (int i = 1; i < depth; ++i) {
+      specs.push_back({"d" + std::to_string(i), "d" + std::to_string(i - 1),
+                       hosts[static_cast<std::size_t>(i)], 100, false});
+    }
+    std::string deepest = "d" + std::to_string(depth - 1);
+    specs.push_back({"site-near", deepest, hosts[static_cast<std::size_t>(depth)],
+                     100, true});
+    specs.push_back({"site-far", "d0", hosts[static_cast<std::size_t>(depth + 1)],
+                     100, true});
+    location::LocationTree tree(net, specs);
+
+    auto flow = net.open_flow(hosts[static_cast<std::size_t>(depth)]);
+    location::LocationClient client(*flow, tree.endpoint("site-near"));
+
+    util::Bytes near_oid(20, 0x01), far_oid(20, 0x02);
+    net::Endpoint near_replica{hosts[static_cast<std::size_t>(depth)], 9000};
+    net::Endpoint far_replica{hosts[static_cast<std::size_t>(depth + 1)], 9000};
+    if (!client.insert(tree.endpoint("site-near"), near_oid, near_replica).is_ok() ||
+        !client.insert(tree.endpoint("site-far"), far_oid, far_replica).is_ok()) {
+      std::fprintf(stderr, "insert failed\n");
+      return 1;
+    }
+
+    auto measure = [&](const util::Bytes& oid, double& ms, std::size_t& rings) {
+      auto f = net.open_quiescent_flow(hosts[static_cast<std::size_t>(depth)]);
+      location::LocationClient c(*f, tree.endpoint("site-near"));
+      util::SimTime start = f->now();
+      auto r = c.lookup(oid);
+      if (!r.is_ok()) std::abort();
+      ms = util::to_millis(f->now() - start);
+      rings = c.last_rings();
+    };
+
+    double near_ms, far_ms;
+    std::size_t near_rings, far_rings;
+    measure(near_oid, near_ms, near_rings);
+    measure(far_oid, far_ms, far_rings);
+
+    char n_ms[32], f_ms[32];
+    std::snprintf(n_ms, sizeof n_ms, "%.1f", near_ms);
+    std::snprintf(f_ms, sizeof f_ms, "%.1f", far_ms);
+    print_row({std::to_string(depth), n_ms, std::to_string(near_rings), f_ms,
+               std::to_string(far_rings)});
+  }
+
+  std::printf(
+      "\nShape check: near lookups answer at ring 1 with depth-independent\n"
+      "cost; far lookups climb one ring per level, so cost grows linearly\n"
+      "with tree depth — the locality property the Globe Location Service\n"
+      "is designed around.\n");
+  return 0;
+}

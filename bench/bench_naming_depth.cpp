@@ -1,0 +1,98 @@
+// Ablation A8 — secure name resolution cost vs delegation depth (§3.1).
+//
+// The paper argues DNSsec-style secure naming works for GlobeDoc because
+// OID records are location-independent and cacheable.  This bench measures
+// a validating resolution walking 1..5 signed delegations over a 20 ms RTT
+// path, splits out the signature-verification share, and shows the effect
+// of positive caching: a cached (already verified) answer is free.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/paper_world.hpp"
+#include "crypto/drbg.hpp"
+#include "naming/resolver.hpp"
+#include "naming/service.hpp"
+
+using namespace globe;
+using namespace globe::bench;
+
+int main() {
+  std::printf("Ablation A8: secure resolution cost vs delegation depth\n\n");
+  print_row({"depth", "resolve_ms", "verify_ms", "verify_share", "cached_ms"});
+
+  for (int depth = 1; depth <= 5; ++depth) {
+    net::SimNet net;
+    auto ns_host = net.add_host({"ns", net::CpuModel{}});
+    auto client_host = net.add_host({"client", net::CpuModel{}});
+    net.set_link(ns_host, client_host, {util::millis(10), 2e6});
+
+    // Zone chain: "" -> "d1" -> "d2.d1" -> ..., each on its own port.
+    auto seed_rng = crypto::HmacDrbg::from_seed(static_cast<std::uint64_t>(depth));
+    std::vector<crypto::RsaKeyPair> keys;
+    std::vector<std::shared_ptr<naming::ZoneAuthority>> zones;
+    std::vector<std::string> zone_names = {""};
+    for (int i = 1; i < depth; ++i) {
+      zone_names.push_back("d" + std::to_string(i) +
+                           (zone_names.back().empty() ? "" : "." + zone_names.back()));
+    }
+    std::vector<std::unique_ptr<rpc::ServiceDispatcher>> dispatchers;
+    std::vector<std::unique_ptr<naming::NamingServer>> servers;
+    std::vector<net::Endpoint> endpoints;
+    for (int i = 0; i < depth; ++i) {
+      keys.push_back(crypto::rsa_generate(1024, seed_rng));
+      zones.push_back(
+          std::make_shared<naming::ZoneAuthority>(zone_names[static_cast<std::size_t>(i)],
+                                                  keys.back()));
+      endpoints.push_back(net::Endpoint{ns_host, static_cast<std::uint16_t>(53 + i)});
+    }
+    for (int i = 0; i < depth; ++i) {
+      if (i + 1 < depth) {
+        zones[static_cast<std::size_t>(i)]->delegate(
+            zone_names[static_cast<std::size_t>(i + 1)],
+            keys[static_cast<std::size_t>(i + 1)].pub,
+            endpoints[static_cast<std::size_t>(i + 1)], util::seconds(1u << 30));
+      }
+      dispatchers.push_back(std::make_unique<rpc::ServiceDispatcher>());
+      servers.push_back(std::make_unique<naming::NamingServer>());
+      servers.back()->add_zone(zones[static_cast<std::size_t>(i)]);
+      servers.back()->register_with(*dispatchers.back());
+      net.bind(endpoints[static_cast<std::size_t>(i)], dispatchers.back()->handler());
+    }
+    std::string name = std::string("doc") +
+                       (zone_names.back().empty() ? "" : "." + zone_names.back());
+    zones.back()->add_oid(name, util::Bytes(20, 0x55), util::seconds(1u << 30));
+
+    auto flow = net.open_quiescent_flow(client_host);
+    naming::SecureResolver resolver(*flow, endpoints[0], keys[0].pub);
+    resolver.set_cache_enabled(true);
+
+    util::SimTime start = flow->now();
+    auto oid = resolver.resolve(name);
+    if (!oid.is_ok()) {
+      std::fprintf(stderr, "resolve failed: %s\n", oid.status().to_string().c_str());
+      return 1;
+    }
+    double resolve_ms = util::to_millis(flow->now() - start);
+    double verify_ms =
+        util::to_millis(static_cast<std::uint64_t>(resolver.signatures_verified()) *
+                        net::CpuModel{}.rsa_verify);
+
+    util::SimTime cached_start = flow->now();
+    (void)resolver.resolve(name);
+    double cached_ms = util::to_millis(flow->now() - cached_start);
+
+    char a[32], b[32], c[32], d[32];
+    std::snprintf(a, sizeof a, "%.1f", resolve_ms);
+    std::snprintf(b, sizeof b, "%.1f", verify_ms);
+    std::snprintf(c, sizeof c, "%.0f%%", 100.0 * verify_ms / resolve_ms);
+    std::snprintf(d, sizeof d, "%.2f", cached_ms);
+    print_row({std::to_string(depth), a, b, c, d});
+  }
+
+  std::printf(
+      "\nShape check: resolution cost is dominated by per-level round trips,\n"
+      "not signature verification (the paper's argument that DNSsec-style\n"
+      "naming is affordable); cached answers are free until their TTL.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Ablation A7 — propagating a replica: owner push vs peer pull.
+//
+// Owner push uses the authenticated admin interface: one challenge, one
+// signed bulk transfer (plus the location-service registration).  Peer pull
+// (replication/refresher) needs no owner involvement and no trust in the
+// source — but pays per-element fetches and full verification.  This
+// quantifies the trade-off behind GlobeDoc's peer-to-peer CDN deployment
+// (paper §2): pull costs more per hop, growing with element count, but it
+// takes the owner off the fan-out path entirely.
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_world.hpp"
+#include "replication/refresher.hpp"
+
+using namespace globe;
+using namespace globe::bench;
+
+int main() {
+  std::printf("Ablation A7: owner push vs peer pull (Amsterdam -> Paris, 64KB total)\n\n");
+  print_row({"elements", "push_ms", "pull_ms", "pull/push"});
+
+  for (int count : {1, 4, 16, 64}) {
+    PaperWorld world;
+    std::string name = "obj" + std::to_string(count) + ".vu.nl";
+    std::vector<globedoc::PageElement> elements;
+    std::size_t per_element = 64 * 1024 / static_cast<std::size_t>(count);
+    for (int i = 0; i < count; ++i) {
+      elements.push_back(globedoc::PageElement{
+          "el" + std::to_string(i), "text/plain",
+          synthetic_content(per_element, static_cast<std::uint64_t>(i))});
+    }
+    world.add_object(name, std::move(elements));
+    globedoc::ObjectOwner& owner = world.owner(name);
+    globedoc::Oid oid = owner.object().oid();
+
+    // --- Owner push from Amsterdam to a Paris server (admin interface).
+    globedoc::ObjectServer push_target("paris-push", 1);
+    push_target.authorize(owner.credential_key());
+    rpc::ServiceDispatcher push_dispatcher;
+    push_target.register_with(push_dispatcher);
+    net::Endpoint push_ep{world.topo.paris, 8100};
+    world.topo.net.bind(push_ep, push_dispatcher.handler());
+
+    double push_ms;
+    {
+      auto flow = world.topo.net.open_quiescent_flow(world.topo.amsterdam_primary);
+      util::SimTime start = flow->now();
+      auto state = owner.sign_and_snapshot(start, util::seconds(1u << 30));
+      auto status = owner.publish_replica(*flow, push_ep,
+                                          world.tree->endpoint("site-paris"), state);
+      if (!status.is_ok()) {
+        std::fprintf(stderr, "push failed: %s\n", status.to_string().c_str());
+        return 1;
+      }
+      push_ms = util::to_millis(flow->now() - start);
+    }
+
+    // --- Peer pull: a Paris server syncs itself from the Amsterdam origin
+    //     and registers its own contact address.
+    globedoc::ObjectServer pull_target("paris-pull", 2);
+    rpc::ServiceDispatcher pull_dispatcher;
+    pull_target.register_with(pull_dispatcher);
+    net::Endpoint pull_ep{world.topo.paris, 8200};
+    world.topo.net.bind(pull_ep, pull_dispatcher.handler());
+
+    double pull_ms;
+    {
+      auto flow = world.topo.net.open_quiescent_flow(world.topo.paris);
+      util::SimTime start = flow->now();
+      auto result = replication::pull_replica(*flow, world.object_server_ep, oid,
+                                              pull_target, 0);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "pull failed: %s\n", result.status().to_string().c_str());
+        return 1;
+      }
+      location::LocationClient locator(*flow, world.tree->endpoint("site-paris"));
+      if (!locator.insert(world.tree->endpoint("site-paris"), oid.view(), pull_ep)
+               .is_ok()) {
+        return 1;
+      }
+      pull_ms = util::to_millis(flow->now() - start);
+    }
+
+    char a[32], b[32], c[32];
+    std::snprintf(a, sizeof a, "%.1f", push_ms);
+    std::snprintf(b, sizeof b, "%.1f", pull_ms);
+    std::snprintf(c, sizeof c, "%.2fx", pull_ms / push_ms);
+    print_row({std::to_string(count), a, b, c});
+  }
+
+  std::printf(
+      "\nShape check: push is one bulk transfer regardless of element count;\n"
+      "pull pays one round trip per element, so the ratio grows with element\n"
+      "count — the price of removing both trust and the owner from the path.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Ablation A2 — per-document replication policy selection vs one global
+// policy (paper §2 / ref [13], Pierre et al.).
+//
+// A heterogeneous site: hot static documents, regional documents, cold but
+// frequently-updated documents.  Applying any single policy site-wide is
+// dominated by selecting the best policy per document, reproducing [13]'s
+// headline result that motivates GlobeDoc's per-object replication
+// policies.
+#include <cstdio>
+#include <vector>
+
+#include "bench/paper_world.hpp"
+#include "replication/policy.hpp"
+#include "replication/trace.hpp"
+
+using namespace globe;
+using namespace globe::replication;
+
+int main() {
+  // 30 documents with skewed popularity over 3 regions, 2 hours.
+  TraceConfig config;
+  config.documents = 30;
+  config.regions = 3;
+  config.duration = util::seconds(7200);
+  config.accesses_per_second = 2.0;
+  config.doc_zipf_exponent = 1.4;  // strong skew: a hot head, a cold tail
+  config.seed = 20260704;
+  auto trace = generate_trace(config);
+
+  RegionModel region;
+  EvaluatorConfig evaluator;
+  SelectionWeights weights;
+
+  // Document mix: sizes span 2 KB - 1 MB; a third are static, a third get
+  // occasional edits, a third are news tickers updated every 30 s.
+  const std::size_t kSizes[] = {2'000, 20'000, 100'000, 500'000, 1'000'000};
+  std::vector<DocumentProfile> docs(config.documents);
+  for (std::uint32_t d = 0; d < config.documents; ++d) {
+    docs[d].size_bytes = kSizes[d % 5];
+    docs[d].accesses = filter_document(trace, d);
+    if (d % 3 == 1) {
+      docs[d].updates = update_schedule(config.duration, util::seconds(600));
+    } else if (d % 3 == 2) {
+      docs[d].updates = update_schedule(config.duration, util::seconds(30));
+    }
+  }
+
+  struct Aggregate {
+    double weighted = 0, latency = 0, wan_mb = 0;
+    std::size_t stale = 0, accesses = 0;
+  };
+  auto evaluate_global = [&](PolicyKind kind) {
+    Aggregate agg;
+    for (const auto& doc : docs) {
+      PolicyCost cost = kind == PolicyKind::kAdaptive
+                            ? select_best_policy(doc, region, evaluator, weights)
+                            : evaluate_policy(kind, doc, region, evaluator);
+      agg.weighted += cost.weighted(weights.latency, weights.bandwidth,
+                                    weights.staleness);
+      agg.latency += cost.total_latency_ms;
+      agg.wan_mb += cost.wan_bytes / 1e6;
+      agg.stale += cost.stale_accesses;
+      agg.accesses += cost.accesses;
+    }
+    return agg;
+  };
+
+  std::printf("Ablation A2: global replication policy vs per-document selection\n");
+  std::printf("(%u documents, %zu accesses, 3 regions, 2h trace)\n\n",
+              config.documents, trace.size());
+  bench::print_row(
+      {"policy", "weighted", "mean_lat_ms", "wan_MB", "stale"});
+
+  double adaptive_score = 0;
+  double best_fixed = 1e300;
+  for (PolicyKind kind : {PolicyKind::kNoReplication, PolicyKind::kTtlCache,
+                          PolicyKind::kFullReplication, PolicyKind::kAdaptive}) {
+    Aggregate agg = evaluate_global(kind);
+    char w[32], l[32], b[32];
+    std::snprintf(w, sizeof w, "%.0f", agg.weighted);
+    std::snprintf(l, sizeof l, "%.1f",
+                  agg.latency / static_cast<double>(agg.accesses));
+    std::snprintf(b, sizeof b, "%.1f", agg.wan_mb);
+    bench::print_row({policy_name(kind), w, l, b, std::to_string(agg.stale)});
+    if (kind == PolicyKind::kAdaptive) {
+      adaptive_score = agg.weighted;
+    } else {
+      best_fixed = std::min(best_fixed, agg.weighted);
+    }
+  }
+
+  // Per-document choices made by the adaptive strategy.
+  std::size_t counts[3] = {0, 0, 0};
+  for (const auto& doc : docs) {
+    PolicyCost best = select_best_policy(doc, region, evaluator, weights);
+    counts[static_cast<int>(best.kind)]++;
+  }
+  std::printf("\nAdaptive per-document choices: NoReplication=%zu TtlCache=%zu "
+              "FullReplication=%zu\n",
+              counts[0], counts[1], counts[2]);
+  std::printf("Adaptive improves on the best global policy by %.1f%%\n",
+              100.0 * (best_fixed - adaptive_score) / best_fixed);
+  std::printf(
+      "\nPaper shape check: [13] reports that per-document strategy selection\n"
+      "beats every one-size-fits-all policy; the adaptive row must dominate.\n");
+  return adaptive_score <= best_fixed ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Table 1 — Experimental setting.
+//
+// Dumps the simulated reproduction of the paper's testbed: the four hosts
+// with their era CPU models, and the calibrated link parameters.  This is
+// the configuration every other benchmark runs against.
+#include <cstdio>
+
+#include "bench/paper_world.hpp"
+
+int main() {
+  using namespace globe;
+  using namespace globe::bench;
+
+  net::PaperTopology topo;
+
+  std::printf("Table 1: Experimental setting (simulated reproduction)\n\n");
+  print_row({"host", "role", "cpu scale", "rsa verify", "sha1 MB/s"}, 26);
+  for (const auto& [id, role] :
+       {std::pair{topo.amsterdam_primary, "primary (servers)"},
+        std::pair{topo.amsterdam_secondary, "secondary (client)"},
+        std::pair{topo.paris, "client"},
+        std::pair{topo.ithaca, "client"}}) {
+    const auto& host = topo.net.host(id);
+    char scale[32], verify[32], sha[32];
+    std::snprintf(scale, sizeof scale, "%.1fx", host.cpu.scale);
+    std::snprintf(verify, sizeof verify, "%.1f ms",
+                  util::to_millis(host.cpu.cost(net::CpuOp::kRsaVerify, 1)));
+    std::snprintf(sha, sizeof sha, "%.1f",
+                  host.cpu.sha1_mb_s / host.cpu.scale);
+    print_row({host.name, role, scale, verify, sha}, 26);
+  }
+
+  std::printf("\nLink calibration (one-way latency / bandwidth):\n");
+  print_row({"path", "latency", "bandwidth"}, 26);
+  auto show_link = [&](const char* label, net::HostId a, net::HostId b) {
+    const auto& link = topo.net.link(a, b);
+    char lat[32], bw[32];
+    std::snprintf(lat, sizeof lat, "%.1f ms", util::to_millis(link.latency));
+    std::snprintf(bw, sizeof bw, "%.2f MB/s", link.bandwidth_bytes_per_s / 1e6);
+    print_row({label, lat, bw}, 26);
+  };
+  show_link("Amsterdam LAN", topo.amsterdam_primary, topo.amsterdam_secondary);
+  show_link("Amsterdam-Paris", topo.amsterdam_primary, topo.paris);
+  show_link("Amsterdam-Ithaca", topo.amsterdam_primary, topo.ithaca);
+  return 0;
+}

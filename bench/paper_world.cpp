@@ -1,0 +1,112 @@
+#include "bench/paper_world.hpp"
+
+#include <cstdio>
+
+#include "crypto/drbg.hpp"
+#include "util/rng.hpp"
+
+namespace globe::bench {
+
+using globedoc::ObjectOwner;
+using globedoc::PageElement;
+
+namespace {
+
+crypto::RsaKeyPair bench_key(std::uint64_t seed, std::size_t bits = 1024) {
+  auto rng = crypto::HmacDrbg::from_seed(seed);
+  return crypto::rsa_generate(bits, rng);
+}
+
+}  // namespace
+
+PaperWorld::PaperWorld() : owner_credentials_(bench_key(70'001)) {
+  // --- Secure naming: root zone on the Amsterdam primary.
+  auto zone_keys = bench_key(70'002);
+  naming_anchor = zone_keys.pub;
+  root_zone_ = std::make_shared<naming::ZoneAuthority>("", std::move(zone_keys));
+  naming_ep = net::Endpoint{topo.amsterdam_primary, 53};
+  naming_server_.add_zone(root_zone_);
+  naming_server_.register_with(naming_dispatcher_);
+  topo.net.bind(naming_ep, naming_dispatcher_.handler());
+
+  // --- Location tree: root at the primary, one site per host.
+  tree = std::make_unique<location::LocationTree>(
+      topo.net, std::vector<location::DomainSpec>{
+                    {"root", "", topo.amsterdam_primary, 100, false},
+                    {"site-ams-primary", "root", topo.amsterdam_primary, 101, true},
+                    {"site-ams", "root", topo.amsterdam_secondary, 101, true},
+                    {"site-paris", "root", topo.paris, 101, true},
+                    {"site-ithaca", "root", topo.ithaca, 101, true},
+                });
+
+  // --- GlobeDoc object server on the primary host.
+  object_server_ = std::make_unique<globedoc::ObjectServer>("ginger", 70'003);
+  object_server_->authorize(owner_credentials_.pub);
+  object_server_->register_with(object_dispatcher_);
+  object_server_ep = net::Endpoint{topo.amsterdam_primary, 8000};
+  topo.net.bind(object_server_ep, object_dispatcher_.handler());
+
+  // --- Apache baseline (same host) and its SSL front.
+  apache_ep = net::Endpoint{topo.amsterdam_primary, 80};
+  topo.net.bind(apache_ep, apache_.handler());
+  ssl_ = std::make_unique<http::SecureServer>(bench_key(70'004), kSslName,
+                                              apache_.handler(), 70'005);
+  ssl_ep = net::Endpoint{topo.amsterdam_primary, 443};
+  topo.net.bind(ssl_ep, ssl_->handler());
+}
+
+void PaperWorld::add_object(const std::string& name,
+                            std::vector<PageElement> elements) {
+  globedoc::GlobeDocObject object(bench_key(next_key_seed_++));
+  for (auto& element : elements) {
+    apache_.put_file("/" + name + "/" + element.name, element.content);
+    object.put_element(std::move(element));
+  }
+  auto owner = std::make_unique<ObjectOwner>(std::move(object), owner_credentials_);
+  owner->register_name(*root_zone_, name, util::seconds(1u << 30));
+
+  auto flow = topo.net.open_flow(topo.amsterdam_primary);
+  auto state = owner->sign_and_snapshot(0, util::seconds(1u << 30));
+  auto published = owner->publish_replica(*flow, object_server_ep,
+                                          tree->endpoint("site-ams-primary"), state);
+  if (!published.is_ok()) {
+    throw std::runtime_error("publish failed: " + published.to_string());
+  }
+  owners_.emplace(name, std::move(owner));
+}
+
+ObjectOwner& PaperWorld::owner(const std::string& name) {
+  return *owners_.at(name);
+}
+
+globedoc::ProxyConfig PaperWorld::proxy_config_for(net::HostId host) const {
+  globedoc::ProxyConfig config;
+  config.naming_root = naming_ep;
+  config.naming_anchor = naming_anchor;
+  if (host == topo.amsterdam_primary) {
+    config.location_site = tree->endpoint("site-ams-primary");
+  } else if (host == topo.amsterdam_secondary) {
+    config.location_site = tree->endpoint("site-ams");
+  } else if (host == topo.paris) {
+    config.location_site = tree->endpoint("site-paris");
+  } else {
+    config.location_site = tree->endpoint("site-ithaca");
+  }
+  return config;
+}
+
+util::Bytes synthetic_content(std::size_t bytes, std::uint64_t seed) {
+  util::SplitMix64 rng(seed);
+  util::Bytes out(bytes);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+void print_row(const std::vector<std::string>& cells, int width) {
+  for (const auto& cell : cells) {
+    std::printf("%*s", width, cell.c_str());
+  }
+  std::printf("\n");
+}
+
+}  // namespace globe::bench

@@ -1,0 +1,75 @@
+// Shared benchmark world: the paper's Table 1 testbed fully deployed —
+// secure naming, location tree, a GlobeDoc object server on the Amsterdam
+// primary host, plus the Apache (plain HTTP) and Apache+SSL baselines
+// serving the same content.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "globedoc/owner.hpp"
+#include "globedoc/proxy.hpp"
+#include "globedoc/server.hpp"
+#include "http/secure_channel.hpp"
+#include "http/static_server.hpp"
+#include "location/builder.hpp"
+#include "naming/service.hpp"
+#include "net/topology.hpp"
+
+namespace globe::bench {
+
+class PaperWorld {
+ public:
+  PaperWorld();
+
+  /// Creates a GlobeDoc object holding `elements`, registers `name`,
+  /// publishes one replica on the Amsterdam-primary object server, and
+  /// mirrors the same files into the Apache and SSL docroots under
+  /// "/<name>/<element>".
+  void add_object(const std::string& name,
+                  std::vector<globedoc::PageElement> elements);
+
+  /// Proxy configuration for a client on `host` (local location site,
+  /// naming root + anchor; identity checks off, as in the paper's
+  /// measurements).
+  globedoc::ProxyConfig proxy_config_for(net::HostId host) const;
+
+  net::PaperTopology topo;
+
+  net::Endpoint naming_ep;
+  crypto::RsaPublicKey naming_anchor;
+
+  std::unique_ptr<location::LocationTree> tree;
+
+  net::Endpoint object_server_ep;  // GlobeDoc replicas (Amsterdam primary)
+  net::Endpoint apache_ep;         // plain HTTP baseline
+  net::Endpoint ssl_ep;            // SSL baseline
+  static constexpr const char* kSslName = "www.cs.vu.nl";
+
+  globedoc::ObjectOwner& owner(const std::string& name);
+
+ private:
+  std::shared_ptr<naming::ZoneAuthority> root_zone_;
+  naming::NamingServer naming_server_;
+  rpc::ServiceDispatcher naming_dispatcher_;
+
+  std::unique_ptr<globedoc::ObjectServer> object_server_;
+  rpc::ServiceDispatcher object_dispatcher_;
+  crypto::RsaKeyPair owner_credentials_;
+
+  http::StaticHttpServer apache_;
+  std::unique_ptr<http::SecureServer> ssl_;
+
+  std::map<std::string, std::unique_ptr<globedoc::ObjectOwner>> owners_;
+  std::uint64_t next_key_seed_ = 90'000;
+};
+
+/// Deterministic pseudo-random content of `bytes` bytes.
+util::Bytes synthetic_content(std::size_t bytes, std::uint64_t seed);
+
+/// Prints a row of right-aligned columns.
+void print_row(const std::vector<std::string>& cells, int width = 14);
+
+}  // namespace globe::bench

@@ -1,0 +1,21 @@
+// Shared implementation of Figures 5-7: GlobeDoc proxy vs Apache (plain
+// HTTP) vs Apache+SSL fetching three 11-element objects (15 KB, 105 KB,
+// 1005 KB) from one client host.
+#pragma once
+
+#include <string>
+
+#include "bench/paper_world.hpp"
+
+namespace globe::bench {
+
+/// Builds the three paper objects (1×5 KB text + 10 images of 1/10/100 KB)
+/// in `world`.  Object names: perf-small/medium/large .vu.nl.
+void add_perf_objects(PaperWorld& world);
+
+/// Runs the comparison from `client` and prints the Figure 5/6/7 table.
+/// Returns non-zero on failure.
+int run_perf_comparison(PaperWorld& world, net::HostId client,
+                        const std::string& figure_label);
+
+}  // namespace globe::bench

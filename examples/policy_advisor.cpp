@@ -1,0 +1,86 @@
+// Policy advisor: the per-document replication selection of Pierre et al.
+// (paper ref [13]) as a site-administration tool — feed it your site's
+// access trace and it recommends a replication policy per document.
+#include <cmath>
+#include <cstdio>
+
+#include "replication/policy.hpp"
+#include "replication/trace.hpp"
+
+using namespace globe;
+using namespace globe::replication;
+
+int main() {
+  std::printf("== GlobeDoc replication policy advisor ==\n\n");
+
+  // Synthesize a week of traffic for a small site: a hot landing page, a
+  // news ticker, a big static archive, and a cold legal page.
+  struct Doc {
+    const char* name;
+    std::size_t size;
+    double popularity;                 // share of site traffic
+    util::SimDuration update_interval; // 0 = static
+  };
+  const Doc site[] = {
+      {"index.html", 40'000, 0.65, 0},
+      {"ticker.html", 8'000, 0.25, util::seconds(60)},
+      {"archive.tar", 5'000'000, 0.02, 0},
+      {"legal.html", 30'000, 0.001, util::seconds(600)},
+  };
+
+  const util::SimDuration kWeek = util::seconds(7 * 24 * 3600);
+  RegionModel region;
+  EvaluatorConfig evaluator;
+  // A bandwidth-conscious site: WAN bytes are billed, so pushing a 5 MB
+  // archive to every region on every update has to pay for itself.
+  SelectionWeights weights;
+  weights.bandwidth = 0.01;
+
+  std::printf("%-14s %9s %9s %9s | %-16s %s\n", "document", "accesses", "size_kb",
+              "updates", "recommended", "why");
+  std::printf("%s\n", std::string(86, '-').c_str());
+
+  util::SplitMix64 rng(7);
+  for (const Doc& doc : site) {
+    DocumentProfile profile;
+    profile.size_bytes = doc.size;
+    // Poisson-ish accesses proportional to popularity (a small site doing
+    // ~0.02 req/s overall).
+    double rate = doc.popularity * 0.02;
+    util::SimTime t = 0;
+    while (true) {
+      double u = rng.next_double();
+      t += static_cast<util::SimTime>(-std::log(1 - u) / rate * 1e9);
+      if (t >= kWeek) break;
+      profile.accesses.push_back(
+          Access{t, static_cast<std::uint32_t>(rng.below(3)), 0});
+    }
+    if (doc.update_interval != 0) {
+      profile.updates = update_schedule(kWeek, doc.update_interval);
+    }
+
+    PolicyCost best = select_best_policy(profile, region, evaluator, weights);
+    const char* why = "";
+    switch (best.kind) {
+      case PolicyKind::kFullReplication:
+        why = "hot & rarely updated: push replicas everywhere";
+        break;
+      case PolicyKind::kTtlCache:
+        why = "read-mostly with churn: regional caches suffice";
+        break;
+      case PolicyKind::kNoReplication:
+        why = "too cold or too volatile to replicate";
+        break;
+      case PolicyKind::kAdaptive:
+        break;
+    }
+    std::printf("%-14s %9zu %9zu %9zu | %-16s %s\n", doc.name,
+                profile.accesses.size(), doc.size / 1000, profile.updates.size(),
+                policy_name(best.kind), why);
+  }
+
+  std::printf(
+      "\nGlobeDoc attaches the chosen policy to each object — no global\n"
+      "one-size-fits-all decision needed (paper §2, ref [13]).\n");
+  return 0;
+}

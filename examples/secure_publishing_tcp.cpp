@@ -1,0 +1,114 @@
+// Secure publishing over REAL sockets: the identical protocol stack that
+// the benchmarks run in simulation, here served over TCP on localhost —
+// naming service, location tree, object server, owner tooling and the
+// verifying proxy, end to end.
+#include <chrono>
+#include <cstdio>
+
+#include "crypto/drbg.hpp"
+#include "globedoc/owner.hpp"
+#include "globedoc/proxy.hpp"
+#include "globedoc/server.hpp"
+#include "location/tree.hpp"
+#include "naming/service.hpp"
+#include "net/tcp.hpp"
+
+using namespace globe;
+
+namespace {
+
+net::Endpoint port_ep(std::uint16_t port) { return net::Endpoint{net::HostId{0}, port}; }
+
+}  // namespace
+
+int main() {
+  std::printf("== GlobeDoc over real TCP (localhost) ==\n\n");
+
+  // --- Naming service.
+  auto zone_rng = crypto::HmacDrbg::from_seed(31);
+  auto zone_keys = crypto::rsa_generate(1024, zone_rng);
+  auto root_zone = std::make_shared<naming::ZoneAuthority>("", zone_keys);
+  naming::NamingServer naming_server;
+  naming_server.add_zone(root_zone);
+  rpc::ServiceDispatcher naming_dispatcher;
+  naming_server.register_with(naming_dispatcher);
+  net::TcpServer naming_tcp(0, naming_dispatcher.handler());
+  std::printf("[infra] naming service listening on 127.0.0.1:%u\n",
+              naming_tcp.port());
+
+  // --- Location tree: a root and one site, each on its own port.
+  location::LocationNode root_node("root", /*is_site=*/false);
+  location::LocationNode site_node("site", /*is_site=*/true);
+  rpc::ServiceDispatcher root_dispatcher, site_dispatcher;
+  root_node.register_with(root_dispatcher);
+  site_node.register_with(site_dispatcher);
+  net::TcpServer root_tcp(0, root_dispatcher.handler());
+  net::TcpServer site_tcp(0, site_dispatcher.handler());
+  root_node.add_child("site", port_ep(site_tcp.port()));
+  site_node.set_parent(port_ep(root_tcp.port()));
+  std::printf("[infra] location root on :%u, site on :%u\n", root_tcp.port(),
+              site_tcp.port());
+
+  // --- Object server.
+  auto cred_rng = crypto::HmacDrbg::from_seed(32);
+  auto credentials = crypto::rsa_generate(1024, cred_rng);
+  globedoc::ObjectServer object_server("tcp-replica-host", 33);
+  object_server.authorize(credentials.pub);
+  rpc::ServiceDispatcher object_dispatcher;
+  object_server.register_with(object_dispatcher);
+  net::TcpServer object_tcp(0, object_dispatcher.handler());
+  std::printf("[infra] object server listening on 127.0.0.1:%u\n\n",
+              object_tcp.port());
+
+  // --- Owner: create, sign, register, publish.
+  auto object_rng = crypto::HmacDrbg::from_seed(34);
+  auto object = globedoc::GlobeDocObject::create(object_rng, 1024);
+  object.put_element({"index.html", "text/html",
+                      util::to_bytes("<html><body>served over real TCP"
+                                     "</body></html>")});
+  object.put_element({"data.bin", "application/octet-stream",
+                      util::Bytes(100 * 1024, 0x5a)});
+  globedoc::ObjectOwner owner(std::move(object), credentials);
+  owner.register_name(*root_zone, "tcp-demo.vu.nl", util::RealClock().now() +
+                                                       util::seconds(3600));
+  std::printf("[owner] OID = %s\n", owner.object().oid().to_hex().c_str());
+
+  net::TcpTransport owner_transport;
+  auto state = owner.sign_and_snapshot(util::RealClock().now(), util::seconds(3600));
+  auto published = owner.publish_replica(owner_transport, port_ep(object_tcp.port()),
+                                         port_ep(site_tcp.port()), state);
+  if (!published.is_ok()) {
+    std::fprintf(stderr, "publish failed: %s\n", published.to_string().c_str());
+    return 1;
+  }
+  std::printf("[owner] replica published over the authenticated admin channel\n\n");
+
+  // --- Client proxy over its own TCP transport.
+  net::TcpTransport client_transport;
+  globedoc::ProxyConfig config;
+  config.naming_root = port_ep(naming_tcp.port());
+  config.naming_anchor = zone_keys.pub;
+  config.location_site = port_ep(site_tcp.port());
+  config.cache_bindings = true;
+  globedoc::GlobeDocProxy proxy(client_transport, config);
+
+  for (const char* element : {"index.html", "data.bin", "index.html"}) {
+    auto wall_start = std::chrono::steady_clock::now();
+    auto result = proxy.fetch("tcp-demo.vu.nl", element);
+    auto wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - wall_start)
+                       .count();
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("[proxy] %-10s -> %6zu bytes, verified, %.2f ms wall clock%s\n",
+                element, result->element.content.size(), wall_ms,
+                result->metrics.used_cached_binding ? " (cached binding)" : "");
+  }
+
+  std::printf("\nSame code, real sockets: the Transport abstraction is the only\n"
+              "difference between this process and the simulated benchmarks.\n");
+  return 0;
+}

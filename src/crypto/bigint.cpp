@@ -1,0 +1,601 @@
+#include "crypto/bigint.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace globe::crypto {
+
+namespace {
+
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+
+constexpr u64 kBase = u64{1} << 32;
+
+}  // namespace
+
+void BigInt::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt::BigInt(std::uint64_t v) {
+  if (v != 0) limbs_.push_back(static_cast<u32>(v));
+  if (v >> 32) limbs_.push_back(static_cast<u32>(v >> 32));
+}
+
+BigInt BigInt::from_bytes(util::BytesView be) {
+  BigInt out;
+  out.limbs_.assign((be.size() + 3) / 4, 0);
+  // Bytes are big-endian; limb 0 is least significant.
+  for (std::size_t i = 0; i < be.size(); ++i) {
+    std::size_t byte_index = be.size() - 1 - i;  // significance of be[byte_index]
+    out.limbs_[i / 4] |= u32{be[byte_index]} << (8 * (i % 4));
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::from_hex(std::string_view hex) {
+  if (hex.empty()) throw std::invalid_argument("BigInt::from_hex: empty");
+  std::string padded(hex);
+  if (padded.size() % 2) padded.insert(padded.begin(), '0');
+  return from_bytes(util::hex_decode(padded));
+}
+
+BigInt BigInt::from_dec(std::string_view dec) {
+  if (dec.empty()) throw std::invalid_argument("BigInt::from_dec: empty");
+  BigInt out;
+  BigInt ten(10);
+  for (char c : dec) {
+    if (c < '0' || c > '9') throw std::invalid_argument("BigInt::from_dec: bad digit");
+    out = out * ten + BigInt(static_cast<u64>(c - '0'));
+  }
+  return out;
+}
+
+util::Bytes BigInt::to_bytes(std::size_t pad) const {
+  util::Bytes minimal;
+  minimal.reserve(limbs_.size() * 4);
+  // Emit little-endian then reverse; skip leading zeros afterwards.
+  for (u32 limb : limbs_) {
+    minimal.push_back(static_cast<std::uint8_t>(limb));
+    minimal.push_back(static_cast<std::uint8_t>(limb >> 8));
+    minimal.push_back(static_cast<std::uint8_t>(limb >> 16));
+    minimal.push_back(static_cast<std::uint8_t>(limb >> 24));
+  }
+  while (!minimal.empty() && minimal.back() == 0) minimal.pop_back();
+  std::reverse(minimal.begin(), minimal.end());
+  if (pad == 0) return minimal;
+  if (minimal.size() > pad) {
+    throw std::invalid_argument("BigInt::to_bytes: value does not fit in pad");
+  }
+  util::Bytes out(pad - minimal.size(), 0);
+  util::append(out, minimal);
+  return out;
+}
+
+std::string BigInt::to_hex() const {
+  if (is_zero()) return "0";
+  std::string s = util::hex_encode(to_bytes());
+  std::size_t nz = s.find_first_not_of('0');
+  return s.substr(nz == std::string::npos ? s.size() - 1 : nz);
+}
+
+std::string BigInt::to_dec() const {
+  if (is_zero()) return "0";
+  std::string out;
+  BigInt ten(10), q, r, cur = *this;
+  while (!cur.is_zero()) {
+    divmod(cur, ten, q, r);
+    out.push_back(static_cast<char>('0' + r.low_u64()));
+    cur = q;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::size_t BigInt::bit_length() const {
+  if (limbs_.empty()) return 0;
+  u32 top = limbs_.back();
+  std::size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::bit(std::size_t i) const {
+  std::size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+std::uint64_t BigInt::low_u64() const {
+  u64 v = limbs_.empty() ? 0 : limbs_[0];
+  if (limbs_.size() > 1) v |= u64{limbs_[1]} << 32;
+  return v;
+}
+
+int BigInt::cmp(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& rhs) const {
+  BigInt out;
+  const auto& a = limbs_;
+  const auto& b = rhs.limbs_;
+  std::size_t n = std::max(a.size(), b.size());
+  out.limbs_.resize(n + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 sum = carry;
+    if (i < a.size()) sum += a[i];
+    if (i < b.size()) sum += b[i];
+    out.limbs_[i] = static_cast<u32>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<u32>(carry);
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& rhs) const {
+  if (cmp(*this, rhs) < 0) {
+    throw std::underflow_error("BigInt subtraction underflow");
+  }
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(limbs_[i]) - borrow -
+                        (i < rhs.limbs_.size() ? static_cast<std::int64_t>(rhs.limbs_[i]) : 0);
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<u32>(diff);
+  }
+  out.trim();
+  return out;
+}
+
+namespace {
+
+/// Below this limb count Karatsuba's recursion overhead beats its savings.
+constexpr std::size_t kKaratsubaThreshold = 24;
+
+}  // namespace
+
+BigInt BigInt::schoolbook_mul(const BigInt& lhs, const BigInt& rhs) {
+  BigInt out;
+  out.limbs_.assign(lhs.limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < lhs.limbs_.size(); ++i) {
+    u64 carry = 0;
+    u64 ai = lhs.limbs_[i];
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      u64 cur = out.limbs_[i + j] + ai * rhs.limbs_[j] + carry;
+      out.limbs_[i + j] = static_cast<u32>(cur);
+      carry = cur >> 32;
+    }
+    out.limbs_[i + rhs.limbs_.size()] += static_cast<u32>(carry);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::split_low(std::size_t limbs) const {
+  BigInt out;
+  out.limbs_.assign(limbs_.begin(),
+                    limbs_.begin() + static_cast<std::ptrdiff_t>(
+                                         std::min(limbs, limbs_.size())));
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::split_high(std::size_t limbs) const {
+  BigInt out;
+  if (limbs < limbs_.size()) {
+    out.limbs_.assign(limbs_.begin() + static_cast<std::ptrdiff_t>(limbs),
+                      limbs_.end());
+  }
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& rhs) const {
+  if (is_zero() || rhs.is_zero()) return BigInt();
+  if (std::min(limbs_.size(), rhs.limbs_.size()) < kKaratsubaThreshold) {
+    return schoolbook_mul(*this, rhs);
+  }
+  // Karatsuba: split both at half the larger operand.
+  //   x = x1·B + x0,  y = y1·B + y0   (B = 2^(32·half))
+  //   x·y = z2·B² + z1·B + z0 with z2 = x1·y1, z0 = x0·y0,
+  //   z1 = (x0+x1)(y0+y1) − z2 − z0  — three multiplies instead of four.
+  std::size_t half = std::max(limbs_.size(), rhs.limbs_.size()) / 2;
+  BigInt x0 = split_low(half), x1 = split_high(half);
+  BigInt y0 = rhs.split_low(half), y1 = rhs.split_high(half);
+
+  BigInt z2 = x1 * y1;
+  BigInt z0 = x0 * y0;
+  BigInt z1 = (x0 + x1) * (y0 + y1) - z2 - z0;
+
+  return (z2 << (64 * half)) + (z1 << (32 * half)) + z0;
+}
+
+BigInt BigInt::operator<<(std::size_t bits) const {
+  if (is_zero() || bits == 0) {
+    BigInt out = *this;
+    return out;
+  }
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 v = u64{limbs_[i]} << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<u32>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<u32>(v >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator>>(std::size_t bits) const {
+  std::size_t limb_shift = bits / 32;
+  std::size_t bit_shift = bits % 32;
+  if (limb_shift >= limbs_.size()) return BigInt();
+  BigInt out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.limbs_.size(); ++i) {
+    u64 v = u64{limbs_[i + limb_shift]} >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= u64{limbs_[i + limb_shift + 1]} << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<u32>(v);
+  }
+  out.trim();
+  return out;
+}
+
+void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt& quot, BigInt& rem) {
+  if (den.is_zero()) throw std::domain_error("BigInt division by zero");
+  if (cmp(num, den) < 0) {
+    quot = BigInt();
+    rem = num;
+    return;
+  }
+  if (den.limbs_.size() == 1) {
+    // Short division by a single limb.
+    u64 d = den.limbs_[0];
+    BigInt q;
+    q.limbs_.assign(num.limbs_.size(), 0);
+    u64 r = 0;
+    for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+      u64 cur = r << 32 | num.limbs_[i];
+      q.limbs_[i] = static_cast<u32>(cur / d);
+      r = cur % d;
+    }
+    q.trim();
+    quot = std::move(q);
+    rem = BigInt(r);
+    return;
+  }
+
+  // Knuth Algorithm D (TAOCP 4.3.1) with 32-bit digits.
+  const std::size_t n = den.limbs_.size();
+  const std::size_t m = num.limbs_.size() - n;
+
+  // Normalize: shift so the divisor's top limb has its high bit set.
+  unsigned s = 0;
+  for (u32 top = den.limbs_.back(); !(top & 0x80000000u); top <<= 1) ++s;
+
+  std::vector<u32> v(n);
+  for (std::size_t i = n; i-- > 0;) {
+    v[i] = den.limbs_[i] << s;
+    if (s && i > 0) v[i] |= static_cast<u32>(u64{den.limbs_[i - 1]} >> (32 - s));
+  }
+  std::vector<u32> u(num.limbs_.size() + 1, 0);
+  u[num.limbs_.size()] =
+      s ? static_cast<u32>(u64{num.limbs_.back()} >> (32 - s)) : 0;
+  for (std::size_t i = num.limbs_.size(); i-- > 0;) {
+    u[i] = num.limbs_[i] << s;
+    if (s && i > 0) u[i] |= static_cast<u32>(u64{num.limbs_[i - 1]} >> (32 - s));
+  }
+
+  BigInt q;
+  q.limbs_.assign(m + 1, 0);
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    u64 num2 = u64{u[j + n]} << 32 | u[j + n - 1];
+    u64 qhat = num2 / v[n - 1];
+    u64 rhat = num2 % v[n - 1];
+    while (qhat >= kBase ||
+           qhat * v[n - 2] > (rhat << 32 | u[j + n - 2])) {
+      --qhat;
+      rhat += v[n - 1];
+      if (rhat >= kBase) break;
+    }
+    // Multiply-and-subtract: u[j..j+n] -= qhat * v.
+    std::int64_t borrow = 0;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      u64 p = qhat * v[i] + carry;
+      carry = p >> 32;
+      std::int64_t t = static_cast<std::int64_t>(u[i + j]) -
+                       static_cast<std::int64_t>(p & 0xffffffffu) - borrow;
+      if (t < 0) {
+        t += static_cast<std::int64_t>(kBase);
+        borrow = 1;
+      } else {
+        borrow = 0;
+      }
+      u[i + j] = static_cast<u32>(t);
+    }
+    std::int64_t t = static_cast<std::int64_t>(u[j + n]) -
+                     static_cast<std::int64_t>(carry) - borrow;
+    if (t < 0) {
+      // qhat was one too large: add the divisor back.
+      t += static_cast<std::int64_t>(kBase);
+      --qhat;
+      u64 carry2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        u64 sum = u64{u[i + j]} + v[i] + carry2;
+        u[i + j] = static_cast<u32>(sum);
+        carry2 = sum >> 32;
+      }
+      t += static_cast<std::int64_t>(carry2);
+      t &= 0xffffffff;
+    }
+    u[j + n] = static_cast<u32>(t);
+    q.limbs_[j] = static_cast<u32>(qhat);
+  }
+  q.trim();
+
+  // Denormalize the remainder.
+  BigInt r;
+  r.limbs_.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    r.limbs_[i] = u[i] >> s;
+    if (s && i + 1 < u.size()) {
+      r.limbs_[i] |= static_cast<u32>(u64{u[i + 1]} << (32 - s));
+    }
+  }
+  r.trim();
+
+  quot = std::move(q);
+  rem = std::move(r);
+}
+
+BigInt BigInt::operator/(const BigInt& rhs) const {
+  BigInt q, r;
+  divmod(*this, rhs, q, r);
+  return q;
+}
+
+BigInt BigInt::operator%(const BigInt& rhs) const {
+  BigInt q, r;
+  divmod(*this, rhs, q, r);
+  return r;
+}
+
+namespace {
+
+// Montgomery context for an odd modulus m of k limbs.
+struct MontCtx {
+  std::vector<u32> m;   // modulus limbs
+  u32 m0inv;            // -m^{-1} mod 2^32
+  std::size_t k;
+
+  explicit MontCtx(const BigInt& modulus) : m(modulus.limbs()), k(m.size()) {
+    // Newton iteration: inv = m[0]^{-1} mod 2^32.
+    u32 inv = 1;
+    for (int i = 0; i < 5; ++i) inv *= 2 - m[0] * inv;
+    m0inv = static_cast<u32>(0u - inv);
+  }
+
+  // r = a * b * R^{-1} mod m  (CIOS).  a, b, r are k-limb vectors; a and b
+  // must be < m.
+  void mul(const std::vector<u32>& a, const std::vector<u32>& b,
+           std::vector<u32>& r) const {
+    std::vector<u32> t(k + 2, 0);
+    for (std::size_t i = 0; i < k; ++i) {
+      // t += a[i] * b
+      u64 carry = 0;
+      u64 ai = a[i];
+      for (std::size_t j = 0; j < k; ++j) {
+        u64 cur = t[j] + ai * b[j] + carry;
+        t[j] = static_cast<u32>(cur);
+        carry = cur >> 32;
+      }
+      u64 cur = u64{t[k]} + carry;
+      t[k] = static_cast<u32>(cur);
+      t[k + 1] = static_cast<u32>(u64{t[k + 1]} + (cur >> 32));
+
+      // t = (t + mu * m) / base
+      u32 mu = static_cast<u32>(t[0] * m0inv);
+      cur = u64{t[0]} + u64{mu} * m[0];
+      carry = cur >> 32;
+      for (std::size_t j = 1; j < k; ++j) {
+        cur = t[j] + u64{mu} * m[j] + carry;
+        t[j - 1] = static_cast<u32>(cur);
+        carry = cur >> 32;
+      }
+      cur = u64{t[k]} + carry;
+      t[k - 1] = static_cast<u32>(cur);
+      t[k] = static_cast<u32>(u64{t[k + 1]} + (cur >> 32));
+      t[k + 1] = 0;
+    }
+    // Conditional final subtraction: t may be in [0, 2m).
+    bool ge = t[k] != 0;
+    if (!ge) {
+      ge = true;
+      for (std::size_t i = k; i-- > 0;) {
+        if (t[i] != m[i]) {
+          ge = t[i] > m[i];
+          break;
+        }
+      }
+    }
+    r.assign(t.begin(), t.begin() + static_cast<std::ptrdiff_t>(k));
+    if (ge) {
+      std::int64_t borrow = 0;
+      for (std::size_t i = 0; i < k; ++i) {
+        std::int64_t d = static_cast<std::int64_t>(r[i]) -
+                         static_cast<std::int64_t>(m[i]) - borrow;
+        if (d < 0) {
+          d += static_cast<std::int64_t>(kBase);
+          borrow = 1;
+        } else {
+          borrow = 0;
+        }
+        r[i] = static_cast<u32>(d);
+      }
+    }
+  }
+};
+
+BigInt from_limbs(std::vector<u32> limbs) {
+  // Round-trip through bytes to reuse normalization; cheap relative to modexp.
+  util::Bytes be;
+  be.reserve(limbs.size() * 4);
+  for (std::size_t i = limbs.size(); i-- > 0;) {
+    be.push_back(static_cast<std::uint8_t>(limbs[i] >> 24));
+    be.push_back(static_cast<std::uint8_t>(limbs[i] >> 16));
+    be.push_back(static_cast<std::uint8_t>(limbs[i] >> 8));
+    be.push_back(static_cast<std::uint8_t>(limbs[i]));
+  }
+  return BigInt::from_bytes(be);
+}
+
+std::vector<u32> to_fixed_limbs(const BigInt& v, std::size_t k) {
+  std::vector<u32> out(k, 0);
+  const auto& l = v.limbs();
+  std::copy(l.begin(), l.end(), out.begin());
+  return out;
+}
+
+}  // namespace
+
+BigInt BigInt::mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.is_zero()) throw std::domain_error("mod_pow: zero modulus");
+  if (m == BigInt(1)) return BigInt();
+  BigInt b = base % m;
+  if (exp.is_zero()) return BigInt(1);
+
+  if (m.is_odd()) {
+    MontCtx ctx(m);
+    const std::size_t k = ctx.k;
+    // R mod m and R^2 mod m via division (one-time cost).
+    BigInt R = BigInt(1) << (32 * k);
+    BigInt r_mod = R % m;
+    BigInt r2_mod = (r_mod * r_mod) % m;
+
+    std::vector<u32> x = to_fixed_limbs(r_mod, k);            // 1 in Mont form
+    std::vector<u32> a = to_fixed_limbs(b, k);
+    std::vector<u32> a_bar(k), tmp(k);
+    ctx.mul(a, to_fixed_limbs(r2_mod, k), a_bar);             // a*R mod m
+
+    std::size_t bits = exp.bit_length();
+    for (std::size_t i = bits; i-- > 0;) {
+      ctx.mul(x, x, tmp);
+      x.swap(tmp);
+      if (exp.bit(i)) {
+        ctx.mul(x, a_bar, tmp);
+        x.swap(tmp);
+      }
+    }
+    // Convert out of Montgomery form: x * 1 * R^{-1}.
+    std::vector<u32> one(k, 0);
+    one[0] = 1;
+    ctx.mul(x, one, tmp);
+    return from_limbs(std::move(tmp));
+  }
+
+  // Even modulus: plain square-and-multiply with division-based reduction.
+  BigInt result(1);
+  std::size_t bits = exp.bit_length();
+  for (std::size_t i = bits; i-- > 0;) {
+    result = (result * result) % m;
+    if (exp.bit(i)) result = (result * b) % m;
+  }
+  return result;
+}
+
+BigInt BigInt::mod_inverse(const BigInt& a, const BigInt& m) {
+  // Extended Euclid on (a mod m, m) tracking only the coefficient of a.
+  // Signs handled by tracking magnitudes plus a boolean.
+  BigInt r0 = m, r1 = a % m;
+  BigInt t0, t1(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.is_zero()) {
+    BigInt q = r0 / r1;
+    BigInt r2 = r0 - q * r1;
+    // t2 = t0 - q*t1 with sign tracking.
+    BigInt qt1 = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      if (t0 >= qt1) {
+        t2 = t0 - qt1;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt1 - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt1;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (r0 != BigInt(1)) throw std::domain_error("mod_inverse: not coprime");
+  if (t0_neg) return m - (t0 % m);
+  return t0 % m;
+}
+
+BigInt BigInt::gcd(BigInt a, BigInt b) {
+  while (!b.is_zero()) {
+    BigInt r = a % b;
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::random_below(const BigInt& bound, util::RandomSource& rng) {
+  if (bound.is_zero()) throw std::domain_error("random_below: zero bound");
+  std::size_t bits = bound.bit_length();
+  std::size_t nbytes = (bits + 7) / 8;
+  unsigned top_mask = bits % 8 ? (1u << (bits % 8)) - 1 : 0xffu;
+  for (;;) {
+    util::Bytes raw = rng.bytes(nbytes);
+    raw[0] = static_cast<std::uint8_t>(raw[0] & top_mask);
+    BigInt candidate = from_bytes(raw);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt BigInt::random_bits(std::size_t bits, util::RandomSource& rng) {
+  if (bits == 0) return BigInt();
+  std::size_t nbytes = (bits + 7) / 8;
+  util::Bytes raw = rng.bytes(nbytes);
+  unsigned top_bit = (bits - 1) % 8;
+  unsigned top_mask = (1u << (top_bit + 1)) - 1;
+  raw[0] = static_cast<std::uint8_t>((raw[0] & top_mask) | (1u << top_bit));
+  return from_bytes(raw);
+}
+
+}  // namespace globe::crypto

@@ -1,0 +1,62 @@
+#include "crypto/drbg.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace globe::crypto {
+
+HmacDrbg::HmacDrbg(util::BytesView seed)
+    : key_(Sha256::kDigestSize, 0x00), v_(Sha256::kDigestSize, 0x01) {
+  update(seed);
+}
+
+HmacDrbg HmacDrbg::from_seed(std::uint64_t seed) {
+  util::Bytes s(8);
+  for (int i = 0; i < 8; ++i) {
+    s[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (56 - 8 * i));
+  }
+  return HmacDrbg(s);
+}
+
+void HmacDrbg::update(util::BytesView provided) {
+  util::Bytes msg = v_;
+  msg.push_back(0x00);
+  util::append(msg, provided);
+  key_ = hmac_bytes<Sha256>(key_, msg);
+  v_ = hmac_bytes<Sha256>(key_, v_);
+  if (!provided.empty()) {
+    msg = v_;
+    msg.push_back(0x01);
+    util::append(msg, provided);
+    key_ = hmac_bytes<Sha256>(key_, msg);
+    v_ = hmac_bytes<Sha256>(key_, v_);
+  }
+}
+
+void HmacDrbg::fill(util::Bytes& out, std::size_t n) {
+  out.clear();
+  out.reserve(n);
+  while (out.size() < n) {
+    v_ = hmac_bytes<Sha256>(key_, v_);
+    std::size_t take = std::min(v_.size(), n - out.size());
+    out.insert(out.end(), v_.begin(), v_.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  update({});
+}
+
+void HmacDrbg::reseed(util::BytesView seed) { update(seed); }
+
+void SystemRandom::fill(util::Bytes& out, std::size_t n) {
+  out.assign(n, 0);
+  std::FILE* f = std::fopen("/dev/urandom", "rb");
+  if (f == nullptr) throw std::runtime_error("SystemRandom: cannot open /dev/urandom");
+  std::size_t got = std::fread(out.data(), 1, n, f);
+  std::fclose(f);
+  if (got != n) throw std::runtime_error("SystemRandom: short read");
+}
+
+}  // namespace globe::crypto

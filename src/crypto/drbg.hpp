@@ -1,0 +1,40 @@
+// HMAC-DRBG (NIST SP 800-90A) with SHA-256, plus the process-wide system
+// entropy source.  The DRBG gives tests and benchmarks fully deterministic
+// key generation from a seed.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+
+namespace globe::crypto {
+
+class HmacDrbg final : public util::RandomSource {
+ public:
+  /// Instantiates from arbitrary seed material (entropy || nonce ||
+  /// personalization, pre-concatenated by the caller).
+  explicit HmacDrbg(util::BytesView seed);
+
+  /// Convenience: seed from a 64-bit value (tests, benchmarks).
+  static HmacDrbg from_seed(std::uint64_t seed);
+
+  void fill(util::Bytes& out, std::size_t n) override;
+
+  /// Mixes additional entropy into the state.
+  void reseed(util::BytesView seed);
+
+ private:
+  void update(util::BytesView provided);
+
+  util::Bytes key_;  // K
+  util::Bytes v_;    // V
+};
+
+/// OS entropy (/dev/urandom).  Throws std::runtime_error if unavailable.
+class SystemRandom final : public util::RandomSource {
+ public:
+  void fill(util::Bytes& out, std::size_t n) override;
+};
+
+}  // namespace globe::crypto

@@ -1,0 +1,31 @@
+#include "crypto/hmac.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace globe::crypto {
+
+util::Bytes hkdf_expand_sha256(util::BytesView prk, util::BytesView info,
+                               std::size_t length) {
+  constexpr std::size_t kHashLen = Sha256::kDigestSize;
+  if (length > 255 * kHashLen) {
+    throw std::invalid_argument("hkdf_expand: length too large");
+  }
+  util::Bytes out;
+  out.reserve(length);
+  util::Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < length) {
+    util::Bytes block = t;
+    util::append(block, info);
+    block.push_back(counter++);
+    t = hmac_bytes<Sha256>(prk, block);
+    std::size_t take = std::min(kHashLen, length - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return out;
+}
+
+}  // namespace globe::crypto

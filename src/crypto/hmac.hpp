@@ -1,0 +1,50 @@
+// HMAC (RFC 2104) templated over the hash classes in this directory, plus an
+// HKDF-style expand used by the TLS-like secure channel's key schedule.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace globe::crypto {
+
+/// Computes HMAC-H(key, data) for H in {Sha1, Sha256}.
+template <typename Hash>
+typename Hash::Digest hmac(util::BytesView key, util::BytesView data) {
+  constexpr std::size_t kBlock = Hash::kBlockSize;
+  util::Bytes k(key.begin(), key.end());
+  if (k.size() > kBlock) {
+    auto d = Hash::digest(k);
+    k.assign(d.begin(), d.end());
+  }
+  k.resize(kBlock, 0);
+
+  util::Bytes ipad(kBlock), opad(kBlock);
+  for (std::size_t i = 0; i < kBlock; ++i) {
+    ipad[i] = static_cast<std::uint8_t>(k[i] ^ 0x36);
+    opad[i] = static_cast<std::uint8_t>(k[i] ^ 0x5c);
+  }
+
+  Hash inner;
+  inner.update(ipad);
+  inner.update(data);
+  auto inner_digest = inner.finish();
+
+  Hash outer;
+  outer.update(opad);
+  outer.update(util::BytesView(inner_digest.data(), inner_digest.size()));
+  return outer.finish();
+}
+
+template <typename Hash>
+util::Bytes hmac_bytes(util::BytesView key, util::BytesView data) {
+  auto d = hmac<Hash>(key, data);
+  return util::Bytes(d.begin(), d.end());
+}
+
+/// HKDF-Expand (RFC 5869, SHA-256 PRF): derives `length` bytes of key
+/// material from a pseudorandom key and a context label.
+util::Bytes hkdf_expand_sha256(util::BytesView prk, util::BytesView info,
+                               std::size_t length);
+
+}  // namespace globe::crypto

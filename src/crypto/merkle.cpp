@@ -1,0 +1,106 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "util/serial.hpp"
+
+namespace globe::crypto {
+
+using util::Bytes;
+using util::BytesView;
+
+Bytes MerkleTree::hash_leaf(BytesView data) {
+  Sha1 h;
+  std::uint8_t tag = 0x00;
+  h.update(BytesView(&tag, 1));
+  h.update(data);
+  auto d = h.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+Bytes MerkleTree::hash_interior(BytesView left, BytesView right) {
+  Sha1 h;
+  std::uint8_t tag = 0x01;
+  h.update(BytesView(&tag, 1));
+  h.update(left);
+  h.update(right);
+  auto d = h.finish();
+  return Bytes(d.begin(), d.end());
+}
+
+MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
+  if (leaves.empty()) throw std::invalid_argument("MerkleTree: no leaves");
+  std::vector<Bytes> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(hash_leaf(leaf));
+  levels_.push_back(std::move(level));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Bytes> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+      next.push_back(hash_interior(prev[i], prev[i + 1]));
+    }
+    if (prev.size() % 2 == 1) next.push_back(prev.back());
+    levels_.push_back(std::move(next));
+  }
+}
+
+MerkleProof MerkleTree::prove(std::size_t index) const {
+  if (index >= levels_[0].size()) throw std::out_of_range("MerkleTree::prove");
+  MerkleProof proof;
+  proof.leaf_index = index;
+  std::size_t pos = index;
+  for (std::size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& nodes = levels_[lvl];
+    std::size_t sibling = pos ^ 1;
+    if (sibling < nodes.size()) {
+      proof.steps.push_back({nodes[sibling], sibling < pos});
+    }
+    // Promoted odd node: no sibling at this level, position carries over.
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::verify(BytesView leaf_data, const MerkleProof& proof,
+                        BytesView expected_root) {
+  Bytes current = hash_leaf(leaf_data);
+  for (const auto& step : proof.steps) {
+    if (step.sibling.size() != Sha1::kDigestSize) return false;
+    current = step.sibling_is_left ? hash_interior(step.sibling, current)
+                                   : hash_interior(current, step.sibling);
+  }
+  return util::ct_equal(current, expected_root);
+}
+
+Bytes MerkleProof::serialize() const {
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(leaf_index));
+  w.u32(static_cast<std::uint32_t>(steps.size()));
+  for (const auto& s : steps) {
+    w.u8(s.sibling_is_left ? 1 : 0);
+    w.bytes(s.sibling);
+  }
+  return w.take();
+}
+
+MerkleProof MerkleProof::parse(BytesView data) {
+  util::Reader r(data);
+  MerkleProof proof;
+  proof.leaf_index = r.u32();
+  std::uint32_t n = r.u32();
+  proof.steps.reserve(std::min<std::uint32_t>(n, 64));  // wire-supplied count
+  for (std::uint32_t i = 0; i < n; ++i) {
+    MerkleProofStep step;
+    step.sibling_is_left = r.u8() != 0;
+    step.sibling = r.bytes();
+    proof.steps.push_back(std::move(step));
+  }
+  r.expect_end();
+  return proof;
+}
+
+}  // namespace globe::crypto

@@ -1,0 +1,57 @@
+// Merkle hash tree — the r-OSFS-style integrity baseline (paper §5).
+//
+// r-OSFS signs only the tree root; freshness is a single per-filesystem
+// interval.  GlobeDoc instead signs a per-element table.  This module lets
+// the benchmarks compare both designs: build a tree over element bodies,
+// sign the root once, and verify elements through inclusion proofs.
+//
+// Domain separation: leaf hash = SHA-1(0x00 || data), interior hash =
+// SHA-1(0x01 || left || right), preventing leaf/interior confusion.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha1.hpp"
+#include "util/bytes.hpp"
+
+namespace globe::crypto {
+
+struct MerkleProofStep {
+  util::Bytes sibling;   // 20-byte SHA-1 digest
+  bool sibling_is_left;  // true when the sibling is the left child
+};
+
+struct MerkleProof {
+  std::size_t leaf_index = 0;
+  std::vector<MerkleProofStep> steps;
+
+  util::Bytes serialize() const;
+  static MerkleProof parse(util::BytesView data);  // throws SerialError
+};
+
+class MerkleTree {
+ public:
+  /// Builds a tree over the given leaf payloads (at least one).  With an odd
+  /// node count at a level, the last node is promoted unchanged.
+  explicit MerkleTree(const std::vector<util::Bytes>& leaves);
+
+  const util::Bytes& root() const { return levels_.back()[0]; }
+  std::size_t leaf_count() const { return levels_[0].size(); }
+
+  /// Inclusion proof for leaf `index`; throws std::out_of_range.
+  MerkleProof prove(std::size_t index) const;
+
+  /// Recomputes the root implied by (leaf data, proof) and compares.
+  static bool verify(util::BytesView leaf_data, const MerkleProof& proof,
+                     util::BytesView expected_root);
+
+  static util::Bytes hash_leaf(util::BytesView data);
+  static util::Bytes hash_interior(util::BytesView left, util::BytesView right);
+
+ private:
+  // levels_[0] = leaf hashes, levels_.back() = {root}.
+  std::vector<std::vector<util::Bytes>> levels_;
+};
+
+}  // namespace globe::crypto

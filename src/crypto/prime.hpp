@@ -1,0 +1,17 @@
+// Probabilistic primality testing and prime generation for RSA keygen.
+#pragma once
+
+#include "crypto/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace globe::crypto {
+
+/// Miller–Rabin with `rounds` random bases (plus small-prime trial
+/// division).  Error probability <= 4^-rounds for composite n.
+bool is_probable_prime(const BigInt& n, util::RandomSource& rng, int rounds = 32);
+
+/// Generates a random probable prime with exactly `bits` bits (top bit set,
+/// odd).  `bits` must be >= 8.
+BigInt generate_prime(std::size_t bits, util::RandomSource& rng, int mr_rounds = 32);
+
+}  // namespace globe::crypto

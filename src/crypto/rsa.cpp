@@ -1,0 +1,220 @@
+#include "crypto/rsa.hpp"
+
+#include <stdexcept>
+
+#include "crypto/prime.hpp"
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/serial.hpp"
+
+namespace globe::crypto {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+// ASN.1 DigestInfo prefixes (RFC 8017 §9.2 note 1).
+constexpr std::uint8_t kSha1Prefix[] = {0x30, 0x21, 0x30, 0x09, 0x06,
+                                        0x05, 0x2b, 0x0e, 0x03, 0x02,
+                                        0x1a, 0x05, 0x00, 0x04, 0x14};
+constexpr std::uint8_t kSha256Prefix[] = {0x30, 0x31, 0x30, 0x0d, 0x06, 0x09,
+                                          0x60, 0x86, 0x48, 0x01, 0x65, 0x03,
+                                          0x04, 0x02, 0x01, 0x05, 0x00, 0x04,
+                                          0x20};
+
+// EMSA-PKCS1-v1_5 encoding: 0x00 0x01 FF..FF 0x00 || DigestInfo || digest.
+Bytes emsa_encode(BytesView digest_info_prefix, BytesView digest, std::size_t em_len) {
+  std::size_t t_len = digest_info_prefix.size() + digest.size();
+  if (em_len < t_len + 11) throw std::invalid_argument("RSA modulus too small for digest");
+  Bytes em;
+  em.reserve(em_len);
+  em.push_back(0x00);
+  em.push_back(0x01);
+  em.insert(em.end(), em_len - t_len - 3, 0xff);
+  em.push_back(0x00);
+  util::append(em, digest_info_prefix);
+  util::append(em, digest);
+  return em;
+}
+
+// Raw private-key exponentiation via the CRT.
+BigInt rsa_private_op(const RsaPrivateKey& key, const BigInt& c) {
+  BigInt m1 = BigInt::mod_pow(c % key.p, key.dp, key.p);
+  BigInt m2 = BigInt::mod_pow(c % key.q, key.dq, key.q);
+  // h = qinv * (m1 - m2) mod p, guarding against m1 < m2.
+  BigInt diff = (m1 + key.p - (m2 % key.p)) % key.p;
+  BigInt h = (key.qinv * diff) % key.p;
+  return m2 + h * key.q;
+}
+
+Bytes sign_encoded(const RsaPrivateKey& key, BytesView prefix, BytesView digest) {
+  std::size_t k = (key.n.bit_length() + 7) / 8;
+  Bytes em = emsa_encode(prefix, digest, k);
+  BigInt m = BigInt::from_bytes(em);
+  BigInt s = rsa_private_op(key, m);
+  return s.to_bytes(k);
+}
+
+bool verify_encoded(const RsaPublicKey& key, BytesView prefix, BytesView digest,
+                    BytesView signature) {
+  std::size_t k = key.modulus_bytes();
+  if (signature.size() != k) return false;
+  BigInt s = BigInt::from_bytes(signature);
+  if (s >= key.n) return false;
+  BigInt m = BigInt::mod_pow(s, key.e, key.n);
+  Bytes em = m.to_bytes(k);
+  Bytes expected = emsa_encode(prefix, digest, k);
+  return util::ct_equal(em, expected);
+}
+
+}  // namespace
+
+Bytes RsaPublicKey::serialize() const {
+  util::Writer w;
+  w.bytes(n.to_bytes());
+  w.bytes(e.to_bytes());
+  return w.take();
+}
+
+Result<RsaPublicKey> RsaPublicKey::parse(BytesView data) {
+  try {
+    util::Reader r(data);
+    RsaPublicKey key;
+    key.n = BigInt::from_bytes(r.bytes());
+    key.e = BigInt::from_bytes(r.bytes());
+    r.expect_end();
+    if (key.n.is_zero() || key.e.is_zero()) {
+      return Result<RsaPublicKey>(ErrorCode::kProtocol, "RSA key with zero component");
+    }
+    return key;
+  } catch (const util::SerialError& e) {
+    return Result<RsaPublicKey>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Bytes RsaPrivateKey::serialize() const {
+  util::Writer w;
+  for (const BigInt* v : {&n, &e, &d, &p, &q, &dp, &dq, &qinv}) {
+    w.bytes(v->to_bytes());
+  }
+  return w.take();
+}
+
+Result<RsaPrivateKey> RsaPrivateKey::parse(BytesView data) {
+  try {
+    util::Reader r(data);
+    RsaPrivateKey key;
+    for (BigInt* v : {&key.n, &key.e, &key.d, &key.p, &key.q, &key.dp, &key.dq,
+                      &key.qinv}) {
+      *v = BigInt::from_bytes(r.bytes());
+    }
+    r.expect_end();
+    return key;
+  } catch (const util::SerialError& e) {
+    return Result<RsaPrivateKey>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+RsaKeyPair rsa_generate(std::size_t bits, util::RandomSource& rng) {
+  if (bits < 256) throw std::invalid_argument("rsa_generate: modulus too small");
+  const BigInt e(65537);
+  for (;;) {
+    BigInt p = generate_prime(bits / 2, rng);
+    BigInt q = generate_prime(bits - bits / 2, rng);
+    if (p == q) continue;
+    if (p < q) std::swap(p, q);  // CRT convention: p > q
+    BigInt n = p * q;
+    if (n.bit_length() != bits) continue;
+    BigInt p1 = p - BigInt(1);
+    BigInt q1 = q - BigInt(1);
+    BigInt phi = p1 * q1;
+    if (BigInt::gcd(e, phi) != BigInt(1)) continue;
+    BigInt d = BigInt::mod_inverse(e, phi);
+    RsaPrivateKey priv;
+    priv.n = n;
+    priv.e = e;
+    priv.d = d;
+    priv.p = p;
+    priv.q = q;
+    priv.dp = d % p1;
+    priv.dq = d % q1;
+    priv.qinv = BigInt::mod_inverse(q, p);
+    return RsaKeyPair{priv.public_key(), std::move(priv)};
+  }
+}
+
+Bytes rsa_sign_sha1(const RsaPrivateKey& key, BytesView msg) {
+  auto digest = Sha1::digest(msg);
+  return sign_encoded(key, BytesView(kSha1Prefix, sizeof(kSha1Prefix)),
+                      BytesView(digest.data(), digest.size()));
+}
+
+bool rsa_verify_sha1(const RsaPublicKey& key, BytesView msg, BytesView signature) {
+  auto digest = Sha1::digest(msg);
+  return verify_encoded(key, BytesView(kSha1Prefix, sizeof(kSha1Prefix)),
+                        BytesView(digest.data(), digest.size()), signature);
+}
+
+Bytes rsa_sign_sha256(const RsaPrivateKey& key, BytesView msg) {
+  auto digest = Sha256::digest(msg);
+  return sign_encoded(key, BytesView(kSha256Prefix, sizeof(kSha256Prefix)),
+                      BytesView(digest.data(), digest.size()));
+}
+
+bool rsa_verify_sha256(const RsaPublicKey& key, BytesView msg, BytesView signature) {
+  auto digest = Sha256::digest(msg);
+  return verify_encoded(key, BytesView(kSha256Prefix, sizeof(kSha256Prefix)),
+                        BytesView(digest.data(), digest.size()), signature);
+}
+
+Result<Bytes> rsa_encrypt(const RsaPublicKey& key, BytesView msg,
+                          util::RandomSource& rng) {
+  std::size_t k = key.modulus_bytes();
+  if (k < 11 || msg.size() > k - 11) {
+    return Result<Bytes>(ErrorCode::kInvalidArgument, "rsa_encrypt: message too long");
+  }
+  // EME-PKCS1-v1_5: 0x00 0x02 PS(nonzero) 0x00 M.
+  Bytes em;
+  em.reserve(k);
+  em.push_back(0x00);
+  em.push_back(0x02);
+  std::size_t ps_len = k - msg.size() - 3;
+  while (em.size() < 2 + ps_len) {
+    Bytes r = rng.bytes(ps_len);
+    for (std::uint8_t b : r) {
+      if (b != 0 && em.size() < 2 + ps_len) em.push_back(b);
+    }
+  }
+  em.push_back(0x00);
+  util::append(em, msg);
+  BigInt m = BigInt::from_bytes(em);
+  BigInt c = BigInt::mod_pow(m, key.e, key.n);
+  return c.to_bytes(k);
+}
+
+Result<Bytes> rsa_decrypt(const RsaPrivateKey& key, BytesView ct) {
+  std::size_t k = (key.n.bit_length() + 7) / 8;
+  if (ct.size() != k) {
+    return Result<Bytes>(ErrorCode::kInvalidArgument, "rsa_decrypt: bad ciphertext size");
+  }
+  BigInt c = BigInt::from_bytes(ct);
+  if (c >= key.n) {
+    return Result<Bytes>(ErrorCode::kInvalidArgument, "rsa_decrypt: ciphertext >= n");
+  }
+  BigInt m = rsa_private_op(key, c);
+  Bytes em = m.to_bytes(k);
+  if (em.size() < 11 || em[0] != 0x00 || em[1] != 0x02) {
+    return Result<Bytes>(ErrorCode::kProtocol, "rsa_decrypt: bad padding");
+  }
+  std::size_t sep = 2;
+  while (sep < em.size() && em[sep] != 0x00) ++sep;
+  if (sep == em.size() || sep < 10) {
+    return Result<Bytes>(ErrorCode::kProtocol, "rsa_decrypt: bad padding");
+  }
+  return Bytes(em.begin() + static_cast<std::ptrdiff_t>(sep + 1), em.end());
+}
+
+}  // namespace globe::crypto

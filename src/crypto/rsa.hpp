@@ -1,0 +1,70 @@
+// RSA key generation, PKCS#1 v1.5 signatures (SHA-1 / SHA-256 DigestInfo)
+// and PKCS#1 v1.5 encryption, built on the BigInt layer.
+//
+// This is the signature scheme behind GlobeDoc integrity certificates and
+// identity certificates (paper §3), and the key-transport primitive of the
+// TLS-like baseline channel.  Private-key operations use the CRT.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/bigint.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace globe::crypto {
+
+struct RsaPublicKey {
+  BigInt n;  // modulus
+  BigInt e;  // public exponent
+
+  /// Size of the modulus in bytes (= signature/ciphertext size).
+  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+
+  /// Canonical wire encoding: len-prefixed big-endian n, then e.
+  util::Bytes serialize() const;
+  static util::Result<RsaPublicKey> parse(util::BytesView data);
+
+  friend bool operator==(const RsaPublicKey& a, const RsaPublicKey& b) {
+    return a.n == b.n && a.e == b.e;
+  }
+};
+
+struct RsaPrivateKey {
+  BigInt n, e, d;
+  BigInt p, q;          // prime factors
+  BigInt dp, dq, qinv;  // CRT exponents and coefficient
+
+  RsaPublicKey public_key() const { return RsaPublicKey{n, e}; }
+
+  util::Bytes serialize() const;
+  static util::Result<RsaPrivateKey> parse(util::BytesView data);
+};
+
+struct RsaKeyPair {
+  RsaPublicKey pub;
+  RsaPrivateKey priv;
+};
+
+/// Generates an RSA key with a modulus of `bits` bits (e = 65537).
+/// `bits` must be >= 256 (512+ for anything but unit tests).
+RsaKeyPair rsa_generate(std::size_t bits, util::RandomSource& rng);
+
+/// PKCS#1 v1.5 signature over SHA-1(msg) — the paper's certificate scheme.
+util::Bytes rsa_sign_sha1(const RsaPrivateKey& key, util::BytesView msg);
+bool rsa_verify_sha1(const RsaPublicKey& key, util::BytesView msg,
+                     util::BytesView signature);
+
+/// PKCS#1 v1.5 signature over SHA-256(msg) — used by identity certificates
+/// and signed naming records.
+util::Bytes rsa_sign_sha256(const RsaPrivateKey& key, util::BytesView msg);
+bool rsa_verify_sha256(const RsaPublicKey& key, util::BytesView msg,
+                       util::BytesView signature);
+
+/// PKCS#1 v1.5 type-2 encryption.  msg must be <= modulus_bytes() - 11.
+util::Result<util::Bytes> rsa_encrypt(const RsaPublicKey& key, util::BytesView msg,
+                                      util::RandomSource& rng);
+util::Result<util::Bytes> rsa_decrypt(const RsaPrivateKey& key, util::BytesView ct);
+
+}  // namespace globe::crypto

@@ -1,0 +1,120 @@
+#include "crypto/sha1.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace globe::crypto {
+
+namespace {
+inline std::uint32_t rotl(std::uint32_t v, unsigned n) {
+  return (v << n) | (v >> (32 - n));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_ = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
+  buffer_len_ = 0;
+  total_len_ = 0;
+}
+
+void Sha1::update(util::BytesView data) {
+  total_len_ += data.size();
+  std::size_t offset = 0;
+  if (buffer_len_ > 0) {
+    std::size_t take = std::min(kBlockSize - buffer_len_, data.size());
+    std::memcpy(buffer_.data() + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ == kBlockSize) {
+      process_block(buffer_.data());
+      buffer_len_ = 0;
+    }
+  }
+  while (offset + kBlockSize <= data.size()) {
+    process_block(data.data() + offset);
+    offset += kBlockSize;
+  }
+  if (offset < data.size()) {
+    buffer_len_ = data.size() - offset;
+    std::memcpy(buffer_.data(), data.data() + offset, buffer_len_);
+  }
+}
+
+Sha1::Digest Sha1::finish() {
+  std::uint64_t bit_len = total_len_ * 8;
+  std::uint8_t pad = 0x80;
+  update(util::BytesView(&pad, 1));
+  static constexpr std::uint8_t kZero[kBlockSize] = {};
+  while (buffer_len_ != 56) {
+    std::size_t fill = buffer_len_ < 56 ? 56 - buffer_len_ : kBlockSize - buffer_len_;
+    update(util::BytesView(kZero, fill));
+  }
+  std::uint8_t len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  }
+  // update() counts these padding bytes in total_len_, but bit_len was
+  // captured before padding so the encoded length is correct.
+  update(util::BytesView(len_be, 8));
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out[static_cast<std::size_t>(4 * i)] = static_cast<std::uint8_t>(h_[i] >> 24);
+    out[static_cast<std::size_t>(4 * i + 1)] = static_cast<std::uint8_t>(h_[i] >> 16);
+    out[static_cast<std::size_t>(4 * i + 2)] = static_cast<std::uint8_t>(h_[i] >> 8);
+    out[static_cast<std::size_t>(4 * i + 3)] = static_cast<std::uint8_t>(h_[i]);
+  }
+  return out;
+}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = std::uint32_t{block[4 * i]} << 24 | std::uint32_t{block[4 * i + 1]} << 16 |
+           std::uint32_t{block[4 * i + 2]} << 8 | block[4 * i + 3];
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+Sha1::Digest Sha1::digest(util::BytesView data) {
+  Sha1 h;
+  h.update(data);
+  return h.finish();
+}
+
+util::Bytes Sha1::digest_bytes(util::BytesView data) {
+  Digest d = digest(data);
+  return util::Bytes(d.begin(), d.end());
+}
+
+}  // namespace globe::crypto

@@ -1,0 +1,42 @@
+// SHA-1 (FIPS 180-1) — the hash the paper uses for self-certifying OIDs and
+// integrity-certificate element digests.  Incremental (update/final) and
+// one-shot APIs.
+//
+// SHA-1 is retained for fidelity to the paper; new protocol surfaces in this
+// codebase (DRBG, identity certificates) use SHA-256 from sha256.hpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace globe::crypto {
+
+class Sha1 {
+ public:
+  static constexpr std::size_t kDigestSize = 20;
+  static constexpr std::size_t kBlockSize = 64;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha1() { reset(); }
+
+  void reset();
+  void update(util::BytesView data);
+  /// Finalizes and returns the digest; the object must be reset() before reuse.
+  Digest finish();
+
+  /// One-shot convenience.
+  static Digest digest(util::BytesView data);
+  static util::Bytes digest_bytes(util::BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> h_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace globe::crypto

@@ -1,0 +1,127 @@
+#include "globedoc/adversary.hpp"
+
+#include "globedoc/element.hpp"
+#include "globedoc/server.hpp"
+#include "location/tree.hpp"
+#include "rpc/rpc.hpp"
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+
+using util::Bytes;
+using util::BytesView;
+using util::Result;
+
+namespace {
+
+struct RpcHeader {
+  std::uint16_t service = 0;
+  std::uint16_t method = 0;
+  BytesView payload;
+};
+
+bool read_header(BytesView request, RpcHeader& out) {
+  if (request.size() < 4) return false;
+  out.service = static_cast<std::uint16_t>(std::uint16_t{request[0]} << 8 | request[1]);
+  out.method = static_cast<std::uint16_t>(std::uint16_t{request[2]} << 8 | request[3]);
+  out.payload = request.subspan(4);
+  return true;
+}
+
+}  // namespace
+
+net::MessageHandler tampering_element_attack(net::MessageHandler inner) {
+  return [inner = std::move(inner)](net::ServerContext& ctx,
+                                    BytesView request) -> Result<Bytes> {
+    auto response = inner(ctx, request);
+    RpcHeader header;
+    if (!response.is_ok() || !read_header(request, header) ||
+        header.service != rpc::kGlobeDocAccess || header.method != kGetElement) {
+      return response;
+    }
+    auto element = PageElement::parse(*response);
+    if (!element.is_ok()) return response;
+    // Inject a defacement into the genuine element body.
+    Bytes graffiti = util::to_bytes("<!-- owned -->");
+    if (element->content.empty()) {
+      element->content = graffiti;
+    } else {
+      element->content[element->content.size() / 2] ^= 0xff;
+    }
+    return element->serialize();
+  };
+}
+
+net::MessageHandler element_swap_attack(net::MessageHandler inner,
+                                        std::string decoy_element) {
+  return [inner = std::move(inner), decoy = std::move(decoy_element)](
+             net::ServerContext& ctx, BytesView request) -> Result<Bytes> {
+    RpcHeader header;
+    if (!read_header(request, header) || header.service != rpc::kGlobeDocAccess ||
+        header.method != kGetElement) {
+      return inner(ctx, request);
+    }
+    try {
+      util::Reader r(header.payload);
+      Bytes oid = r.raw(Oid::kSize);
+      (void)r.str();  // discard the requested name
+      r.expect_end();
+      util::Writer w;
+      w.u16(header.service);
+      w.u16(header.method);
+      w.raw(oid);
+      w.str(decoy);
+      return inner(ctx, w.buffer());
+    } catch (const util::SerialError&) {
+      return inner(ctx, request);
+    }
+  };
+}
+
+net::MessageHandler key_substitution_attack(net::MessageHandler inner,
+                                            Bytes attacker_key_serialized) {
+  return [inner = std::move(inner), key = std::move(attacker_key_serialized)](
+             net::ServerContext& ctx, BytesView request) -> Result<Bytes> {
+    auto response = inner(ctx, request);
+    RpcHeader header;
+    if (!response.is_ok() || !read_header(request, header) ||
+        header.service != rpc::kGlobeDocSecurity || header.method != kGetPublicKey) {
+      return response;
+    }
+    return key;
+  };
+}
+
+net::MessageHandler misdirecting_location_node(
+    std::vector<net::Endpoint> bogus_addresses) {
+  return [addresses = std::move(bogus_addresses)](
+             net::ServerContext&, BytesView request) -> Result<Bytes> {
+    RpcHeader header;
+    if (!read_header(request, header) || header.service != rpc::kLocationService ||
+        header.method != location::kLookup) {
+      return Result<Bytes>(util::ErrorCode::kNotFound, "malicious node: no method");
+    }
+    location::LookupReply reply;
+    reply.found = true;
+    reply.addresses = addresses;
+    return reply.serialize();
+  };
+}
+
+net::MessageHandler certificate_forgery_attack(net::MessageHandler inner) {
+  return [inner = std::move(inner)](net::ServerContext& ctx,
+                                    BytesView request) -> Result<Bytes> {
+    auto response = inner(ctx, request);
+    RpcHeader header;
+    if (!response.is_ok() || !read_header(request, header) ||
+        header.service != rpc::kGlobeDocSecurity ||
+        header.method != kGetIntegrityCert) {
+      return response;
+    }
+    Bytes forged = *response;
+    if (!forged.empty()) forged[forged.size() - 1] ^= 0x01;  // mangle the signature
+    return forged;
+  };
+}
+
+}  // namespace globe::globedoc

@@ -1,0 +1,41 @@
+#include "globedoc/element.hpp"
+
+#include "crypto/sha1.hpp"
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+
+using util::Bytes;
+using util::ErrorCode;
+using util::Result;
+
+Bytes PageElement::serialize() const {
+  util::Writer w;
+  w.str(name);
+  w.str(content_type);
+  w.bytes(content);
+  return w.take();
+}
+
+Result<PageElement> PageElement::parse(util::BytesView data) {
+  try {
+    util::Reader r(data);
+    PageElement el;
+    el.name = r.str();
+    el.content_type = r.str();
+    el.content = r.bytes();
+    r.expect_end();
+    if (el.name.empty()) {
+      return Result<PageElement>(ErrorCode::kProtocol, "element with empty name");
+    }
+    return el;
+  } catch (const util::SerialError& e) {
+    return Result<PageElement>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Bytes PageElement::digest() const {
+  return crypto::Sha1::digest_bytes(serialize());
+}
+
+}  // namespace globe::globedoc

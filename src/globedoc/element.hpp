@@ -1,0 +1,34 @@
+// Page elements: the unit of GlobeDoc content (paper §2).
+//
+// A Web document is a collection of logically related page elements (HTML,
+// images, applets, ...).  The integrity certificate hashes the *serialized*
+// element, so the name and content type are covered by the signature along
+// with the body.
+#pragma once
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace globe::globedoc {
+
+struct PageElement {
+  std::string name;          // element name within the object, e.g. "index.html"
+  std::string content_type;  // MIME type
+  util::Bytes content;
+
+  util::Bytes serialize() const;
+  static util::Result<PageElement> parse(util::BytesView data);
+
+  /// SHA-1 over the serialized element — the digest stored in integrity
+  /// certificates.
+  util::Bytes digest() const;
+
+  friend bool operator==(const PageElement& a, const PageElement& b) {
+    return a.name == b.name && a.content_type == b.content_type &&
+           a.content == b.content;
+  }
+};
+
+}  // namespace globe::globedoc

@@ -1,0 +1,44 @@
+#include "globedoc/hybrid_url.hpp"
+
+namespace globe::globedoc {
+
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+constexpr std::string_view kHttpPrefix = "http://globe/";
+constexpr std::string_view kSchemePrefix = "globe://";
+constexpr std::string_view kTargetPrefix = "/globe/";  // proxy-relative form
+
+/// Strips a recognized prefix, or returns empty when not hybrid.
+std::string_view strip_prefix(std::string_view url) {
+  for (std::string_view prefix : {kHttpPrefix, kSchemePrefix, kTargetPrefix}) {
+    if (url.substr(0, prefix.size()) == prefix) return url.substr(prefix.size());
+  }
+  return {};
+}
+
+}  // namespace
+
+bool is_hybrid_url(std::string_view url) { return !strip_prefix(url).empty(); }
+
+Result<HybridUrl> parse_hybrid_url(std::string_view url) {
+  std::string_view rest = strip_prefix(url);
+  if (rest.empty()) {
+    return Result<HybridUrl>(ErrorCode::kInvalidArgument,
+                             "not a hybrid GlobeDoc URL: " + std::string(url));
+  }
+  std::size_t slash = rest.find('/');
+  if (slash == std::string_view::npos || slash == 0 || slash + 1 >= rest.size()) {
+    return Result<HybridUrl>(ErrorCode::kInvalidArgument,
+                             "hybrid URL needs <object>/<element>: " +
+                                 std::string(url));
+  }
+  HybridUrl out;
+  out.object_name = std::string(rest.substr(0, slash));
+  out.element_name = std::string(rest.substr(slash + 1));
+  return out;
+}
+
+}  // namespace globe::globedoc

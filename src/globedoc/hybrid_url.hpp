@@ -1,0 +1,32 @@
+// Hybrid URLs (paper §2.1): regular URLs with a distinguishing prefix that
+// embed a GlobeDoc object name and a page-element name, so unmodified
+// browsers can address GlobeDoc content through the proxy.
+//
+// Accepted forms:
+//   http://globe/<object-name>/<element-name>
+//   globe://<object-name>/<element-name>
+// The element name may contain '/' (e.g. "img/logo.gif").
+#pragma once
+
+#include <string>
+
+#include "util/status.hpp"
+
+namespace globe::globedoc {
+
+struct HybridUrl {
+  std::string object_name;   // resolvable via the secure naming service
+  std::string element_name;  // page element within the object
+
+  std::string to_string() const {
+    return "http://globe/" + object_name + "/" + element_name;
+  }
+};
+
+/// True when `url` (or an HTTP request target) addresses GlobeDoc content.
+bool is_hybrid_url(std::string_view url);
+
+/// Parses a hybrid URL; INVALID_ARGUMENT on non-hybrid or malformed input.
+util::Result<HybridUrl> parse_hybrid_url(std::string_view url);
+
+}  // namespace globe::globedoc

@@ -1,0 +1,43 @@
+#include "globedoc/importer.hpp"
+
+namespace globe::globedoc {
+
+using util::ErrorCode;
+using util::Result;
+
+Result<ImportReport> import_from_http(GlobeDocObject& object,
+                                      net::Transport& transport,
+                                      const net::Endpoint& source,
+                                      const std::vector<std::string>& paths) {
+  if (paths.empty()) {
+    return Result<ImportReport>(ErrorCode::kInvalidArgument, "no paths to import");
+  }
+  http::HttpClient client(transport);
+  ImportReport report;
+  for (const std::string& path : paths) {
+    if (path.empty() || path[0] != '/') {
+      report.failed.push_back(path);
+      continue;
+    }
+    auto response = client.get(source, path);
+    if (!response.is_ok() || response->status != 200) {
+      report.failed.push_back(path);
+      continue;
+    }
+    PageElement element;
+    element.name = path.substr(1);
+    element.content_type = response->headers.get("Content-Type")
+                               .value_or("application/octet-stream");
+    element.content = std::move(response->body);
+    report.bytes += element.content.size();
+    object.put_element(std::move(element));
+    ++report.imported;
+  }
+  if (report.imported == 0) {
+    return Result<ImportReport>(ErrorCode::kUnavailable,
+                                "every path failed to import");
+  }
+  return report;
+}
+
+}  // namespace globe::globedoc

@@ -1,0 +1,34 @@
+// Site importer: owner tooling that migrates existing static Web content
+// into a GlobeDoc object — the adoption path for the paper's model ("most
+// of the current Web infrastructure" can be reused, §2).
+//
+// Fetches each path from a regular HTTP origin and stores it as a page
+// element (element name = path without the leading '/'; content type from
+// the origin's header).  The caller then signs and publishes as usual.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "globedoc/object.hpp"
+#include "http/client.hpp"
+
+namespace globe::globedoc {
+
+struct ImportReport {
+  std::size_t imported = 0;
+  std::size_t bytes = 0;
+  std::vector<std::string> failed;  // paths that did not yield a 200
+};
+
+/// Imports `paths` (each starting with '/') from the origin at `source`
+/// into `object`, replacing elements of the same name.  Partial failures
+/// are recorded in the report rather than aborting the import; the result
+/// is an error only if the report would be empty because every path failed
+/// or the input was invalid.
+util::Result<ImportReport> import_from_http(GlobeDocObject& object,
+                                            net::Transport& transport,
+                                            const net::Endpoint& source,
+                                            const std::vector<std::string>& paths);
+
+}  // namespace globe::globedoc

@@ -1,0 +1,129 @@
+#include "globedoc/object.hpp"
+
+#include <stdexcept>
+
+#include <algorithm>
+
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+const PageElement* ReplicaState::find(const std::string& name) const {
+  for (const auto& el : elements) {
+    if (el.name == name) return &el;
+  }
+  return nullptr;
+}
+
+std::size_t ReplicaState::content_bytes() const {
+  std::size_t total = 0;
+  for (const auto& el : elements) total += el.content.size();
+  return total;
+}
+
+Bytes ReplicaState::serialize() const {
+  util::Writer w;
+  w.bytes(public_key);
+  w.bytes(certificate.serialize());
+  w.u32(static_cast<std::uint32_t>(identity_certs.size()));
+  for (const auto& cert : identity_certs) w.bytes(cert.serialize());
+  w.u32(static_cast<std::uint32_t>(elements.size()));
+  for (const auto& el : elements) w.bytes(el.serialize());
+  return w.take();
+}
+
+Result<ReplicaState> ReplicaState::parse(BytesView data) {
+  try {
+    util::Reader r(data);
+    ReplicaState state;
+    state.public_key = r.bytes();
+    auto cert = IntegrityCertificate::parse(r.bytes());
+    if (!cert.is_ok()) return cert.status();
+    state.certificate = std::move(*cert);
+    std::uint32_t n_ids = r.u32();
+    state.identity_certs.reserve(std::min<std::uint32_t>(n_ids, 64));
+    for (std::uint32_t i = 0; i < n_ids; ++i) {
+      auto id = IdentityCertificate::parse(r.bytes());
+      if (!id.is_ok()) return id.status();
+      state.identity_certs.push_back(std::move(*id));
+    }
+    std::uint32_t n_els = r.u32();
+    state.elements.reserve(std::min<std::uint32_t>(n_els, 1024));
+    for (std::uint32_t i = 0; i < n_els; ++i) {
+      auto el = PageElement::parse(r.bytes());
+      if (!el.is_ok()) return el.status();
+      state.elements.push_back(std::move(*el));
+    }
+    r.expect_end();
+    return state;
+  } catch (const util::SerialError& e) {
+    return Result<ReplicaState>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+GlobeDocObject::GlobeDocObject(crypto::RsaKeyPair keys)
+    : keys_(std::move(keys)), oid_(Oid::from_public_key(keys_.pub)) {}
+
+GlobeDocObject GlobeDocObject::create(util::RandomSource& rng, std::size_t key_bits) {
+  return GlobeDocObject(crypto::rsa_generate(key_bits, rng));
+}
+
+void GlobeDocObject::put_element(PageElement element) {
+  if (element.name.empty()) {
+    throw std::invalid_argument("put_element: empty element name");
+  }
+  elements_[element.name] = std::move(element);
+  dirty_ = true;
+}
+
+void GlobeDocObject::remove_element(const std::string& name) {
+  if (elements_.erase(name) > 0) dirty_ = true;
+}
+
+const PageElement* GlobeDocObject::element(const std::string& name) const {
+  auto it = elements_.find(name);
+  return it == elements_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> GlobeDocObject::element_names() const {
+  std::vector<std::string> names;
+  names.reserve(elements_.size());
+  for (const auto& [name, el] : elements_) names.push_back(name);
+  return names;
+}
+
+void GlobeDocObject::add_identity_certificate(IdentityCertificate cert) {
+  identity_certs_.push_back(std::move(cert));
+  dirty_ = true;
+}
+
+const IntegrityCertificate& GlobeDocObject::sign_state(util::SimTime now,
+                                                       util::SimDuration ttl) {
+  std::vector<PageElement> elements;
+  elements.reserve(elements_.size());
+  for (const auto& [name, el] : elements_) elements.push_back(el);
+  certificate_ =
+      IntegrityCertificate::build(oid_, ++version_, elements, now, ttl, keys_.priv);
+  dirty_ = false;
+  return certificate_;
+}
+
+ReplicaState GlobeDocObject::snapshot() const {
+  if (dirty_) {
+    throw std::logic_error("snapshot of unsigned state: call sign_state first");
+  }
+  ReplicaState state;
+  state.public_key = keys_.pub.serialize();
+  state.certificate = certificate_;
+  state.identity_certs = identity_certs_;
+  state.elements.reserve(elements_.size());
+  for (const auto& [name, el] : elements_) state.elements.push_back(el);
+  return state;
+}
+
+}  // namespace globe::globedoc

@@ -1,0 +1,44 @@
+#include "globedoc/oid.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha1.hpp"
+
+namespace globe::globedoc {
+
+using util::ErrorCode;
+using util::Result;
+
+Oid Oid::from_public_key(const crypto::RsaPublicKey& key) {
+  auto digest = crypto::Sha1::digest(key.serialize());
+  Oid oid;
+  std::copy(digest.begin(), digest.end(), oid.bytes_.begin());
+  return oid;
+}
+
+Result<Oid> Oid::from_bytes(util::BytesView data) {
+  if (data.size() != kSize) {
+    return Result<Oid>(ErrorCode::kInvalidArgument, "OID must be 20 bytes");
+  }
+  Oid oid;
+  std::copy(data.begin(), data.end(), oid.bytes_.begin());
+  return oid;
+}
+
+Result<Oid> Oid::from_hex(std::string_view hex) {
+  try {
+    return from_bytes(util::hex_decode(hex));
+  } catch (const std::invalid_argument& e) {
+    return Result<Oid>(ErrorCode::kInvalidArgument, e.what());
+  }
+}
+
+std::string Oid::to_hex() const {
+  return util::hex_encode(util::BytesView(bytes_.data(), bytes_.size()));
+}
+
+bool Oid::matches_key(const crypto::RsaPublicKey& key) const {
+  return *this == from_public_key(key);
+}
+
+}  // namespace globe::globedoc

@@ -1,0 +1,45 @@
+// Self-certifying object identifiers (paper §3.1.2).
+//
+// OID = SHA-1(object public key).  Because SHA-1 is collision resistant, an
+// OID obtained this way is securely bound to the key: anyone holding the
+// OID can verify a claimed public key offline, with no trusted third party.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "util/bytes.hpp"
+#include "util/status.hpp"
+
+namespace globe::globedoc {
+
+class Oid {
+ public:
+  static constexpr std::size_t kSize = 20;
+
+  Oid() = default;
+
+  /// Derives the self-certifying OID from an object's public key.
+  static Oid from_public_key(const crypto::RsaPublicKey& key);
+
+  /// Parses exactly 20 bytes.
+  static util::Result<Oid> from_bytes(util::BytesView data);
+  static util::Result<Oid> from_hex(std::string_view hex);
+
+  util::Bytes to_bytes() const { return util::Bytes(bytes_.begin(), bytes_.end()); }
+  util::BytesView view() const { return util::BytesView(bytes_.data(), bytes_.size()); }
+  std::string to_hex() const;
+
+  /// The self-certifying check: does `key` hash to this OID?
+  bool matches_key(const crypto::RsaPublicKey& key) const;
+
+  auto operator<=>(const Oid&) const = default;
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+}  // namespace globe::globedoc

@@ -1,0 +1,75 @@
+#include "globedoc/owner.hpp"
+
+#include <algorithm>
+
+namespace globe::globedoc {
+
+using util::ErrorCode;
+using util::Status;
+
+ObjectOwner::ObjectOwner(GlobeDocObject object, crypto::RsaKeyPair admin_credentials)
+    : object_(std::move(object)), credentials_(std::move(admin_credentials)) {}
+
+ReplicaState ObjectOwner::sign_and_snapshot(util::SimTime now, util::SimDuration ttl) {
+  object_.sign_state(now, ttl);
+  return object_.snapshot();
+}
+
+void ObjectOwner::register_name(naming::ZoneAuthority& zone, const std::string& name,
+                                util::SimTime expires) {
+  zone.add_oid(name, object_.oid().to_bytes(), expires);
+}
+
+Status ObjectOwner::publish_replica(net::Transport& transport,
+                                    const net::Endpoint& object_server,
+                                    const net::Endpoint& location_site,
+                                    const ReplicaState& state) {
+  AdminClient admin(transport, object_server, credentials_);
+  Status created = admin.create_replica(state);
+  if (!created.is_ok()) return created;
+
+  location::LocationClient locator(transport, location_site);
+  Status registered =
+      locator.insert(location_site, object_.oid().view(), object_server);
+  if (!registered.is_ok()) {
+    // Roll back the replica so we never leave an unregistered copy behind.
+    (void)admin.delete_replica(object_.oid());
+    return registered;
+  }
+  replicas_.push_back(PublishedReplica{object_server, location_site});
+  return Status::ok();
+}
+
+Status ObjectOwner::refresh_replicas(net::Transport& transport, util::SimTime now,
+                                     util::SimDuration ttl) {
+  ReplicaState state = sign_and_snapshot(now, ttl);
+  for (const auto& replica : replicas_) {
+    AdminClient admin(transport, replica.server, credentials_);
+    Status updated = admin.update_replica(state);
+    if (!updated.is_ok()) return updated;
+  }
+  return Status::ok();
+}
+
+Status ObjectOwner::unpublish_replica(net::Transport& transport,
+                                      const net::Endpoint& object_server,
+                                      const net::Endpoint& location_site) {
+  auto it = std::find_if(replicas_.begin(), replicas_.end(),
+                         [&](const PublishedReplica& r) {
+                           return r.server == object_server &&
+                                  r.location_site == location_site;
+                         });
+  if (it == replicas_.end()) {
+    return Status(ErrorCode::kNotFound, "replica not published by this owner");
+  }
+  AdminClient admin(transport, object_server, credentials_);
+  Status deleted = admin.delete_replica(object_.oid());
+  if (!deleted.is_ok()) return deleted;
+
+  location::LocationClient locator(transport, location_site);
+  Status removed = locator.remove(location_site, object_.oid().view(), object_server);
+  replicas_.erase(it);
+  return removed;
+}
+
+}  // namespace globe::globedoc

@@ -1,0 +1,66 @@
+// Object-owner toolkit (paper §3: "behind each GlobeDoc object there is a
+// person or organization — the object owner — that is in charge of it").
+//
+// The owner creates the object and its key pair, provides permanent
+// storage, updates and re-signs the state, registers the name, and places
+// replicas on object servers.  The owner authenticates to object servers
+// with separate admin credentials (the keys listed in server keystores).
+#pragma once
+
+#include <vector>
+
+#include "globedoc/object.hpp"
+#include "globedoc/server.hpp"
+#include "location/tree.hpp"
+#include "naming/service.hpp"
+#include "net/transport.hpp"
+
+namespace globe::globedoc {
+
+class ObjectOwner {
+ public:
+  ObjectOwner(GlobeDocObject object, crypto::RsaKeyPair admin_credentials);
+
+  GlobeDocObject& object() { return object_; }
+  const GlobeDocObject& object() const { return object_; }
+  const crypto::RsaPublicKey& credential_key() const { return credentials_.pub; }
+
+  /// Signs the current state (fresh validity window) and snapshots it.
+  ReplicaState sign_and_snapshot(util::SimTime now, util::SimDuration ttl);
+
+  /// Registers the object's name -> OID binding in a naming zone the owner
+  /// controls.
+  void register_name(naming::ZoneAuthority& zone, const std::string& name,
+                     util::SimTime expires);
+
+  /// Creates a replica on `object_server` (authenticated via the keystore)
+  /// and registers its contact address at `location_site`.  The pair is
+  /// remembered for refresh/unpublish.
+  util::Status publish_replica(net::Transport& transport,
+                               const net::Endpoint& object_server,
+                               const net::Endpoint& location_site,
+                               const ReplicaState& state);
+
+  /// Re-signs the state and pushes the update to every published replica
+  /// (how owners renew validity intervals and propagate content changes).
+  util::Status refresh_replicas(net::Transport& transport, util::SimTime now,
+                                util::SimDuration ttl);
+
+  /// Destroys one replica and deregisters its contact address.
+  util::Status unpublish_replica(net::Transport& transport,
+                                 const net::Endpoint& object_server,
+                                 const net::Endpoint& location_site);
+
+  struct PublishedReplica {
+    net::Endpoint server;
+    net::Endpoint location_site;
+  };
+  const std::vector<PublishedReplica>& replicas() const { return replicas_; }
+
+ private:
+  GlobeDocObject object_;
+  crypto::RsaKeyPair credentials_;
+  std::vector<PublishedReplica> replicas_;
+};
+
+}  // namespace globe::globedoc

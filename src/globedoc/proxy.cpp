@@ -1,0 +1,280 @@
+#include "globedoc/proxy.hpp"
+
+#include "crypto/sha1.hpp"
+#include "globedoc/server.hpp"
+#include "rpc/rpc.hpp"
+#include "util/log.hpp"
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+GlobeDocProxy::GlobeDocProxy(net::Transport& transport, ProxyConfig config)
+    : transport_(&transport),
+      config_(std::move(config)),
+      resolver_(transport, config_.naming_root, config_.naming_anchor),
+      locator_(transport, config_.location_site) {}
+
+Result<FetchResult> GlobeDocProxy::fetch_url(const std::string& hybrid_url) {
+  auto parsed = parse_hybrid_url(hybrid_url);
+  if (!parsed.is_ok()) return parsed.status();
+  return fetch(parsed->object_name, parsed->element_name);
+}
+
+Result<GlobeDocProxy::Binding> GlobeDocProxy::bind_replica(const Oid& oid,
+                                                           const net::Endpoint& address,
+                                                           FetchMetrics& metrics) {
+  rpc::RpcClient replica(*transport_, address);
+
+  // --- Step 3: public key, self-certifying check (security time).
+  util::SimTime t0 = transport_->now();
+  util::Writer oid_req;
+  oid_req.raw(oid.to_bytes());
+  auto key_raw = replica.call(rpc::kGlobeDocSecurity, kGetPublicKey, oid_req.buffer());
+  if (!key_raw.is_ok()) {
+    metrics.security_time += transport_->now() - t0;
+    return key_raw.status();
+  }
+  auto object_key = crypto::RsaPublicKey::parse(*key_raw);
+  if (!object_key.is_ok()) {
+    metrics.security_time += transport_->now() - t0;
+    return object_key.status();
+  }
+  transport_->charge(net::CpuOp::kSha1, key_raw->size());
+  if (!oid.matches_key(*object_key)) {
+    metrics.security_time += transport_->now() - t0;
+    return Result<Binding>(ErrorCode::kOidMismatch,
+                           "public key does not hash to the OID at " +
+                               address.to_string());
+  }
+
+  Binding binding;
+  binding.oid = oid;
+  binding.replica = address;
+  binding.object_key = std::move(*object_key);
+
+  // --- Step 4: identity certificates against the user's trusted CAs.
+  if (config_.request_identity) {
+    auto certs_raw =
+        replica.call(rpc::kGlobeDocSecurity, kGetIdentityCerts, oid_req.buffer());
+    if (certs_raw.is_ok()) {
+      std::vector<IdentityCertificate> certs;
+      try {
+        util::Reader r(*certs_raw);
+        std::uint32_t n = r.u32();
+        for (std::uint32_t i = 0; i < n; ++i) {
+          auto cert = IdentityCertificate::parse(r.bytes());
+          if (cert.is_ok()) certs.push_back(std::move(*cert));
+        }
+      } catch (const util::SerialError&) {
+        // Malformed list: treat as no usable certificates.
+        certs.clear();
+      }
+      // One public-key verification per certificate examined.
+      transport_->charge(net::CpuOp::kRsaVerify, certs.size());
+      binding.certified_as =
+          config_.trust.first_trusted_subject(certs, oid, transport_->now());
+    }
+    if (config_.require_identity && !binding.certified_as.has_value()) {
+      metrics.security_time += transport_->now() - t0;
+      return Result<Binding>(ErrorCode::kUntrustedIssuer,
+                             "no identity certificate from a trusted CA");
+    }
+  }
+
+  // --- Step 5: integrity certificate, signature check.
+  auto cert_raw =
+      replica.call(rpc::kGlobeDocSecurity, kGetIntegrityCert, oid_req.buffer());
+  if (!cert_raw.is_ok()) {
+    metrics.security_time += transport_->now() - t0;
+    return cert_raw.status();
+  }
+  auto certificate = IntegrityCertificate::parse(*cert_raw);
+  if (!certificate.is_ok()) {
+    metrics.security_time += transport_->now() - t0;
+    return certificate.status();
+  }
+  transport_->charge(net::CpuOp::kRsaVerify, 1);
+  if (!certificate->verify_signature(binding.object_key)) {
+    metrics.security_time += transport_->now() - t0;
+    return Result<Binding>(ErrorCode::kBadSignature,
+                           "integrity certificate signature invalid");
+  }
+  if (certificate->oid() != oid) {
+    metrics.security_time += transport_->now() - t0;
+    return Result<Binding>(ErrorCode::kWrongElement,
+                           "integrity certificate for a different object");
+  }
+  binding.certificate = std::move(*certificate);
+  metrics.security_time += transport_->now() - t0;
+  return binding;
+}
+
+Result<PageElement> GlobeDocProxy::fetch_element(const Binding& binding,
+                                                 const std::string& element_name,
+                                                 FetchMetrics& metrics) {
+  rpc::RpcClient replica(*transport_, binding.replica);
+  util::Writer req;
+  req.raw(binding.oid.to_bytes());
+  req.str(element_name);
+  auto raw = replica.call(rpc::kGlobeDocAccess, kGetElement, req.buffer());
+  if (!raw.is_ok()) return raw.status();
+
+  auto element = PageElement::parse(*raw);
+  if (!element.is_ok()) return element.status();
+
+  // --- Step 6: authenticity, consistency, freshness (security time).
+  util::SimTime t0 = transport_->now();
+  transport_->charge(net::CpuOp::kSha1, raw->size());
+  Status check =
+      binding.certificate.check_element(element_name, *element, transport_->now());
+  metrics.security_time += transport_->now() - t0;
+  if (!check.is_ok()) return check;
+
+  metrics.content_bytes += element->content.size();
+  return element;
+}
+
+void GlobeDocProxy::cache_element(const std::string& object_name,
+                                  const std::string& element_name,
+                                  const Binding& binding,
+                                  const PageElement& element) {
+  if (!config_.cache_elements) return;
+  const ElementEntry* entry = binding.certificate.find(element_name);
+  if (entry == nullptr) return;
+  element_cache_[{object_name, element_name}] =
+      CachedElement{element, entry->expires, binding.certified_as};
+}
+
+Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
+                                         const std::string& element_name) {
+  FetchMetrics metrics;
+  util::SimTime start = transport_->now();
+
+  // Verified element cache: sound to serve locally until the certificate
+  // entry's validity interval ends (freshness is exactly what the interval
+  // certifies).
+  if (config_.cache_elements) {
+    auto it = element_cache_.find({object_name, element_name});
+    if (it != element_cache_.end()) {
+      if (transport_->now() < it->second.expires) {
+        metrics.used_cached_element = true;
+        metrics.content_bytes = it->second.element.content.size();
+        return FetchResult{it->second.element, it->second.certified_as, metrics};
+      }
+      element_cache_.erase(it);
+    }
+  }
+
+  // Cached binding fast path (re-binds on any failure below).
+  if (config_.cache_bindings) {
+    auto it = bindings_.find(object_name);
+    if (it != bindings_.end()) {
+      metrics.used_cached_binding = true;
+      metrics.replicas_tried = 1;
+      auto element = fetch_element(it->second, element_name, metrics);
+      if (element.is_ok()) {
+        metrics.total_time = transport_->now() - start;
+        cache_element(object_name, element_name, it->second, *element);
+        return FetchResult{std::move(*element), it->second.certified_as, metrics};
+      }
+      bindings_.erase(it);
+      metrics.used_cached_binding = false;
+    }
+  }
+
+  // --- Step 1: secure name resolution.
+  auto oid_bytes = resolver_.resolve(object_name);
+  if (!oid_bytes.is_ok()) return oid_bytes.status();
+  auto oid = Oid::from_bytes(*oid_bytes);
+  if (!oid.is_ok()) return oid.status();
+
+  // --- Step 2: replica location (untrusted).
+  auto addresses = locator_.lookup(*oid_bytes);
+  if (!addresses.is_ok()) return addresses.status();
+  if (addresses->empty()) {
+    return Result<FetchResult>(ErrorCode::kNotFound, "no replicas registered");
+  }
+
+  // --- Steps 3-6 with fallback across contact addresses.
+  Status last_error(ErrorCode::kUnavailable, "no address tried");
+  for (const auto& address : *addresses) {
+    ++metrics.replicas_tried;
+    auto binding = bind_replica(*oid, address, metrics);
+    if (!binding.is_ok()) {
+      last_error = binding.status();
+      GLOBE_LOG_INFO("proxy", "binding to ", address.to_string(),
+                     " failed: ", last_error.to_string());
+      continue;
+    }
+    auto element = fetch_element(*binding, element_name, metrics);
+    if (!element.is_ok()) {
+      last_error = element.status();
+      GLOBE_LOG_INFO("proxy", "element fetch from ", address.to_string(),
+                     " failed: ", last_error.to_string());
+      continue;
+    }
+    if (config_.cache_bindings) {
+      bindings_[object_name] = *binding;
+    }
+    metrics.total_time = transport_->now() - start;
+    cache_element(object_name, element_name, *binding, *element);
+    return FetchResult{std::move(*element), binding->certified_as, metrics};
+  }
+  return last_error;
+}
+
+http::HttpResponse GlobeDocProxy::handle_browser_request(
+    const http::HttpRequest& request) {
+  if (is_hybrid_url(request.target)) {
+    auto result = fetch_url(request.target);
+    if (result.is_ok()) {
+      auto resp = http::HttpResponse::make(200, "OK", result->element.content,
+                                           result->element.content_type);
+      if (result->certified_as.has_value()) {
+        resp.headers.set("X-GlobeDoc-Certified-As", *result->certified_as);
+      }
+      return resp;
+    }
+    // The paper's "Security Check Failed" document.
+    Status status = result.status();
+    bool security_failure =
+        status.code() == ErrorCode::kBadSignature ||
+        status.code() == ErrorCode::kHashMismatch ||
+        status.code() == ErrorCode::kExpired ||
+        status.code() == ErrorCode::kWrongElement ||
+        status.code() == ErrorCode::kOidMismatch ||
+        status.code() == ErrorCode::kUntrustedIssuer;
+    int code = security_failure ? 403 : (status.code() == ErrorCode::kNotFound ? 404 : 502);
+    std::string body =
+        "<html><head><title>Security Check Failed</title></head><body>"
+        "<h1>" +
+        std::string(security_failure ? "Security Check Failed" : "GlobeDoc Error") +
+        "</h1><p>" + status.to_string() + "</p></body></html>";
+    return http::HttpResponse::make(code, http::reason_for_status(code),
+                                    util::to_bytes(body));
+  }
+
+  // Plain HTTP passthrough.
+  if (!origin_.has_value()) {
+    return http::HttpResponse::make(
+        502, "Bad Gateway",
+        util::to_bytes("<html><body>no origin configured</body></html>"));
+  }
+  http::HttpClient client(*transport_);
+  auto resp = client.request(*origin_, request);
+  if (!resp.is_ok()) {
+    return http::HttpResponse::make(
+        502, "Bad Gateway",
+        util::to_bytes("<html><body>" + resp.status().to_string() +
+                       "</body></html>"));
+  }
+  return *resp;
+}
+
+}  // namespace globe::globedoc

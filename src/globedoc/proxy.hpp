@@ -1,0 +1,131 @@
+// The GlobeDoc client proxy — the user-side half of the paper (Fig. 3).
+//
+// Installed next to the browser, it turns hybrid URLs into the secure
+// browsing pipeline:
+//   1.  resolve the object name to a self-certifying OID (secure naming);
+//   2.  locate a nearby replica via the (untrusted) Location Service;
+//   3.  fetch the object's public key and check SHA-1(key) == OID;
+//   4.  optionally fetch identity certificates and match them against the
+//       user's trusted CAs ("Certified as:");
+//   5.  fetch the integrity certificate and verify its signature;
+//   6.  fetch the requested page element and verify authenticity,
+//       freshness and consistency against the certificate.
+// Any verification failure is typed (BAD_SIGNATURE, HASH_MISMATCH, EXPIRED,
+// WRONG_ELEMENT, OID_MISMATCH, UNTRUSTED_ISSUER); on failure the proxy
+// falls back to the next contact address, so a malicious replica or a lying
+// Location Service causes at most a retry — never bad content (paper
+// §3.1.2).  Non-hybrid requests pass through to a regular origin server.
+//
+// The proxy tracks, per fetch, how much time went into security-specific
+// operations (steps 3-6) — the quantity plotted in Figure 4.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "globedoc/hybrid_url.hpp"
+#include "globedoc/identity.hpp"
+#include "globedoc/integrity.hpp"
+#include "globedoc/object.hpp"
+#include "http/client.hpp"
+#include "http/message.hpp"
+#include "location/tree.hpp"
+#include "naming/resolver.hpp"
+#include "net/transport.hpp"
+
+namespace globe::globedoc {
+
+struct ProxyConfig {
+  net::Endpoint naming_root;             // root name server
+  crypto::RsaPublicKey naming_anchor;    // root zone trust anchor
+  net::Endpoint location_site;           // local Location Service site node
+  TrustStore trust;                      // user's trusted CAs
+  bool request_identity = false;         // run step 4 during binding
+  bool require_identity = false;         // fail binding when no trusted cert
+  bool cache_bindings = false;           // reuse verified bindings
+  // Client-side element cache: a verified element may be served locally
+  // until its certificate entry expires — the per-element validity interval
+  // of §3.2.2 doubles as a sound cache TTL (the "Verif" client strategy of
+  // ref [13]).
+  bool cache_elements = false;
+};
+
+struct FetchMetrics {
+  util::SimDuration total_time = 0;
+  util::SimDuration security_time = 0;   // steps 3-6 (Fig. 4 numerator)
+  std::size_t content_bytes = 0;
+  std::size_t replicas_tried = 0;
+  bool used_cached_binding = false;
+  bool used_cached_element = false;  // served from the verified local cache
+};
+
+struct FetchResult {
+  PageElement element;
+  std::optional<std::string> certified_as;  // subject of first trusted cert
+  FetchMetrics metrics;
+};
+
+class GlobeDocProxy {
+ public:
+  GlobeDocProxy(net::Transport& transport, ProxyConfig config);
+
+  /// Full pipeline for one hybrid URL.
+  util::Result<FetchResult> fetch_url(const std::string& hybrid_url);
+  util::Result<FetchResult> fetch(const std::string& object_name,
+                                  const std::string& element_name);
+
+  /// Browser-facing adapter: hybrid targets go through the secure pipeline
+  /// (failures render the paper's "Security Check Failed" page); other
+  /// targets are forwarded to the configured origin.
+  http::HttpResponse handle_browser_request(const http::HttpRequest& request);
+  void set_origin_fallback(const net::Endpoint& origin) { origin_ = origin; }
+
+  /// Drops verified bindings (next fetch re-binds from scratch).
+  void clear_bindings() { bindings_.clear(); }
+  std::size_t binding_count() const { return bindings_.size(); }
+
+  /// Drops cached elements; expired entries are also evicted lazily.
+  void clear_element_cache() { element_cache_.clear(); }
+  std::size_t element_cache_size() const { return element_cache_.size(); }
+
+  net::Transport& transport() { return *transport_; }
+
+ private:
+  struct Binding {
+    Oid oid;
+    net::Endpoint replica;
+    crypto::RsaPublicKey object_key;
+    IntegrityCertificate certificate;
+    std::optional<std::string> certified_as;
+  };
+
+  /// Steps 1-5 against one specific replica address.
+  util::Result<Binding> bind_replica(const Oid& oid, const net::Endpoint& address,
+                                     FetchMetrics& metrics);
+
+  /// Step 6 against an established binding.
+  util::Result<PageElement> fetch_element(const Binding& binding,
+                                          const std::string& element_name,
+                                          FetchMetrics& metrics);
+
+  /// Stores a verified element with its certificate-entry expiry.
+  void cache_element(const std::string& object_name, const std::string& element_name,
+                     const Binding& binding, const PageElement& element);
+
+  struct CachedElement {
+    PageElement element;
+    util::SimTime expires = 0;  // the certificate entry's validity end
+    std::optional<std::string> certified_as;
+  };
+
+  net::Transport* transport_;
+  ProxyConfig config_;
+  naming::SecureResolver resolver_;
+  location::LocationClient locator_;
+  std::optional<net::Endpoint> origin_;
+  std::map<std::string, Binding> bindings_;  // object name -> verified binding
+  // (object name, element name) -> verified element, until entry expiry.
+  std::map<std::pair<std::string, std::string>, CachedElement> element_cache_;
+};
+
+}  // namespace globe::globedoc

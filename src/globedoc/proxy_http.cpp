@@ -1,0 +1,37 @@
+#include "globedoc/proxy_http.hpp"
+
+#include "http/parser.hpp"
+
+namespace globe::globedoc {
+
+using util::Bytes;
+using util::BytesView;
+using util::Result;
+
+ProxyHttpServer::ProxyHttpServer(std::unique_ptr<GlobeDocProxy> proxy)
+    : proxy_(std::move(proxy)) {}
+
+std::size_t ProxyHttpServer::requests_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return requests_served_;
+}
+
+net::MessageHandler ProxyHttpServer::handler() {
+  return [this](net::ServerContext&, BytesView raw) -> Result<Bytes> {
+    auto request = http::parse_request(raw);
+    http::HttpResponse response;
+    if (!request.is_ok()) {
+      response = http::HttpResponse::make(
+          400, "Bad Request",
+          util::to_bytes("<html><body>400 Bad Request</body></html>"));
+    } else {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++requests_served_;
+      response = proxy_->handle_browser_request(*request);
+    }
+    response.headers.set("Via", "1.1 globedoc-proxy");
+    return response.serialize();
+  };
+}
+
+}  // namespace globe::globedoc

@@ -1,0 +1,35 @@
+// Browser-facing HTTP front end for the proxy (closing the loop of Fig. 3:
+// "User's Web Browser -> 1. Request hybrid URL -> User's Proxy").
+//
+// Wraps a GlobeDocProxy as a MessageHandler speaking HTTP/1.1, so an
+// unmodified browser pointed at the proxy's port transparently gets secure
+// GlobeDoc fetches for hybrid URLs and plain passthrough for everything
+// else.  Bind it on a SimNet endpoint or a TcpServer.
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "globedoc/proxy.hpp"
+
+namespace globe::globedoc {
+
+class ProxyHttpServer {
+ public:
+  /// Takes ownership of the proxy.  The handler serializes requests with a
+  /// mutex: one user proxy serves one browser, as in the paper.
+  explicit ProxyHttpServer(std::unique_ptr<GlobeDocProxy> proxy);
+
+  net::MessageHandler handler();
+
+  GlobeDocProxy& proxy() { return *proxy_; }
+
+  std::size_t requests_served() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<GlobeDocProxy> proxy_;
+  std::size_t requests_served_ = 0;
+};
+
+}  // namespace globe::globedoc

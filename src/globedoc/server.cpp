@@ -1,0 +1,564 @@
+#include "globedoc/server.hpp"
+
+#include <algorithm>
+
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+using util::Status;
+
+namespace {
+
+Result<Oid> read_oid(util::Reader& r) {
+  return Oid::from_bytes(r.raw(Oid::kSize));
+}
+
+Bytes admin_signed_payload(std::string_view tag, BytesView nonce, BytesView payload) {
+  util::Writer w;
+  w.str(tag);
+  w.bytes(nonce);
+  w.raw(payload);
+  return w.take();
+}
+
+constexpr std::size_t kNonceSize = 16;
+constexpr std::size_t kMaxOutstandingNonces = 4096;
+
+}  // namespace
+
+util::Bytes HostingGrant::serialize() const {
+  util::Writer w;
+  w.u8(accepted ? 1 : 0);
+  w.u64(lease);
+  w.str(reason);
+  return w.take();
+}
+
+Result<HostingGrant> HostingGrant::parse(BytesView data) {
+  try {
+    util::Reader r(data);
+    HostingGrant grant;
+    grant.accepted = r.u8() != 0;
+    grant.lease = r.u64();
+    grant.reason = r.str();
+    r.expect_end();
+    return grant;
+  } catch (const util::SerialError& e) {
+    return Result<HostingGrant>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+ObjectServer::ObjectServer(std::string name, std::uint64_t nonce_seed)
+    : name_(std::move(name)), nonce_rng_(crypto::HmacDrbg::from_seed(nonce_seed)) {}
+
+void ObjectServer::authorize(const crypto::RsaPublicKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  keystore_.insert(key.serialize());
+}
+
+void ObjectServer::revoke(const crypto::RsaPublicKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  keystore_.erase(key.serialize());
+}
+
+bool ObjectServer::is_authorized(const crypto::RsaPublicKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return keystore_.count(key.serialize()) > 0;
+}
+
+std::size_t ObjectServer::replica_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_.size();
+}
+
+bool ObjectServer::hosts(const Oid& oid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return replicas_.count(oid) > 0;
+}
+
+void ObjectServer::install_replica_unchecked(const ReplicaState& state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  replicas_[state.certificate.oid()] = state;
+}
+
+void ObjectServer::set_resource_limits(const ResourceLimits& limits) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  limits_ = limits;
+}
+
+ResourceLimits ObjectServer::resource_limits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return limits_;
+}
+
+std::uint64_t ObjectServer::hosted_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [oid, state] : replicas_) total += state.content_bytes();
+  return total;
+}
+
+bool ObjectServer::lease_expired_locked(const Oid& oid, util::SimTime now) const {
+  auto it = lease_until_.find(oid);
+  return it != lease_until_.end() && it->second <= now;
+}
+
+std::size_t ObjectServer::expire_leases(util::SimTime now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t evicted = 0;
+  for (auto it = lease_until_.begin(); it != lease_until_.end();) {
+    if (it->second <= now) {
+      replicas_.erase(it->first);
+      creators_.erase(it->first);
+      it = lease_until_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+HostingGrant ObjectServer::check_capacity_locked(std::uint64_t bytes,
+                                                 const Oid* existing_oid) const {
+  HostingGrant grant;
+  if (limits_.max_replica_bytes != 0 && bytes > limits_.max_replica_bytes) {
+    grant.reason = "replica exceeds per-replica byte limit";
+    return grant;
+  }
+  if (existing_oid == nullptr && limits_.max_replicas != 0 &&
+      replicas_.size() >= limits_.max_replicas) {
+    grant.reason = "replica slots exhausted";
+    return grant;
+  }
+  if (limits_.max_total_bytes != 0) {
+    std::uint64_t in_use = 0;
+    for (const auto& [oid, state] : replicas_) {
+      if (existing_oid != nullptr && oid == *existing_oid) continue;
+      in_use += state.content_bytes();
+    }
+    if (in_use + bytes > limits_.max_total_bytes) {
+      grant.reason = "insufficient storage capacity";
+      return grant;
+    }
+  }
+  grant.accepted = true;
+  grant.lease = limits_.max_lease;
+  return grant;
+}
+
+std::size_t ObjectServer::elements_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return elements_served_;
+}
+
+std::uint64_t ObjectServer::content_bytes_served() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return content_bytes_served_;
+}
+
+void ObjectServer::register_with(rpc::ServiceDispatcher& dispatcher) {
+  auto bindm = [&](std::uint16_t service, std::uint16_t method, auto fn) {
+    dispatcher.register_method(
+        service, method, [this, fn](net::ServerContext& ctx, BytesView payload) {
+          return (this->*fn)(ctx, payload);
+        });
+  };
+  bindm(rpc::kGlobeDocAccess, kGetElement, &ObjectServer::handle_get_element);
+  bindm(rpc::kGlobeDocAccess, kListElements, &ObjectServer::handle_list_elements);
+  bindm(rpc::kGlobeDocSecurity, kGetPublicKey, &ObjectServer::handle_get_public_key);
+  bindm(rpc::kGlobeDocSecurity, kGetIntegrityCert,
+        &ObjectServer::handle_get_integrity_cert);
+  bindm(rpc::kGlobeDocSecurity, kGetIdentityCerts,
+        &ObjectServer::handle_get_identity_certs);
+  bindm(rpc::kGlobeDocAdmin, kChallenge, &ObjectServer::handle_challenge);
+  dispatcher.register_method(rpc::kGlobeDocAdmin, kCreateReplica,
+                             [this](net::ServerContext& ctx, BytesView payload) {
+                               return handle_create_or_update(ctx, payload, true);
+                             });
+  dispatcher.register_method(rpc::kGlobeDocAdmin, kUpdateReplica,
+                             [this](net::ServerContext& ctx, BytesView payload) {
+                               return handle_create_or_update(ctx, payload, false);
+                             });
+  bindm(rpc::kGlobeDocAdmin, kDeleteReplica, &ObjectServer::handle_delete);
+  bindm(rpc::kGlobeDocAdmin, kListReplicas, &ObjectServer::handle_list_replicas);
+  bindm(rpc::kGlobeDocAdmin, kNegotiate, &ObjectServer::handle_negotiate);
+}
+
+Result<Bytes> ObjectServer::handle_negotiate(net::ServerContext&, BytesView payload) {
+  try {
+    util::Reader r(payload);
+    std::uint64_t bytes = r.u64();
+    std::uint64_t requested_lease = r.u64();
+    r.expect_end();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    HostingGrant grant = check_capacity_locked(bytes, nullptr);
+    if (grant.accepted) {
+      if (limits_.max_lease == 0) {
+        grant.lease = requested_lease;
+      } else if (requested_lease != 0) {
+        grant.lease = std::min<util::SimDuration>(requested_lease, limits_.max_lease);
+      }
+    }
+    return grant.serialize();
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
+                                               BytesView payload) {
+  try {
+    util::Reader r(payload);
+    auto oid = read_oid(r);
+    if (!oid.is_ok()) return oid.status();
+    std::string name = r.str();
+    r.expect_end();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = replicas_.find(*oid);
+    if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
+      return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
+    }
+    const PageElement* el = it->second.find(name);
+    if (el == nullptr) {
+      return Result<Bytes>(ErrorCode::kNotFound, "no element '" + name + "'");
+    }
+    ++elements_served_;
+    content_bytes_served_ += el->content.size();
+    return el->serialize();
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_list_elements(net::ServerContext& ctx,
+                                                 BytesView payload) {
+  try {
+    util::Reader r(payload);
+    auto oid = read_oid(r);
+    if (!oid.is_ok()) return oid.status();
+    r.expect_end();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = replicas_.find(*oid);
+    if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
+      return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
+    }
+    util::Writer w;
+    w.u32(static_cast<std::uint32_t>(it->second.elements.size()));
+    for (const auto& el : it->second.elements) w.str(el.name);
+    return w.take();
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_get_public_key(net::ServerContext& ctx,
+                                                  BytesView payload) {
+  try {
+    util::Reader r(payload);
+    auto oid = read_oid(r);
+    if (!oid.is_ok()) return oid.status();
+    r.expect_end();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = replicas_.find(*oid);
+    if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
+      return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
+    }
+    return it->second.public_key;
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_get_integrity_cert(net::ServerContext& ctx,
+                                                      BytesView payload) {
+  try {
+    util::Reader r(payload);
+    auto oid = read_oid(r);
+    if (!oid.is_ok()) return oid.status();
+    r.expect_end();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = replicas_.find(*oid);
+    if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
+      return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
+    }
+    return it->second.certificate.serialize();
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_get_identity_certs(net::ServerContext& ctx,
+                                                      BytesView payload) {
+  try {
+    util::Reader r(payload);
+    auto oid = read_oid(r);
+    if (!oid.is_ok()) return oid.status();
+    r.expect_end();
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = replicas_.find(*oid);
+    if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
+      return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
+    }
+    util::Writer w;
+    w.u32(static_cast<std::uint32_t>(it->second.identity_certs.size()));
+    for (const auto& cert : it->second.identity_certs) w.bytes(cert.serialize());
+    return w.take();
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_challenge(net::ServerContext&, BytesView payload) {
+  if (!payload.empty()) {
+    return Result<Bytes>(ErrorCode::kProtocol, "challenge takes no payload");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Bound against nonce flooding: evict the OLDEST outstanding challenge
+  // (FIFO), so a flood cannot selectively displace a fresh one.
+  // (Bounding the FIFO also drains entries whose nonce was already
+  // consumed, keeping both structures at most kMaxOutstandingNonces.)
+  while (nonce_order_.size() >= kMaxOutstandingNonces) {
+    outstanding_nonces_.erase(nonce_order_.front());
+    nonce_order_.pop_front();
+  }
+  Bytes nonce = nonce_rng_.bytes(kNonceSize);
+  outstanding_nonces_.insert(nonce);
+  nonce_order_.push_back(nonce);
+  util::Writer w;
+  w.bytes(nonce);
+  return w.take();
+}
+
+Result<Bytes> ObjectServer::check_admin_auth(net::ServerContext& ctx,
+                                             const Bytes& nonce, const Bytes& pubkey,
+                                             const Bytes& signature,
+                                             std::string_view tag, BytesView payload) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = outstanding_nonces_.find(nonce);
+    if (it == outstanding_nonces_.end()) {
+      return Result<Bytes>(ErrorCode::kPermissionDenied, "unknown or replayed nonce");
+    }
+    outstanding_nonces_.erase(it);  // single use
+    if (keystore_.count(pubkey) == 0) {
+      return Result<Bytes>(ErrorCode::kPermissionDenied, "key not in keystore");
+    }
+  }
+  auto key = crypto::RsaPublicKey::parse(pubkey);
+  if (!key.is_ok()) return key.status();
+  ctx.charge(net::CpuOp::kRsaVerify, 1);
+  if (!crypto::rsa_verify_sha256(*key, admin_signed_payload(tag, nonce, payload),
+                                 signature)) {
+    return Result<Bytes>(ErrorCode::kPermissionDenied, "bad admin signature");
+  }
+  return pubkey;
+}
+
+Result<Bytes> ObjectServer::handle_create_or_update(net::ServerContext& ctx,
+                                                    BytesView payload, bool create) {
+  try {
+    util::Reader r(payload);
+    Bytes nonce = r.bytes();
+    Bytes pubkey = r.bytes();
+    Bytes signature = r.bytes();
+    // The signature covers the raw remaining payload exactly as the client
+    // serialized it.
+    Bytes signed_payload = r.raw(r.remaining());
+
+    auto auth = check_admin_auth(ctx, nonce, pubkey, signature,
+                                 create ? "create" : "update", signed_payload);
+    if (!auth.is_ok()) return auth.status();
+
+    util::Reader rp(signed_payload);
+    Bytes state_wire = rp.bytes();
+    rp.expect_end();
+
+    auto state = ReplicaState::parse(state_wire);
+    if (!state.is_ok()) return state.status();
+    Oid oid = state->certificate.oid();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto cit = creators_.find(oid);
+    if (create) {
+      if (cit != creators_.end()) {
+        return Result<Bytes>(ErrorCode::kAlreadyExists,
+                             "replica exists: " + oid.to_hex());
+      }
+      creators_[oid] = *auth;
+    } else {
+      if (cit == creators_.end()) {
+        return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid.to_hex());
+      }
+      if (cit->second != *auth) {
+        return Result<Bytes>(ErrorCode::kPermissionDenied,
+                             "only the creating entity may manage this replica");
+      }
+      // Refuse version rollback: a stale (but correctly signed) state must
+      // not replace a newer one through the admin path.
+      if (state->certificate.version() <
+          replicas_[oid].certificate.version()) {
+        return Result<Bytes>(ErrorCode::kInvalidArgument,
+                             "state version older than the hosted replica");
+      }
+    }
+    // Resource policy (paper §6 extension): enforce the administrator's
+    // limits and start the hosting lease.
+    HostingGrant grant =
+        check_capacity_locked(state->content_bytes(), create ? nullptr : &oid);
+    if (!grant.accepted) {
+      if (create) creators_.erase(oid);
+      return Result<Bytes>(ErrorCode::kUnavailable, "hosting refused: " + grant.reason);
+    }
+    if (grant.lease != 0) {
+      lease_until_[oid] = ctx.now() + grant.lease;
+    } else {
+      lease_until_.erase(oid);
+    }
+    replicas_[oid] = std::move(*state);
+    return Bytes{};
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_delete(net::ServerContext& ctx, BytesView payload) {
+  try {
+    util::Reader r(payload);
+    Bytes nonce = r.bytes();
+    Bytes pubkey = r.bytes();
+    Bytes signature = r.bytes();
+    Bytes oid_bytes = r.raw(r.remaining());
+    if (oid_bytes.size() != Oid::kSize) {
+      return Result<Bytes>(ErrorCode::kProtocol, "delete payload must be an OID");
+    }
+
+    auto auth = check_admin_auth(ctx, nonce, pubkey, signature, "delete", oid_bytes);
+    if (!auth.is_ok()) return auth.status();
+
+    auto oid = Oid::from_bytes(oid_bytes);
+    if (!oid.is_ok()) return oid.status();
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto cit = creators_.find(*oid);
+    if (cit == creators_.end()) {
+      return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
+    }
+    if (cit->second != *auth) {
+      return Result<Bytes>(ErrorCode::kPermissionDenied,
+                           "only the creating entity may manage this replica");
+    }
+    creators_.erase(cit);
+    replicas_.erase(*oid);
+    lease_until_.erase(*oid);
+    return Bytes{};
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<Bytes> ObjectServer::handle_list_replicas(net::ServerContext&,
+                                                 BytesView payload) {
+  if (!payload.empty()) {
+    return Result<Bytes>(ErrorCode::kProtocol, "list takes no payload");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  util::Writer w;
+  w.u32(static_cast<std::uint32_t>(replicas_.size()));
+  for (const auto& [oid, state] : replicas_) w.raw(oid.to_bytes());
+  return w.take();
+}
+
+AdminClient::AdminClient(net::Transport& transport, net::Endpoint server,
+                         crypto::RsaKeyPair credentials)
+    : transport_(&transport), server_(server), credentials_(std::move(credentials)) {}
+
+Result<Bytes> AdminClient::fresh_nonce() {
+  rpc::RpcClient client(*transport_, server_);
+  auto raw = client.call(rpc::kGlobeDocAdmin, kChallenge, Bytes{});
+  if (!raw.is_ok()) return raw.status();
+  try {
+    util::Reader r(*raw);
+    Bytes nonce = r.bytes();
+    r.expect_end();
+    return nonce;
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Status AdminClient::authed_call(std::uint16_t method, std::string_view tag,
+                                BytesView payload) {
+  auto nonce = fresh_nonce();
+  if (!nonce.is_ok()) return nonce.status();
+
+  transport_->charge(net::CpuOp::kRsaSign, 1);
+  Bytes signature = crypto::rsa_sign_sha256(
+      credentials_.priv, admin_signed_payload(tag, *nonce, payload));
+
+  util::Writer w;
+  w.bytes(*nonce);
+  w.bytes(credentials_.pub.serialize());
+  w.bytes(signature);
+  w.raw(payload);
+  rpc::RpcClient client(*transport_, server_);
+  return client.call(rpc::kGlobeDocAdmin, method, w.buffer()).status();
+}
+
+Status AdminClient::create_replica(const ReplicaState& state) {
+  util::Writer w;
+  w.bytes(state.serialize());
+  return authed_call(kCreateReplica, "create", w.buffer());
+}
+
+Status AdminClient::update_replica(const ReplicaState& state) {
+  util::Writer w;
+  w.bytes(state.serialize());
+  return authed_call(kUpdateReplica, "update", w.buffer());
+}
+
+Status AdminClient::delete_replica(const Oid& oid) {
+  return authed_call(kDeleteReplica, "delete", oid.to_bytes());
+}
+
+Result<HostingGrant> AdminClient::negotiate(std::uint64_t bytes,
+                                            util::SimDuration lease) {
+  util::Writer w;
+  w.u64(bytes);
+  w.u64(lease);
+  rpc::RpcClient client(*transport_, server_);
+  auto raw = client.call(rpc::kGlobeDocAdmin, kNegotiate, w.buffer());
+  if (!raw.is_ok()) return raw.status();
+  return HostingGrant::parse(*raw);
+}
+
+Result<std::vector<Oid>> AdminClient::list_replicas() {
+  rpc::RpcClient client(*transport_, server_);
+  auto raw = client.call(rpc::kGlobeDocAdmin, kListReplicas, Bytes{});
+  if (!raw.is_ok()) return raw.status();
+  try {
+    util::Reader r(*raw);
+    std::uint32_t n = r.u32();
+    std::vector<Oid> oids;
+    oids.reserve(std::min<std::uint32_t>(n, 1024));  // wire-supplied count
+    for (std::uint32_t i = 0; i < n; ++i) {
+      auto oid = Oid::from_bytes(r.raw(Oid::kSize));
+      if (!oid.is_ok()) return oid.status();
+      oids.push_back(*oid);
+    }
+    r.expect_end();
+    return oids;
+  } catch (const util::SerialError& e) {
+    return Result<std::vector<Oid>>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+}  // namespace globe::globedoc

@@ -1,0 +1,176 @@
+// Globe object server (paper §2.1.3, §4).
+//
+// Hosts GlobeDoc replicas and exposes three interfaces on one endpoint:
+//   * access   — page-element retrieval (untrusted path, no authentication:
+//                clients verify what they get);
+//   * security — public key / integrity certificate / identity certificates
+//                (paper §3.1.2's "special security interface");
+//   * admin    — replica creation/update/destruction, protected by a
+//                keystore ACL: the administrator lists the public keys of
+//                entities allowed to create replicas (owners or other
+//                object servers, enabling dynamic replication), and each
+//                entity may manage only the replicas it created.  Requests
+//                are authenticated by signing a fresh server nonce
+//                (challenge/response), standing in for the paper's
+//                client-authenticated TLS admin channel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "globedoc/object.hpp"
+#include "net/transport.hpp"
+#include "rpc/rpc.hpp"
+
+namespace globe::globedoc {
+
+enum AccessMethod : std::uint16_t {
+  kGetElement = 1,    // {oid20, str name} -> serialized PageElement
+  kListElements = 2,  // {oid20} -> u32 n, n × str
+};
+
+enum SecurityMethod : std::uint16_t {
+  kGetPublicKey = 1,      // {oid20} -> serialized RsaPublicKey
+  kGetIntegrityCert = 2,  // {oid20} -> serialized IntegrityCertificate
+  kGetIdentityCerts = 3,  // {oid20} -> u32 n, n × bytes
+};
+
+enum AdminMethod : std::uint16_t {
+  kChallenge = 1,      // {} -> bytes nonce
+  kCreateReplica = 2,  // {nonce, pubkey, sig, state}
+  kUpdateReplica = 3,  // {nonce, pubkey, sig, state}
+  kDeleteReplica = 4,  // {nonce, pubkey, sig, oid20}
+  kListReplicas = 5,   // {} -> u32 n, n × oid20
+  kNegotiate = 6,      // {u64 bytes, u64 lease_ns} -> HostingGrant
+};
+
+/// Resource limitations a server administrator imposes on hosted replicas
+/// (the hosting-negotiation extension sketched in the paper's §6).
+struct ResourceLimits {
+  std::size_t max_replicas = 0;        // 0 = unlimited
+  std::uint64_t max_total_bytes = 0;   // 0 = unlimited (content bytes)
+  std::uint64_t max_replica_bytes = 0; // 0 = unlimited (per replica)
+  util::SimDuration max_lease = 0;     // 0 = unlimited hosting duration
+};
+
+/// Reply to a hosting negotiation: whether the server would accept a
+/// replica of the stated size, and for how long.
+struct HostingGrant {
+  bool accepted = false;
+  util::SimDuration lease = 0;  // granted duration (0 = unlimited)
+  std::string reason;           // populated on rejection
+
+  util::Bytes serialize() const;
+  static util::Result<HostingGrant> parse(util::BytesView data);
+};
+
+class ObjectServer {
+ public:
+  ObjectServer(std::string name, std::uint64_t nonce_seed);
+
+  /// Keystore ACL management (server administrator's side).
+  void authorize(const crypto::RsaPublicKey& key);
+  void revoke(const crypto::RsaPublicKey& key);
+  bool is_authorized(const crypto::RsaPublicKey& key) const;
+
+  void register_with(rpc::ServiceDispatcher& dispatcher);
+
+  std::size_t replica_count() const;
+  bool hosts(const Oid& oid) const;
+
+  /// Installs a replica bypassing admin auth (local bootstrap in tests).
+  void install_replica_unchecked(const ReplicaState& state);
+
+  /// Resource policy (paper §6 extension).  Limits apply to future creates
+  /// and updates; existing replicas are untouched until their lease ends.
+  void set_resource_limits(const ResourceLimits& limits);
+  ResourceLimits resource_limits() const;
+  /// Content bytes currently hosted across all replicas.
+  std::uint64_t hosted_bytes() const;
+  /// Drops replicas whose lease expired at or before `now`; returns how
+  /// many were evicted.  Also applied lazily on every access.
+  std::size_t expire_leases(util::SimTime now);
+
+  /// Serving statistics.
+  std::size_t elements_served() const;
+  std::uint64_t content_bytes_served() const;
+
+ private:
+  util::Result<util::Bytes> handle_get_element(net::ServerContext&, util::BytesView);
+  util::Result<util::Bytes> handle_list_elements(net::ServerContext&, util::BytesView);
+  util::Result<util::Bytes> handle_get_public_key(net::ServerContext&, util::BytesView);
+  util::Result<util::Bytes> handle_get_integrity_cert(net::ServerContext&,
+                                                      util::BytesView);
+  util::Result<util::Bytes> handle_get_identity_certs(net::ServerContext&,
+                                                      util::BytesView);
+  util::Result<util::Bytes> handle_challenge(net::ServerContext&, util::BytesView);
+  util::Result<util::Bytes> handle_create_or_update(net::ServerContext&,
+                                                    util::BytesView, bool create);
+  util::Result<util::Bytes> handle_delete(net::ServerContext&, util::BytesView);
+  util::Result<util::Bytes> handle_list_replicas(net::ServerContext&, util::BytesView);
+  util::Result<util::Bytes> handle_negotiate(net::ServerContext&, util::BytesView);
+
+  /// Checks the resource policy for a replica of `bytes` content bytes
+  /// (excluding `existing_oid`'s current usage when updating).  Returns an
+  /// accepted grant or a rejection with a reason.  Caller holds mutex_.
+  HostingGrant check_capacity_locked(std::uint64_t bytes,
+                                     const Oid* existing_oid) const;
+
+  /// Removes a replica whose lease has passed; caller holds mutex_.
+  bool lease_expired_locked(const Oid& oid, util::SimTime now) const;
+
+  /// Validates (nonce, pubkey, signature) against the keystore; returns the
+  /// authorized key's serialized form, or an error.  `tag` domain-separates
+  /// create/update/delete signatures.
+  util::Result<util::Bytes> check_admin_auth(net::ServerContext& ctx,
+                                             const util::Bytes& nonce,
+                                             const util::Bytes& pubkey,
+                                             const util::Bytes& signature,
+                                             std::string_view tag,
+                                             util::BytesView payload);
+
+  std::string name_;
+  mutable std::mutex mutex_;
+  crypto::HmacDrbg nonce_rng_;
+  std::set<util::Bytes> keystore_;           // authorized serialized public keys
+  std::set<util::Bytes> outstanding_nonces_;
+  std::deque<util::Bytes> nonce_order_;      // FIFO for bounded eviction
+  std::map<Oid, ReplicaState> replicas_;
+  std::map<Oid, util::Bytes> creators_;      // oid -> serialized creator key
+  std::map<Oid, util::SimTime> lease_until_;  // absent = unlimited
+  ResourceLimits limits_;
+  std::size_t elements_served_ = 0;
+  std::uint64_t content_bytes_served_ = 0;
+};
+
+/// Client helper for the authenticated admin interface.
+class AdminClient {
+ public:
+  AdminClient(net::Transport& transport, net::Endpoint server,
+              crypto::RsaKeyPair credentials);
+
+  util::Status create_replica(const ReplicaState& state);
+  util::Status update_replica(const ReplicaState& state);
+  util::Status delete_replica(const Oid& oid);
+  util::Result<std::vector<Oid>> list_replicas();
+
+  /// Asks the server whether it would host `bytes` of content for `lease`
+  /// (0 = indefinitely) before paying for a state transfer.
+  util::Result<HostingGrant> negotiate(std::uint64_t bytes, util::SimDuration lease);
+
+ private:
+  util::Result<util::Bytes> fresh_nonce();
+  util::Status authed_call(std::uint16_t method, std::string_view tag,
+                           util::BytesView payload);
+
+  net::Transport* transport_;
+  net::Endpoint server_;
+  crypto::RsaKeyPair credentials_;
+};
+
+}  // namespace globe::globedoc

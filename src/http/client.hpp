@@ -1,0 +1,26 @@
+// Plain-HTTP client over the Transport abstraction (the "wget" of the
+// paper's experiments).
+#pragma once
+
+#include "http/message.hpp"
+#include "net/transport.hpp"
+
+namespace globe::http {
+
+class HttpClient {
+ public:
+  explicit HttpClient(net::Transport& transport) : transport_(&transport) {}
+
+  /// GETs `path` from the server at `ep`.
+  util::Result<HttpResponse> get(const net::Endpoint& ep, const std::string& path);
+
+  /// Sends an arbitrary request.
+  util::Result<HttpResponse> request(const net::Endpoint& ep, const HttpRequest& req);
+
+  net::Transport& transport() { return *transport_; }
+
+ private:
+  net::Transport* transport_;
+};
+
+}  // namespace globe::http

@@ -1,0 +1,45 @@
+// Apache-style static file server over an in-memory document root.
+// This is the plain-HTTP baseline of the paper's Figures 5-7.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "http/message.hpp"
+#include "http/parser.hpp"
+#include "net/transport.hpp"
+
+namespace globe::http {
+
+class StaticHttpServer {
+ public:
+  explicit StaticHttpServer(std::string server_name = "SimApache/1.3");
+
+  /// Publishes `content` at `path` (must start with '/').  Content type is
+  /// guessed from the suffix; the ETag is precomputed.
+  void put_file(const std::string& path, util::Bytes content);
+  void remove_file(const std::string& path);
+  bool has_file(const std::string& path) const;
+  std::size_t file_count() const;
+
+  /// Serves one parsed request (GET/HEAD only).
+  HttpResponse handle(const HttpRequest& req) const;
+
+  /// MessageHandler adapter: request bytes are a serialized HTTP request,
+  /// response bytes a serialized HTTP response.
+  net::MessageHandler handler();
+
+ private:
+  struct FileEntry {
+    util::Bytes content;
+    std::string content_type;
+    std::string etag;
+  };
+
+  std::string server_name_;
+  mutable std::mutex mutex_;
+  std::map<std::string, FileEntry> files_;
+};
+
+}  // namespace globe::http

@@ -1,0 +1,51 @@
+#include "location/builder.hpp"
+
+#include <stdexcept>
+
+namespace globe::location {
+
+LocationTree::LocationTree(net::SimNet& net, const std::vector<DomainSpec>& specs) {
+  for (const auto& spec : specs) {
+    if (entries_.count(spec.name) > 0) {
+      throw std::invalid_argument("duplicate domain: " + spec.name);
+    }
+    Entry entry;
+    entry.node = std::make_unique<LocationNode>(spec.name, spec.is_site);
+    entry.dispatcher = std::make_unique<rpc::ServiceDispatcher>();
+    entry.endpoint = net::Endpoint{spec.host, spec.port};
+
+    if (!spec.parent.empty()) {
+      auto pit = entries_.find(spec.parent);
+      if (pit == entries_.end()) {
+        throw std::invalid_argument("parent '" + spec.parent +
+                                    "' must be declared before '" + spec.name + "'");
+      }
+      entry.node->set_parent(pit->second.endpoint);
+      pit->second.node->add_child(spec.name, entry.endpoint);
+    }
+
+    entry.node->register_with(*entry.dispatcher);
+    net.bind(entry.endpoint, entry.dispatcher->handler());
+    entries_.emplace(spec.name, std::move(entry));
+  }
+}
+
+net::Endpoint LocationTree::endpoint(const std::string& domain) const {
+  auto it = entries_.find(domain);
+  if (it == entries_.end()) throw std::out_of_range("no domain " + domain);
+  return it->second.endpoint;
+}
+
+LocationNode& LocationTree::node(const std::string& domain) {
+  auto it = entries_.find(domain);
+  if (it == entries_.end()) throw std::out_of_range("no domain " + domain);
+  return *it->second.node;
+}
+
+const LocationNode& LocationTree::node(const std::string& domain) const {
+  auto it = entries_.find(domain);
+  if (it == entries_.end()) throw std::out_of_range("no domain " + domain);
+  return *it->second.node;
+}
+
+}  // namespace globe::location

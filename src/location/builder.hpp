@@ -1,0 +1,41 @@
+// Convenience builder wiring a LocationNode tree onto a SimNet.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "location/tree.hpp"
+#include "net/simnet.hpp"
+
+namespace globe::location {
+
+struct DomainSpec {
+  std::string name;    // unique domain name, e.g. "site-ams" or "region-eu"
+  std::string parent;  // empty for the root
+  net::HostId host;    // host serving this node
+  std::uint16_t port;  // endpoint port on that host
+  bool is_site = false;
+};
+
+/// Owns the nodes and dispatchers of one location tree.
+class LocationTree {
+ public:
+  /// Builds and binds the tree.  Parents must precede children in `specs`.
+  /// Throws std::invalid_argument on dangling parents or duplicate names.
+  LocationTree(net::SimNet& net, const std::vector<DomainSpec>& specs);
+
+  net::Endpoint endpoint(const std::string& domain) const;
+  LocationNode& node(const std::string& domain);
+  const LocationNode& node(const std::string& domain) const;
+
+ private:
+  struct Entry {
+    std::unique_ptr<LocationNode> node;
+    std::unique_ptr<rpc::ServiceDispatcher> dispatcher;
+    net::Endpoint endpoint;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace globe::location

@@ -1,0 +1,124 @@
+// Globe Location Service: a distributed search tree mapping OIDs to replica
+// contact addresses (paper §2.1.2).
+//
+// The world is divided into hierarchical domains (site ⊂ region ⊂ ... ⊂
+// root).  A replica's contact address is stored at its site node; every
+// enclosing domain up to the root stores a *pointer* to the child domain
+// that leads to it.  Lookups use expanding rings: the client asks its local
+// site, then each enclosing domain in turn; the first node holding a
+// pointer resolves it downward (server-side recursion along tree edges,
+// which is acyclic) and returns the contact addresses.
+//
+// The Location Service is deliberately *untrusted* (paper §3.1.2): records
+// carry no signatures.  A malicious node can cause at most denial of
+// service, because clients verify everything they fetch from replicas via
+// the self-certifying OID and the integrity certificate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "rpc/rpc.hpp"
+#include "util/bytes.hpp"
+
+namespace globe::location {
+
+/// RPC method ids under rpc::kLocationService.
+enum LocationMethod : std::uint16_t {
+  kLookup = 1,         // {oid} -> LookupReply
+  kInsert = 2,         // {oid, endpoint} (site nodes only)
+  kRemove = 3,         // {oid, endpoint}
+  kInsertPointer = 4,  // {oid, child domain}   (tree-internal)
+  kRemovePointer = 5,  // {oid, child domain}   (tree-internal)
+};
+
+struct LookupReply {
+  bool found = false;
+  std::vector<net::Endpoint> addresses;  // when found
+  bool has_parent = false;
+  net::Endpoint parent;                  // next ring when not found
+
+  util::Bytes serialize() const;
+  static util::Result<LookupReply> parse(util::BytesView data);
+};
+
+/// One node of the search tree.  Site nodes store contact addresses;
+/// interior nodes store pointers to children.
+class LocationNode {
+ public:
+  LocationNode(std::string domain, bool is_site);
+
+  const std::string& domain() const { return domain_; }
+  bool is_site() const { return is_site_; }
+
+  /// Wires the tree: parent endpoint (absent for the root) and named
+  /// children (interior nodes).
+  void set_parent(const net::Endpoint& parent);
+  void add_child(const std::string& child_domain, const net::Endpoint& child);
+
+  void register_with(rpc::ServiceDispatcher& dispatcher);
+
+  /// Diagnostics for the location-service benchmarks.
+  std::size_t lookups_served() const;
+  std::size_t records_stored() const;
+
+ private:
+  util::Result<util::Bytes> handle_lookup(net::ServerContext& ctx,
+                                          util::BytesView payload);
+  util::Result<util::Bytes> handle_insert(net::ServerContext& ctx,
+                                          util::BytesView payload);
+  util::Result<util::Bytes> handle_remove(net::ServerContext& ctx,
+                                          util::BytesView payload);
+  util::Result<util::Bytes> handle_insert_pointer(net::ServerContext& ctx,
+                                                  util::BytesView payload);
+  util::Result<util::Bytes> handle_remove_pointer(net::ServerContext& ctx,
+                                                  util::BytesView payload);
+
+  /// Resolves a pointer downward to concrete addresses (interior nodes).
+  util::Result<std::vector<net::Endpoint>> resolve_down(net::ServerContext& ctx,
+                                                        const util::Bytes& oid);
+
+  std::string domain_;
+  bool is_site_;
+  bool has_parent_ = false;
+  net::Endpoint parent_;
+  std::map<std::string, net::Endpoint> children_;
+
+  mutable std::mutex mutex_;
+  // Site: OID -> contact addresses.  Interior: OID -> child domains.
+  std::map<util::Bytes, std::set<net::Endpoint>> addresses_;
+  std::map<util::Bytes, std::set<std::string>> pointers_;
+  std::size_t lookups_served_ = 0;
+};
+
+/// Client-side expanding-ring lookup and replica (de)registration.
+class LocationClient {
+ public:
+  LocationClient(net::Transport& transport, net::Endpoint local_site)
+      : transport_(&transport), local_site_(local_site) {}
+
+  /// Expanding-ring search from the local site.  NOT_FOUND when the OID is
+  /// unknown all the way to the root.
+  util::Result<std::vector<net::Endpoint>> lookup(util::BytesView oid);
+
+  /// Registers / deregisters a contact address at a specific site node.
+  util::Status insert(const net::Endpoint& site, util::BytesView oid,
+                      const net::Endpoint& address);
+  util::Status remove(const net::Endpoint& site, util::BytesView oid,
+                      const net::Endpoint& address);
+
+  /// Rings climbed by the last lookup (1 = answered at the local site).
+  std::size_t last_rings() const { return last_rings_; }
+
+ private:
+  net::Transport* transport_;
+  net::Endpoint local_site_;
+  std::size_t last_rings_ = 0;
+};
+
+}  // namespace globe::location

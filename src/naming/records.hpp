@@ -1,0 +1,58 @@
+// Signed naming records (paper §3.1).
+//
+// The paper's secure name service is DNSsec extended to store
+// *self-certifying OIDs* instead of IP addresses, keeping the name tree
+// location-independent.  Two record types exist:
+//   * OidRecord        — name -> 160-bit OID, signed by the owning zone.
+//   * DelegationRecord — child-zone suffix -> (child zone public key, child
+//                        name-server contact), signed by the parent zone.
+//                        This is the DS/DNSKEY chain-of-trust link.
+// Both carry an absolute expiry; resolvers reject stale records (freshness).
+#pragma once
+
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "net/address.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace globe::naming {
+
+/// Self-certifying object identifier: SHA-1 of the object's public key.
+constexpr std::size_t kOidSize = 20;
+
+struct OidRecord {
+  std::string name;     // fully-qualified, e.g. "news.vu.nl"
+  util::Bytes oid;      // kOidSize bytes
+  util::SimTime expires = 0;
+
+  util::Bytes serialize() const;
+  static util::Result<OidRecord> parse(util::BytesView data);
+};
+
+struct DelegationRecord {
+  std::string zone;              // delegated suffix, e.g. "vu.nl"
+  util::Bytes child_public_key;  // serialized RsaPublicKey of the child zone
+  net::Endpoint name_server;     // where the child zone is served
+  util::SimTime expires = 0;
+
+  util::Bytes serialize() const;
+  static util::Result<DelegationRecord> parse(util::BytesView data);
+};
+
+/// A record plus its zone signature (RSA/SHA-256 over the serialized record).
+struct SignedBlob {
+  util::Bytes record;
+  util::Bytes signature;
+
+  util::Bytes serialize() const;
+  static util::Result<SignedBlob> parse(util::BytesView data);
+};
+
+/// True when `name` equals `zone` or ends with ".zone" (the empty zone — the
+/// root — contains every name).
+bool name_in_zone(const std::string& name, const std::string& zone);
+
+}  // namespace globe::naming

@@ -1,0 +1,89 @@
+// Zone authorities and name servers (paper §2.1.1, §3.1).
+//
+// A ZoneAuthority holds a zone's signing key and its records; a NamingServer
+// exposes one or more zones over RPC.  Queries return either a signed
+// answer (OID record) or a signed referral (delegation to a child zone's
+// server).  The resolver in resolver.hpp walks referrals from a configured
+// trust anchor, exactly like a validating DNSsec resolver.
+//
+// Authenticated denial of existence (NSEC) is out of scope, as it was for
+// the paper: a missing name yields an unsigned NOT_FOUND, which an attacker
+// could forge into (at worst) denial of service — consistent with the
+// paper's threat analysis of the lookup services.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "crypto/rsa.hpp"
+#include "naming/records.hpp"
+#include "net/transport.hpp"
+#include "rpc/rpc.hpp"
+
+namespace globe::naming {
+
+/// RPC method ids under rpc::kNamingService.
+enum NamingMethod : std::uint16_t {
+  kLookup = 1,       // request: str zone, str name -> NamingReply
+  kZonePublicKey = 2,  // request: str zone -> bytes (serialized RsaPublicKey)
+};
+
+/// Reply to kLookup.
+struct NamingReply {
+  enum class Kind : std::uint8_t { kAnswer = 1, kReferral = 2 };
+  Kind kind = Kind::kAnswer;
+  SignedBlob blob;  // OidRecord (answer) or DelegationRecord (referral)
+
+  util::Bytes serialize() const;
+  static util::Result<NamingReply> parse(util::BytesView data);
+};
+
+/// The administrative side of one zone: key custody, record signing.
+class ZoneAuthority {
+ public:
+  ZoneAuthority(std::string zone_name, crypto::RsaKeyPair keys);
+
+  const std::string& zone() const { return zone_name_; }
+  const crypto::RsaPublicKey& public_key() const { return keys_.pub; }
+
+  /// Publishes (or refreshes) name -> OID valid until `expires`.  `name`
+  /// must fall inside this zone.
+  void add_oid(const std::string& name, util::BytesView oid, util::SimTime expires);
+  void remove_name(const std::string& name);
+
+  /// Delegates a child suffix to another zone key + name server.
+  void delegate(const std::string& child_zone, const crypto::RsaPublicKey& child_key,
+                const net::Endpoint& child_server, util::SimTime expires);
+
+  /// Longest-match lookup inside this zone.
+  util::Result<NamingReply> lookup(const std::string& name) const;
+
+ private:
+  std::string zone_name_;
+  crypto::RsaKeyPair keys_;
+  mutable std::mutex mutex_;
+  std::map<std::string, SignedBlob> oid_records_;        // full name -> signed
+  std::map<std::string, SignedBlob> delegations_;        // child suffix -> signed
+};
+
+/// Serves one or more zones on an RPC dispatcher.
+class NamingServer {
+ public:
+  void add_zone(std::shared_ptr<ZoneAuthority> zone);
+
+  /// Registers kLookup/kZonePublicKey on `dispatcher`.
+  void register_with(rpc::ServiceDispatcher& dispatcher);
+
+ private:
+  util::Result<util::Bytes> handle_lookup(net::ServerContext& ctx,
+                                          util::BytesView payload);
+  util::Result<util::Bytes> handle_zone_key(net::ServerContext& ctx,
+                                            util::BytesView payload);
+
+  std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ZoneAuthority>> zones_;
+};
+
+}  // namespace globe::naming

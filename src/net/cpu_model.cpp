@@ -1,0 +1,34 @@
+#include "net/cpu_model.hpp"
+
+namespace globe::net {
+
+namespace {
+
+util::SimDuration per_byte(double mb_per_s, std::uint64_t bytes, double scale) {
+  // ns per byte = 1e9 / (MB/s * 1e6) = 1000 / MB/s.
+  double ns = static_cast<double>(bytes) * (1000.0 / mb_per_s) * scale;
+  return static_cast<util::SimDuration>(ns);
+}
+
+util::SimDuration fixed(util::SimDuration unit, std::uint64_t count, double scale) {
+  return static_cast<util::SimDuration>(static_cast<double>(unit) * scale *
+                                        static_cast<double>(count));
+}
+
+}  // namespace
+
+util::SimDuration CpuModel::cost(CpuOp op, std::uint64_t amount) const {
+  switch (op) {
+    case CpuOp::kSha1: return per_byte(sha1_mb_s, amount, scale);
+    case CpuOp::kSha256: return per_byte(sha256_mb_s, amount, scale);
+    case CpuOp::kSymCipher: return per_byte(sym_mb_s, amount, scale);
+    case CpuOp::kRsaVerify: return fixed(rsa_verify, amount, scale);
+    case CpuOp::kRsaSign: return fixed(rsa_sign, amount, scale);
+    case CpuOp::kRsaEncrypt: return fixed(rsa_encrypt, amount, scale);
+    case CpuOp::kRsaDecrypt: return fixed(rsa_decrypt, amount, scale);
+    case CpuOp::kRequest: return fixed(request_overhead, amount, scale);
+  }
+  return 0;
+}
+
+}  // namespace globe::net

@@ -1,0 +1,50 @@
+// Era-calibrated CPU cost model (DESIGN.md §2).
+//
+// All cryptographic operations in this codebase execute for real; the
+// *simulated* time they take comes from this model, calibrated to the
+// paper's 2001-era testbed (Sun JDK 1.3 on 450 MHz - 1 GHz hosts) so that
+// the overhead ratios of Figures 4-7 keep the published shape.  The same
+// model is applied to every system compared (GlobeDoc, plain HTTP, SSL), so
+// relative results are calibration-independent to first order.
+#pragma once
+
+#include <cstdint>
+
+#include "util/clock.hpp"
+
+namespace globe::net {
+
+enum class CpuOp : std::uint8_t {
+  kSha1,        // per byte hashed
+  kSha256,      // per byte hashed
+  kSymCipher,   // per byte encrypted/decrypted + MACed (record layer)
+  kRsaVerify,   // per public-key verification (e = 65537)
+  kRsaSign,     // per private-key signature
+  kRsaEncrypt,  // per public-key encryption
+  kRsaDecrypt,  // per private-key decryption
+  kRequest,     // per-request server software path (dispatch, I/O)
+};
+
+struct CpuModel {
+  // Throughputs in MB/s on the reference host (1 GHz PIII, era-native
+  // compiled code; the paper's JVM slowdown is deliberately not modeled,
+  // see DESIGN.md §2).
+  double sha1_mb_s = 40.0;
+  double sha256_mb_s = 30.0;
+  double sym_mb_s = 15.0;
+  // Fixed-cost operations on the reference host (RSA-1024, e = 65537).
+  util::SimDuration rsa_verify = 800 * util::kMicrosecond;
+  util::SimDuration rsa_sign = 12 * util::kMillisecond;
+  util::SimDuration rsa_encrypt = 800 * util::kMicrosecond;
+  util::SimDuration rsa_decrypt = 12 * util::kMillisecond;
+  util::SimDuration request_overhead = 2 * util::kMillisecond;
+  // Relative slowdown of this host vs the reference (Ithaca's 450 MHz
+  // UltraSPARC ~ 2.2; compiled-C servers can use < 1).
+  double scale = 1.0;
+
+  /// Simulated duration of `op` over `amount` bytes (hashes/ciphers) or
+  /// `amount` operations (RSA, request dispatch).
+  util::SimDuration cost(CpuOp op, std::uint64_t amount) const;
+};
+
+}  // namespace globe::net

@@ -1,0 +1,215 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/serial.hpp"
+
+namespace globe::net {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+namespace {
+
+// Returns false on EOF/error.
+bool read_exact(int fd, std::uint8_t* buf, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, buf + got, n - got, 0);
+    if (r <= 0) return false;
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::uint8_t* buf, std::size_t n) {
+  std::size_t sent = 0;
+  while (sent < n) {
+    ssize_t r = ::send(fd, buf + sent, n - sent, MSG_NOSIGNAL);
+    if (r <= 0) return false;
+    sent += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+bool send_frame(int fd, BytesView payload) {
+  std::uint8_t len[4] = {
+      static_cast<std::uint8_t>(payload.size() >> 24),
+      static_cast<std::uint8_t>(payload.size() >> 16),
+      static_cast<std::uint8_t>(payload.size() >> 8),
+      static_cast<std::uint8_t>(payload.size()),
+  };
+  return write_all(fd, len, 4) && write_all(fd, payload.data(), payload.size());
+}
+
+constexpr std::size_t kMaxFrame = 64 * 1024 * 1024;
+
+bool recv_frame(int fd, Bytes& out) {
+  std::uint8_t len[4];
+  if (!read_exact(fd, len, 4)) return false;
+  std::size_t n = std::size_t{len[0]} << 24 | std::size_t{len[1]} << 16 |
+                  std::size_t{len[2]} << 8 | len[3];
+  if (n > kMaxFrame) return false;
+  out.assign(n, 0);
+  return n == 0 || read_exact(fd, out.data(), n);
+}
+
+/// Wall-clock server context for live handlers.
+class TcpServerContext final : public ServerContext {
+ public:
+  explicit TcpServerContext(Transport& nested) : nested_(nested) {}
+  util::SimTime now() const override { return clock_.now(); }
+  void charge(CpuOp, std::uint64_t) override {}
+  HostId local_host() const override { return HostId{0}; }
+  Transport& transport() override { return nested_; }
+
+ private:
+  util::RealClock clock_;
+  Transport& nested_;
+};
+
+}  // namespace
+
+TcpServer::TcpServer(std::uint16_t port, MessageHandler handler, std::size_t workers)
+    : handler_(std::move(handler)), pool_(workers) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("TcpServer: socket() failed");
+  int yes = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &yes, sizeof(yes));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpServer: bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw std::runtime_error("TcpServer: listen() failed");
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) return;
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  if (acceptor_.joinable()) acceptor_.join();
+  pool_.wait_idle();
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    pool_.submit([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  int yes = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
+  Bytes request;
+  while (!stopping_.load() && recv_frame(fd, request)) {
+    TcpTransport nested;
+    TcpServerContext ctx(nested);
+    Result<Bytes> result(ErrorCode::kInternal, "handler did not run");
+    try {
+      result = handler_(ctx, request);
+    } catch (const std::exception& e) {
+      result = Result<Bytes>(ErrorCode::kInternal,
+                             std::string("handler threw: ") + e.what());
+    }
+    util::Writer w;
+    if (result.is_ok()) {
+      w.u8(1);
+      w.raw(*result);
+    } else {
+      w.u8(0);
+      w.u8(static_cast<std::uint8_t>(result.status().code()));
+      w.str(result.status().message());
+    }
+    if (!send_frame(fd, w.buffer())) break;
+  }
+  ::close(fd);
+}
+
+TcpTransport::~TcpTransport() { reset_connections(); }
+
+void TcpTransport::reset_connections() {
+  for (auto& [port, fd] : connections_) ::close(fd);
+  connections_.clear();
+}
+
+int TcpTransport::connect_to(std::uint16_t port) {
+  auto it = connections_.find(port);
+  if (it != connections_.end()) return it->second;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int yes = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &yes, sizeof(yes));
+  connections_[port] = fd;
+  return fd;
+}
+
+Result<Bytes> TcpTransport::call(const Endpoint& ep, BytesView request) {
+  int fd = connect_to(ep.port);
+  if (fd < 0) {
+    return Result<Bytes>(ErrorCode::kUnavailable,
+                         "cannot connect to port " + std::to_string(ep.port));
+  }
+  if (!send_frame(fd, request)) {
+    connections_.erase(ep.port);
+    ::close(fd);
+    return Result<Bytes>(ErrorCode::kUnavailable, "send failed");
+  }
+  Bytes frame;
+  if (!recv_frame(fd, frame)) {
+    connections_.erase(ep.port);
+    ::close(fd);
+    return Result<Bytes>(ErrorCode::kUnavailable, "connection closed by peer");
+  }
+  try {
+    util::Reader r(frame);
+    if (r.u8() == 1) {
+      return r.raw(r.remaining());
+    }
+    auto code = static_cast<ErrorCode>(r.u8());
+    return Result<Bytes>(code, r.str());
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+}  // namespace globe::net

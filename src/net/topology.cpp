@@ -1,0 +1,42 @@
+#include "net/topology.hpp"
+
+namespace globe::net {
+
+PaperTopology::PaperTopology() {
+  PaperTopology& t = *this;
+
+  CpuModel reference;  // 1 GHz PIII running JDK 1.3 — the model defaults.
+
+  CpuModel ithaca_cpu = reference;
+  ithaca_cpu.scale = 2.2;  // 450 MHz UltraSPARC-IIi vs the 1 GHz reference
+
+  t.amsterdam_primary =
+      t.net.add_host({"amsterdam-primary (ginger.cs.vu.nl)", reference});
+  t.amsterdam_secondary =
+      t.net.add_host({"amsterdam-secondary (sporty.cs.vu.nl)", reference});
+  t.paris = t.net.add_host({"paris (canardo.inria.fr)", reference});
+  t.ithaca = t.net.add_host({"ithaca (ensamble02.cornell.edu)", ithaca_cpu});
+
+  t.net.set_link(t.amsterdam_primary, t.amsterdam_secondary,
+                 {PaperLinks::kLanLatency, PaperLinks::kLanBandwidth});
+  for (HostId ams : {t.amsterdam_primary, t.amsterdam_secondary}) {
+    t.net.set_link(ams, t.paris,
+                   {PaperLinks::kParisLatency, PaperLinks::kParisBandwidth});
+    t.net.set_link(ams, t.ithaca,
+                   {PaperLinks::kIthacaLatency, PaperLinks::kIthacaBandwidth});
+  }
+  // Paris <-> Ithaca is unused by the paper's experiments but keep it sane.
+  t.net.set_link(t.paris, t.ithaca,
+                 {PaperLinks::kIthacaLatency + PaperLinks::kParisLatency,
+                  PaperLinks::kIthacaBandwidth});
+}
+
+std::string PaperTopology::client_label(HostId h) const {
+  if (h == amsterdam_secondary) return "Amsterdam";
+  if (h == paris) return "Paris";
+  if (h == ithaca) return "Ithaca";
+  if (h == amsterdam_primary) return "Amsterdam-primary";
+  return "host" + std::to_string(h.value);
+}
+
+}  // namespace globe::net

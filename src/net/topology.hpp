@@ -1,0 +1,44 @@
+// The paper's experimental setting (Table 1) as a simulated topology.
+//
+// Hosts: two in Amsterdam (the "primary" runs the object server and the
+// Apache baseline; the "secondary" is the LAN client), one in Paris (INRIA)
+// and one in Ithaca, NY (Cornell).  Link parameters are era-calibrated
+// (100 Mbit LAN; ~20 ms RTT trans-European path; ~90 ms RTT transatlantic
+// path); the calibration constants are recorded in EXPERIMENTS.md.
+#pragma once
+
+#include "net/simnet.hpp"
+
+namespace globe::net {
+
+struct PaperTopology {
+  /// Constructs the Table 1 topology (hosts + links) ready for use.
+  PaperTopology();
+
+  SimNet net;
+  HostId amsterdam_primary;    // ginger.cs.vu.nl   — dual PIII 1 GHz, 2 GB
+  HostId amsterdam_secondary;  // sporty.cs.vu.nl   — dual PIII 1 GHz, 2 GB
+  HostId paris;                // canardo.inria.fr  — PIII 1 GHz, 256 MB
+  HostId ithaca;               // ensamble02.cornell.edu — UltraSPARC-IIi 450 MHz
+
+  /// The three client hosts of the evaluation, in paper order.
+  std::vector<HostId> clients() const {
+    return {amsterdam_secondary, paris, ithaca};
+  }
+  std::string client_label(HostId h) const;
+};
+
+/// Link calibration constants, exposed for EXPERIMENTS.md and the
+/// bench_table1_setup dump.
+struct PaperLinks {
+  static constexpr util::SimDuration kLanLatency = util::micros(200);
+  static constexpr double kLanBandwidth = 11.5e6;  // ~100 Mbit effective
+
+  static constexpr util::SimDuration kParisLatency = util::millis(10);
+  static constexpr double kParisBandwidth = 2.0e6;  // ~16 Mbit effective
+
+  static constexpr util::SimDuration kIthacaLatency = util::millis(45);
+  static constexpr double kIthacaBandwidth = 0.3e6;  // ~2.4 Mbit effective
+};
+
+}  // namespace globe::net

@@ -1,0 +1,68 @@
+// The blocking transport abstraction every GlobeDoc protocol is written
+// against (DESIGN.md §6).
+//
+// Protocol code (proxy, object server, naming, location) calls
+// Transport::call and, when it performs cryptographic work, reports it via
+// charge() so the simulated clock advances by the era CPU model.  The live
+// TCP transport implements the same interface with a wall clock and no-op
+// charges, so identical protocol code runs in benchmarks and for real.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/address.hpp"
+#include "net/cpu_model.hpp"
+#include "util/bytes.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace globe::net {
+
+/// Context available to a message handler while it serves one request.
+class ServerContext {
+ public:
+  virtual ~ServerContext() = default;
+
+  /// Current (virtual or wall) time at the serving host.
+  virtual util::SimTime now() const = 0;
+
+  /// Accounts CPU work performed by the handler (advances virtual time).
+  virtual void charge(CpuOp op, std::uint64_t amount) = 0;
+
+  /// Host the handler is running on.
+  virtual HostId local_host() const = 0;
+
+  /// Transport for nested outgoing calls made while handling this request.
+  /// Nested calls must not form cross-host cycles (see SimNet docs).
+  virtual class Transport& transport() = 0;
+};
+
+/// A bound service: receives opaque request bytes, returns response bytes.
+/// Handlers must be thread-safe; concurrent flows may invoke them from
+/// multiple threads (per-host serialization is provided by SimNet).
+using MessageHandler =
+    std::function<util::Result<util::Bytes>(ServerContext&, util::BytesView)>;
+
+/// Client-side transport handle.  One instance per logical flow (client
+/// session); not thread-safe across flows.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Sends `request` to `ep` and blocks for the response.  UNAVAILABLE when
+  /// nothing is bound at `ep` or the link is down.
+  virtual util::Result<util::Bytes> call(const Endpoint& ep,
+                                         util::BytesView request) = 0;
+
+  /// Current time of this flow.
+  virtual util::SimTime now() const = 0;
+
+  /// Accounts client-side CPU work (e.g. the proxy hashing a page element).
+  virtual void charge(CpuOp op, std::uint64_t amount) = 0;
+
+  /// Host this flow originates from.
+  virtual HostId local_host() const = 0;
+};
+
+}  // namespace globe::net

@@ -1,0 +1,64 @@
+// Dynamic replication coordinator: the operational piece that watches
+// per-region demand and places/retires replicas on object servers through
+// the authenticated admin interface (paper §2: Globe object servers accept
+// replica-creation requests from other servers/owners, "in this way we can
+// support dynamic replication algorithms").
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "globedoc/owner.hpp"
+#include "net/transport.hpp"
+
+namespace globe::replication {
+
+class DynamicReplicator {
+ public:
+  struct Region {
+    std::string name;
+    net::Endpoint object_server;   // where a replica can be hosted
+    net::Endpoint location_site;   // where its address is registered
+  };
+
+  struct Config {
+    /// Replicate into a region once its rate exceeds this (accesses/s over
+    /// the sliding window).
+    double replicate_above_rps = 5.0;
+    /// Retire a dynamic replica when the rate falls below this.
+    double retire_below_rps = 0.5;
+    util::SimDuration window = util::seconds(60);
+    util::SimDuration certificate_ttl = util::seconds(3600);
+  };
+
+  DynamicReplicator(globedoc::ObjectOwner& owner, net::Transport& transport,
+                    std::vector<Region> regions, Config config);
+
+  /// Feeds one observed access from `region` at time `now`.
+  void record_access(const std::string& region, util::SimTime now);
+
+  /// Applies the policy: creates replicas in hot regions, retires them in
+  /// cold ones.  Call periodically (or after batches of record_access).
+  util::Status rebalance(util::SimTime now);
+
+  bool has_replica(const std::string& region) const;
+  double rate(const std::string& region, util::SimTime now) const;
+  std::size_t replica_count() const;
+
+ private:
+  struct RegionState {
+    Region config;
+    std::vector<util::SimTime> recent;  // access times within the window
+    bool replicated = false;
+  };
+
+  void prune(RegionState& state, util::SimTime now) const;
+
+  globedoc::ObjectOwner* owner_;
+  net::Transport* transport_;
+  Config config_;
+  std::map<std::string, RegionState> regions_;
+};
+
+}  // namespace globe::replication

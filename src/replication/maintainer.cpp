@@ -1,0 +1,52 @@
+#include "replication/maintainer.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace globe::replication {
+
+ReplicaMaintainer::ReplicaMaintainer(globedoc::ObjectServer& server,
+                                     net::Transport& transport, Config config)
+    : server_(&server), transport_(&transport), config_(config) {}
+
+void ReplicaMaintainer::track(const globedoc::Oid& oid,
+                              std::vector<net::Endpoint> sources,
+                              std::uint64_t version,
+                              util::SimTime earliest_expiry) {
+  entries_[oid] = Entry{std::move(sources), version, earliest_expiry};
+}
+
+void ReplicaMaintainer::untrack(const globedoc::Oid& oid) { entries_.erase(oid); }
+
+ReplicaMaintainer::TickReport ReplicaMaintainer::tick(util::SimTime now) {
+  TickReport report;
+  for (auto& [oid, entry] : entries_) {
+    ++report.checked;
+    if (entry.earliest_expiry > now + config_.refresh_margin) continue;
+
+    bool refreshed = false;
+    for (const auto& source : entry.sources) {
+      // Pull accepts any strictly newer, fully verified state.  Passing
+      // version-1 tolerates sources at the same version re-signed with a
+      // fresh window — re-installing an equal version is the refresh case.
+      auto result = pull_replica(*transport_, source, oid, *server_,
+                                 entry.version == 0 ? 0 : entry.version - 1);
+      if (result.is_ok()) {
+        entry.version = result->version;
+        entry.earliest_expiry = result->earliest_expiry;
+        refreshed = true;
+        ++report.refreshed;
+        GLOBE_LOG_INFO("maintainer", "refreshed ", oid.to_hex(), " to v",
+                       result->version, " from ", source.to_string());
+        break;
+      }
+      GLOBE_LOG_INFO("maintainer", "source ", source.to_string(),
+                     " failed: ", result.status().to_string());
+    }
+    if (!refreshed) ++report.failed;
+  }
+  return report;
+}
+
+}  // namespace globe::replication

@@ -1,0 +1,140 @@
+#include "replication/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+namespace globe::replication {
+
+const char* policy_name(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kNoReplication: return "NoReplication";
+    case PolicyKind::kTtlCache: return "TtlCache";
+    case PolicyKind::kFullReplication: return "FullReplication";
+    case PolicyKind::kAdaptive: return "Adaptive";
+  }
+  return "?";
+}
+
+double PolicyCost::weighted(double w_latency, double w_bandwidth,
+                            double w_staleness) const {
+  return w_latency * total_latency_ms + w_bandwidth * wan_bytes +
+         w_staleness * static_cast<double>(stale_accesses);
+}
+
+namespace {
+
+double wan_fetch_ms(std::size_t bytes, const RegionModel& region) {
+  return region.origin_rtt_ms +
+         static_cast<double>(bytes) / region.origin_bandwidth * 1000.0;
+}
+
+double local_fetch_ms(std::size_t bytes, const RegionModel& region) {
+  // In-region links are an order of magnitude faster than the WAN path.
+  return region.local_rtt_ms +
+         static_cast<double>(bytes) / (region.origin_bandwidth * 10.0) * 1000.0;
+}
+
+/// Latest update time <= t (0 when none).
+util::SimTime version_at(const std::vector<util::SimTime>& updates, util::SimTime t) {
+  auto it = std::upper_bound(updates.begin(), updates.end(), t);
+  if (it == updates.begin()) return 0;
+  return *(it - 1);
+}
+
+PolicyCost finish(PolicyCost cost) {
+  cost.mean_latency_ms =
+      cost.accesses == 0 ? 0 : cost.total_latency_ms / static_cast<double>(cost.accesses);
+  return cost;
+}
+
+PolicyCost eval_no_replication(const DocumentProfile& doc, const RegionModel& region) {
+  PolicyCost cost;
+  cost.kind = PolicyKind::kNoReplication;
+  cost.accesses = doc.accesses.size();
+  for (std::size_t i = 0; i < doc.accesses.size(); ++i) {
+    cost.total_latency_ms += wan_fetch_ms(doc.size_bytes, region);
+    cost.wan_bytes += static_cast<double>(doc.size_bytes);
+  }
+  return finish(cost);
+}
+
+PolicyCost eval_ttl_cache(const DocumentProfile& doc, const RegionModel& region,
+                          const EvaluatorConfig& config) {
+  PolicyCost cost;
+  cost.kind = PolicyKind::kTtlCache;
+  cost.accesses = doc.accesses.size();
+
+  struct CacheState {
+    util::SimTime valid_until = 0;
+    util::SimTime version = 0;  // update time of the cached copy
+    bool filled = false;
+  };
+  std::map<std::uint32_t, CacheState> caches;
+
+  for (const auto& access : doc.accesses) {
+    CacheState& cache = caches[access.region];
+    if (cache.filled && access.time < cache.valid_until) {
+      cost.total_latency_ms += local_fetch_ms(doc.size_bytes, region);
+      if (version_at(doc.updates, access.time) > cache.version) {
+        ++cost.stale_accesses;  // TTL window hides a newer version
+      }
+    } else {
+      cost.total_latency_ms += wan_fetch_ms(doc.size_bytes, region);
+      cost.wan_bytes += static_cast<double>(doc.size_bytes);
+      cache.filled = true;
+      cache.valid_until = access.time + config.cache_ttl;
+      cache.version = version_at(doc.updates, access.time);
+    }
+  }
+  return finish(cost);
+}
+
+PolicyCost eval_full_replication(const DocumentProfile& doc, const RegionModel& region,
+                                 const EvaluatorConfig& config) {
+  PolicyCost cost;
+  cost.kind = PolicyKind::kFullReplication;
+  cost.accesses = doc.accesses.size();
+  for (std::size_t i = 0; i < doc.accesses.size(); ++i) {
+    cost.total_latency_ms += local_fetch_ms(doc.size_bytes, region);
+  }
+  // Initial placement plus a push of the full state on every update.
+  double pushes = static_cast<double>(doc.updates.size() + 1);
+  cost.wan_bytes = pushes * static_cast<double>(config.regions) *
+                   static_cast<double>(doc.size_bytes);
+  return finish(cost);
+}
+
+}  // namespace
+
+PolicyCost evaluate_policy(PolicyKind kind, const DocumentProfile& doc,
+                           const RegionModel& region, const EvaluatorConfig& config) {
+  switch (kind) {
+    case PolicyKind::kNoReplication: return eval_no_replication(doc, region);
+    case PolicyKind::kTtlCache: return eval_ttl_cache(doc, region, config);
+    case PolicyKind::kFullReplication:
+      return eval_full_replication(doc, region, config);
+    case PolicyKind::kAdaptive:
+      return select_best_policy(doc, region, config, SelectionWeights{});
+  }
+  return PolicyCost{};
+}
+
+PolicyCost select_best_policy(const DocumentProfile& doc, const RegionModel& region,
+                              const EvaluatorConfig& config,
+                              const SelectionWeights& weights) {
+  PolicyCost best;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (PolicyKind kind : {PolicyKind::kNoReplication, PolicyKind::kTtlCache,
+                          PolicyKind::kFullReplication}) {
+    PolicyCost cost = evaluate_policy(kind, doc, region, config);
+    double score = cost.weighted(weights.latency, weights.bandwidth, weights.staleness);
+    if (score < best_score) {
+      best_score = score;
+      best = cost;
+    }
+  }
+  return best;
+}
+
+}  // namespace globe::replication

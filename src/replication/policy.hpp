@@ -1,0 +1,74 @@
+// Per-document replication policies and the trace-driven evaluator used to
+// select among them — the methodology of Pierre et al. (paper ref [13]),
+// which GlobeDoc's per-object replication policies build on (paper §2).
+//
+// Each policy is evaluated against a document's access trace and update
+// schedule over a region model, yielding three costs: client latency, WAN
+// bandwidth, and staleness.  The adaptive selector picks, per document, the
+// policy minimizing a weighted sum — reproducing [13]'s finding that
+// per-document selection beats any single global policy.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "replication/trace.hpp"
+
+namespace globe::replication {
+
+enum class PolicyKind : std::uint8_t {
+  kNoReplication,      // all requests to the origin server
+  kTtlCache,           // per-region cache with a fixed TTL
+  kFullReplication,    // a replica in every region, pushed on update
+  kAdaptive,           // per-document best of the above
+};
+
+const char* policy_name(PolicyKind kind);
+
+/// Network summary per region (client's view).
+struct RegionModel {
+  double local_rtt_ms = 2.0;       // client -> in-region replica/cache
+  double origin_rtt_ms = 90.0;     // client -> origin
+  double origin_bandwidth = 1e6;   // bytes/s on the WAN path
+};
+
+struct DocumentProfile {
+  std::size_t size_bytes = 10'000;
+  std::vector<Access> accesses;          // this document only, time-sorted
+  std::vector<util::SimTime> updates;    // times the owner changed content
+};
+
+struct PolicyCost {
+  PolicyKind kind = PolicyKind::kNoReplication;
+  double total_latency_ms = 0;   // sum over accesses
+  double mean_latency_ms = 0;
+  double wan_bytes = 0;          // origin <-> region transfers
+  std::size_t stale_accesses = 0;  // served an outdated copy
+  std::size_t accesses = 0;
+
+  /// Weighted aggregate used for selection ([13] uses the same structure).
+  double weighted(double w_latency, double w_bandwidth, double w_staleness) const;
+};
+
+struct EvaluatorConfig {
+  util::SimDuration cache_ttl = util::seconds(300);
+  std::uint32_t regions = 3;
+};
+
+/// Evaluates one concrete policy over one document's trace.
+PolicyCost evaluate_policy(PolicyKind kind, const DocumentProfile& doc,
+                           const RegionModel& region, const EvaluatorConfig& config);
+
+struct SelectionWeights {
+  double latency = 1.0;
+  double bandwidth = 0.0001;  // per byte, roughly commensurate with ms
+  double staleness = 50.0;    // per stale access
+};
+
+/// Per-document adaptive choice: evaluates the concrete policies and
+/// returns the cheapest (the `kAdaptive` strategy of [13]).
+PolicyCost select_best_policy(const DocumentProfile& doc, const RegionModel& region,
+                              const EvaluatorConfig& config,
+                              const SelectionWeights& weights);
+
+}  // namespace globe::replication

@@ -1,0 +1,120 @@
+#include "replication/refresher.hpp"
+
+#include <algorithm>
+
+#include "crypto/sha1.hpp"
+#include "rpc/rpc.hpp"
+#include "util/serial.hpp"
+
+namespace globe::replication {
+
+using globedoc::IntegrityCertificate;
+using globedoc::Oid;
+using globedoc::PageElement;
+using globedoc::ReplicaState;
+using util::Bytes;
+using util::ErrorCode;
+using util::Result;
+
+Result<PullResult> pull_replica(net::Transport& transport,
+                                const net::Endpoint& source, const Oid& oid,
+                                globedoc::ObjectServer& local,
+                                std::uint64_t local_version) {
+  rpc::RpcClient peer(transport, source);
+  util::Writer oid_req;
+  oid_req.raw(oid.to_bytes());
+
+  // --- Public key: self-certifying check against the OID.
+  auto key_raw =
+      peer.call(rpc::kGlobeDocSecurity, globedoc::kGetPublicKey, oid_req.buffer());
+  if (!key_raw.is_ok()) return key_raw.status();
+  auto object_key = crypto::RsaPublicKey::parse(*key_raw);
+  if (!object_key.is_ok()) return object_key.status();
+  transport.charge(net::CpuOp::kSha1, key_raw->size());
+  if (!oid.matches_key(*object_key)) {
+    return Result<PullResult>(ErrorCode::kOidMismatch,
+                              "peer served a key not hashing to the OID");
+  }
+
+  // --- Integrity certificate: signature, object binding, freshness, version.
+  auto cert_raw = peer.call(rpc::kGlobeDocSecurity, globedoc::kGetIntegrityCert,
+                            oid_req.buffer());
+  if (!cert_raw.is_ok()) return cert_raw.status();
+  auto certificate = IntegrityCertificate::parse(*cert_raw);
+  if (!certificate.is_ok()) return certificate.status();
+  transport.charge(net::CpuOp::kRsaVerify, 1);
+  if (!certificate->verify_signature(*object_key)) {
+    return Result<PullResult>(ErrorCode::kBadSignature,
+                              "peer certificate signature invalid");
+  }
+  if (certificate->oid() != oid) {
+    return Result<PullResult>(ErrorCode::kWrongElement,
+                              "peer certificate for a different object");
+  }
+  if (certificate->version() <= local_version) {
+    return Result<PullResult>(ErrorCode::kInvalidArgument,
+                              "peer state is not newer than local version " +
+                                  std::to_string(local_version));
+  }
+  // Refuse to propagate already-stale state: every entry must still be live.
+  for (const auto& entry : certificate->entries()) {
+    if (entry.expires <= transport.now()) {
+      return Result<PullResult>(ErrorCode::kExpired,
+                                "peer state already expired: " + entry.name);
+    }
+  }
+
+  // --- Elements: fetch and verify each against its certificate entry.
+  ReplicaState state;
+  state.public_key = *key_raw;
+  state.certificate = *certificate;
+  state.elements.reserve(certificate->entries().size());
+  for (const auto& entry : certificate->entries()) {
+    util::Writer el_req;
+    el_req.raw(oid.to_bytes());
+    el_req.str(entry.name);
+    auto raw =
+        peer.call(rpc::kGlobeDocAccess, globedoc::kGetElement, el_req.buffer());
+    if (!raw.is_ok()) return raw.status();
+    auto element = PageElement::parse(*raw);
+    if (!element.is_ok()) return element.status();
+    transport.charge(net::CpuOp::kSha1, raw->size());
+    util::Status check =
+        certificate->check_element(entry.name, *element, transport.now());
+    if (!check.is_ok()) return check;
+    state.elements.push_back(std::move(*element));
+  }
+
+  // --- Identity certificates travel along unverified (clients check them
+  // against their own trust stores; a peer cannot forge ones that matter).
+  auto ids_raw = peer.call(rpc::kGlobeDocSecurity, globedoc::kGetIdentityCerts,
+                           oid_req.buffer());
+  if (ids_raw.is_ok()) {
+    try {
+      util::Reader r(*ids_raw);
+      std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n && i < 64; ++i) {
+        auto cert = globedoc::IdentityCertificate::parse(r.bytes());
+        if (cert.is_ok()) state.identity_certs.push_back(std::move(*cert));
+      }
+    } catch (const util::SerialError&) {
+      // Malformed identity list: drop it, the core state is already verified.
+      state.identity_certs.clear();
+    }
+  }
+
+  PullResult result;
+  result.version = state.certificate.version();
+  result.elements = state.elements.size();
+  result.content_bytes = state.content_bytes();
+  for (const auto& entry : state.certificate.entries()) {
+    result.earliest_expiry = result.earliest_expiry == 0
+                                 ? entry.expires
+                                 : std::min(result.earliest_expiry, entry.expires);
+  }
+  result.installed = true;
+  local.install_replica_unchecked(state);
+  return result;
+}
+
+}  // namespace globe::replication

@@ -1,0 +1,119 @@
+#include "replication/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace globe::replication {
+
+namespace {
+
+/// Exponential inter-arrival sample (Poisson process) in nanoseconds.
+util::SimDuration exp_interval(double rate_per_second, util::SplitMix64& rng) {
+  double u = rng.next_double();
+  if (u <= 0) u = 1e-12;
+  double seconds = -std::log(1.0 - u) / rate_per_second;
+  return static_cast<util::SimDuration>(seconds * static_cast<double>(util::kSecond));
+}
+
+std::uint32_t sample_region(const std::vector<double>& cdf, util::SplitMix64& rng) {
+  double u = rng.next_double();
+  auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  if (it == cdf.end()) return static_cast<std::uint32_t>(cdf.size() - 1);
+  return static_cast<std::uint32_t>(it - cdf.begin());
+}
+
+std::vector<double> region_cdf(const TraceConfig& config) {
+  std::vector<double> weights = config.region_weights;
+  if (weights.empty()) weights.assign(config.regions, 1.0);
+  if (weights.size() != config.regions) {
+    throw std::invalid_argument("region_weights size mismatch");
+  }
+  double total = 0;
+  for (double w : weights) total += w;
+  std::vector<double> cdf(weights.size());
+  double acc = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i] / total;
+    cdf[i] = acc;
+  }
+  return cdf;
+}
+
+}  // namespace
+
+std::vector<Access> generate_trace(const TraceConfig& config) {
+  if (config.documents == 0 || config.regions == 0) {
+    throw std::invalid_argument("trace needs documents and regions");
+  }
+  util::SplitMix64 rng(config.seed);
+  util::ZipfSampler doc_sampler(config.documents, config.doc_zipf_exponent,
+                                config.seed ^ 0x5eedULL);
+  std::vector<double> cdf = region_cdf(config);
+
+  std::vector<Access> trace;
+  util::SimTime t = 0;
+  for (;;) {
+    t += exp_interval(config.accesses_per_second, rng);
+    if (t >= config.duration) break;
+    Access a;
+    a.time = t;
+    a.document = static_cast<std::uint32_t>(doc_sampler.sample());
+    a.region = sample_region(cdf, rng);
+    trace.push_back(a);
+  }
+  return trace;
+}
+
+std::vector<Access> generate_flash_crowd(const TraceConfig& base,
+                                         const FlashCrowdConfig& crowd) {
+  std::vector<Access> trace = generate_trace(base);
+  util::SplitMix64 rng(base.seed ^ 0xf1a5cULL);
+  // Piecewise-linear rate: ramp up over `ramp`, hold at peak, ramp down.
+  double base_rate = base.accesses_per_second;
+  double peak = base_rate * crowd.peak_multiplier;
+  util::SimTime t = crowd.start;
+  util::SimTime ramp_end = crowd.start + crowd.ramp;
+  util::SimTime hold_end = ramp_end + crowd.hold;
+  util::SimTime fall_end = hold_end + crowd.ramp;
+  while (t < fall_end && t < base.duration) {
+    double rate;
+    if (t < ramp_end) {
+      rate = peak * static_cast<double>(t - crowd.start) /
+             static_cast<double>(crowd.ramp);
+    } else if (t < hold_end) {
+      rate = peak;
+    } else {
+      rate = peak * static_cast<double>(fall_end - t) /
+             static_cast<double>(crowd.ramp);
+    }
+    rate = std::max(rate, base_rate * 0.1);
+    t += exp_interval(rate, rng);
+    if (t >= base.duration || t >= fall_end) break;
+    trace.push_back(Access{t, crowd.hot_region, crowd.document});
+  }
+  std::sort(trace.begin(), trace.end(),
+            [](const Access& a, const Access& b) { return a.time < b.time; });
+  return trace;
+}
+
+std::vector<util::SimTime> update_schedule(util::SimDuration duration,
+                                           util::SimDuration interval) {
+  if (interval == 0) throw std::invalid_argument("zero update interval");
+  std::vector<util::SimTime> updates;
+  for (util::SimTime t = interval; t < duration; t += interval) {
+    updates.push_back(t);
+  }
+  return updates;
+}
+
+std::vector<Access> filter_document(const std::vector<Access>& trace,
+                                    std::uint32_t document) {
+  std::vector<Access> out;
+  for (const auto& a : trace) {
+    if (a.document == document) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace globe::replication

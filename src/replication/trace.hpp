@@ -1,0 +1,55 @@
+// Workload generation: access traces for documents across regions,
+// including the flash-crowd pattern that motivates the paper (§1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace globe::replication {
+
+struct Access {
+  util::SimTime time = 0;
+  std::uint32_t region = 0;
+  std::uint32_t document = 0;
+};
+
+struct TraceConfig {
+  std::uint32_t documents = 1;
+  std::uint32_t regions = 3;
+  util::SimDuration duration = util::seconds(3600);
+  double accesses_per_second = 1.0;   // aggregate Poisson rate
+  double doc_zipf_exponent = 0.8;     // popularity skew across documents
+  std::vector<double> region_weights; // defaults to uniform
+  std::uint64_t seed = 1;
+};
+
+/// Poisson arrivals; document sampled Zipf, region sampled by weight.
+std::vector<Access> generate_trace(const TraceConfig& config);
+
+struct FlashCrowdConfig {
+  std::uint32_t document = 0;      // the suddenly-popular document
+  std::uint32_t hot_region = 0;    // where the crowd comes from
+  util::SimTime start = util::seconds(600);
+  util::SimDuration ramp = util::seconds(120);    // rate ramps linearly
+  util::SimDuration hold = util::seconds(600);    // plateau
+  double peak_multiplier = 50.0;   // peak rate vs base rate
+};
+
+/// Base trace plus a flash crowd on one document from one region.
+/// The returned trace is sorted by time.
+std::vector<Access> generate_flash_crowd(const TraceConfig& base,
+                                         const FlashCrowdConfig& crowd);
+
+/// Deterministic update schedule for a document (every `interval`).
+std::vector<util::SimTime> update_schedule(util::SimDuration duration,
+                                           util::SimDuration interval);
+
+/// Accesses of one document only.
+std::vector<Access> filter_document(const std::vector<Access>& trace,
+                                    std::uint32_t document);
+
+}  // namespace globe::replication

@@ -1,0 +1,64 @@
+#include "rpc/rpc.hpp"
+
+#include <stdexcept>
+
+namespace globe::rpc {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+void ServiceDispatcher::register_method(std::uint16_t service, std::uint16_t method,
+                                        MethodFn fn) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = methods_.emplace(std::make_pair(service, method), std::move(fn));
+  (void)it;
+  if (!inserted) {
+    throw std::logic_error("ServiceDispatcher: duplicate method " +
+                           std::to_string(service) + "/" + std::to_string(method));
+  }
+}
+
+Result<Bytes> ServiceDispatcher::dispatch(net::ServerContext& ctx,
+                                          BytesView request) const {
+  std::uint16_t service, method;
+  util::BytesView payload;
+  try {
+    util::Reader r(request);
+    service = r.u16();
+    method = r.u16();
+    payload = request.subspan(4);
+  } catch (const util::SerialError& e) {
+    return Result<Bytes>(ErrorCode::kProtocol, e.what());
+  }
+  MethodFn fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = methods_.find({service, method});
+    if (it == methods_.end()) {
+      return Result<Bytes>(ErrorCode::kNotFound,
+                           "no method " + std::to_string(service) + "/" +
+                               std::to_string(method));
+    }
+    fn = it->second;
+  }
+  return fn(ctx, payload);
+}
+
+net::MessageHandler ServiceDispatcher::handler() {
+  return [this](net::ServerContext& ctx, BytesView request) {
+    return dispatch(ctx, request);
+  };
+}
+
+Result<Bytes> RpcClient::call(std::uint16_t service, std::uint16_t method,
+                              BytesView payload) const {
+  util::Writer w;
+  w.u16(service);
+  w.u16(method);
+  w.raw(payload);
+  return transport_->call(endpoint_, w.buffer());
+}
+
+}  // namespace globe::rpc

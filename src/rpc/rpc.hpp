@@ -1,0 +1,70 @@
+// RPC framing and dispatch over the Transport abstraction.
+//
+// Wire format: u16 service id, u16 method id, then the method payload.
+// A ServiceDispatcher multiplexes any number of (service, method) handlers
+// behind one bound endpoint — this is how a Globe object server exposes the
+// GlobeDoc access interface, the security interface and the admin interface
+// on a single contact address (paper §2.1.3, §3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "net/transport.hpp"
+#include "util/bytes.hpp"
+#include "util/serial.hpp"
+#include "util/status.hpp"
+
+namespace globe::rpc {
+
+/// Well-known service ids.
+enum ServiceId : std::uint16_t {
+  kNamingService = 1,
+  kLocationService = 2,
+  kGlobeDocAccess = 3,    // page-element retrieval (untrusted path)
+  kGlobeDocSecurity = 4,  // public key / certificates (paper §3.1.2)
+  kGlobeDocAdmin = 5,     // replica management, keystore-ACL'd (paper §2.1.3)
+  kHttpGateway = 6,       // baseline static HTTP server
+  kGlobeDocDynamic = 7,   // audited dynamic content (paper §6 extension)
+};
+
+using MethodFn =
+    std::function<util::Result<util::Bytes>(net::ServerContext&, util::BytesView)>;
+
+/// Routes (service, method) to registered handlers.  Registration is done
+/// at setup time; dispatch is thread-safe.
+class ServiceDispatcher {
+ public:
+  void register_method(std::uint16_t service, std::uint16_t method, MethodFn fn);
+
+  /// Adapter to bind on a SimNet endpoint or TcpServer.
+  net::MessageHandler handler();
+
+  util::Result<util::Bytes> dispatch(net::ServerContext& ctx,
+                                     util::BytesView request) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, MethodFn> methods_;
+};
+
+/// Client stub for one remote endpoint.
+class RpcClient {
+ public:
+  RpcClient(net::Transport& transport, net::Endpoint endpoint)
+      : transport_(&transport), endpoint_(endpoint) {}
+
+  util::Result<util::Bytes> call(std::uint16_t service, std::uint16_t method,
+                                 util::BytesView payload) const;
+
+  const net::Endpoint& endpoint() const { return endpoint_; }
+  net::Transport& transport() const { return *transport_; }
+
+ private:
+  net::Transport* transport_;
+  net::Endpoint endpoint_;
+};
+
+}  // namespace globe::rpc

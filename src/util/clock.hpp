@@ -1,0 +1,64 @@
+// Time vocabulary shared by the simulator and the live transports.
+//
+// All protocol timestamps (certificate validity intervals, cache TTLs) are
+// expressed as SimTime so the same verification code runs unchanged against
+// the virtual clock in benchmarks and the wall clock in live examples.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace globe::util {
+
+/// Nanoseconds since an arbitrary epoch (simulation start, or Unix epoch for
+/// the wall clock).  64-bit nanoseconds cover ~584 years.
+using SimTime = std::uint64_t;
+using SimDuration = std::uint64_t;
+
+constexpr SimDuration kMicrosecond = 1'000;
+constexpr SimDuration kMillisecond = 1'000'000;
+constexpr SimDuration kSecond = 1'000'000'000;
+
+constexpr SimDuration millis(std::uint64_t ms) { return ms * kMillisecond; }
+constexpr SimDuration micros(std::uint64_t us) { return us * kMicrosecond; }
+constexpr SimDuration seconds(std::uint64_t s) { return s * kSecond; }
+
+constexpr double to_millis(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(SimDuration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Abstract time source.  Verification code asks a Clock for "now" when
+/// checking certificate freshness so tests can freeze or advance time.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual SimTime now() const = 0;
+};
+
+/// Wall clock (Unix epoch nanoseconds).
+class RealClock final : public Clock {
+ public:
+  SimTime now() const override {
+    return static_cast<SimTime>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+/// Manually-driven clock for unit tests.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(SimTime start = 0) : now_(start) {}
+  SimTime now() const override { return now_; }
+  void advance(SimDuration d) { now_ += d; }
+  void set(SimTime t) { now_ = t; }
+
+ private:
+  SimTime now_;
+};
+
+}  // namespace globe::util

@@ -1,0 +1,47 @@
+// Minimal thread-safe leveled logger.
+//
+// Logging defaults to kWarn so tests and benchmarks stay quiet; examples
+// raise the level to narrate the protocol steps of Fig. 3.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace globe::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits one line ("[level] component: message") to stderr under a mutex.
+void log_line(LogLevel level, const std::string& component, const std::string& message);
+
+namespace detail {
+inline void format_into(std::ostringstream&) {}
+template <typename T, typename... Rest>
+void format_into(std::ostringstream& os, const T& v, const Rest&... rest) {
+  os << v;
+  format_into(os, rest...);
+}
+}  // namespace detail
+
+template <typename... Args>
+void logf(LogLevel level, const std::string& component, const Args&... args) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  detail::format_into(os, args...);
+  log_line(level, component, os.str());
+}
+
+#define GLOBE_LOG_DEBUG(component, ...) \
+  ::globe::util::logf(::globe::util::LogLevel::kDebug, component, __VA_ARGS__)
+#define GLOBE_LOG_INFO(component, ...) \
+  ::globe::util::logf(::globe::util::LogLevel::kInfo, component, __VA_ARGS__)
+#define GLOBE_LOG_WARN(component, ...) \
+  ::globe::util::logf(::globe::util::LogLevel::kWarn, component, __VA_ARGS__)
+#define GLOBE_LOG_ERROR(component, ...) \
+  ::globe::util::logf(::globe::util::LogLevel::kError, component, __VA_ARGS__)
+
+}  // namespace globe::util

@@ -1,0 +1,57 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace globe::util {
+
+std::uint64_t RandomSource::u64() {
+  Bytes b = bytes(8);
+  std::uint64_t v = 0;
+  for (std::uint8_t byte : b) v = v << 8 | byte;
+  return v;
+}
+
+std::uint64_t SplitMix64::next() {
+  std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t SplitMix64::below(std::uint64_t n) {
+  if (n == 0) throw std::invalid_argument("SplitMix64::below(0)");
+  // Rejection sampling to avoid modulo bias.
+  std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v;
+  do {
+    v = next();
+  } while (v >= limit);
+  return v % n;
+}
+
+double SplitMix64::next_double() {
+  return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent, std::uint64_t seed)
+    : rng_(seed) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: empty support");
+  cdf_.resize(n);
+  double total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::sample() {
+  double u = rng_.next_double();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+}  // namespace globe::util

@@ -1,0 +1,57 @@
+// Non-cryptographic randomness for workload generation, plus an interface
+// the crypto layer's HMAC-DRBG implements for key generation.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace globe::util {
+
+/// Source of random bytes.  Cryptographic implementations live in
+/// crypto/drbg.hpp; this interface keeps util free of crypto dependencies.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+  virtual void fill(Bytes& out, std::size_t n) = 0;
+
+  Bytes bytes(std::size_t n) {
+    Bytes b;
+    fill(b, n);
+    return b;
+  }
+  std::uint64_t u64();
+};
+
+/// splitmix64 — fast deterministic PRNG for workload/trace generation.
+/// NOT for keys or nonces.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+  /// Uniform in [0, n).  n must be > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Samples ranks from a Zipf(s) distribution over {0, ..., n-1}; rank 0 is
+/// the most popular item.  Used by the flash-crowd / CDN workload generators.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double exponent, std::uint64_t seed);
+  std::size_t sample();
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  SplitMix64 rng_;
+};
+
+}  // namespace globe::util

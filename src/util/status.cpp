@@ -1,0 +1,35 @@
+#include "util/status.hpp"
+
+namespace globe::util {
+
+const char* error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kOk: return "OK";
+    case ErrorCode::kNotFound: return "NOT_FOUND";
+    case ErrorCode::kAlreadyExists: return "ALREADY_EXISTS";
+    case ErrorCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case ErrorCode::kPermissionDenied: return "PERMISSION_DENIED";
+    case ErrorCode::kUnavailable: return "UNAVAILABLE";
+    case ErrorCode::kTimeout: return "TIMEOUT";
+    case ErrorCode::kProtocol: return "PROTOCOL";
+    case ErrorCode::kInternal: return "INTERNAL";
+    case ErrorCode::kBadSignature: return "BAD_SIGNATURE";
+    case ErrorCode::kHashMismatch: return "HASH_MISMATCH";
+    case ErrorCode::kExpired: return "EXPIRED";
+    case ErrorCode::kWrongElement: return "WRONG_ELEMENT";
+    case ErrorCode::kOidMismatch: return "OID_MISMATCH";
+    case ErrorCode::kUntrustedIssuer: return "UNTRUSTED_ISSUER";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  std::string out = error_code_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace globe::util

@@ -1,0 +1,318 @@
+#include "crypto/bigint.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "util/bytes.hpp"
+
+namespace globe::crypto {
+namespace {
+
+using util::Bytes;
+
+TEST(BigIntTest, ZeroProperties) {
+  BigInt z;
+  EXPECT_TRUE(z.is_zero());
+  EXPECT_TRUE(z.is_even());
+  EXPECT_EQ(z.bit_length(), 0u);
+  EXPECT_EQ(z.to_hex(), "0");
+  EXPECT_EQ(z.to_dec(), "0");
+  EXPECT_TRUE(z.to_bytes().empty());
+}
+
+TEST(BigIntTest, U64Construction) {
+  BigInt v(0x0123456789abcdefULL);
+  EXPECT_EQ(v.low_u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(v.bit_length(), 57u);
+  EXPECT_EQ(v.to_hex(), "123456789abcdef");
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  Bytes be{0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::from_bytes(be);
+  EXPECT_EQ(v.to_bytes(), be);
+  EXPECT_EQ(v.low_u64(), 0x0102030405ULL);
+}
+
+TEST(BigIntTest, LeadingZerosIgnoredOnParse) {
+  Bytes with_zeros{0x00, 0x00, 0xff, 0x01};
+  BigInt v = BigInt::from_bytes(with_zeros);
+  EXPECT_EQ(v.to_bytes(), (Bytes{0xff, 0x01}));
+}
+
+TEST(BigIntTest, PaddedToBytes) {
+  BigInt v(0xabcd);
+  EXPECT_EQ(v.to_bytes(4), (Bytes{0x00, 0x00, 0xab, 0xcd}));
+  EXPECT_THROW(v.to_bytes(1), std::invalid_argument);
+  EXPECT_EQ(BigInt().to_bytes(2), (Bytes{0x00, 0x00}));
+}
+
+TEST(BigIntTest, HexRoundTrip) {
+  BigInt v = BigInt::from_hex("deadbeefcafebabe1234567890");
+  EXPECT_EQ(v.to_hex(), "deadbeefcafebabe1234567890");
+  EXPECT_EQ(BigInt::from_hex("0"), BigInt(0));
+  EXPECT_EQ(BigInt::from_hex("f"), BigInt(15));
+}
+
+TEST(BigIntTest, DecRoundTrip) {
+  BigInt v = BigInt::from_dec("123456789012345678901234567890");
+  EXPECT_EQ(v.to_dec(), "123456789012345678901234567890");
+  EXPECT_THROW(BigInt::from_dec("12a"), std::invalid_argument);
+}
+
+TEST(BigIntTest, ComparisonOrdering) {
+  BigInt a(100), b(200);
+  BigInt big = BigInt::from_hex("ffffffffffffffffffffffffffffffff");
+  EXPECT_LT(a, b);
+  EXPECT_GT(b, a);
+  EXPECT_LE(a, a);
+  EXPECT_LT(b, big);
+  EXPECT_NE(a, b);
+}
+
+TEST(BigIntTest, AdditionCarryPropagation) {
+  BigInt max32 = BigInt::from_hex("ffffffff");
+  EXPECT_EQ((max32 + BigInt(1)).to_hex(), "100000000");
+  BigInt max96 = BigInt::from_hex("ffffffffffffffffffffffff");
+  EXPECT_EQ((max96 + BigInt(1)).to_hex(), "1000000000000000000000000");
+}
+
+TEST(BigIntTest, SubtractionBorrowPropagation) {
+  BigInt v = BigInt(1) << 96;
+  EXPECT_EQ((v - BigInt(1)).to_hex(), "ffffffffffffffffffffffff");
+  EXPECT_THROW(BigInt(1) - BigInt(2), std::underflow_error);
+  EXPECT_EQ((v - v).to_hex(), "0");
+}
+
+TEST(BigIntTest, MultiplicationKnownValue) {
+  BigInt a = BigInt::from_dec("123456789123456789");
+  BigInt b = BigInt::from_dec("987654321987654321");
+  EXPECT_EQ((a * b).to_dec(), "121932631356500531347203169112635269");
+}
+
+TEST(BigIntTest, MultiplyByZeroAndOne) {
+  BigInt a = BigInt::from_hex("deadbeef");
+  EXPECT_TRUE((a * BigInt()).is_zero());
+  EXPECT_EQ(a * BigInt(1), a);
+}
+
+TEST(BigIntTest, ShiftsInverse) {
+  BigInt a = BigInt::from_hex("123456789abcdef0123456789");
+  for (std::size_t s : {1u, 7u, 32u, 33u, 64u, 100u}) {
+    EXPECT_EQ((a << s) >> s, a) << "shift=" << s;
+  }
+  EXPECT_EQ((BigInt(1) << 128).to_hex(), "100000000000000000000000000000000");
+  EXPECT_TRUE((a >> 200).is_zero());
+}
+
+TEST(BigIntTest, DivisionKnownValues) {
+  BigInt a = BigInt::from_dec("1000000000000000000000000000007");
+  BigInt b = BigInt::from_dec("1000003");
+  BigInt q, r;
+  BigInt::divmod(a, b, q, r);
+  EXPECT_EQ(q * b + r, a);
+  EXPECT_LT(r, b);
+  EXPECT_THROW(a / BigInt(), std::domain_error);
+}
+
+TEST(BigIntTest, DivisionBySingleLimb) {
+  BigInt a = BigInt::from_dec("123456789012345678901234567890");
+  EXPECT_EQ((a / BigInt(10)).to_dec(), "12345678901234567890123456789");
+  EXPECT_EQ((a % BigInt(10)).to_dec(), "0");
+  BigInt q, r;
+  BigInt::divmod(a, BigInt(7), q, r);
+  EXPECT_EQ(q * BigInt(7) + r, a);
+  EXPECT_LT(r, BigInt(7));
+}
+
+// Property sweep: q*b + r == a and r < b over deterministic random inputs of
+// assorted sizes, including the Knuth "add back" stress region.
+class BigIntDivisionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntDivisionProperty, QuotientRemainderIdentity) {
+  auto rng = HmacDrbg::from_seed(static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 25; ++iter) {
+    std::size_t abits = 16 + static_cast<std::size_t>(rng.u64() % 512);
+    std::size_t bbits = 8 + static_cast<std::size_t>(rng.u64() % 256);
+    BigInt a = BigInt::random_bits(abits, rng);
+    BigInt b = BigInt::random_bits(bbits, rng);
+    BigInt q, r;
+    BigInt::divmod(a, b, q, r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r, b);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntDivisionProperty, ::testing::Range(0, 8));
+
+// Property sweep: 64-bit arithmetic matches native __int128 results.
+class BigIntNativeCrossCheck : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntNativeCrossCheck, MatchesNativeArithmetic) {
+  auto rng = HmacDrbg::from_seed(1000 + static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 50; ++iter) {
+    std::uint64_t x = rng.u64();
+    std::uint64_t y = rng.u64();
+    BigInt bx(x), by(y);
+    unsigned __int128 sum = static_cast<unsigned __int128>(x) + y;
+    unsigned __int128 prod = static_cast<unsigned __int128>(x) * y;
+    EXPECT_EQ((bx + by).low_u64(), static_cast<std::uint64_t>(sum));
+    BigInt p = bx * by;
+    EXPECT_EQ(p.low_u64(), static_cast<std::uint64_t>(prod));
+    EXPECT_EQ((p >> 64).low_u64(), static_cast<std::uint64_t>(prod >> 64));
+    if (y != 0) {
+      EXPECT_EQ((bx / by).low_u64(), x / y);
+      EXPECT_EQ((bx % by).low_u64(), x % y);
+    }
+    if (x >= y) {
+      EXPECT_EQ((bx - by).low_u64(), x - y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntNativeCrossCheck, ::testing::Range(0, 8));
+
+TEST(BigIntTest, ModPowKnownValues) {
+  // 2^10 mod 1000 = 24
+  EXPECT_EQ(BigInt::mod_pow(BigInt(2), BigInt(10), BigInt(1000)).low_u64(), 24u);
+  // Fermat: a^(p-1) mod p == 1 for prime p.
+  BigInt p = BigInt::from_dec("1000000007");
+  EXPECT_EQ(BigInt::mod_pow(BigInt(12345), p - BigInt(1), p), BigInt(1));
+  // Exponent zero.
+  EXPECT_EQ(BigInt::mod_pow(BigInt(99), BigInt(), BigInt(7)), BigInt(1));
+  // Modulus one.
+  EXPECT_TRUE(BigInt::mod_pow(BigInt(99), BigInt(3), BigInt(1)).is_zero());
+}
+
+TEST(BigIntTest, ModPowEvenModulusAgrees) {
+  // Even modulus falls back to the division path; cross-check vs native.
+  auto rng = HmacDrbg::from_seed(55);
+  for (int i = 0; i < 20; ++i) {
+    std::uint64_t b = rng.u64() % 1000 + 2;
+    std::uint64_t e = rng.u64() % 20;
+    std::uint64_t m = (rng.u64() % 1000 + 2) & ~1ULL;  // even
+    std::uint64_t expected = 1;
+    for (std::uint64_t k = 0; k < e; ++k) expected = expected * b % m;
+    EXPECT_EQ(BigInt::mod_pow(BigInt(b), BigInt(e), BigInt(m)).low_u64(), expected);
+  }
+}
+
+// Property: Montgomery path agrees with naive square-and-multiply for odd
+// moduli across many random cases.
+class BigIntModPowProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntModPowProperty, MontgomeryMatchesNaive) {
+  auto rng = HmacDrbg::from_seed(2000 + static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 5; ++iter) {
+    BigInt m = BigInt::random_bits(128, rng);
+    if (m.is_even()) m = m + BigInt(1);
+    BigInt base = BigInt::random_bits(100, rng);
+    BigInt exp = BigInt::random_bits(24, rng);
+    // Naive reference.
+    BigInt expected(1);
+    BigInt b = base % m;
+    for (std::size_t i = exp.bit_length(); i-- > 0;) {
+      expected = (expected * expected) % m;
+      if (exp.bit(i)) expected = (expected * b) % m;
+    }
+    EXPECT_EQ(BigInt::mod_pow(base, exp, m), expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntModPowProperty, ::testing::Range(0, 8));
+
+TEST(BigIntTest, ModInverseKnownValues) {
+  // 3 * 4 = 12 = 1 mod 11.
+  EXPECT_EQ(BigInt::mod_inverse(BigInt(3), BigInt(11)), BigInt(4));
+  EXPECT_THROW(BigInt::mod_inverse(BigInt(6), BigInt(9)), std::domain_error);
+}
+
+TEST(BigIntTest, ModInverseProperty) {
+  auto rng = HmacDrbg::from_seed(31);
+  BigInt m = BigInt::from_dec("1000000000000000003");  // prime
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::random_below(m - BigInt(2), rng) + BigInt(1);
+    BigInt inv = BigInt::mod_inverse(a, m);
+    EXPECT_EQ((a * inv) % m, BigInt(1));
+  }
+}
+
+TEST(BigIntTest, GcdKnownValues) {
+  EXPECT_EQ(BigInt::gcd(BigInt(48), BigInt(36)), BigInt(12));
+  EXPECT_EQ(BigInt::gcd(BigInt(17), BigInt(13)), BigInt(1));
+  EXPECT_EQ(BigInt::gcd(BigInt(0), BigInt(5)), BigInt(5));
+}
+
+TEST(BigIntTest, RandomBelowInRange) {
+  auto rng = HmacDrbg::from_seed(8);
+  BigInt bound = BigInt::from_hex("10000000000000000000001");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LT(BigInt::random_below(bound, rng), bound);
+  }
+  EXPECT_THROW(BigInt::random_below(BigInt(), rng), std::domain_error);
+}
+
+TEST(BigIntTest, RandomBitsExactWidth) {
+  auto rng = HmacDrbg::from_seed(9);
+  for (std::size_t bits : {8u, 9u, 31u, 32u, 33u, 512u, 1024u}) {
+    BigInt v = BigInt::random_bits(bits, rng);
+    EXPECT_EQ(v.bit_length(), bits) << "bits=" << bits;
+  }
+}
+
+TEST(BigIntTest, BitAccess) {
+  BigInt v = BigInt::from_hex("8000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(63));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_FALSE(v.bit(64));
+  EXPECT_FALSE(v.bit(1000));
+}
+
+
+// Property: Karatsuba (large operands) agrees with schoolbook results via
+// algebraic identities across sizes straddling the threshold.
+class BigIntKaratsubaProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(BigIntKaratsubaProperty, LargeMultiplicationConsistency) {
+  auto rng = HmacDrbg::from_seed(3000 + static_cast<std::uint64_t>(GetParam()));
+  for (int iter = 0; iter < 4; ++iter) {
+    // Sizes chosen to straddle the Karatsuba threshold (24 limbs = 768 bits).
+    std::size_t abits = 512 + static_cast<std::size_t>(rng.u64() % 2048);
+    std::size_t bbits = 512 + static_cast<std::size_t>(rng.u64() % 2048);
+    BigInt a = BigInt::random_bits(abits, rng);
+    BigInt b = BigInt::random_bits(bbits, rng);
+    BigInt c = BigInt::random_bits(256, rng);
+
+    // Commutativity.
+    EXPECT_EQ(a * b, b * a);
+    // Distributivity: a*(b+c) == a*b + a*c.
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    // Associativity with a small factor: (a*c)*b == a*(c*b).
+    EXPECT_EQ((a * c) * b, a * (c * b));
+    // Division inverts multiplication exactly.
+    EXPECT_EQ((a * b) / b, a);
+    EXPECT_TRUE(((a * b) % b).is_zero());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BigIntKaratsubaProperty, ::testing::Range(0, 6));
+
+TEST(BigIntTest, KaratsubaKnownLargeProduct) {
+  // (2^1024 - 1)^2 = 2^2048 - 2^1025 + 1.
+  BigInt m = (BigInt(1) << 1024) - BigInt(1);
+  BigInt expected = (BigInt(1) << 2048) - (BigInt(1) << 1025) + BigInt(1);
+  EXPECT_EQ(m * m, expected);
+}
+
+TEST(BigIntTest, HighlyAsymmetricOperands) {
+  auto rng = HmacDrbg::from_seed(77);
+  BigInt big = BigInt::random_bits(4096, rng);
+  BigInt small(12345);
+  BigInt product = big * small;
+  EXPECT_EQ(product / small, big);
+  EXPECT_EQ(product, small * big);
+}
+
+}  // namespace
+}  // namespace globe::crypto

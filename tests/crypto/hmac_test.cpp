@@ -1,0 +1,100 @@
+#include "crypto/hmac.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha1.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace globe::crypto {
+namespace {
+
+using util::Bytes;
+using util::hex_decode;
+using util::hex_encode;
+using util::to_bytes;
+
+template <typename Hash>
+std::string hmac_hex(util::BytesView key, util::BytesView data) {
+  auto d = hmac<Hash>(key, data);
+  return hex_encode(Bytes(d.begin(), d.end()));
+}
+
+TEST(HmacSha1Test, Rfc2202Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex<Sha1>(key, to_bytes("Hi There")),
+            "b617318655057264e28bc0b6fb378c8ef146be00");
+}
+
+TEST(HmacSha1Test, Rfc2202Case2) {
+  EXPECT_EQ(hmac_hex<Sha1>(to_bytes("Jefe"), to_bytes("what do ya want for nothing?")),
+            "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+}
+
+TEST(HmacSha1Test, Rfc2202Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_hex<Sha1>(key, data), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+}
+
+TEST(HmacSha1Test, LongKeyIsHashedFirst) {
+  // RFC 2202 case 6: 80-byte key (> block size).
+  Bytes key(80, 0xaa);
+  EXPECT_EQ(hmac_hex<Sha1>(key, to_bytes("Test Using Larger Than Block-Size Key - Hash Key First")),
+            "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_hex<Sha256>(key, to_bytes("Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(hmac_hex<Sha256>(to_bytes("Jefe"), to_bytes("what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3) {
+  Bytes key(20, 0xaa);
+  Bytes data(50, 0xdd);
+  EXPECT_EQ(hmac_hex<Sha256>(key, data),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(HmacTest, KeySensitivity) {
+  Bytes data = to_bytes("same data");
+  EXPECT_NE(hmac_hex<Sha256>(to_bytes("key1"), data),
+            hmac_hex<Sha256>(to_bytes("key2"), data));
+}
+
+TEST(HkdfTest, DeterministicAndLengthExact) {
+  Bytes prk = to_bytes("pseudo-random-key-material-32byt");
+  Bytes a = hkdf_expand_sha256(prk, to_bytes("client write"), 16);
+  Bytes b = hkdf_expand_sha256(prk, to_bytes("client write"), 16);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 16u);
+}
+
+TEST(HkdfTest, InfoSeparatesKeys) {
+  Bytes prk = to_bytes("pseudo-random-key-material-32byt");
+  EXPECT_NE(hkdf_expand_sha256(prk, to_bytes("client write"), 16),
+            hkdf_expand_sha256(prk, to_bytes("server write"), 16));
+}
+
+TEST(HkdfTest, LongOutputSpansBlocks) {
+  Bytes prk = to_bytes("k");
+  Bytes out = hkdf_expand_sha256(prk, to_bytes("info"), 100);
+  EXPECT_EQ(out.size(), 100u);
+  // Prefix property: shorter request is a prefix of a longer one.
+  Bytes shorter = hkdf_expand_sha256(prk, to_bytes("info"), 33);
+  EXPECT_TRUE(std::equal(shorter.begin(), shorter.end(), out.begin()));
+}
+
+TEST(HkdfTest, OversizedRequestThrows) {
+  EXPECT_THROW(hkdf_expand_sha256(to_bytes("k"), to_bytes("i"), 255 * 32 + 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace globe::crypto

@@ -1,0 +1,213 @@
+// Audited dynamic content (paper §6 extension, Gemini-style accountability).
+#include "globedoc/dynamic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "crypto/sha1.hpp"
+#include "net/simnet.hpp"
+
+namespace globe::globedoc {
+namespace {
+
+using util::Bytes;
+using util::ErrorCode;
+using util::to_bytes;
+
+crypto::RsaKeyPair dyn_key(std::uint64_t seed) {
+  auto rng = crypto::HmacDrbg::from_seed(seed);
+  return crypto::rsa_generate(512, rng);
+}
+
+Generator stock_quotes() {
+  return [](const std::string& query) {
+    // Deterministic "dynamic" content keyed by the query.
+    return to_bytes("<html>quote for " + query + ": " +
+                    std::to_string(std::hash<std::string>{}(query) % 1000) +
+                    "</html>");
+  };
+}
+
+struct DynamicFixture : ::testing::Test {
+  void SetUp() override {
+    host = net.add_host({"host", net::CpuModel{}});
+    net.set_default_link({util::millis(2), 1e6});
+
+    object_keys = dyn_key(81);
+    oid = Oid::from_public_key(object_keys.pub);
+
+    replica_keys = dyn_key(82);
+    replica = std::make_unique<DynamicReplicaServer>("paris-cache", replica_keys);
+    replica->host(oid, "quotes", stock_quotes());
+    replica->register_with(replica_dispatcher);
+    replica_ep = net::Endpoint{host, 9100};
+    net.bind(replica_ep, replica_dispatcher.handler());
+
+    origin_keys = dyn_key(83);
+    origin = std::make_unique<DynamicReplicaServer>("origin", origin_keys);
+    origin->host(oid, "quotes", stock_quotes());
+    origin->register_with(origin_dispatcher);
+    origin_ep = net::Endpoint{host, 9101};
+    net.bind(origin_ep, origin_dispatcher.handler());
+
+    flow = net.open_flow(host);
+  }
+
+  DynamicAuditor::Config auditor_config(double p, std::uint64_t seed = 5) {
+    DynamicAuditor::Config config;
+    config.replica = replica_ep;
+    config.origin = origin_ep;
+    config.replica_server_key = replica_keys.pub;
+    config.audit_probability = p;
+    config.seed = seed;
+    return config;
+  }
+
+  net::SimNet net;
+  net::HostId host;
+  crypto::RsaKeyPair object_keys, replica_keys, origin_keys;
+  Oid oid;
+  std::unique_ptr<DynamicReplicaServer> replica, origin;
+  rpc::ServiceDispatcher replica_dispatcher, origin_dispatcher;
+  net::Endpoint replica_ep, origin_ep;
+  std::unique_ptr<net::SimFlow> flow;
+};
+
+TEST_F(DynamicFixture, HonestServerServesWithValidReceipt) {
+  DynamicAuditor auditor(*flow, auditor_config(0.0));
+  auto response = auditor.query(oid, "quotes", "ACME");
+  ASSERT_TRUE(response.is_ok()) << response.status().to_string();
+  EXPECT_NE(util::to_string(*response).find("quote for ACME"), std::string::npos);
+  EXPECT_TRUE(auditor.proofs().empty());
+}
+
+TEST_F(DynamicFixture, HonestServerNeverIncriminated) {
+  DynamicAuditor auditor(*flow, auditor_config(1.0));  // audit every query
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(auditor.query(oid, "quotes", "sym" + std::to_string(i)).is_ok());
+  }
+  EXPECT_EQ(auditor.audits_performed(), 20u);
+  EXPECT_TRUE(auditor.proofs().empty());
+}
+
+TEST_F(DynamicFixture, CheatingServerCaughtByAudit) {
+  replica->set_cheat([](Bytes response) {
+    response.push_back('!');  // subtle manipulation of the quote
+    return response;
+  });
+  DynamicAuditor auditor(*flow, auditor_config(1.0));
+  auto response = auditor.query(oid, "quotes", "ACME");
+  // The lie is served (detection is after the fact)...
+  ASSERT_TRUE(response.is_ok());
+  // ...but the audit produced a verifiable proof of misbehaviour.
+  ASSERT_EQ(auditor.proofs().size(), 1u);
+  EXPECT_TRUE(auditor.proofs()[0].verify(replica_keys.pub));
+}
+
+TEST_F(DynamicFixture, DetectionRateTracksAuditProbability) {
+  replica->set_cheat([](Bytes response) {
+    response[0] ^= 1;
+    return response;
+  });
+  DynamicAuditor auditor(*flow, auditor_config(0.3, 99));
+  const int kQueries = 200;
+  for (int i = 0; i < kQueries; ++i) {
+    ASSERT_TRUE(auditor.query(oid, "quotes", "q" + std::to_string(i)).is_ok());
+  }
+  // ~30% of lies audited; every audit of a lie yields a proof.
+  EXPECT_EQ(auditor.proofs().size(), auditor.audits_performed());
+  EXPECT_GT(auditor.audits_performed(), kQueries * 3 / 20);  // > 15%
+  EXPECT_LT(auditor.audits_performed(), kQueries * 9 / 20);  // < 45%
+}
+
+TEST_F(DynamicFixture, ForgedReceiptRejectedImmediately) {
+  // An attacker without the server key cannot even get its lie accepted:
+  // route through a wrapper that mangles the receipt signature.
+  net::Endpoint evil_ep{host, 9102};
+  auto inner = replica_dispatcher.handler();
+  net.bind(evil_ep, [inner](net::ServerContext& ctx,
+                            util::BytesView req) -> util::Result<Bytes> {
+    auto resp = inner(ctx, req);
+    if (resp.is_ok() && !resp->empty()) (*resp)[resp->size() - 1] ^= 1;
+    return resp;
+  });
+  auto config = auditor_config(0.0);
+  config.replica = evil_ep;
+  DynamicAuditor auditor(*flow, config);
+  EXPECT_EQ(auditor.query(oid, "quotes", "ACME").code(), ErrorCode::kBadSignature);
+}
+
+TEST_F(DynamicFixture, ReceiptForDifferentQueryRejected) {
+  // A replay attack: the server answers query A with a (signed) answer to
+  // query B.  The receipt binds the query, so this is caught immediately.
+  net::Endpoint evil_ep{host, 9103};
+  auto inner = replica_dispatcher.handler();
+  net.bind(evil_ep, [inner, this](net::ServerContext& ctx,
+                                  util::BytesView) -> util::Result<Bytes> {
+    util::Writer w;
+    w.u16(rpc::kGlobeDocDynamic);
+    w.u16(kDynQuery);
+    w.raw(oid.to_bytes());
+    w.str("quotes");
+    w.str("OTHER");
+    return inner(ctx, w.buffer());
+  });
+  auto config = auditor_config(0.0);
+  config.replica = evil_ep;
+  DynamicAuditor auditor(*flow, config);
+  EXPECT_EQ(auditor.query(oid, "quotes", "ACME").code(), ErrorCode::kWrongElement);
+}
+
+TEST_F(DynamicFixture, UnknownTemplateNotFound) {
+  DynamicAuditor auditor(*flow, auditor_config(0.0));
+  EXPECT_EQ(auditor.query(oid, "nonexistent", "q").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DynamicFixture, ProofDoesNotVerifyAgainstHonestContent) {
+  // A malicious CLIENT cannot frame an honest server: a "proof" built from
+  // a genuine receipt and the matching origin content does not verify.
+  DynamicAuditor auditor(*flow, auditor_config(0.0));
+  ASSERT_TRUE(auditor.query(oid, "quotes", "ACME").is_ok());
+
+  // Hand-build a bogus proof from a genuine exchange.
+  util::Writer req;
+  req.raw(oid.to_bytes());
+  req.str("quotes");
+  req.str("ACME");
+  rpc::RpcClient client(*flow, replica_ep);
+  auto raw = client.call(rpc::kGlobeDocDynamic, kDynQuery, req.buffer());
+  ASSERT_TRUE(raw.is_ok());
+  util::Reader r(*raw);
+  Bytes response = r.bytes();
+  auto receipt = DynamicReceipt::parse(r.bytes());
+  ASSERT_TRUE(receipt.is_ok());
+
+  MisbehaviorProof framing{*receipt, response};  // content actually matches
+  EXPECT_FALSE(framing.verify(replica_keys.pub));
+
+  // Nor can the client forge the receipt to frame the server.
+  MisbehaviorProof forged{*receipt, to_bytes("fabricated origin content")};
+  forged.receipt.response_sha1[0] ^= 1;  // breaks the signature
+  EXPECT_FALSE(forged.verify(replica_keys.pub));
+}
+
+TEST_F(DynamicFixture, ReceiptSerializationRoundTrip) {
+  DynamicReceipt receipt;
+  receipt.oid = oid;
+  receipt.template_name = "quotes";
+  receipt.query = "ACME";
+  receipt.response_sha1 = crypto::Sha1::digest_bytes(to_bytes("content"));
+  receipt.served_at = util::seconds(9);
+  receipt.server_name = "paris-cache";
+  receipt.signature = crypto::rsa_sign_sha256(replica_keys.priv, receipt.signed_body());
+
+  auto parsed = DynamicReceipt::parse(receipt.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->query, "ACME");
+  EXPECT_TRUE(parsed->verify(replica_keys.pub, to_bytes("content")));
+  EXPECT_FALSE(parsed->verify(replica_keys.pub, to_bytes("other content")));
+  EXPECT_FALSE(DynamicReceipt::parse(to_bytes("junk")).is_ok());
+}
+
+}  // namespace
+}  // namespace globe::globedoc

@@ -1,0 +1,224 @@
+// Resource-managed hosting (paper §6 extension): keystore + quotas +
+// leases on the object server's admin interface.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "globedoc/server.hpp"
+#include "net/simnet.hpp"
+#include "rpc/rpc.hpp"
+
+namespace globe::globedoc {
+namespace {
+
+using util::Bytes;
+using util::ErrorCode;
+using util::to_bytes;
+
+crypto::RsaKeyPair host_key(std::uint64_t seed) {
+  auto rng = crypto::HmacDrbg::from_seed(seed);
+  return crypto::rsa_generate(512, rng);
+}
+
+ReplicaState make_state(std::uint64_t seed, std::size_t content_bytes,
+                        Oid* oid_out = nullptr) {
+  GlobeDocObject object(host_key(seed));
+  object.put_element({"data.bin", "application/octet-stream",
+                      Bytes(content_bytes, 0x11)});
+  object.sign_state(0, util::seconds(1u << 30));
+  if (oid_out != nullptr) *oid_out = object.oid();
+  return object.snapshot();
+}
+
+struct HostingFixture : ::testing::Test {
+  void SetUp() override {
+    host = net.add_host({"server", net::CpuModel{}});
+    owner_key = host_key(71);
+    server = std::make_unique<ObjectServer>("srv", 72);
+    server->authorize(owner_key.pub);
+    server->register_with(dispatcher);
+    ep = net::Endpoint{host, 8000};
+    net.bind(ep, dispatcher.handler());
+    flow = net.open_flow(host);
+  }
+
+  AdminClient admin() { return AdminClient(*flow, ep, owner_key); }
+
+  net::SimNet net;
+  net::HostId host;
+  crypto::RsaKeyPair owner_key;
+  std::unique_ptr<ObjectServer> server;
+  rpc::ServiceDispatcher dispatcher;
+  net::Endpoint ep;
+  std::unique_ptr<net::SimFlow> flow;
+};
+
+TEST_F(HostingFixture, UnlimitedByDefault) {
+  auto client = admin();
+  auto grant = client.negotiate(50'000'000, 0);
+  ASSERT_TRUE(grant.is_ok());
+  EXPECT_TRUE(grant->accepted);
+  EXPECT_EQ(grant->lease, 0u);  // indefinite
+}
+
+TEST_F(HostingFixture, NegotiationReflectsByteLimit) {
+  ResourceLimits limits;
+  limits.max_total_bytes = 10'000;
+  server->set_resource_limits(limits);
+  auto client = admin();
+
+  auto small = client.negotiate(5'000, 0);
+  ASSERT_TRUE(small.is_ok());
+  EXPECT_TRUE(small->accepted);
+
+  auto big = client.negotiate(20'000, 0);
+  ASSERT_TRUE(big.is_ok());
+  EXPECT_FALSE(big->accepted);
+  EXPECT_NE(big->reason.find("capacity"), std::string::npos);
+}
+
+TEST_F(HostingFixture, NegotiationClampsLease) {
+  ResourceLimits limits;
+  limits.max_lease = util::seconds(100);
+  server->set_resource_limits(limits);
+  auto client = admin();
+
+  auto shorter = client.negotiate(100, util::seconds(50));
+  ASSERT_TRUE(shorter.is_ok());
+  EXPECT_EQ(shorter->lease, util::seconds(50));
+
+  auto longer = client.negotiate(100, util::seconds(500));
+  ASSERT_TRUE(longer.is_ok());
+  EXPECT_EQ(longer->lease, util::seconds(100));
+
+  auto indefinite = client.negotiate(100, 0);
+  ASSERT_TRUE(indefinite.is_ok());
+  EXPECT_EQ(indefinite->lease, util::seconds(100));
+}
+
+TEST_F(HostingFixture, CreateRefusedBeyondTotalBytes) {
+  ResourceLimits limits;
+  limits.max_total_bytes = 10'000;
+  server->set_resource_limits(limits);
+  auto client = admin();
+
+  EXPECT_TRUE(client.create_replica(make_state(100, 6'000)).is_ok());
+  auto refused = client.create_replica(make_state(101, 6'000));
+  EXPECT_EQ(refused.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(server->replica_count(), 1u);
+  EXPECT_LE(server->hosted_bytes(), 10'000u);
+}
+
+TEST_F(HostingFixture, CreateRefusedBeyondReplicaSlots) {
+  ResourceLimits limits;
+  limits.max_replicas = 2;
+  server->set_resource_limits(limits);
+  auto client = admin();
+  EXPECT_TRUE(client.create_replica(make_state(110, 100)).is_ok());
+  EXPECT_TRUE(client.create_replica(make_state(111, 100)).is_ok());
+  EXPECT_EQ(client.create_replica(make_state(112, 100)).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST_F(HostingFixture, PerReplicaByteLimit) {
+  ResourceLimits limits;
+  limits.max_replica_bytes = 1'000;
+  server->set_resource_limits(limits);
+  auto client = admin();
+  EXPECT_TRUE(client.create_replica(make_state(120, 900)).is_ok());
+  EXPECT_EQ(client.create_replica(make_state(121, 1'100)).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST_F(HostingFixture, UpdateDoesNotDoubleCountOwnUsage) {
+  ResourceLimits limits;
+  limits.max_total_bytes = 10'000;
+  server->set_resource_limits(limits);
+  auto client = admin();
+
+  Oid oid;
+  GlobeDocObject object(host_key(130));
+  object.put_element({"data.bin", "application/octet-stream", Bytes(8'000, 1)});
+  object.sign_state(0, util::seconds(1u << 30));
+  oid = object.oid();
+  EXPECT_TRUE(client.create_replica(object.snapshot()).is_ok());
+
+  // Updating the same replica to 9 KB fits (its old 8 KB are released).
+  object.put_element({"data.bin", "application/octet-stream", Bytes(9'000, 2)});
+  object.sign_state(0, util::seconds(1u << 30));
+  EXPECT_TRUE(client.update_replica(object.snapshot()).is_ok());
+
+  // But 11 KB does not.
+  object.put_element({"data.bin", "application/octet-stream", Bytes(11'000, 3)});
+  object.sign_state(0, util::seconds(1u << 30));
+  EXPECT_EQ(client.update_replica(object.snapshot()).code(),
+            ErrorCode::kUnavailable);
+}
+
+TEST_F(HostingFixture, LeaseExpiryStopsServingAndEvicts) {
+  ResourceLimits limits;
+  limits.max_lease = util::seconds(100);
+  server->set_resource_limits(limits);
+  auto client = admin();
+
+  Oid oid;
+  ReplicaState state = make_state(140, 500, &oid);
+  ASSERT_TRUE(client.create_replica(state).is_ok());
+  EXPECT_TRUE(server->hosts(oid));
+
+  // Within the lease, the replica serves.
+  rpc::RpcClient reader(*flow, ep);
+  util::Writer req;
+  req.raw(oid.to_bytes());
+  req.str("data.bin");
+  EXPECT_TRUE(reader.call(rpc::kGlobeDocAccess, kGetElement, req.buffer()).is_ok());
+
+  // Past the lease, access fails lazily...
+  flow->advance(util::seconds(200));
+  EXPECT_EQ(reader.call(rpc::kGlobeDocAccess, kGetElement, req.buffer()).code(),
+            ErrorCode::kNotFound);
+  // ...and explicit expiry evicts the state.
+  EXPECT_EQ(server->expire_leases(flow->now()), 1u);
+  EXPECT_FALSE(server->hosts(oid));
+  EXPECT_EQ(server->hosted_bytes(), 0u);
+}
+
+TEST_F(HostingFixture, RefusedCreateCanBeRetriedElsewhere) {
+  // After a refusal the creator slot must not be poisoned: a later create
+  // within limits succeeds.
+  ResourceLimits limits;
+  limits.max_replica_bytes = 1'000;
+  server->set_resource_limits(limits);
+  auto client = admin();
+  Oid oid;
+  GlobeDocObject object(host_key(150));
+  object.put_element({"big", "application/octet-stream", Bytes(2'000, 1)});
+  object.sign_state(0, util::seconds(1u << 30));
+  oid = object.oid();
+  EXPECT_EQ(client.create_replica(object.snapshot()).code(), ErrorCode::kUnavailable);
+
+  object.put_element({"big", "application/octet-stream", Bytes(500, 1)});
+  object.sign_state(0, util::seconds(1u << 30));
+  EXPECT_TRUE(client.create_replica(object.snapshot()).is_ok());
+  EXPECT_TRUE(server->hosts(oid));
+}
+
+TEST_F(HostingFixture, NegotiateMalformedRejected) {
+  rpc::RpcClient client(*flow, ep);
+  EXPECT_EQ(client.call(rpc::kGlobeDocAdmin, kNegotiate, to_bytes("xx")).code(),
+            ErrorCode::kProtocol);
+}
+
+TEST(HostingGrantTest, SerializationRoundTrip) {
+  HostingGrant grant;
+  grant.accepted = true;
+  grant.lease = util::seconds(42);
+  grant.reason = "";
+  auto parsed = HostingGrant::parse(grant.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->accepted);
+  EXPECT_EQ(parsed->lease, util::seconds(42));
+  EXPECT_FALSE(HostingGrant::parse(to_bytes("zz")).is_ok());
+}
+
+}  // namespace
+}  // namespace globe::globedoc

@@ -1,0 +1,55 @@
+#include "globedoc/hybrid_url.hpp"
+
+#include <gtest/gtest.h>
+
+namespace globe::globedoc {
+namespace {
+
+TEST(HybridUrlTest, HttpPrefixForm) {
+  auto url = parse_hybrid_url("http://globe/news.vu.nl/index.html");
+  ASSERT_TRUE(url.is_ok());
+  EXPECT_EQ(url->object_name, "news.vu.nl");
+  EXPECT_EQ(url->element_name, "index.html");
+}
+
+TEST(HybridUrlTest, SchemeForm) {
+  auto url = parse_hybrid_url("globe://news.vu.nl/story.txt");
+  ASSERT_TRUE(url.is_ok());
+  EXPECT_EQ(url->object_name, "news.vu.nl");
+  EXPECT_EQ(url->element_name, "story.txt");
+}
+
+TEST(HybridUrlTest, ProxyTargetForm) {
+  auto url = parse_hybrid_url("/globe/news.vu.nl/img/logo.gif");
+  ASSERT_TRUE(url.is_ok());
+  EXPECT_EQ(url->object_name, "news.vu.nl");
+  EXPECT_EQ(url->element_name, "img/logo.gif");  // slashes allowed in element
+}
+
+TEST(HybridUrlTest, IsHybridDetection) {
+  EXPECT_TRUE(is_hybrid_url("http://globe/a/b"));
+  EXPECT_TRUE(is_hybrid_url("globe://a/b"));
+  EXPECT_TRUE(is_hybrid_url("/globe/a/b"));
+  EXPECT_FALSE(is_hybrid_url("http://example.org/a/b"));
+  EXPECT_FALSE(is_hybrid_url("/index.html"));
+  EXPECT_FALSE(is_hybrid_url(""));
+}
+
+TEST(HybridUrlTest, MalformedRejected) {
+  EXPECT_FALSE(parse_hybrid_url("http://example.org/x").is_ok());
+  EXPECT_FALSE(parse_hybrid_url("http://globe/only-object").is_ok());
+  EXPECT_FALSE(parse_hybrid_url("http://globe//element").is_ok());
+  EXPECT_FALSE(parse_hybrid_url("http://globe/object/").is_ok());
+  EXPECT_FALSE(parse_hybrid_url("").is_ok());
+}
+
+TEST(HybridUrlTest, RoundTripToString) {
+  HybridUrl url{"news.vu.nl", "img/logo.gif"};
+  auto parsed = parse_hybrid_url(url.to_string());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->object_name, url.object_name);
+  EXPECT_EQ(parsed->element_name, url.element_name);
+}
+
+}  // namespace
+}  // namespace globe::globedoc

@@ -1,0 +1,107 @@
+// Importing an existing static site into a GlobeDoc object, then serving
+// it securely — the adoption path end to end.
+#include "globedoc/importer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "globedoc/proxy.hpp"
+#include "http/static_server.hpp"
+#include "net/simnet.hpp"
+#include "tests/globedoc/world_fixture.hpp"
+
+namespace globe::globedoc {
+namespace {
+
+using globe::globedoc::testing::fixture_key;
+using util::Bytes;
+using util::ErrorCode;
+using util::to_bytes;
+
+struct ImporterFixture : ::testing::Test {
+  void SetUp() override {
+    host = net.add_host({"origin", net::CpuModel{}});
+    legacy.put_file("/index.html", to_bytes("<html>legacy site</html>"));
+    legacy.put_file("/img/logo.gif", Bytes(300, 0x47));
+    legacy.put_file("/about.txt", to_bytes("about us"));
+    origin_ep = net::Endpoint{host, 80};
+    net.bind(origin_ep, legacy.handler());
+    flow = net.open_flow(host);
+  }
+
+  net::SimNet net;
+  net::HostId host;
+  http::StaticHttpServer legacy;
+  net::Endpoint origin_ep;
+  std::unique_ptr<net::SimFlow> flow;
+};
+
+TEST_F(ImporterFixture, ImportsAllPaths) {
+  GlobeDocObject object(fixture_key(2001));
+  auto report = import_from_http(object, *flow, origin_ep,
+                                 {"/index.html", "/img/logo.gif", "/about.txt"});
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report->imported, 3u);
+  EXPECT_TRUE(report->failed.empty());
+  EXPECT_EQ(object.element_count(), 3u);
+
+  const PageElement* logo = object.element("img/logo.gif");
+  ASSERT_NE(logo, nullptr);
+  EXPECT_EQ(logo->content_type, "image/gif");
+  EXPECT_EQ(logo->content.size(), 300u);
+  EXPECT_EQ(object.element("index.html")->content_type, "text/html");
+}
+
+TEST_F(ImporterFixture, PartialFailureReported) {
+  GlobeDocObject object(fixture_key(2002));
+  auto report = import_from_http(object, *flow, origin_ep,
+                                 {"/index.html", "/missing.html", "bad-path"});
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->imported, 1u);
+  ASSERT_EQ(report->failed.size(), 2u);
+  EXPECT_EQ(report->failed[0], "/missing.html");
+  EXPECT_EQ(report->failed[1], "bad-path");
+}
+
+TEST_F(ImporterFixture, TotalFailureIsError) {
+  GlobeDocObject object(fixture_key(2003));
+  EXPECT_EQ(import_from_http(object, *flow, origin_ep, {"/nope"}).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_EQ(import_from_http(object, *flow, origin_ep, {}).code(),
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(object.element_count(), 0u);
+}
+
+TEST_F(ImporterFixture, DeadOriginReportsFailures) {
+  GlobeDocObject object(fixture_key(2004));
+  net::Endpoint dead{host, 9999};
+  EXPECT_EQ(import_from_http(object, *flow, dead, {"/index.html"}).code(),
+            ErrorCode::kUnavailable);
+}
+
+// End-to-end: import from the legacy origin into the shared world's object
+// and serve it through the secure pipeline.
+struct ImportWorldFixture : globe::globedoc::testing::WorldFixture {};
+
+TEST_F(ImportWorldFixture, ImportedSiteServesSecurely) {
+  http::StaticHttpServer legacy;
+  legacy.put_file("/migrated.html", to_bytes("<html>was plain http</html>"));
+  net::Endpoint legacy_ep{infra_host, 8088};
+  net.bind(legacy_ep, legacy.handler());
+
+  auto report = import_from_http(owner->object(), *publish_flow, legacy_ep,
+                                 {"/migrated.html"});
+  ASSERT_TRUE(report.is_ok());
+  ASSERT_TRUE(owner
+                  ->refresh_replicas(*publish_flow, publish_flow->now(),
+                                     util::seconds(3600))
+                  .is_ok());
+
+  GlobeDocProxy proxy(*client_flow, proxy_config());
+  auto result = proxy.fetch(object_name, "migrated.html");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(util::to_string(result->element.content), "<html>was plain http</html>");
+}
+
+}  // namespace
+}  // namespace globe::globedoc

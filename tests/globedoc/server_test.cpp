@@ -1,0 +1,251 @@
+#include "globedoc/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "net/simnet.hpp"
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+namespace {
+
+using util::Bytes;
+using util::ErrorCode;
+using util::to_bytes;
+
+crypto::RsaKeyPair make_key(std::uint64_t seed) {
+  auto rng = crypto::HmacDrbg::from_seed(seed);
+  return crypto::rsa_generate(512, rng);
+}
+
+struct ServerFixture : ::testing::Test {
+  void SetUp() override {
+    host = net.add_host({"server", net::CpuModel{}});
+    client_host = net.add_host({"client", net::CpuModel{}});
+    net.set_default_link({util::millis(2), 1e6});
+
+    owner_key = make_key(51);
+    intruder_key = make_key(52);
+    server = std::make_unique<ObjectServer>("srv", 7);
+    server->authorize(owner_key.pub);
+    server->register_with(dispatcher);
+    ep = net::Endpoint{host, 8000};
+    net.bind(ep, dispatcher.handler());
+
+    GlobeDocObject object(make_key(53));
+    object.put_element({"index.html", "text/html", to_bytes("<html/>")});
+    object.put_element({"data.bin", "application/octet-stream", Bytes(64, 1)});
+    object.sign_state(0, util::seconds(3600));
+    oid = object.oid();
+    state_v1 = object.snapshot();
+
+    object.put_element({"extra.txt", "text/plain", to_bytes("more")});
+    object.sign_state(0, util::seconds(3600));
+    state_v2 = object.snapshot();
+
+    flow = net.open_flow(client_host);
+  }
+
+  net::SimNet net;
+  net::HostId host, client_host;
+  crypto::RsaKeyPair owner_key, intruder_key;
+  std::unique_ptr<ObjectServer> server;
+  rpc::ServiceDispatcher dispatcher;
+  net::Endpoint ep;
+  Oid oid;
+  ReplicaState state_v1, state_v2;
+  std::unique_ptr<net::SimFlow> flow;
+};
+
+TEST_F(ServerFixture, AuthorizedCreateUpdateDelete) {
+  AdminClient admin(*flow, ep, owner_key);
+  EXPECT_TRUE(admin.create_replica(state_v1).is_ok());
+  EXPECT_TRUE(server->hosts(oid));
+  EXPECT_EQ(server->replica_count(), 1u);
+
+  EXPECT_TRUE(admin.update_replica(state_v2).is_ok());
+  auto list = admin.list_replicas();
+  ASSERT_TRUE(list.is_ok());
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ((*list)[0], oid);
+
+  EXPECT_TRUE(admin.delete_replica(oid).is_ok());
+  EXPECT_FALSE(server->hosts(oid));
+}
+
+TEST_F(ServerFixture, UnauthorizedKeyRejected) {
+  AdminClient intruder(*flow, ep, intruder_key);
+  EXPECT_EQ(intruder.create_replica(state_v1).code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(server->replica_count(), 0u);
+}
+
+TEST_F(ServerFixture, RevokedKeyRejected) {
+  AdminClient admin(*flow, ep, owner_key);
+  EXPECT_TRUE(admin.create_replica(state_v1).is_ok());
+  server->revoke(owner_key.pub);
+  EXPECT_FALSE(server->is_authorized(owner_key.pub));
+  EXPECT_EQ(admin.update_replica(state_v2).code(), ErrorCode::kPermissionDenied);
+}
+
+TEST_F(ServerFixture, OnlyCreatorMayManageReplica) {
+  crypto::RsaKeyPair second_owner = make_key(54);
+  server->authorize(second_owner.pub);
+
+  AdminClient creator(*flow, ep, owner_key);
+  EXPECT_TRUE(creator.create_replica(state_v1).is_ok());
+
+  AdminClient other(*flow, ep, second_owner);
+  EXPECT_EQ(other.update_replica(state_v2).code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(other.delete_replica(oid).code(), ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(server->hosts(oid));
+}
+
+TEST_F(ServerFixture, DuplicateCreateRejected) {
+  AdminClient admin(*flow, ep, owner_key);
+  EXPECT_TRUE(admin.create_replica(state_v1).is_ok());
+  EXPECT_EQ(admin.create_replica(state_v1).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(ServerFixture, UpdateNonexistentRejected) {
+  AdminClient admin(*flow, ep, owner_key);
+  EXPECT_EQ(admin.update_replica(state_v1).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(admin.delete_replica(oid).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ServerFixture, VersionRollbackRefused) {
+  AdminClient admin(*flow, ep, owner_key);
+  EXPECT_TRUE(admin.create_replica(state_v2).is_ok());  // version 2
+  EXPECT_EQ(admin.update_replica(state_v1).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ServerFixture, NonceReplayRejected) {
+  AdminClient admin(*flow, ep, owner_key);
+  EXPECT_TRUE(admin.create_replica(state_v1).is_ok());
+
+  // Hand-roll a request reusing a consumed nonce.
+  rpc::RpcClient rpc_client(*flow, ep);
+  auto nonce_raw = rpc_client.call(rpc::kGlobeDocAdmin, kChallenge, Bytes{});
+  ASSERT_TRUE(nonce_raw.is_ok());
+  util::Reader r(*nonce_raw);
+  Bytes nonce = r.bytes();
+
+  util::Writer payload;
+  payload.bytes(state_v2.serialize());
+  util::Writer signed_data;
+  signed_data.str("update");
+  signed_data.bytes(nonce);
+  signed_data.raw(payload.buffer());
+  Bytes sig = crypto::rsa_sign_sha256(owner_key.priv, signed_data.buffer());
+
+  util::Writer req;
+  req.bytes(nonce);
+  req.bytes(owner_key.pub.serialize());
+  req.bytes(sig);
+  req.raw(payload.buffer());
+
+  // First use succeeds, replay fails.
+  EXPECT_TRUE(rpc_client.call(rpc::kGlobeDocAdmin, kUpdateReplica, req.buffer()).is_ok());
+  EXPECT_EQ(rpc_client.call(rpc::kGlobeDocAdmin, kUpdateReplica, req.buffer()).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(ServerFixture, BadSignatureRejected) {
+  rpc::RpcClient rpc_client(*flow, ep);
+  auto nonce_raw = rpc_client.call(rpc::kGlobeDocAdmin, kChallenge, Bytes{});
+  ASSERT_TRUE(nonce_raw.is_ok());
+  util::Reader r(*nonce_raw);
+  Bytes nonce = r.bytes();
+
+  util::Writer payload;
+  payload.bytes(state_v1.serialize());
+  Bytes bogus_sig(64, 0xAA);
+
+  util::Writer req;
+  req.bytes(nonce);
+  req.bytes(owner_key.pub.serialize());
+  req.bytes(bogus_sig);
+  req.raw(payload.buffer());
+  EXPECT_EQ(rpc_client.call(rpc::kGlobeDocAdmin, kCreateReplica, req.buffer()).code(),
+            ErrorCode::kPermissionDenied);
+}
+
+TEST_F(ServerFixture, AccessInterfaceServesElements) {
+  server->install_replica_unchecked(state_v1);
+  rpc::RpcClient client(*flow, ep);
+
+  util::Writer req;
+  req.raw(oid.to_bytes());
+  req.str("index.html");
+  auto raw = client.call(rpc::kGlobeDocAccess, kGetElement, req.buffer());
+  ASSERT_TRUE(raw.is_ok());
+  auto el = PageElement::parse(*raw);
+  ASSERT_TRUE(el.is_ok());
+  EXPECT_EQ(el->name, "index.html");
+  EXPECT_EQ(server->elements_served(), 1u);
+  EXPECT_GT(server->content_bytes_served(), 0u);
+}
+
+TEST_F(ServerFixture, AccessUnknownElementOrObject) {
+  server->install_replica_unchecked(state_v1);
+  rpc::RpcClient client(*flow, ep);
+
+  util::Writer missing_el;
+  missing_el.raw(oid.to_bytes());
+  missing_el.str("ghost.html");
+  EXPECT_EQ(client.call(rpc::kGlobeDocAccess, kGetElement, missing_el.buffer()).code(),
+            ErrorCode::kNotFound);
+
+  util::Writer missing_obj;
+  missing_obj.raw(Bytes(Oid::kSize, 0xEE));
+  missing_obj.str("index.html");
+  EXPECT_EQ(client.call(rpc::kGlobeDocAccess, kGetElement, missing_obj.buffer()).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(ServerFixture, ListElements) {
+  server->install_replica_unchecked(state_v2);
+  rpc::RpcClient client(*flow, ep);
+  util::Writer req;
+  req.raw(oid.to_bytes());
+  auto raw = client.call(rpc::kGlobeDocAccess, kListElements, req.buffer());
+  ASSERT_TRUE(raw.is_ok());
+  util::Reader r(*raw);
+  EXPECT_EQ(r.u32(), 3u);
+}
+
+TEST_F(ServerFixture, SecurityInterfaceServesKeyAndCerts) {
+  server->install_replica_unchecked(state_v1);
+  rpc::RpcClient client(*flow, ep);
+  util::Writer req;
+  req.raw(oid.to_bytes());
+
+  auto key_raw = client.call(rpc::kGlobeDocSecurity, kGetPublicKey, req.buffer());
+  ASSERT_TRUE(key_raw.is_ok());
+  auto key = crypto::RsaPublicKey::parse(*key_raw);
+  ASSERT_TRUE(key.is_ok());
+  EXPECT_TRUE(oid.matches_key(*key));
+
+  auto cert_raw = client.call(rpc::kGlobeDocSecurity, kGetIntegrityCert, req.buffer());
+  ASSERT_TRUE(cert_raw.is_ok());
+  auto cert = IntegrityCertificate::parse(*cert_raw);
+  ASSERT_TRUE(cert.is_ok());
+  EXPECT_TRUE(cert->verify_signature(*key));
+
+  auto ids_raw = client.call(rpc::kGlobeDocSecurity, kGetIdentityCerts, req.buffer());
+  ASSERT_TRUE(ids_raw.is_ok());
+  util::Reader r(*ids_raw);
+  EXPECT_EQ(r.u32(), 0u);  // no identity certs in this fixture object
+}
+
+TEST_F(ServerFixture, MalformedPayloadsRejected) {
+  rpc::RpcClient client(*flow, ep);
+  EXPECT_EQ(client.call(rpc::kGlobeDocAccess, kGetElement, to_bytes("xx")).code(),
+            ErrorCode::kProtocol);
+  EXPECT_EQ(client.call(rpc::kGlobeDocAdmin, kChallenge, to_bytes("payload")).code(),
+            ErrorCode::kProtocol);
+  EXPECT_EQ(client.call(rpc::kGlobeDocAdmin, kListReplicas, to_bytes("p")).code(),
+            ErrorCode::kProtocol);
+}
+
+}  // namespace
+}  // namespace globe::globedoc

@@ -1,0 +1,115 @@
+// Shared end-to-end fixture: a small world with a naming service, a
+// location tree, an object server, a CA, and one published GlobeDoc object.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "globedoc/owner.hpp"
+#include "globedoc/proxy.hpp"
+#include "globedoc/server.hpp"
+#include "location/builder.hpp"
+#include "naming/resolver.hpp"
+#include "naming/service.hpp"
+#include "net/simnet.hpp"
+
+namespace globe::globedoc::testing {
+
+inline crypto::RsaKeyPair fixture_key(std::uint64_t seed) {
+  auto rng = crypto::HmacDrbg::from_seed(seed);
+  return crypto::rsa_generate(512, rng);
+}
+
+struct WorldFixture : ::testing::Test {
+  void SetUp() override {
+    infra_host = net.add_host({"infra", net::CpuModel{}});
+    server_host = net.add_host({"server", net::CpuModel{}});
+    client_host = net.add_host({"client", net::CpuModel{}});
+    net.set_default_link({util::millis(5), 1e6});
+
+    // --- Naming: a single root zone on the infra host.
+    root_zone_key = fixture_key(1001);
+    root_zone = std::make_shared<naming::ZoneAuthority>("", root_zone_key);
+    naming_ep = net::Endpoint{infra_host, 53};
+    naming_server.add_zone(root_zone);
+    naming_server.register_with(naming_dispatcher);
+    net.bind(naming_ep, naming_dispatcher.handler());
+
+    // --- Location: root on infra, one site at the server, one near the client.
+    tree = std::make_unique<location::LocationTree>(
+        net, std::vector<location::DomainSpec>{
+                 {"root", "", infra_host, 100, false},
+                 {"site-server", "root", server_host, 100, true},
+                 {"site-client", "root", client_host, 100, true},
+             });
+
+    // --- CA trusted by the user.
+    ca = std::make_unique<CertificateAuthority>("TestRoot CA", fixture_key(1002));
+
+    // --- Object server with the owner's credentials authorized.
+    owner_credentials = fixture_key(1003);
+    object_server = std::make_unique<ObjectServer>("srv-1", 42);
+    object_server->authorize(owner_credentials.pub);
+    object_server->register_with(server_dispatcher);
+    server_ep = net::Endpoint{server_host, 8000};
+    net.bind(server_ep, server_dispatcher.handler());
+
+    // --- The object: 3 elements, identity cert, name, one replica.
+    GlobeDocObject object(fixture_key(1004));
+    object.put_element({"index.html", "text/html",
+                        util::to_bytes("<html><body>news story</body></html>")});
+    object.put_element({"logo.gif", "image/gif", util::Bytes(500, 0x42)});
+    object.put_element({"story.txt", "text/plain", util::to_bytes("full text")});
+    object.add_identity_certificate(
+        ca->issue("Vrije Universiteit", object.oid(), util::seconds(5000)));
+    owner = std::make_unique<ObjectOwner>(std::move(object), owner_credentials);
+
+    owner->register_name(*root_zone, object_name, util::seconds(5000));
+
+    publish_flow = net.open_flow(infra_host);
+    ReplicaState state = owner->sign_and_snapshot(0, util::seconds(3600));
+    ASSERT_TRUE(owner
+                    ->publish_replica(*publish_flow, server_ep,
+                                      tree->endpoint("site-server"), state)
+                    .is_ok());
+
+    client_flow = net.open_flow(client_host);
+  }
+
+  ProxyConfig proxy_config(bool identity = true) {
+    ProxyConfig config;
+    config.naming_root = naming_ep;
+    config.naming_anchor = root_zone_key.pub;
+    config.location_site = tree->endpoint("site-client");
+    if (identity) {
+      config.trust.trust(ca->name(), ca->public_key());
+      config.request_identity = true;
+    }
+    return config;
+  }
+
+  net::SimNet net;
+  net::HostId infra_host, server_host, client_host;
+
+  crypto::RsaKeyPair root_zone_key;
+  std::shared_ptr<naming::ZoneAuthority> root_zone;
+  naming::NamingServer naming_server;
+  rpc::ServiceDispatcher naming_dispatcher;
+  net::Endpoint naming_ep;
+
+  std::unique_ptr<location::LocationTree> tree;
+  std::unique_ptr<CertificateAuthority> ca;
+
+  crypto::RsaKeyPair owner_credentials;
+  std::unique_ptr<ObjectServer> object_server;
+  rpc::ServiceDispatcher server_dispatcher;
+  net::Endpoint server_ep;
+
+  std::unique_ptr<ObjectOwner> owner;
+  std::string object_name = "news.vu.nl";
+
+  std::unique_ptr<net::SimFlow> publish_flow;
+  std::unique_ptr<net::SimFlow> client_flow;
+};
+
+}  // namespace globe::globedoc::testing

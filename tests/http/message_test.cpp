@@ -1,0 +1,75 @@
+#include "http/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace globe::http {
+namespace {
+
+TEST(HeadersTest, CaseInsensitiveLookup) {
+  Headers h;
+  h.set("Content-Type", "text/html");
+  EXPECT_EQ(h.get("content-type"), "text/html");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "text/html");
+  EXPECT_FALSE(h.get("Content-Length").has_value());
+}
+
+TEST(HeadersTest, SetOverwritesAddAppends) {
+  Headers h;
+  h.set("X-A", "1");
+  h.set("x-a", "2");
+  EXPECT_EQ(h.all().size(), 1u);
+  EXPECT_EQ(h.get("X-A"), "2");
+  h.add("X-A", "3");
+  EXPECT_EQ(h.all().size(), 2u);
+  EXPECT_EQ(h.get("X-A"), "2");  // first match wins
+}
+
+TEST(RequestTest, SerializeBasicGet) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = "/index.html";
+  req.headers.set("Host", "example.org");
+  std::string wire = util::to_string(req.serialize());
+  EXPECT_EQ(wire.substr(0, wire.find("\r\n")), "GET /index.html HTTP/1.1");
+  EXPECT_NE(wire.find("Host: example.org\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\n"));
+}
+
+TEST(RequestTest, SerializeAddsContentLengthForBody) {
+  HttpRequest req;
+  req.method = "POST";
+  req.body = util::to_bytes("hello");
+  std::string wire = util::to_string(req.serialize());
+  EXPECT_NE(wire.find("Content-Length: 5\r\n"), std::string::npos);
+  EXPECT_TRUE(wire.ends_with("\r\n\r\nhello"));
+}
+
+TEST(ResponseTest, MakeSetsHeaders) {
+  auto resp = HttpResponse::make(404, "Not Found", util::to_bytes("gone"),
+                                 "text/plain");
+  EXPECT_EQ(resp.status, 404);
+  EXPECT_EQ(resp.headers.get("Content-Length"), "4");
+  EXPECT_EQ(resp.headers.get("Content-Type"), "text/plain");
+  std::string wire = util::to_string(resp.serialize());
+  EXPECT_EQ(wire.substr(0, wire.find("\r\n")), "HTTP/1.1 404 Not Found");
+}
+
+TEST(ReasonTest, KnownAndUnknownCodes) {
+  EXPECT_EQ(reason_for_status(200), "OK");
+  EXPECT_EQ(reason_for_status(404), "Not Found");
+  EXPECT_EQ(reason_for_status(304), "Not Modified");
+  EXPECT_EQ(reason_for_status(299), "Unknown");
+}
+
+TEST(ContentTypeTest, CommonSuffixes) {
+  EXPECT_EQ(guess_content_type("/a/b/index.html"), "text/html");
+  EXPECT_EQ(guess_content_type("/story.txt"), "text/plain");
+  EXPECT_EQ(guess_content_type("/img/logo.gif"), "image/gif");
+  EXPECT_EQ(guess_content_type("/photo.jpeg"), "image/jpeg");
+  EXPECT_EQ(guess_content_type("/applet.class"), "application/java");
+  EXPECT_EQ(guess_content_type("/mystery.bin"), "application/octet-stream");
+  EXPECT_EQ(guess_content_type("noext"), "application/octet-stream");
+}
+
+}  // namespace
+}  // namespace globe::http

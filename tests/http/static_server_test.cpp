@@ -1,0 +1,132 @@
+#include "http/static_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "http/client.hpp"
+#include "net/simnet.hpp"
+
+namespace globe::http {
+namespace {
+
+using util::Bytes;
+using util::to_bytes;
+
+HttpRequest get_req(const std::string& path) {
+  HttpRequest req;
+  req.method = "GET";
+  req.target = path;
+  return req;
+}
+
+TEST(StaticServerTest, ServesStoredFile) {
+  StaticHttpServer server;
+  server.put_file("/index.html", to_bytes("<html>hi</html>"));
+  auto resp = server.handle(get_req("/index.html"));
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_EQ(util::to_string(resp.body), "<html>hi</html>");
+  EXPECT_EQ(resp.headers.get("Content-Type"), "text/html");
+  EXPECT_TRUE(resp.headers.has("ETag"));
+  EXPECT_TRUE(resp.headers.has("Server"));
+}
+
+TEST(StaticServerTest, MissingFileIs404) {
+  StaticHttpServer server;
+  EXPECT_EQ(server.handle(get_req("/nope")).status, 404);
+}
+
+TEST(StaticServerTest, NonGetRejected405) {
+  StaticHttpServer server;
+  server.put_file("/x", to_bytes("data"));
+  HttpRequest post = get_req("/x");
+  post.method = "POST";
+  auto resp = server.handle(post);
+  EXPECT_EQ(resp.status, 405);
+  EXPECT_EQ(resp.headers.get("Allow"), "GET, HEAD");
+}
+
+TEST(StaticServerTest, HeadOmitsBody) {
+  StaticHttpServer server;
+  server.put_file("/big.txt", Bytes(1000, 'x'));
+  HttpRequest head = get_req("/big.txt");
+  head.method = "HEAD";
+  auto resp = server.handle(head);
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_TRUE(resp.body.empty());
+  EXPECT_EQ(resp.headers.get("Content-Length"), "1000");
+}
+
+TEST(StaticServerTest, QueryStringStripped) {
+  StaticHttpServer server;
+  server.put_file("/page.html", to_bytes("content"));
+  EXPECT_EQ(server.handle(get_req("/page.html?v=2")).status, 200);
+}
+
+TEST(StaticServerTest, EtagConditionalGet304) {
+  StaticHttpServer server;
+  server.put_file("/a.txt", to_bytes("cacheable"));
+  auto first = server.handle(get_req("/a.txt"));
+  std::string etag = *first.headers.get("ETag");
+
+  HttpRequest conditional = get_req("/a.txt");
+  conditional.headers.set("If-None-Match", etag);
+  auto second = server.handle(conditional);
+  EXPECT_EQ(second.status, 304);
+  EXPECT_TRUE(second.body.empty());
+
+  // Changed content invalidates the tag.
+  server.put_file("/a.txt", to_bytes("new content"));
+  auto third = server.handle(conditional);
+  EXPECT_EQ(third.status, 200);
+}
+
+TEST(StaticServerTest, PutRemoveLifecycle) {
+  StaticHttpServer server;
+  EXPECT_EQ(server.file_count(), 0u);
+  server.put_file("/f1", to_bytes("a"));
+  server.put_file("/f2", to_bytes("b"));
+  EXPECT_EQ(server.file_count(), 2u);
+  EXPECT_TRUE(server.has_file("/f1"));
+  server.remove_file("/f1");
+  EXPECT_FALSE(server.has_file("/f1"));
+  EXPECT_EQ(server.handle(get_req("/f1")).status, 404);
+  EXPECT_THROW(server.put_file("no-slash", to_bytes("x")), std::invalid_argument);
+}
+
+TEST(StaticServerTest, EndToEndOverSimNet) {
+  net::SimNet net;
+  auto server_host = net.add_host({"server", net::CpuModel{}});
+  auto client_host = net.add_host({"client", net::CpuModel{}});
+  net.set_link(server_host, client_host, {util::millis(5), 1e6});
+
+  StaticHttpServer server;
+  server.put_file("/story/photo.jpg", Bytes(10000, 0x7f));
+  net::Endpoint ep{server_host, 80};
+  net.bind(ep, server.handler());
+
+  auto flow = net.open_flow(client_host);
+  HttpClient client(*flow);
+  auto resp = client.get(ep, "/story/photo.jpg");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body.size(), 10000u);
+  EXPECT_EQ(resp->headers.get("Content-Type"), "image/jpeg");
+  EXPECT_GT(flow->now(), util::millis(20));  // connection + request + 10KB transfer
+}
+
+TEST(StaticServerTest, MalformedRequestGets400OverWire) {
+  net::SimNet net;
+  auto host = net.add_host({"server", net::CpuModel{}});
+  StaticHttpServer server;
+  net::Endpoint ep{host, 80};
+  net.bind(ep, server.handler());
+
+  auto flow = net.open_flow(host);
+  auto raw = flow->call(ep, to_bytes("NONSENSE"));
+  ASSERT_TRUE(raw.is_ok());
+  auto resp = parse_response(*raw);
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp->status, 400);
+}
+
+}  // namespace
+}  // namespace globe::http

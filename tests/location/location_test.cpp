@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "location/builder.hpp"
+#include "location/tree.hpp"
+#include "net/simnet.hpp"
+
+namespace globe::location {
+namespace {
+
+using util::Bytes;
+using util::ErrorCode;
+
+Bytes oid(std::uint8_t fill) { return Bytes(20, fill); }
+
+TEST(LookupReplyTest, RoundTrip) {
+  LookupReply reply;
+  reply.found = true;
+  reply.addresses = {net::Endpoint{net::HostId{1}, 80}, net::Endpoint{net::HostId{2}, 81}};
+  reply.has_parent = true;
+  reply.parent = net::Endpoint{net::HostId{9}, 99};
+  auto parsed = LookupReply::parse(reply.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_TRUE(parsed->found);
+  EXPECT_EQ(parsed->addresses, reply.addresses);
+  EXPECT_EQ(parsed->parent, reply.parent);
+}
+
+TEST(LookupReplyTest, GarbageRejected) {
+  EXPECT_FALSE(LookupReply::parse(util::to_bytes("xx")).is_ok());
+}
+
+// World: root -> {region-eu -> {site-ams, site-paris}, region-us -> {site-ithaca}}.
+struct TreeFixture : ::testing::Test {
+  void SetUp() override {
+    for (int i = 0; i < 6; ++i) {
+      hosts.push_back(net.add_host({"h" + std::to_string(i), net::CpuModel{}}));
+    }
+    net.set_default_link({util::millis(5), 1e6});
+    tree = std::make_unique<LocationTree>(
+        net, std::vector<DomainSpec>{
+                 {"root", "", hosts[0], 100, false},
+                 {"region-eu", "root", hosts[1], 100, false},
+                 {"region-us", "root", hosts[2], 100, false},
+                 {"site-ams", "region-eu", hosts[3], 100, true},
+                 {"site-paris", "region-eu", hosts[4], 100, true},
+                 {"site-ithaca", "region-us", hosts[5], 100, true},
+             });
+    flow = net.open_flow(hosts[3]);
+  }
+
+  net::Endpoint replica(std::uint32_t host, std::uint16_t port) {
+    return net::Endpoint{net::HostId{host}, port};
+  }
+
+  net::SimNet net;
+  std::vector<net::HostId> hosts;
+  std::unique_ptr<LocationTree> tree;
+  std::unique_ptr<net::SimFlow> flow;
+};
+
+TEST_F(TreeFixture, InsertAndLookupAtSameSite) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  ASSERT_TRUE(client.insert(tree->endpoint("site-ams"), oid(1), replica(3, 8000)).is_ok());
+  auto r = client.lookup(oid(1));
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], replica(3, 8000));
+  EXPECT_EQ(client.last_rings(), 1u);
+}
+
+TEST_F(TreeFixture, ExpandingRingFindsRemoteReplica) {
+  LocationClient writer(*flow, tree->endpoint("site-ithaca"));
+  ASSERT_TRUE(
+      writer.insert(tree->endpoint("site-ithaca"), oid(2), replica(5, 8000)).is_ok());
+
+  // Lookup from Amsterdam: site-ams (miss) -> region-eu (miss) -> root
+  // (pointer via region-us) -> resolves down to the Ithaca address.
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  auto r = client.lookup(oid(2));
+  ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], replica(5, 8000));
+  EXPECT_EQ(client.last_rings(), 3u);
+}
+
+TEST_F(TreeFixture, RegionAnswersWithoutReachingRoot) {
+  LocationClient writer(*flow, tree->endpoint("site-paris"));
+  ASSERT_TRUE(
+      writer.insert(tree->endpoint("site-paris"), oid(3), replica(4, 8000)).is_ok());
+
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  auto r = client.lookup(oid(3));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(client.last_rings(), 2u);  // site miss, region hit
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], replica(4, 8000));
+}
+
+TEST_F(TreeFixture, MultipleReplicasAllReturned) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  ASSERT_TRUE(client.insert(tree->endpoint("site-ams"), oid(4), replica(3, 8000)).is_ok());
+  ASSERT_TRUE(client.insert(tree->endpoint("site-ams"), oid(4), replica(3, 8001)).is_ok());
+  ASSERT_TRUE(
+      client.insert(tree->endpoint("site-paris"), oid(4), replica(4, 8000)).is_ok());
+
+  // From Ithaca everything resolves through the root.
+  LocationClient remote(*flow, tree->endpoint("site-ithaca"));
+  auto r = remote.lookup(oid(4));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST_F(TreeFixture, UnknownOidNotFound) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  auto r = client.lookup(oid(9));
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(client.last_rings(), 3u);  // climbed to the root
+}
+
+TEST_F(TreeFixture, RemoveLastAddressCleansPointers) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  ASSERT_TRUE(client.insert(tree->endpoint("site-ams"), oid(5), replica(3, 8000)).is_ok());
+  EXPECT_EQ(tree->node("root").records_stored(), 1u);
+  ASSERT_TRUE(client.remove(tree->endpoint("site-ams"), oid(5), replica(3, 8000)).is_ok());
+  EXPECT_EQ(tree->node("site-ams").records_stored(), 0u);
+  EXPECT_EQ(tree->node("region-eu").records_stored(), 0u);
+  EXPECT_EQ(tree->node("root").records_stored(), 0u);
+  EXPECT_EQ(client.lookup(oid(5)).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(TreeFixture, RemoveOneOfTwoKeepsPointer) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  ASSERT_TRUE(client.insert(tree->endpoint("site-ams"), oid(6), replica(3, 8000)).is_ok());
+  ASSERT_TRUE(client.insert(tree->endpoint("site-ams"), oid(6), replica(3, 8001)).is_ok());
+  ASSERT_TRUE(client.remove(tree->endpoint("site-ams"), oid(6), replica(3, 8000)).is_ok());
+  auto r = client.lookup(oid(6));
+  ASSERT_TRUE(r.is_ok());
+  ASSERT_EQ(r->size(), 1u);
+  EXPECT_EQ((*r)[0], replica(3, 8001));
+}
+
+TEST_F(TreeFixture, RemoveUnknownAddressFails) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  EXPECT_EQ(client.remove(tree->endpoint("site-ams"), oid(7), replica(3, 1)).code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(TreeFixture, InsertAtInteriorNodeRejected) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  EXPECT_EQ(client.insert(tree->endpoint("region-eu"), oid(8), replica(1, 1)).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST_F(TreeFixture, LocalLookupCheaperThanGlobal) {
+  LocationClient setup(*flow, tree->endpoint("site-ams"));
+  ASSERT_TRUE(setup.insert(tree->endpoint("site-ams"), oid(10), replica(3, 1)).is_ok());
+  ASSERT_TRUE(
+      setup.insert(tree->endpoint("site-ithaca"), oid(11), replica(5, 1)).is_ok());
+
+  auto local_flow = net.open_flow(hosts[3]);
+  LocationClient local(*local_flow, tree->endpoint("site-ams"));
+  ASSERT_TRUE(local.lookup(oid(10)).is_ok());
+
+  auto global_flow = net.open_flow(hosts[3]);
+  LocationClient global(*global_flow, tree->endpoint("site-ams"));
+  ASSERT_TRUE(global.lookup(oid(11)).is_ok());
+
+  EXPECT_LT(local_flow->now(), global_flow->now());
+}
+
+TEST_F(TreeFixture, LookupCountersAdvance) {
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  (void)client.lookup(oid(12));
+  EXPECT_EQ(tree->node("site-ams").lookups_served(), 1u);
+  EXPECT_EQ(tree->node("region-eu").lookups_served(), 1u);
+  EXPECT_EQ(tree->node("root").lookups_served(), 1u);
+}
+
+TEST(LocationBuilderTest, RejectsBadSpecs) {
+  net::SimNet net;
+  auto h = net.add_host({"h", net::CpuModel{}});
+  EXPECT_THROW(LocationTree(net, {{"a", "missing-parent", h, 1, true}}),
+               std::invalid_argument);
+  EXPECT_THROW(LocationTree(net, {{"a", "", h, 1, false}, {"a", "", h, 2, false}}),
+               std::invalid_argument);
+}
+
+
+TEST(LocationAdversarialTest, ParentLoopIsBounded) {
+  // A malicious node that always reports itself as its own parent must not
+  // trap the expanding-ring client in an infinite climb.
+  net::SimNet net;
+  auto h = net.add_host({"evil", net::CpuModel{}});
+  net::Endpoint evil{h, 100};
+  net.bind(evil, [evil](net::ServerContext&,
+                        util::BytesView) -> util::Result<util::Bytes> {
+    LookupReply reply;
+    reply.found = false;
+    reply.has_parent = true;
+    reply.parent = evil;  // the loop
+    return reply.serialize();
+  });
+  auto flow = net.open_flow(h);
+  LocationClient client(*flow, evil);
+  auto r = client.lookup(oid(1));
+  EXPECT_EQ(r.code(), ErrorCode::kProtocol);
+  EXPECT_EQ(client.last_rings(), 16u);  // guard fired
+}
+
+TEST(LocationAdversarialTest, GarbageReplyRejected) {
+  net::SimNet net;
+  auto h = net.add_host({"evil", net::CpuModel{}});
+  net::Endpoint evil{h, 100};
+  net.bind(evil, [](net::ServerContext&,
+                    util::BytesView) -> util::Result<util::Bytes> {
+    return util::to_bytes("not a lookup reply");
+  });
+  auto flow = net.open_flow(h);
+  LocationClient client(*flow, evil);
+  EXPECT_EQ(client.lookup(oid(2)).code(), ErrorCode::kProtocol);
+}
+
+}  // namespace
+}  // namespace globe::location

@@ -1,0 +1,149 @@
+// Adversarial naming: malicious servers trying to trap or mislead the
+// validating resolver.
+#include <gtest/gtest.h>
+
+#include "crypto/drbg.hpp"
+#include "naming/resolver.hpp"
+#include "naming/service.hpp"
+#include "net/simnet.hpp"
+
+namespace globe::naming {
+namespace {
+
+using util::Bytes;
+using util::ErrorCode;
+
+crypto::RsaKeyPair adv_key(std::uint64_t seed) {
+  auto rng = crypto::HmacDrbg::from_seed(seed);
+  return crypto::rsa_generate(512, rng);
+}
+
+struct AdversarialNamingFixture : ::testing::Test {
+  void SetUp() override {
+    host = net.add_host({"ns", net::CpuModel{}});
+    root_key = adv_key(301);
+    root = std::make_shared<ZoneAuthority>("", root_key);
+    server.add_zone(root);
+    server.register_with(dispatcher);
+    root_ep = net::Endpoint{host, 53};
+    net.bind(root_ep, dispatcher.handler());
+    flow = net.open_flow(host);
+  }
+
+  net::SimNet net;
+  net::HostId host;
+  crypto::RsaKeyPair root_key;
+  std::shared_ptr<ZoneAuthority> root;
+  NamingServer server;
+  rpc::ServiceDispatcher dispatcher;
+  net::Endpoint root_ep;
+  std::unique_ptr<net::SimFlow> flow;
+};
+
+TEST_F(AdversarialNamingFixture, ReferralLoopIsBounded) {
+  // A compromised zone key could sign a delegation chain that never
+  // terminates: a.x -> b.a.x -> c.b.a.x ... The resolver must cut it off
+  // rather than spin forever.  We simulate with a server that answers every
+  // lookup with a correctly-signed referral one label deeper.
+  net::Endpoint evil_ep{host, 66};
+  auto evil_key = root_key;  // "compromised" root key signs everything
+  int depth_counter = 0;
+  net.bind(evil_ep, [&, this](net::ServerContext&,
+                              util::BytesView) -> util::Result<Bytes> {
+    // Build a signed referral to a one-deeper zone served at the same place.
+    DelegationRecord rec;
+    std::string suffix = "deep.vu.nl";
+    for (int i = 0; i < depth_counter; ++i) suffix = "x." + suffix;
+    ++depth_counter;
+    rec.zone = suffix;
+    rec.child_public_key = evil_key.pub.serialize();
+    rec.name_server = evil_ep;
+    rec.expires = util::seconds(1u << 30);
+    SignedBlob blob;
+    blob.record = rec.serialize();
+    blob.signature = crypto::rsa_sign_sha256(evil_key.priv, blob.record);
+    NamingReply reply;
+    reply.kind = NamingReply::Kind::kReferral;
+    reply.blob = std::move(blob);
+    return reply.serialize();
+  });
+
+  SecureResolver resolver(*flow, evil_ep, root_key.pub);
+  auto result = resolver.resolve("a.x.x.x.x.x.x.x.x.x.x.x.x.x.x.x.x.x.deep.vu.nl");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_LE(depth_counter, 17);  // the kMaxReferrals guard fired
+}
+
+TEST_F(AdversarialNamingFixture, SidewaysReferralRejected) {
+  // A referral must descend: a delegation whose zone does not extend the
+  // current zone (or doesn't cover the queried name) is refused even when
+  // correctly signed.
+  net::Endpoint evil_ep{host, 67};
+  net.bind(evil_ep, [this](net::ServerContext&,
+                           util::BytesView) -> util::Result<Bytes> {
+    DelegationRecord rec;
+    rec.zone = "unrelated.org";  // does not cover the query below
+    rec.child_public_key = root_key.pub.serialize();
+    rec.name_server = net::Endpoint{host, 68};
+    rec.expires = util::seconds(1u << 30);
+    SignedBlob blob;
+    blob.record = rec.serialize();
+    blob.signature = crypto::rsa_sign_sha256(root_key.priv, blob.record);
+    NamingReply reply;
+    reply.kind = NamingReply::Kind::kReferral;
+    reply.blob = std::move(blob);
+    return reply.serialize();
+  });
+
+  SecureResolver resolver(*flow, evil_ep, root_key.pub);
+  EXPECT_EQ(resolver.resolve("doc.vu.nl").code(), ErrorCode::kWrongElement);
+}
+
+TEST_F(AdversarialNamingFixture, SelfReferralRejected) {
+  // A delegation for the zone itself (no descent) must be refused — the
+  // other classic way to trap a resolver.
+  root->add_oid("legit.vu.nl", Bytes(20, 1), util::seconds(1u << 30));
+  net::Endpoint evil_ep{host, 69};
+  net.bind(evil_ep, [this, evil_ep](net::ServerContext&,
+                                    util::BytesView) -> util::Result<Bytes> {
+    DelegationRecord rec;
+    rec.zone = "";  // same zone as the root: zero progress
+    rec.child_public_key = root_key.pub.serialize();
+    rec.name_server = evil_ep;
+    rec.expires = util::seconds(1u << 30);
+    SignedBlob blob;
+    blob.record = rec.serialize();
+    blob.signature = crypto::rsa_sign_sha256(root_key.priv, blob.record);
+    NamingReply reply;
+    reply.kind = NamingReply::Kind::kReferral;
+    reply.blob = std::move(blob);
+    return reply.serialize();
+  });
+  SecureResolver resolver(*flow, evil_ep, root_key.pub);
+  EXPECT_EQ(resolver.resolve("legit.vu.nl").code(), ErrorCode::kWrongElement);
+}
+
+TEST_F(AdversarialNamingFixture, AnswerWhereReferralExpectedStillVerified) {
+  // A server returning an ANSWER signed by the wrong key is caught by the
+  // signature check even if the record contents look plausible.
+  auto imposter = adv_key(302);
+  net::Endpoint evil_ep{host, 70};
+  net.bind(evil_ep, [&](net::ServerContext&, util::BytesView) -> util::Result<Bytes> {
+    OidRecord rec;
+    rec.name = "doc.vu.nl";
+    rec.oid = Bytes(20, 0x66);  // attacker's OID
+    rec.expires = util::seconds(1u << 30);
+    SignedBlob blob;
+    blob.record = rec.serialize();
+    blob.signature = crypto::rsa_sign_sha256(imposter.priv, blob.record);
+    NamingReply reply;
+    reply.kind = NamingReply::Kind::kAnswer;
+    reply.blob = std::move(blob);
+    return reply.serialize();
+  });
+  SecureResolver resolver(*flow, evil_ep, root_key.pub);
+  EXPECT_EQ(resolver.resolve("doc.vu.nl").code(), ErrorCode::kBadSignature);
+}
+
+}  // namespace
+}  // namespace globe::naming

@@ -1,0 +1,55 @@
+#include "net/cpu_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace globe::net {
+namespace {
+
+TEST(CpuModelTest, HashCostProportionalToBytes) {
+  CpuModel m;
+  auto c1 = m.cost(CpuOp::kSha1, 1000);
+  auto c2 = m.cost(CpuOp::kSha1, 2000);
+  EXPECT_NEAR(static_cast<double>(c2), 2.0 * static_cast<double>(c1),
+              static_cast<double>(c1) * 0.01);
+}
+
+TEST(CpuModelTest, ReferenceSha1Throughput) {
+  CpuModel m;
+  // Hashing sha1_mb_s megabytes should take ~1 second at reference scale.
+  auto c = m.cost(CpuOp::kSha1, static_cast<std::uint64_t>(m.sha1_mb_s * 1e6));
+  EXPECT_NEAR(static_cast<double>(c), static_cast<double>(util::kSecond),
+              static_cast<double>(util::kSecond) * 0.01);
+}
+
+TEST(CpuModelTest, ScaleMultipliesAllCosts) {
+  CpuModel fast;
+  CpuModel slow = fast;
+  slow.scale = 2.2;
+  for (auto op : {CpuOp::kSha1, CpuOp::kSymCipher, CpuOp::kRsaVerify,
+                  CpuOp::kRsaSign, CpuOp::kRequest}) {
+    EXPECT_NEAR(static_cast<double>(slow.cost(op, 100)),
+                2.2 * static_cast<double>(fast.cost(op, 100)),
+                static_cast<double>(fast.cost(op, 100)) * 0.01 + 1)
+        << static_cast<int>(op);
+  }
+}
+
+TEST(CpuModelTest, RsaSignSlowerThanVerify) {
+  CpuModel m;
+  EXPECT_GT(m.cost(CpuOp::kRsaSign, 1), m.cost(CpuOp::kRsaVerify, 1));
+  EXPECT_GT(m.cost(CpuOp::kRsaDecrypt, 1), m.cost(CpuOp::kRsaEncrypt, 1));
+}
+
+TEST(CpuModelTest, ZeroAmountZeroCost) {
+  CpuModel m;
+  EXPECT_EQ(m.cost(CpuOp::kSha1, 0), 0u);
+  EXPECT_EQ(m.cost(CpuOp::kRsaVerify, 0), 0u);
+}
+
+TEST(CpuModelTest, FixedOpsScaleWithCount) {
+  CpuModel m;
+  EXPECT_EQ(m.cost(CpuOp::kRsaVerify, 3), 3 * m.cost(CpuOp::kRsaVerify, 1));
+}
+
+}  // namespace
+}  // namespace globe::net

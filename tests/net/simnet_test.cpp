@@ -1,0 +1,338 @@
+#include "net/simnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace globe::net {
+namespace {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+MessageHandler echo_handler() {
+  return [](ServerContext&, BytesView req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  };
+}
+
+struct TwoHostFixture : ::testing::Test {
+  void SetUp() override {
+    a = net.add_host({"a", CpuModel{}});
+    b = net.add_host({"b", CpuModel{}});
+    // 10ms one-way, 1 MB/s.
+    net.set_link(a, b, {util::millis(10), 1e6});
+    server = Endpoint{b, 80};
+  }
+  SimNet net;
+  HostId a, b;
+  Endpoint server;
+};
+
+TEST_F(TwoHostFixture, EchoRoundTrip) {
+  net.bind(server, echo_handler());
+  auto flow = net.open_flow(a);
+  auto r = flow->call(server, util::to_bytes("ping"));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(util::to_string(*r), "ping");
+}
+
+TEST_F(TwoHostFixture, TimeAdvancesByLinkAndCpu) {
+  net.bind(server, echo_handler());
+  auto flow = net.open_flow(a);
+  Bytes req(1000, 'x');
+  auto r = flow->call(server, req);
+  ASSERT_TRUE(r.is_ok());
+  // Connection setup 2*10ms, two one-way trips at 10ms each with ~1ms
+  // serialization each way, plus 3ms server request overhead.
+  util::SimTime t = flow->now();
+  EXPECT_GT(t, util::millis(40));
+  EXPECT_LT(t, util::millis(60));
+}
+
+TEST_F(TwoHostFixture, SecondCallSkipsConnectionSetup) {
+  net.bind(server, echo_handler());
+  auto flow = net.open_flow(a);
+  (void)flow->call(server, util::to_bytes("x"));
+  util::SimTime t1 = flow->now();
+  (void)flow->call(server, util::to_bytes("x"));
+  util::SimTime t2 = flow->now();
+  // Second call is one connection round trip (20ms) cheaper.
+  EXPECT_LT(t2 - t1, t1 - util::millis(15));
+}
+
+TEST_F(TwoHostFixture, ResetConnectionsRestoresSetupCost) {
+  net.bind(server, echo_handler());
+  auto flow = net.open_flow(a);
+  (void)flow->call(server, util::to_bytes("x"));
+  util::SimTime t1 = flow->now();
+  flow->reset_connections();
+  (void)flow->call(server, util::to_bytes("x"));
+  util::SimTime second_duration = flow->now() - t1;
+  EXPECT_GT(second_duration, util::millis(40));
+}
+
+TEST_F(TwoHostFixture, LargerPayloadTakesLonger) {
+  net.bind(server, echo_handler());
+  auto f1 = net.open_flow(a);
+  (void)f1->call(server, Bytes(1000, 'x'));
+  auto f2 = net.open_flow(a);
+  (void)f2->call(server, Bytes(1000000, 'x'));
+  // 1 MB at 1 MB/s adds ~1s each way (echo returns it too).
+  EXPECT_GT(f2->now() - f1->now(), util::seconds(1));
+}
+
+TEST_F(TwoHostFixture, UnboundEndpointUnavailable) {
+  auto flow = net.open_flow(a);
+  auto r = flow->call(Endpoint{b, 9999}, util::to_bytes("x"));
+  EXPECT_EQ(r.code(), ErrorCode::kUnavailable);
+  EXPECT_GT(flow->now(), 0u);  // the refused connection still costs a round trip
+}
+
+TEST_F(TwoHostFixture, DownLinkUnavailable) {
+  net.bind(server, echo_handler());
+  net.set_link_down(a, b, true);
+  auto flow = net.open_flow(a);
+  EXPECT_EQ(flow->call(server, util::to_bytes("x")).code(), ErrorCode::kUnavailable);
+  net.set_link_down(a, b, false);
+  EXPECT_TRUE(flow->call(server, util::to_bytes("x")).is_ok());
+}
+
+TEST_F(TwoHostFixture, HandlerChargesAdvanceTime) {
+  // Two identical topologies so the flows don't queue behind each other.
+  util::SimTime elapsed[2];
+  for (int variant = 0; variant < 2; ++variant) {
+    SimNet n;
+    HostId ca = n.add_host({"a", CpuModel{}});
+    HostId cb = n.add_host({"b", CpuModel{}});
+    n.set_link(ca, cb, {util::millis(10), 1e6});
+    Endpoint ep{cb, 80};
+    n.bind(ep, [variant](ServerContext& ctx, BytesView req) -> Result<Bytes> {
+      if (variant == 1) ctx.charge(CpuOp::kRsaSign, 1);
+      return Bytes(req.begin(), req.end());
+    });
+    auto f = n.open_flow(ca);
+    (void)f->call(ep, util::to_bytes("x"));
+    elapsed[variant] = f->now();
+  }
+  EXPECT_NEAR(static_cast<double>(elapsed[1] - elapsed[0]),
+              static_cast<double>(CpuModel{}.rsa_sign),
+              static_cast<double>(util::millis(1)));
+}
+
+TEST_F(TwoHostFixture, ClientChargeUsesLocalCpuModel) {
+  auto flow = net.open_flow(a);
+  CpuModel model;  // hosts use the default model in this fixture
+  flow->charge(CpuOp::kSha1, static_cast<std::uint64_t>(model.sha1_mb_s * 1e6));
+  EXPECT_NEAR(static_cast<double>(flow->now()), static_cast<double>(util::seconds(1)),
+              static_cast<double>(util::millis(20)));
+  EXPECT_EQ(flow->client_cpu(), flow->now());
+}
+
+TEST_F(TwoHostFixture, HandlerExceptionBecomesInternalError) {
+  net.bind(server, [](ServerContext&, BytesView) -> Result<Bytes> {
+    throw std::runtime_error("boom");
+  });
+  auto flow = net.open_flow(a);
+  auto r = flow->call(server, util::to_bytes("x"));
+  EXPECT_EQ(r.code(), ErrorCode::kInternal);
+}
+
+TEST_F(TwoHostFixture, ErrorStatusPropagates) {
+  net.bind(server, [](ServerContext&, BytesView) -> Result<Bytes> {
+    return Result<Bytes>(ErrorCode::kNotFound, "no such element");
+  });
+  auto flow = net.open_flow(a);
+  auto r = flow->call(server, util::to_bytes("x"));
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.status().message(), "no such element");
+}
+
+TEST_F(TwoHostFixture, QueueingDelaysSecondFlow) {
+  // Handler that burns 100ms of CPU.
+  net.bind(server, [](ServerContext& ctx, BytesView) -> Result<Bytes> {
+    ctx.charge(CpuOp::kRsaSign, 1);
+    ctx.charge(CpuOp::kRsaSign, 1);
+    return Bytes{};
+  });
+  // Two flows arriving at the same virtual time: the second queues.
+  auto f1 = net.open_flow(a);
+  (void)f1->call(server, util::to_bytes("x"));
+  util::SimTime alone = f1->now();
+
+  SimNet net2;
+  HostId a2 = net2.add_host({"a", CpuModel{}});
+  HostId b2 = net2.add_host({"b", CpuModel{}});
+  net2.set_link(a2, b2, {util::millis(10), 1e6});
+  Endpoint srv2{b2, 80};
+  net2.bind(srv2, [](ServerContext& ctx, BytesView) -> Result<Bytes> {
+    ctx.charge(CpuOp::kRsaSign, 1);
+    ctx.charge(CpuOp::kRsaSign, 1);
+    return Bytes{};
+  });
+  auto g1 = net2.open_flow(a2);
+  auto g2 = net2.open_flow(a2);
+  (void)g1->call(srv2, util::to_bytes("x"));
+  (void)g2->call(srv2, util::to_bytes("x"));  // queues behind g1's 80ms service
+  // g2 queues behind g1's two-signature service time.
+  EXPECT_GT(g2->now(), alone + 2 * CpuModel{}.rsa_sign - util::millis(2));
+}
+
+TEST_F(TwoHostFixture, NestedCallFromHandler) {
+  HostId c = net.add_host({"c", CpuModel{}});
+  net.set_link(b, c, {util::millis(5), 1e6});
+  net.set_link(a, c, {util::millis(5), 1e6});
+  Endpoint backend{c, 90};
+  net.bind(backend, echo_handler());
+  net.bind(server, [backend](ServerContext& ctx, BytesView req) -> Result<Bytes> {
+    auto r = ctx.transport().call(backend, req);
+    if (!r.is_ok()) return r;
+    Bytes out = *r;
+    out.push_back('!');
+    return out;
+  });
+  auto flow = net.open_flow(a);
+  auto r = flow->call(server, util::to_bytes("hi"));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(util::to_string(*r), "hi!");
+  // Time covers both hops: > 2 RTTs of 10ms + 2 RTTs of 5ms.
+  EXPECT_GT(flow->now(), util::millis(30));
+}
+
+TEST_F(TwoHostFixture, DeterministicAcrossRuns) {
+  // A fresh network per run yields bit-identical virtual timings.
+  util::SimTime results[2];
+  for (int run = 0; run < 2; ++run) {
+    SimNet n;
+    HostId ca = n.add_host({"a", CpuModel{}});
+    HostId cb = n.add_host({"b", CpuModel{}});
+    n.set_link(ca, cb, {util::millis(10), 1e6});
+    Endpoint ep{cb, 80};
+    n.bind(ep, echo_handler());
+    auto flow = n.open_flow(ca);
+    for (int i = 0; i < 5; ++i) (void)flow->call(ep, Bytes(100, 'x'));
+    results[run] = flow->now();
+  }
+  EXPECT_EQ(results[0], results[1]);
+}
+
+TEST_F(TwoHostFixture, ParallelFlowsComplete) {
+  net.bind(server, [](ServerContext& ctx, BytesView req) -> Result<Bytes> {
+    ctx.charge(CpuOp::kSha1, req.size());
+    return Bytes(req.begin(), req.end());
+  });
+  util::ThreadPool pool(4);
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.submit([this, &ok] {
+      auto flow = net.open_flow(a);
+      auto r = flow->call(server, Bytes(500, 'q'));
+      if (r.is_ok() && r->size() == 500) ok.fetch_add(1);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ok.load(), 32);
+}
+
+TEST(SimNetTest, LoopbackIsFast) {
+  SimNet net;
+  HostId h = net.add_host({"solo", CpuModel{}});
+  net.bind(Endpoint{h, 80}, echo_handler());
+  auto flow = net.open_flow(h);
+  (void)flow->call(Endpoint{h, 80}, util::to_bytes("x"));
+  EXPECT_LT(flow->now(), util::millis(10));
+}
+
+TEST(SimNetTest, UnknownHostErrors) {
+  SimNet net;
+  HostId h = net.add_host({"solo", CpuModel{}});
+  auto flow = net.open_flow(h);
+  EXPECT_EQ(flow->call(Endpoint{HostId{99}, 1}, util::to_bytes("x")).code(),
+            ErrorCode::kUnavailable);
+  EXPECT_THROW(net.host(HostId{99}), std::out_of_range);
+  EXPECT_THROW(net.open_flow(HostId{99}), std::out_of_range);
+}
+
+TEST(SimNetTest, DuplicateBindThrows) {
+  SimNet net;
+  HostId h = net.add_host({"solo", CpuModel{}});
+  net.bind(Endpoint{h, 80}, echo_handler());
+  EXPECT_THROW(net.bind(Endpoint{h, 80}, echo_handler()), std::logic_error);
+  net.unbind(Endpoint{h, 80});
+  EXPECT_NO_THROW(net.bind(Endpoint{h, 80}, echo_handler()));
+}
+
+TEST(SimNetTest, FlowStartTime) {
+  SimNet net;
+  HostId h = net.add_host({"solo", CpuModel{}});
+  auto flow = net.open_flow(h, util::seconds(100));
+  EXPECT_EQ(flow->now(), util::seconds(100));
+  flow->advance(util::millis(5));
+  EXPECT_EQ(flow->now(), util::seconds(100) + util::millis(5));
+}
+
+
+TEST(SimNetSchedulingTest, HorizonTracksLatestWork) {
+  SimNet net;
+  HostId a = net.add_host({"a", CpuModel{}});
+  HostId b = net.add_host({"b", CpuModel{}});
+  net.set_link(a, b, {util::millis(10), 1e6});
+  EXPECT_EQ(net.horizon(), 0u);
+  Endpoint ep{b, 80};
+  net.bind(ep, echo_handler());
+  auto flow = net.open_flow(a);
+  (void)flow->call(ep, util::to_bytes("x"));
+  EXPECT_GT(net.horizon(), 0u);
+  EXPECT_LE(net.horizon(), flow->now());  // server finished before the reply landed
+
+  auto quiet = net.open_quiescent_flow(a);
+  EXPECT_GE(quiet->now(), net.horizon());
+}
+
+TEST(SimNetSchedulingTest, LaterExecutedEarlierArrivalSlotsIntoGap) {
+  // Flow A books server CPU at a LATE virtual time; flow B, executed
+  // afterwards but arriving EARLIER, must be served in the gap before A's
+  // reservation instead of queueing behind it (interval reservations, not
+  // a single busy watermark).
+  SimNet net;
+  HostId client = net.add_host({"c", CpuModel{}});
+  HostId server = net.add_host({"s", CpuModel{}});
+  net.set_link(client, server, {util::millis(10), 1e6});
+  Endpoint ep{server, 80};
+  net.bind(ep, echo_handler());
+
+  auto late = net.open_flow(client, util::seconds(100));
+  (void)late->call(ep, util::to_bytes("late"));
+
+  auto early = net.open_flow(client, util::seconds(1));
+  (void)early->call(ep, util::to_bytes("early"));
+  // The early flow must complete around t=1s, nowhere near t=100s.
+  EXPECT_LT(early->now(), util::seconds(2));
+}
+
+TEST(SimNetSchedulingTest, SimultaneousArrivalsSerialize) {
+  SimNet net;
+  HostId client = net.add_host({"c", CpuModel{}});
+  HostId server = net.add_host({"s", CpuModel{}});
+  net.set_link(client, server, {util::millis(10), 1e6});
+  Endpoint ep{server, 80};
+  net.bind(ep, [](ServerContext& ctx, BytesView) -> Result<Bytes> {
+    ctx.charge(CpuOp::kRsaSign, 1);  // 12ms service
+    return Bytes{};
+  });
+  auto f1 = net.open_flow(client);
+  auto f2 = net.open_flow(client);
+  (void)f1->call(ep, util::to_bytes("x"));
+  (void)f2->call(ep, util::to_bytes("x"));
+  // Same arrival time: the second serves strictly after the first.
+  EXPECT_GE(f2->now(), f1->now() + CpuModel{}.rsa_sign);
+}
+
+}  // namespace
+}  // namespace globe::net

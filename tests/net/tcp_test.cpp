@@ -1,0 +1,126 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace globe::net {
+namespace {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+TEST(TcpTest, EchoRoundTrip) {
+  TcpServer server(0, [](ServerContext&, BytesView req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+  TcpTransport client;
+  auto r = client.call(Endpoint{HostId{0}, server.port()}, util::to_bytes("hello tcp"));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(util::to_string(*r), "hello tcp");
+}
+
+TEST(TcpTest, ErrorStatusPropagates) {
+  TcpServer server(0, [](ServerContext&, BytesView) -> Result<Bytes> {
+    return Result<Bytes>(ErrorCode::kPermissionDenied, "keystore rejects you");
+  });
+  TcpTransport client;
+  auto r = client.call(Endpoint{HostId{0}, server.port()}, util::to_bytes("x"));
+  EXPECT_EQ(r.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(r.status().message(), "keystore rejects you");
+}
+
+TEST(TcpTest, HandlerExceptionBecomesInternal) {
+  TcpServer server(0, [](ServerContext&, BytesView) -> Result<Bytes> {
+    throw std::runtime_error("kaboom");
+  });
+  TcpTransport client;
+  auto r = client.call(Endpoint{HostId{0}, server.port()}, util::to_bytes("x"));
+  EXPECT_EQ(r.code(), ErrorCode::kInternal);
+}
+
+TEST(TcpTest, LargePayloadRoundTrip) {
+  TcpServer server(0, [](ServerContext&, BytesView req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+  TcpTransport client;
+  Bytes big(2 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<std::uint8_t>(i);
+  auto r = client.call(Endpoint{HostId{0}, server.port()}, big);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(*r, big);
+}
+
+TEST(TcpTest, MultipleSequentialRequestsReuseConnection) {
+  TcpServer server(0, [](ServerContext&, BytesView req) -> Result<Bytes> {
+    Bytes out(req.begin(), req.end());
+    out.push_back('!');
+    return out;
+  });
+  TcpTransport client;
+  Endpoint ep{HostId{0}, server.port()};
+  for (int i = 0; i < 20; ++i) {
+    auto r = client.call(ep, util::to_bytes("msg" + std::to_string(i)));
+    ASSERT_TRUE(r.is_ok());
+    EXPECT_EQ(util::to_string(*r), "msg" + std::to_string(i) + "!");
+  }
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  TcpServer server(0, [](ServerContext&, BytesView req) -> Result<Bytes> {
+    return Bytes(req.begin(), req.end());
+  });
+  std::uint16_t port = server.port();
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([port, t, &ok] {
+      TcpTransport client;
+      for (int i = 0; i < 10; ++i) {
+        Bytes msg = util::to_bytes("t" + std::to_string(t) + "i" + std::to_string(i));
+        auto r = client.call(Endpoint{HostId{0}, port}, msg);
+        if (r.is_ok() && *r == msg) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), 80);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  std::uint16_t dead_port;
+  {
+    TcpServer server(0, [](ServerContext&, BytesView) -> Result<Bytes> {
+      return Bytes{};
+    });
+    dead_port = server.port();
+  }  // server destroyed
+  TcpTransport client;
+  auto r = client.call(Endpoint{HostId{0}, dead_port}, util::to_bytes("x"));
+  EXPECT_EQ(r.code(), ErrorCode::kUnavailable);
+}
+
+TEST(TcpTest, EmptyRequestAndResponse) {
+  TcpServer server(0, [](ServerContext&, BytesView req) -> Result<Bytes> {
+    EXPECT_EQ(req.size(), 0u);
+    return Bytes{};
+  });
+  TcpTransport client;
+  auto r = client.call(Endpoint{HostId{0}, server.port()}, Bytes{});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(TcpTest, StopIsIdempotent) {
+  TcpServer server(0, [](ServerContext&, BytesView) -> Result<Bytes> {
+    return Bytes{};
+  });
+  server.stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace globe::net

@@ -1,0 +1,48 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace globe::net {
+namespace {
+
+TEST(TopologyTest, FourHostsPresent) {
+  PaperTopology t;
+  EXPECT_EQ(t.net.host_count(), 4u);
+  EXPECT_NE(t.net.host(t.amsterdam_primary).name.find("ginger"), std::string::npos);
+  EXPECT_NE(t.net.host(t.ithaca).name.find("cornell"), std::string::npos);
+}
+
+TEST(TopologyTest, IthacaIsSlowest) {
+  PaperTopology t;
+  EXPECT_GT(t.net.host(t.ithaca).cpu.scale, t.net.host(t.paris).cpu.scale);
+}
+
+TEST(TopologyTest, LinkOrderingLanFastestIthacaSlowest) {
+  PaperTopology t;
+  const auto& lan = t.net.link(t.amsterdam_primary, t.amsterdam_secondary);
+  const auto& par = t.net.link(t.amsterdam_primary, t.paris);
+  const auto& ith = t.net.link(t.amsterdam_primary, t.ithaca);
+  EXPECT_LT(lan.latency, par.latency);
+  EXPECT_LT(par.latency, ith.latency);
+  EXPECT_GT(lan.bandwidth_bytes_per_s, par.bandwidth_bytes_per_s);
+  EXPECT_GT(par.bandwidth_bytes_per_s, ith.bandwidth_bytes_per_s);
+}
+
+TEST(TopologyTest, ClientListMatchesPaperOrder) {
+  PaperTopology t;
+  auto clients = t.clients();
+  ASSERT_EQ(clients.size(), 3u);
+  EXPECT_EQ(t.client_label(clients[0]), "Amsterdam");
+  EXPECT_EQ(t.client_label(clients[1]), "Paris");
+  EXPECT_EQ(t.client_label(clients[2]), "Ithaca");
+}
+
+TEST(TopologyTest, RoundTripTimesRealistic) {
+  PaperTopology t;
+  // Trans-European RTT ~20 ms; transatlantic ~90 ms.
+  EXPECT_EQ(2 * t.net.link(t.amsterdam_primary, t.paris).latency, util::millis(20));
+  EXPECT_EQ(2 * t.net.link(t.amsterdam_primary, t.ithaca).latency, util::millis(90));
+}
+
+}  // namespace
+}  // namespace globe::net

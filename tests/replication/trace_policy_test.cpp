@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include "replication/policy.hpp"
+#include "replication/trace.hpp"
+
+namespace globe::replication {
+namespace {
+
+TEST(TraceTest, RateAndDurationRespected) {
+  TraceConfig config;
+  config.documents = 5;
+  config.regions = 3;
+  config.duration = util::seconds(1000);
+  config.accesses_per_second = 2.0;
+  config.seed = 7;
+  auto trace = generate_trace(config);
+  // Poisson with rate 2/s over 1000s: ~2000 accesses.
+  EXPECT_GT(trace.size(), 1700u);
+  EXPECT_LT(trace.size(), 2300u);
+  for (const auto& a : trace) {
+    EXPECT_LT(a.time, config.duration);
+    EXPECT_LT(a.document, config.documents);
+    EXPECT_LT(a.region, config.regions);
+  }
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  TraceConfig config;
+  config.seed = 42;
+  config.duration = util::seconds(100);
+  config.accesses_per_second = 5.0;
+  auto a = generate_trace(config);
+  auto b = generate_trace(config);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].document, b[i].document);
+  }
+}
+
+TEST(TraceTest, ZipfMakesDocumentZeroHottest) {
+  TraceConfig config;
+  config.documents = 20;
+  config.duration = util::seconds(2000);
+  config.accesses_per_second = 5.0;
+  config.doc_zipf_exponent = 1.0;
+  auto trace = generate_trace(config);
+  std::size_t doc0 = filter_document(trace, 0).size();
+  std::size_t doc10 = filter_document(trace, 10).size();
+  EXPECT_GT(doc0, doc10 * 2);
+}
+
+TEST(TraceTest, RegionWeightsBiasSampling) {
+  TraceConfig config;
+  config.regions = 2;
+  config.region_weights = {9.0, 1.0};
+  config.duration = util::seconds(1000);
+  config.accesses_per_second = 3.0;
+  auto trace = generate_trace(config);
+  std::size_t r0 = 0;
+  for (const auto& a : trace) {
+    if (a.region == 0) ++r0;
+  }
+  double frac = static_cast<double>(r0) / static_cast<double>(trace.size());
+  EXPECT_GT(frac, 0.85);
+  EXPECT_LT(frac, 0.95);
+}
+
+TEST(TraceTest, BadConfigRejected) {
+  TraceConfig config;
+  config.documents = 0;
+  EXPECT_THROW(generate_trace(config), std::invalid_argument);
+  TraceConfig bad_weights;
+  bad_weights.regions = 3;
+  bad_weights.region_weights = {1.0};
+  EXPECT_THROW(generate_trace(bad_weights), std::invalid_argument);
+}
+
+TEST(TraceTest, FlashCrowdSpikesHotDocumentInHotRegion) {
+  TraceConfig base;
+  base.documents = 4;
+  base.regions = 3;
+  base.duration = util::seconds(3000);
+  base.accesses_per_second = 1.0;
+  base.seed = 11;
+  FlashCrowdConfig crowd;
+  crowd.document = 2;
+  crowd.hot_region = 1;
+  crowd.start = util::seconds(1000);
+  crowd.peak_multiplier = 40.0;
+
+  auto quiet = generate_trace(base);
+  auto flash = generate_flash_crowd(base, crowd);
+  EXPECT_GT(flash.size(), quiet.size() + 1000);
+
+  // The extra traffic lands on (doc 2, region 1) inside the crowd window.
+  std::size_t hot_in_window = 0;
+  for (const auto& a : flash) {
+    if (a.document == 2 && a.region == 1 && a.time >= crowd.start &&
+        a.time <= crowd.start + util::seconds(900)) {
+      ++hot_in_window;
+    }
+  }
+  EXPECT_GT(hot_in_window, 1000u);
+
+  // Sorted by time.
+  for (std::size_t i = 1; i < flash.size(); ++i) {
+    EXPECT_LE(flash[i - 1].time, flash[i].time);
+  }
+}
+
+TEST(TraceTest, UpdateSchedule) {
+  auto updates = update_schedule(util::seconds(100), util::seconds(30));
+  ASSERT_EQ(updates.size(), 3u);
+  EXPECT_EQ(updates[0], util::seconds(30));
+  EXPECT_EQ(updates[2], util::seconds(90));
+  EXPECT_THROW(update_schedule(util::seconds(10), 0), std::invalid_argument);
+}
+
+// --- Policy evaluator ----------------------------------------------------
+
+DocumentProfile uniform_profile(std::size_t n_accesses, std::size_t size,
+                                std::uint32_t regions = 3) {
+  DocumentProfile doc;
+  doc.size_bytes = size;
+  for (std::size_t i = 0; i < n_accesses; ++i) {
+    doc.accesses.push_back(Access{util::seconds(i * 10),
+                                  static_cast<std::uint32_t>(i % regions), 0});
+  }
+  return doc;
+}
+
+TEST(PolicyTest, NoReplicationAllWan) {
+  auto doc = uniform_profile(100, 10'000);
+  auto cost = evaluate_policy(PolicyKind::kNoReplication, doc, RegionModel{},
+                              EvaluatorConfig{});
+  EXPECT_EQ(cost.accesses, 100u);
+  EXPECT_DOUBLE_EQ(cost.wan_bytes, 100.0 * 10'000);
+  EXPECT_EQ(cost.stale_accesses, 0u);
+  EXPECT_GT(cost.mean_latency_ms, 90.0);
+}
+
+TEST(PolicyTest, FullReplicationLocalLatencyButPushCost) {
+  auto doc = uniform_profile(100, 10'000);
+  doc.updates = update_schedule(util::seconds(1000), util::seconds(100));  // 9 updates
+  EvaluatorConfig config;
+  auto cost =
+      evaluate_policy(PolicyKind::kFullReplication, doc, RegionModel{}, config);
+  EXPECT_LT(cost.mean_latency_ms, 5.0);
+  EXPECT_DOUBLE_EQ(cost.wan_bytes, 10.0 * 3 * 10'000);  // (9 updates + 1) × 3 regions
+}
+
+TEST(PolicyTest, TtlCacheBetweenExtremes) {
+  auto doc = uniform_profile(300, 10'000);
+  EvaluatorConfig config;
+  config.cache_ttl = util::seconds(120);
+  RegionModel region;
+  auto none = evaluate_policy(PolicyKind::kNoReplication, doc, region, config);
+  auto ttl = evaluate_policy(PolicyKind::kTtlCache, doc, region, config);
+  EXPECT_LT(ttl.mean_latency_ms, none.mean_latency_ms);
+  EXPECT_LT(ttl.wan_bytes, none.wan_bytes);
+  EXPECT_GT(ttl.wan_bytes, 0.0);
+}
+
+TEST(PolicyTest, TtlCacheCountsStaleServes) {
+  DocumentProfile doc;
+  doc.size_bytes = 1000;
+  // Access at t=0 fills the cache; update at t=10; accesses at t=20,30
+  // served from the stale cache (TTL 100s).
+  doc.accesses = {Access{0, 0, 0}, Access{util::seconds(20), 0, 0},
+                  Access{util::seconds(30), 0, 0}};
+  doc.updates = {util::seconds(10)};
+  EvaluatorConfig config;
+  config.cache_ttl = util::seconds(100);
+  auto cost = evaluate_policy(PolicyKind::kTtlCache, doc, RegionModel{}, config);
+  EXPECT_EQ(cost.stale_accesses, 2u);
+
+  // Full replication (push on update) never serves stale.
+  auto push = evaluate_policy(PolicyKind::kFullReplication, doc, RegionModel{}, config);
+  EXPECT_EQ(push.stale_accesses, 0u);
+}
+
+TEST(PolicyTest, AdaptivePicksNoReplicationForColdVolatileDocs) {
+  // Two accesses hours apart (every cache access misses) on a frequently
+  // updated document (pushing replicas on every update is wasteful).
+  DocumentProfile doc;
+  doc.size_bytes = 1'000'000;
+  doc.accesses = {Access{util::seconds(100), 0, 0},
+                  Access{util::seconds(7200), 1, 0}};
+  doc.updates = update_schedule(util::seconds(8000), util::seconds(100));
+  auto best = select_best_policy(doc, RegionModel{}, EvaluatorConfig{},
+                                 SelectionWeights{});
+  EXPECT_EQ(best.kind, PolicyKind::kNoReplication);
+}
+
+TEST(PolicyTest, AdaptivePicksReplicationForHotStableDocs) {
+  auto doc = uniform_profile(10'000, 50'000);  // hot, never updated
+  auto best = select_best_policy(doc, RegionModel{}, EvaluatorConfig{},
+                                 SelectionWeights{});
+  EXPECT_EQ(best.kind, PolicyKind::kFullReplication);
+}
+
+TEST(PolicyTest, AdaptiveNeverWorseThanAnyFixedPolicy) {
+  TraceConfig config;
+  config.documents = 10;
+  config.duration = util::seconds(2000);
+  config.accesses_per_second = 3.0;
+  config.seed = 99;
+  auto trace = generate_trace(config);
+  SelectionWeights weights;
+  EvaluatorConfig evaluator;
+  RegionModel region;
+
+  for (std::uint32_t d = 0; d < config.documents; ++d) {
+    DocumentProfile doc;
+    doc.size_bytes = 5000 * (d + 1);
+    doc.accesses = filter_document(trace, d);
+    if (d % 2 == 0) {
+      doc.updates = update_schedule(config.duration, util::seconds(200));
+    }
+    double best = select_best_policy(doc, region, evaluator, weights)
+                      .weighted(weights.latency, weights.bandwidth, weights.staleness);
+    for (auto kind : {PolicyKind::kNoReplication, PolicyKind::kTtlCache,
+                      PolicyKind::kFullReplication}) {
+      double fixed = evaluate_policy(kind, doc, region, evaluator)
+                         .weighted(weights.latency, weights.bandwidth,
+                                   weights.staleness);
+      EXPECT_LE(best, fixed + 1e-9) << "doc " << d << " vs " << policy_name(kind);
+    }
+  }
+}
+
+TEST(PolicyTest, PolicyNamesDistinct) {
+  EXPECT_STRNE(policy_name(PolicyKind::kNoReplication),
+               policy_name(PolicyKind::kTtlCache));
+  EXPECT_STRNE(policy_name(PolicyKind::kFullReplication),
+               policy_name(PolicyKind::kAdaptive));
+}
+
+}  // namespace
+}  // namespace globe::replication

@@ -1,0 +1,92 @@
+#include "rpc/rpc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "net/simnet.hpp"
+
+namespace globe::rpc {
+namespace {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+struct RpcFixture : ::testing::Test {
+  void SetUp() override {
+    host = net.add_host({"server", net::CpuModel{}});
+    client_host = net.add_host({"client", net::CpuModel{}});
+    dispatcher.register_method(kNamingService, 1,
+                               [](net::ServerContext&, BytesView req) -> Result<Bytes> {
+                                 Bytes out(req.begin(), req.end());
+                                 out.push_back('A');
+                                 return out;
+                               });
+    dispatcher.register_method(kNamingService, 2,
+                               [](net::ServerContext&, BytesView) -> Result<Bytes> {
+                                 return Result<Bytes>(ErrorCode::kNotFound, "nope");
+                               });
+    dispatcher.register_method(kLocationService, 1,
+                               [](net::ServerContext&, BytesView req) -> Result<Bytes> {
+                                 Bytes out(req.begin(), req.end());
+                                 out.push_back('B');
+                                 return out;
+                               });
+    ep = net::Endpoint{host, 42};
+    net.bind(ep, dispatcher.handler());
+    flow = net.open_flow(client_host);
+  }
+
+  net::SimNet net;
+  net::HostId host, client_host;
+  ServiceDispatcher dispatcher;
+  net::Endpoint ep;
+  std::unique_ptr<net::SimFlow> flow;
+};
+
+TEST_F(RpcFixture, RoutesByServiceAndMethod) {
+  RpcClient client(*flow, ep);
+  auto r1 = client.call(kNamingService, 1, util::to_bytes("x"));
+  ASSERT_TRUE(r1.is_ok());
+  EXPECT_EQ(util::to_string(*r1), "xA");
+  auto r2 = client.call(kLocationService, 1, util::to_bytes("x"));
+  ASSERT_TRUE(r2.is_ok());
+  EXPECT_EQ(util::to_string(*r2), "xB");
+}
+
+TEST_F(RpcFixture, ErrorResultPropagates) {
+  RpcClient client(*flow, ep);
+  auto r = client.call(kNamingService, 2, Bytes{});
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RpcFixture, UnknownMethodReturnsNotFound) {
+  RpcClient client(*flow, ep);
+  EXPECT_EQ(client.call(kNamingService, 99, Bytes{}).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(client.call(kGlobeDocAdmin, 1, Bytes{}).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RpcFixture, DuplicateRegistrationThrows) {
+  EXPECT_THROW(dispatcher.register_method(
+                   kNamingService, 1,
+                   [](net::ServerContext&, BytesView) -> Result<Bytes> {
+                     return Bytes{};
+                   }),
+               std::logic_error);
+}
+
+TEST_F(RpcFixture, TruncatedHeaderRejected) {
+  // Raw 3-byte request cannot contain the 4-byte RPC header.
+  auto r = flow->call(ep, Bytes{1, 2, 3});
+  EXPECT_EQ(r.code(), ErrorCode::kProtocol);
+}
+
+TEST_F(RpcFixture, EmptyPayloadAllowed) {
+  RpcClient client(*flow, ep);
+  auto r = client.call(kNamingService, 1, Bytes{});
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(util::to_string(*r), "A");
+}
+
+}  // namespace
+}  // namespace globe::rpc

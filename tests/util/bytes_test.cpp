@@ -1,0 +1,97 @@
+#include "util/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace globe::util {
+namespace {
+
+TEST(BytesTest, RoundTripStringConversion) {
+  std::string s = "hello \x01\x02 world";
+  Bytes b = to_bytes(s);
+  EXPECT_EQ(to_string(b), s);
+}
+
+TEST(BytesTest, EmptyStringConversions) {
+  EXPECT_TRUE(to_bytes("").empty());
+  EXPECT_EQ(to_string(Bytes{}), "");
+}
+
+TEST(HexTest, EncodeKnownValues) {
+  EXPECT_EQ(hex_encode(Bytes{}), "");
+  EXPECT_EQ(hex_encode(Bytes{0x00}), "00");
+  EXPECT_EQ(hex_encode(Bytes{0xde, 0xad, 0xbe, 0xef}), "deadbeef");
+  EXPECT_EQ(hex_encode(Bytes{0x0f, 0xf0}), "0ff0");
+}
+
+TEST(HexTest, DecodeKnownValues) {
+  EXPECT_EQ(hex_decode(""), Bytes{});
+  EXPECT_EQ(hex_decode("deadbeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_EQ(hex_decode("DEADBEEF"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_THROW(hex_decode("abc"), std::invalid_argument);
+}
+
+TEST(HexTest, DecodeRejectsNonHex) {
+  EXPECT_THROW(hex_decode("zz"), std::invalid_argument);
+  EXPECT_THROW(hex_decode("0g"), std::invalid_argument);
+}
+
+TEST(HexTest, RoundTripAllByteValues) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(hex_decode(hex_encode(all)), all);
+}
+
+TEST(Base64Test, EncodeKnownVectors) {
+  // RFC 4648 test vectors.
+  EXPECT_EQ(base64_encode(to_bytes("")), "");
+  EXPECT_EQ(base64_encode(to_bytes("f")), "Zg==");
+  EXPECT_EQ(base64_encode(to_bytes("fo")), "Zm8=");
+  EXPECT_EQ(base64_encode(to_bytes("foo")), "Zm9v");
+  EXPECT_EQ(base64_encode(to_bytes("foob")), "Zm9vYg==");
+  EXPECT_EQ(base64_encode(to_bytes("fooba")), "Zm9vYmE=");
+  EXPECT_EQ(base64_encode(to_bytes("foobar")), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeKnownVectors) {
+  EXPECT_EQ(to_string(base64_decode("Zm9vYmFy")), "foobar");
+  EXPECT_EQ(to_string(base64_decode("Zg==")), "f");
+  EXPECT_EQ(to_string(base64_decode("Zg")), "f");  // missing padding tolerated
+}
+
+TEST(Base64Test, DecodeRejectsBadAlphabet) {
+  EXPECT_THROW(base64_decode("a!b"), std::invalid_argument);
+}
+
+TEST(Base64Test, RoundTripVariousLengths) {
+  for (std::size_t len = 0; len < 64; ++len) {
+    Bytes b(len);
+    for (std::size_t i = 0; i < len; ++i) b[i] = static_cast<std::uint8_t>(i * 37 + len);
+    EXPECT_EQ(base64_decode(base64_encode(b)), b) << "len=" << len;
+  }
+}
+
+TEST(CtEqualTest, EqualAndUnequal) {
+  EXPECT_TRUE(ct_equal(Bytes{}, Bytes{}));
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2}));
+  EXPECT_FALSE(ct_equal(Bytes{0x80}, Bytes{0x00}));
+}
+
+TEST(ConcatTest, ConcatAndAppend) {
+  Bytes a{1, 2};
+  Bytes b{3};
+  Bytes c;
+  EXPECT_EQ(concat({a, b, c}), (Bytes{1, 2, 3}));
+  append(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace globe::util

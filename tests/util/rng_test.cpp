@@ -1,0 +1,91 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace globe::util {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(12345), b(12345);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, KnownFirstOutput) {
+  // Reference value for splitmix64 with seed 0 (state incremented first).
+  SplitMix64 rng(0);
+  EXPECT_EQ(rng.next(), 0xE220A8397B1DCDAFULL);
+}
+
+TEST(SplitMix64Test, BelowStaysInRange) {
+  SplitMix64 rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+}
+
+TEST(SplitMix64Test, BelowZeroThrows) {
+  SplitMix64 rng(7);
+  EXPECT_THROW(rng.below(0), std::invalid_argument);
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, BelowRoughlyUniform) {
+  SplitMix64 rng(42);
+  std::map<std::uint64_t, int> counts;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.below(4)];
+  for (std::uint64_t v = 0; v < 4; ++v) {
+    EXPECT_GT(counts[v], kDraws / 4 - 500);
+    EXPECT_LT(counts[v], kDraws / 4 + 500);
+  }
+}
+
+TEST(ZipfSamplerTest, RankZeroMostPopular) {
+  ZipfSampler zipf(100, 1.0, 7);
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample()];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[50]);
+}
+
+TEST(ZipfSamplerTest, SamplesWithinSupport) {
+  ZipfSampler zipf(10, 0.8, 3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf.sample(), 10u);
+}
+
+TEST(ZipfSamplerTest, EmptySupportThrows) {
+  EXPECT_THROW(ZipfSampler(0, 1.0, 1), std::invalid_argument);
+}
+
+TEST(ZipfSamplerTest, ExponentZeroIsUniformish) {
+  ZipfSampler zipf(4, 0.0, 11);
+  std::map<std::size_t, int> counts;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample()];
+  for (std::size_t v = 0; v < 4; ++v) {
+    EXPECT_GT(counts[v], kDraws / 4 - 700);
+    EXPECT_LT(counts[v], kDraws / 4 + 700);
+  }
+}
+
+}  // namespace
+}  // namespace globe::util

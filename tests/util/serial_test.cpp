@@ -1,0 +1,102 @@
+#include "util/serial.hpp"
+
+#include <gtest/gtest.h>
+
+namespace globe::util {
+namespace {
+
+TEST(SerialTest, IntegerRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(SerialTest, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.buffer(), (Bytes{0x01, 0x02, 0x03, 0x04}));
+}
+
+TEST(SerialTest, BytesAndStringRoundTrip) {
+  Writer w;
+  w.bytes(Bytes{9, 8, 7});
+  w.str("globedoc");
+  w.str("");
+  Reader r(w.buffer());
+  EXPECT_EQ(r.bytes(), (Bytes{9, 8, 7}));
+  EXPECT_EQ(r.str(), "globedoc");
+  EXPECT_EQ(r.str(), "");
+  r.expect_end();
+}
+
+TEST(SerialTest, RawHasNoLengthPrefix) {
+  Writer w;
+  w.raw(Bytes{1, 2, 3});
+  EXPECT_EQ(w.buffer().size(), 3u);
+  Reader r(w.buffer());
+  EXPECT_EQ(r.raw(3), (Bytes{1, 2, 3}));
+}
+
+TEST(SerialTest, TruncatedIntegerThrows) {
+  Bytes b{0x01, 0x02};
+  Reader r(b);
+  EXPECT_THROW(r.u32(), SerialError);
+}
+
+TEST(SerialTest, OversizedLengthPrefixThrows) {
+  Writer w;
+  w.u32(1000);  // claims 1000 bytes follow
+  w.u8(1);
+  Reader r(w.buffer());
+  EXPECT_THROW(r.bytes(), SerialError);
+}
+
+TEST(SerialTest, TrailingGarbageDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.buffer());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), SerialError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_end());
+}
+
+TEST(SerialTest, EmptyReaderAtEnd) {
+  Reader r(BytesView{});
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_THROW(r.u8(), SerialError);
+}
+
+TEST(SerialTest, TakeMovesBuffer) {
+  Writer w;
+  w.u8(7);
+  Bytes b = w.take();
+  EXPECT_EQ(b, Bytes{7});
+}
+
+TEST(SerialTest, NestedMessageRoundTrip) {
+  Writer inner;
+  inner.str("payload");
+  Writer outer;
+  outer.bytes(inner.buffer());
+  outer.u32(42);
+
+  Reader r(outer.buffer());
+  Bytes inner_bytes = r.bytes();
+  EXPECT_EQ(r.u32(), 42u);
+  Reader ri(inner_bytes);
+  EXPECT_EQ(ri.str(), "payload");
+}
+
+}  // namespace
+}  // namespace globe::util

@@ -1,0 +1,77 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace globe::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s(ErrorCode::kHashMismatch, "element body differs");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), ErrorCode::kHashMismatch);
+  EXPECT_EQ(s.to_string(), "HASH_MISMATCH: element body differs");
+}
+
+TEST(StatusTest, AllSecurityCodesHaveDistinctNames) {
+  const ErrorCode codes[] = {
+      ErrorCode::kBadSignature, ErrorCode::kHashMismatch, ErrorCode::kExpired,
+      ErrorCode::kWrongElement, ErrorCode::kOidMismatch, ErrorCode::kUntrustedIssuer};
+  for (std::size_t i = 0; i < std::size(codes); ++i) {
+    for (std::size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(error_code_name(codes[i]), error_code_name(codes[j]));
+    }
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(ErrorCode::kNotFound, "no such replica");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, ValueOnErrorThrowsStatusError) {
+  Result<std::string> r(ErrorCode::kExpired, "stale certificate");
+  try {
+    (void)r.value();
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), ErrorCode::kExpired);
+    EXPECT_NE(std::string(e.what()).find("EXPIRED"), std::string::npos);
+  }
+}
+
+TEST(ResultTest, OkStatusWithoutValueIsLogicError) {
+  EXPECT_THROW(Result<int>(Status::ok()), std::logic_error);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("abc"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "abc");
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r(std::string("abcd"));
+  EXPECT_EQ(r->size(), 4u);
+}
+
+}  // namespace
+}  // namespace globe::util
