@@ -1,10 +1,11 @@
 // Figure 5 — Performance comparison, Amsterdam client (LAN).
 #include "bench/perf_compare.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   globe::bench::PaperWorld world;
   globe::bench::add_perf_objects(world);
   return globe::bench::run_perf_comparison(
       world, world.topo.amsterdam_secondary,
-      "Figure 5: Performance comparison - Amsterdam client");
+      "Figure 5: Performance comparison - Amsterdam client",
+      argc > 1 ? argv[1] : "");
 }

@@ -1,9 +1,10 @@
 // Figure 6 — Performance comparison, Paris client (trans-European path).
 #include "bench/perf_compare.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   globe::bench::PaperWorld world;
   globe::bench::add_perf_objects(world);
   return globe::bench::run_perf_comparison(
-      world, world.topo.paris, "Figure 6: Performance comparison - Paris client");
+      world, world.topo.paris, "Figure 6: Performance comparison - Paris client",
+      argc > 1 ? argv[1] : "");
 }

@@ -1,9 +1,10 @@
 // Figure 7 — Performance comparison, Ithaca client (transatlantic path).
 #include "bench/perf_compare.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   globe::bench::PaperWorld world;
   globe::bench::add_perf_objects(world);
   return globe::bench::run_perf_comparison(
-      world, world.topo.ithaca, "Figure 7: Performance comparison - Ithaca client");
+      world, world.topo.ithaca, "Figure 7: Performance comparison - Ithaca client",
+      argc > 1 ? argv[1] : "");
 }

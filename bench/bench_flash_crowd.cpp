@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/paper_world.hpp"
+#include "obs/export.hpp"
 #include "replication/coordinator.hpp"
 #include "replication/trace.hpp"
 
@@ -29,7 +30,7 @@ constexpr util::SimDuration kBucket = util::seconds(120);
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const std::string kDoc = "hot.vu.nl";
 
   // The flash crowd: Paris clients hammering one document.
@@ -112,6 +113,7 @@ int main() {
 
   std::printf("Mean secure-fetch latency (ms) per %0.0fs window:\n\n",
               util::to_seconds(kBucket));
+  auto& registry = obs::global_registry();
   print_row({"t_start_s", "req/s", "static", "dynamic", "replicas"});
   for (const auto& [bucket, stats] : results["static"]) {
     const auto& dyn = results["dynamic"][bucket];
@@ -125,6 +127,31 @@ int main() {
     std::snprintf(d_ms, sizeof d_ms,
                   "%.1f", dyn.count ? dyn.total_ms / static_cast<double>(dyn.count) : 0);
     print_row({t, rate, s_ms, d_ms, std::to_string(replica_counts[bucket])});
+
+    // Zero-padded window label so the JSON artifact sorts chronologically.
+    char window[32];
+    std::snprintf(window, sizeof window, "%05llu",
+                  static_cast<unsigned long long>(bucket * kBucket / util::kSecond));
+    registry.gauge("flash_crowd.requests_per_s", {{"window_s", window}})
+        .set(static_cast<double>(stats.count) / util::to_seconds(kBucket));
+    registry
+        .gauge("flash_crowd.mean_ms", {{"mode", "static"}, {"window_s", window}})
+        .set(stats.total_ms / static_cast<double>(stats.count));
+    registry
+        .gauge("flash_crowd.mean_ms", {{"mode", "dynamic"}, {"window_s", window}})
+        .set(dyn.count ? dyn.total_ms / static_cast<double>(dyn.count) : 0);
+    registry.gauge("flash_crowd.replicas", {{"window_s", window}})
+        .set(static_cast<double>(replica_counts[bucket]));
+  }
+
+  if (argc > 1) {
+    auto status =
+        obs::write_bench_json(argv[1], "flash_crowd", registry.snapshot());
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "write_bench_json: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", argv[1]);
   }
 
   std::printf(

@@ -4,6 +4,7 @@
 
 #include "http/client.hpp"
 #include "http/secure_channel.hpp"
+#include "obs/export.hpp"
 
 namespace globe::bench {
 
@@ -45,10 +46,14 @@ void add_perf_objects(PaperWorld& world) {
 }
 
 int run_perf_comparison(PaperWorld& world, net::HostId client,
-                        const std::string& figure_label) {
+                        const std::string& figure_label,
+                        const std::string& json_path) {
   std::printf("%s: total time to fetch all 11 page elements (ms)\n\n",
               figure_label.c_str());
   print_row({"object", "GlobeDoc", "HTTP", "HTTPS", "GD/HTTP", "HTTPS/HTTP"});
+
+  auto& registry = obs::global_registry();
+  const std::string client_label = world.topo.client_label(client);
 
   const auto names = element_names();
   for (const auto& spec : kObjects) {
@@ -117,6 +122,26 @@ int run_perf_comparison(PaperWorld& world, net::HostId client,
     std::snprintf(r1, sizeof r1, "%.2fx", globedoc_ms / http_ms);
     std::snprintf(r2, sizeof r2, "%.2fx", https_ms / http_ms);
     print_row({spec.label, gd, ht, hs, r1, r2});
+
+    for (auto [protocol, ms] : {std::pair<const char*, double>{"globedoc", globedoc_ms},
+                                {"http", http_ms},
+                                {"https", https_ms}}) {
+      registry
+          .gauge("perf.fetch_ms", {{"client", client_label},
+                                   {"object", spec.label},
+                                   {"protocol", protocol}})
+          .set(ms);
+    }
+  }
+
+  if (!json_path.empty()) {
+    auto status = obs::write_bench_json(json_path, figure_label,
+                                        registry.snapshot());
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "write_bench_json: %s\n", status.to_string().c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", json_path.c_str());
   }
 
   std::printf(

@@ -14,8 +14,11 @@ namespace globe::bench {
 void add_perf_objects(PaperWorld& world);
 
 /// Runs the comparison from `client` and prints the Figure 5/6/7 table.
-/// Returns non-zero on failure.
+/// Records per-(object, protocol) timings into the global metrics registry
+/// and, when `json_path` is non-empty, writes the registry snapshot there
+/// as a BENCH_*.json artifact.  Returns non-zero on failure.
 int run_perf_comparison(PaperWorld& world, net::HostId client,
-                        const std::string& figure_label);
+                        const std::string& figure_label,
+                        const std::string& json_path = "");
 
 }  // namespace globe::bench

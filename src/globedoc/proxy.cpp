@@ -18,7 +18,14 @@ GlobeDocProxy::GlobeDocProxy(net::Transport& transport, ProxyConfig config)
     : transport_(&transport),
       config_(std::move(config)),
       resolver_(transport, config_.naming_root, config_.naming_anchor),
-      locator_(transport, config_.location_site) {}
+      locator_(transport, config_.location_site) {
+  auto& registry = obs::global_registry();
+  fetches_ok_ = &registry.counter("proxy.fetches", {{"outcome", "ok"}});
+  fetches_failed_ = &registry.counter("proxy.fetches", {{"outcome", "error"}});
+  binding_cache_hits_ = &registry.counter("proxy.cache.binding_hits");
+  element_cache_hits_ = &registry.counter("proxy.cache.element_hits");
+  replicas_tried_ = &registry.counter("proxy.replicas_tried");
+}
 
 Result<FetchResult> GlobeDocProxy::fetch_url(const std::string& hybrid_url) {
   auto parsed = parse_hybrid_url(hybrid_url);
@@ -28,30 +35,24 @@ Result<FetchResult> GlobeDocProxy::fetch_url(const std::string& hybrid_url) {
 
 Result<GlobeDocProxy::Binding> GlobeDocProxy::bind_replica(const Oid& oid,
                                                            const net::Endpoint& address,
-                                                           FetchMetrics& metrics) {
+                                                           obs::Tracer& tracer) {
   rpc::RpcClient replica(*transport_, address);
 
   // --- Step 3: public key, self-certifying check (security time).
-  util::SimTime t0 = transport_->now();
+  auto key_span = tracer.span(FetchStage::kKeyCheck);
   util::Writer oid_req;
   oid_req.raw(oid.to_bytes());
   auto key_raw = replica.call(rpc::kGlobeDocSecurity, kGetPublicKey, oid_req.buffer());
-  if (!key_raw.is_ok()) {
-    metrics.security_time += transport_->now() - t0;
-    return key_raw.status();
-  }
+  if (!key_raw.is_ok()) return key_raw.status();
   auto object_key = crypto::RsaPublicKey::parse(*key_raw);
-  if (!object_key.is_ok()) {
-    metrics.security_time += transport_->now() - t0;
-    return object_key.status();
-  }
+  if (!object_key.is_ok()) return object_key.status();
   transport_->charge(net::CpuOp::kSha1, key_raw->size());
   if (!oid.matches_key(*object_key)) {
-    metrics.security_time += transport_->now() - t0;
     return Result<Binding>(ErrorCode::kOidMismatch,
                            "public key does not hash to the OID at " +
                                address.to_string());
   }
+  key_span.end();
 
   Binding binding;
   binding.oid = oid;
@@ -60,6 +61,7 @@ Result<GlobeDocProxy::Binding> GlobeDocProxy::bind_replica(const Oid& oid,
 
   // --- Step 4: identity certificates against the user's trusted CAs.
   if (config_.request_identity) {
+    auto identity_span = tracer.span(FetchStage::kIdentity);
     auto certs_raw =
         replica.call(rpc::kGlobeDocSecurity, kGetIdentityCerts, oid_req.buffer());
     if (certs_raw.is_ok()) {
@@ -81,43 +83,35 @@ Result<GlobeDocProxy::Binding> GlobeDocProxy::bind_replica(const Oid& oid,
           config_.trust.first_trusted_subject(certs, oid, transport_->now());
     }
     if (config_.require_identity && !binding.certified_as.has_value()) {
-      metrics.security_time += transport_->now() - t0;
       return Result<Binding>(ErrorCode::kUntrustedIssuer,
                              "no identity certificate from a trusted CA");
     }
   }
 
   // --- Step 5: integrity certificate, signature check.
+  auto integrity_span = tracer.span(FetchStage::kIntegrityVerify);
   auto cert_raw =
       replica.call(rpc::kGlobeDocSecurity, kGetIntegrityCert, oid_req.buffer());
-  if (!cert_raw.is_ok()) {
-    metrics.security_time += transport_->now() - t0;
-    return cert_raw.status();
-  }
+  if (!cert_raw.is_ok()) return cert_raw.status();
   auto certificate = IntegrityCertificate::parse(*cert_raw);
-  if (!certificate.is_ok()) {
-    metrics.security_time += transport_->now() - t0;
-    return certificate.status();
-  }
+  if (!certificate.is_ok()) return certificate.status();
   transport_->charge(net::CpuOp::kRsaVerify, 1);
   if (!certificate->verify_signature(binding.object_key)) {
-    metrics.security_time += transport_->now() - t0;
     return Result<Binding>(ErrorCode::kBadSignature,
                            "integrity certificate signature invalid");
   }
   if (certificate->oid() != oid) {
-    metrics.security_time += transport_->now() - t0;
     return Result<Binding>(ErrorCode::kWrongElement,
                            "integrity certificate for a different object");
   }
   binding.certificate = std::move(*certificate);
-  metrics.security_time += transport_->now() - t0;
   return binding;
 }
 
 Result<PageElement> GlobeDocProxy::fetch_element(const Binding& binding,
                                                  const std::string& element_name,
-                                                 FetchMetrics& metrics) {
+                                                 FetchMetrics& metrics,
+                                                 obs::Tracer& tracer) {
   rpc::RpcClient replica(*transport_, binding.replica);
   util::Writer req;
   req.raw(binding.oid.to_bytes());
@@ -129,11 +123,11 @@ Result<PageElement> GlobeDocProxy::fetch_element(const Binding& binding,
   if (!element.is_ok()) return element.status();
 
   // --- Step 6: authenticity, consistency, freshness (security time).
-  util::SimTime t0 = transport_->now();
+  auto verify_span = tracer.span(FetchStage::kElementVerify);
   transport_->charge(net::CpuOp::kSha1, raw->size());
   Status check =
       binding.certificate.check_element(element_name, *element, transport_->now());
-  metrics.security_time += transport_->now() - t0;
+  verify_span.end();
   if (!check.is_ok()) return check;
 
   metrics.content_bytes += element->content.size();
@@ -154,6 +148,30 @@ void GlobeDocProxy::cache_element(const std::string& object_name,
 Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
                                          const std::string& element_name) {
   FetchMetrics metrics;
+  obs::Tracer tracer([this] { return transport_->now(); });
+  auto result = fetch_inner(object_name, element_name, metrics, tracer);
+
+  // The root span closed when fetch_inner returned; derive the Fig. 4
+  // numerator from the per-stage spans (across every replica attempted).
+  auto finished = tracer.take_finished();
+  if (result.is_ok() && !finished.empty()) {
+    obs::SpanRecord& trace = finished.front();
+    result->metrics.security_time =
+        obs::span_total(trace, FetchStage::kKeyCheck) +
+        obs::span_total(trace, FetchStage::kIdentity) +
+        obs::span_total(trace, FetchStage::kIntegrityVerify) +
+        obs::span_total(trace, FetchStage::kElementVerify);
+    result->metrics.trace = std::move(trace);
+  }
+  (result.is_ok() ? fetches_ok_ : fetches_failed_)->inc();
+  return result;
+}
+
+Result<FetchResult> GlobeDocProxy::fetch_inner(const std::string& object_name,
+                                               const std::string& element_name,
+                                               FetchMetrics& metrics,
+                                               obs::Tracer& tracer) {
+  auto fetch_span = tracer.span(FetchStage::kFetch);
   util::SimTime start = transport_->now();
 
   // Verified element cache: sound to serve locally until the certificate
@@ -165,6 +183,7 @@ Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
       if (transport_->now() < it->second.expires) {
         metrics.used_cached_element = true;
         metrics.content_bytes = it->second.element.content.size();
+        element_cache_hits_->inc();
         return FetchResult{it->second.element, it->second.certified_as, metrics};
       }
       element_cache_.erase(it);
@@ -177,9 +196,10 @@ Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
     if (it != bindings_.end()) {
       metrics.used_cached_binding = true;
       metrics.replicas_tried = 1;
-      auto element = fetch_element(it->second, element_name, metrics);
+      auto element = fetch_element(it->second, element_name, metrics, tracer);
       if (element.is_ok()) {
         metrics.total_time = transport_->now() - start;
+        binding_cache_hits_->inc();
         cache_element(object_name, element_name, it->second, *element);
         return FetchResult{std::move(*element), it->second.certified_as, metrics};
       }
@@ -189,30 +209,35 @@ Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
   }
 
   // --- Step 1: secure name resolution.
+  auto resolve_span = tracer.span(FetchStage::kResolve);
   auto oid_bytes = resolver_.resolve(object_name);
   if (!oid_bytes.is_ok()) return oid_bytes.status();
   auto oid = Oid::from_bytes(*oid_bytes);
   if (!oid.is_ok()) return oid.status();
+  resolve_span.end();
 
   // --- Step 2: replica location (untrusted).
+  auto locate_span = tracer.span(FetchStage::kLocate);
   auto addresses = locator_.lookup(*oid_bytes);
   if (!addresses.is_ok()) return addresses.status();
   if (addresses->empty()) {
     return Result<FetchResult>(ErrorCode::kNotFound, "no replicas registered");
   }
+  locate_span.end();
 
   // --- Steps 3-6 with fallback across contact addresses.
   Status last_error(ErrorCode::kUnavailable, "no address tried");
   for (const auto& address : *addresses) {
     ++metrics.replicas_tried;
-    auto binding = bind_replica(*oid, address, metrics);
+    replicas_tried_->inc();
+    auto binding = bind_replica(*oid, address, tracer);
     if (!binding.is_ok()) {
       last_error = binding.status();
       GLOBE_LOG_INFO("proxy", "binding to ", address.to_string(),
                      " failed: ", last_error.to_string());
       continue;
     }
-    auto element = fetch_element(*binding, element_name, metrics);
+    auto element = fetch_element(*binding, element_name, metrics, tracer);
     if (!element.is_ok()) {
       last_error = element.status();
       GLOBE_LOG_INFO("proxy", "element fetch from ", address.to_string(),

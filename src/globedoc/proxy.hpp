@@ -16,8 +16,10 @@
 // Location Service causes at most a retry — never bad content (paper
 // §3.1.2).  Non-hybrid requests pass through to a regular origin server.
 //
-// The proxy tracks, per fetch, how much time went into security-specific
-// operations (steps 3-6) — the quantity plotted in Figure 4.
+// The proxy records one obs trace-span tree per fetch ("fetch" root with
+// resolve / locate / key_check / identity / integrity_verify /
+// element_verify children); the sum of the last four stages is the
+// security-specific time of steps 3-6 — the quantity plotted in Figure 4.
 #pragma once
 
 #include <optional>
@@ -32,6 +34,8 @@
 #include "location/tree.hpp"
 #include "naming/resolver.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace globe::globedoc {
 
@@ -50,13 +54,31 @@ struct ProxyConfig {
   bool cache_elements = false;
 };
 
+/// Stage names of the per-fetch span tree (children of the "fetch" root).
+struct FetchStage {
+  static constexpr const char* kFetch = "fetch";                      // root
+  static constexpr const char* kResolve = "resolve";                  // step 1
+  static constexpr const char* kLocate = "locate";                    // step 2
+  static constexpr const char* kKeyCheck = "key_check";               // step 3
+  static constexpr const char* kIdentity = "identity";                // step 4
+  static constexpr const char* kIntegrityVerify = "integrity_verify"; // step 5
+  static constexpr const char* kElementVerify = "element_verify";     // step 6
+};
+
 struct FetchMetrics {
   util::SimDuration total_time = 0;
-  util::SimDuration security_time = 0;   // steps 3-6 (Fig. 4 numerator)
+  /// Steps 3-6 (Fig. 4 numerator): the sum of the key_check, identity,
+  /// integrity_verify and element_verify spans of `trace`, across every
+  /// replica attempted.
+  util::SimDuration security_time = 0;
   std::size_t content_bytes = 0;
   std::size_t replicas_tried = 0;
   bool used_cached_binding = false;
   bool used_cached_element = false;  // served from the verified local cache
+  /// Span tree of this fetch: a "fetch" root whose children are the
+  /// pipeline stages (FetchStage names).  Timestamps come from the
+  /// transport clock — virtual time under SimNet, wall time over TCP.
+  obs::SpanRecord trace;
 };
 
 struct FetchResult {
@@ -99,14 +121,19 @@ class GlobeDocProxy {
     std::optional<std::string> certified_as;
   };
 
+  /// Body of fetch(); spans open on `tracer`, stats land in `metrics`.
+  util::Result<FetchResult> fetch_inner(const std::string& object_name,
+                                        const std::string& element_name,
+                                        FetchMetrics& metrics, obs::Tracer& tracer);
+
   /// Steps 1-5 against one specific replica address.
   util::Result<Binding> bind_replica(const Oid& oid, const net::Endpoint& address,
-                                     FetchMetrics& metrics);
+                                     obs::Tracer& tracer);
 
   /// Step 6 against an established binding.
   util::Result<PageElement> fetch_element(const Binding& binding,
                                           const std::string& element_name,
-                                          FetchMetrics& metrics);
+                                          FetchMetrics& metrics, obs::Tracer& tracer);
 
   /// Stores a verified element with its certificate-entry expiry.
   void cache_element(const std::string& object_name, const std::string& element_name,
@@ -120,6 +147,12 @@ class GlobeDocProxy {
 
   net::Transport* transport_;
   ProxyConfig config_;
+  // Registry series (global registry; handles live as long as the process).
+  obs::Counter* fetches_ok_;
+  obs::Counter* fetches_failed_;
+  obs::Counter* binding_cache_hits_;
+  obs::Counter* element_cache_hits_;
+  obs::Counter* replicas_tried_;
   naming::SecureResolver resolver_;
   location::LocationClient locator_;
   std::optional<net::Endpoint> origin_;

@@ -54,7 +54,15 @@ Result<HostingGrant> HostingGrant::parse(BytesView data) {
 }
 
 ObjectServer::ObjectServer(std::string name, std::uint64_t nonce_seed)
-    : name_(std::move(name)), nonce_rng_(crypto::HmacDrbg::from_seed(nonce_seed)) {}
+    : name_(std::move(name)), nonce_rng_(crypto::HmacDrbg::from_seed(nonce_seed)) {
+  auto& registry = obs::global_registry();
+  obs::Labels labels{{"server", name_}};
+  requests_counter_ = &registry.counter("object_server.requests", labels);
+  elements_counter_ = &registry.counter("object_server.elements_served", labels);
+  bytes_counter_ = &registry.counter("object_server.bytes_served", labels);
+  replica_installs_ = &registry.counter("object_server.replica_installs", labels);
+  replica_deletes_ = &registry.counter("object_server.replica_deletes", labels);
+}
 
 void ObjectServer::authorize(const crypto::RsaPublicKey& key) {
   std::lock_guard<std::mutex> lock(mutex_);
@@ -214,6 +222,7 @@ Result<Bytes> ObjectServer::handle_negotiate(net::ServerContext&, BytesView payl
 
 Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
                                                BytesView payload) {
+  requests_counter_->inc();
   try {
     util::Reader r(payload);
     auto oid = read_oid(r);
@@ -232,6 +241,8 @@ Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
     }
     ++elements_served_;
     content_bytes_served_ += el->content.size();
+    elements_counter_->inc();
+    bytes_counter_->inc(el->content.size());
     return el->serialize();
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
@@ -240,6 +251,7 @@ Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
 
 Result<Bytes> ObjectServer::handle_list_elements(net::ServerContext& ctx,
                                                  BytesView payload) {
+  requests_counter_->inc();
   try {
     util::Reader r(payload);
     auto oid = read_oid(r);
@@ -262,6 +274,7 @@ Result<Bytes> ObjectServer::handle_list_elements(net::ServerContext& ctx,
 
 Result<Bytes> ObjectServer::handle_get_public_key(net::ServerContext& ctx,
                                                   BytesView payload) {
+  requests_counter_->inc();
   try {
     util::Reader r(payload);
     auto oid = read_oid(r);
@@ -280,6 +293,7 @@ Result<Bytes> ObjectServer::handle_get_public_key(net::ServerContext& ctx,
 
 Result<Bytes> ObjectServer::handle_get_integrity_cert(net::ServerContext& ctx,
                                                       BytesView payload) {
+  requests_counter_->inc();
   try {
     util::Reader r(payload);
     auto oid = read_oid(r);
@@ -298,6 +312,7 @@ Result<Bytes> ObjectServer::handle_get_integrity_cert(net::ServerContext& ctx,
 
 Result<Bytes> ObjectServer::handle_get_identity_certs(net::ServerContext& ctx,
                                                       BytesView payload) {
+  requests_counter_->inc();
   try {
     util::Reader r(payload);
     auto oid = read_oid(r);
@@ -424,6 +439,7 @@ Result<Bytes> ObjectServer::handle_create_or_update(net::ServerContext& ctx,
       lease_until_.erase(oid);
     }
     replicas_[oid] = std::move(*state);
+    replica_installs_->inc();
     return Bytes{};
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
@@ -459,6 +475,7 @@ Result<Bytes> ObjectServer::handle_delete(net::ServerContext& ctx, BytesView pay
     creators_.erase(cit);
     replicas_.erase(*oid);
     lease_until_.erase(*oid);
+    replica_deletes_->inc();
     return Bytes{};
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());

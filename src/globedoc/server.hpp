@@ -25,6 +25,7 @@
 #include "crypto/drbg.hpp"
 #include "globedoc/object.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 
 namespace globe::globedoc {
@@ -146,6 +147,12 @@ class ObjectServer {
   ResourceLimits limits_;
   std::size_t elements_served_ = 0;
   std::uint64_t content_bytes_served_ = 0;
+  // Registry series, labeled by this server's name.
+  obs::Counter* requests_counter_;
+  obs::Counter* elements_counter_;
+  obs::Counter* bytes_counter_;
+  obs::Counter* replica_installs_;
+  obs::Counter* replica_deletes_;
 };
 
 /// Client helper for the authenticated admin interface.

@@ -11,7 +11,12 @@ using util::BytesView;
 using util::Result;
 
 StaticHttpServer::StaticHttpServer(std::string server_name)
-    : server_name_(std::move(server_name)) {}
+    : server_name_(std::move(server_name)) {
+  auto& registry = obs::global_registry();
+  obs::Labels labels{{"server", server_name_}};
+  requests_counter_ = &registry.counter("http.static.requests", labels);
+  bytes_counter_ = &registry.counter("http.static.bytes_served", labels);
+}
 
 void StaticHttpServer::put_file(const std::string& path, Bytes content) {
   if (path.empty() || path[0] != '/') {
@@ -68,6 +73,12 @@ HttpResponse StaticHttpServer::handle(const HttpRequest& req) const {
     }
   }
   resp.headers.set("Server", server_name_);
+  requests_counter_->inc();
+  bytes_counter_->inc(resp.body.size());
+  obs::global_registry()
+      .counter("http.static.responses", {{"server", server_name_},
+                                         {"status", std::to_string(resp.status)}})
+      .inc();
   return resp;
 }
 

@@ -9,6 +9,7 @@
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace globe::http {
 
@@ -40,6 +41,9 @@ class StaticHttpServer {
   std::string server_name_;
   mutable std::mutex mutex_;
   std::map<std::string, FileEntry> files_;
+  // Registry series, labeled by server name; status label added per reply.
+  obs::Counter* requests_counter_;
+  obs::Counter* bytes_counter_;
 };
 
 }  // namespace globe::http

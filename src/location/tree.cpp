@@ -106,7 +106,14 @@ Result<LookupReply> LookupReply::parse(BytesView data) {
 }
 
 LocationNode::LocationNode(std::string domain, bool is_site)
-    : domain_(std::move(domain)), is_site_(is_site) {}
+    : domain_(std::move(domain)), is_site_(is_site) {
+  auto& registry = obs::global_registry();
+  obs::Labels labels{{"domain", domain_}};
+  lookups_counter_ = &registry.counter("location.node.lookups", labels);
+  lookup_hits_ = &registry.counter("location.node.lookup_hits", labels);
+  inserts_counter_ = &registry.counter("location.node.inserts", labels);
+  removes_counter_ = &registry.counter("location.node.removes", labels);
+}
 
 void LocationNode::set_parent(const net::Endpoint& parent) {
   has_parent_ = true;
@@ -204,6 +211,8 @@ Result<Bytes> LocationNode::handle_lookup(net::ServerContext& ctx, BytesView pay
       reply.addresses = std::move(*down);
     }
   }
+  lookups_counter_->inc();
+  if (reply.found) lookup_hits_->inc();
   return reply.serialize();
 }
 
@@ -222,6 +231,7 @@ Result<Bytes> LocationNode::handle_insert(net::ServerContext& ctx, BytesView pay
     first_for_oid = set.empty();
     set.insert(req->address);
   }
+  inserts_counter_->inc();
   if (first_for_oid && has_parent_) {
     rpc::RpcClient parent(ctx.transport(), parent_);
     auto r = parent.call(rpc::kLocationService, kInsertPointer,
@@ -251,6 +261,7 @@ Result<Bytes> LocationNode::handle_remove(net::ServerContext& ctx, BytesView pay
       oid_gone = true;
     }
   }
+  removes_counter_->inc();
   if (oid_gone && has_parent_) {
     rpc::RpcClient parent(ctx.transport(), parent_);
     (void)parent.call(rpc::kLocationService, kRemovePointer,
@@ -307,7 +318,16 @@ Result<Bytes> LocationNode::handle_remove_pointer(net::ServerContext& ctx,
   return Bytes{};
 }
 
+LocationClient::LocationClient(net::Transport& transport, net::Endpoint local_site)
+    : transport_(&transport), local_site_(local_site) {
+  auto& registry = obs::global_registry();
+  lookups_counter_ = &registry.counter("location.client.lookups");
+  rings_histogram_ = &registry.histogram("location.client.rings",
+                                         {1, 2, 3, 4, 5, 6, 8, 12, 16});
+}
+
 Result<std::vector<net::Endpoint>> LocationClient::lookup(BytesView oid) {
+  lookups_counter_->inc();
   net::Endpoint node = local_site_;
   last_rings_ = 0;
   constexpr std::size_t kMaxRings = 16;
@@ -320,7 +340,10 @@ Result<std::vector<net::Endpoint>> LocationClient::lookup(BytesView oid) {
     if (!raw.is_ok()) return raw.status();
     auto reply = LookupReply::parse(*raw);
     if (!reply.is_ok()) return reply.status();
-    if (reply->found) return reply->addresses;
+    if (reply->found) {
+      rings_histogram_->observe(static_cast<double>(last_rings_));
+      return reply->addresses;
+    }
     if (!reply->has_parent) {
       return Result<std::vector<net::Endpoint>>(ErrorCode::kNotFound,
                                                 "OID unknown up to the root");

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "util/bytes.hpp"
 
@@ -94,13 +95,17 @@ class LocationNode {
   std::map<util::Bytes, std::set<net::Endpoint>> addresses_;
   std::map<util::Bytes, std::set<std::string>> pointers_;
   std::size_t lookups_served_ = 0;
+  // Registry series, labeled by this node's domain.
+  obs::Counter* lookups_counter_;
+  obs::Counter* lookup_hits_;
+  obs::Counter* inserts_counter_;
+  obs::Counter* removes_counter_;
 };
 
 /// Client-side expanding-ring lookup and replica (de)registration.
 class LocationClient {
  public:
-  LocationClient(net::Transport& transport, net::Endpoint local_site)
-      : transport_(&transport), local_site_(local_site) {}
+  LocationClient(net::Transport& transport, net::Endpoint local_site);
 
   /// Expanding-ring search from the local site.  NOT_FOUND when the OID is
   /// unknown all the way to the root.
@@ -119,6 +124,8 @@ class LocationClient {
   net::Transport* transport_;
   net::Endpoint local_site_;
   std::size_t last_rings_ = 0;
+  obs::Counter* lookups_counter_;
+  obs::Histogram* rings_histogram_;
 };
 
 }  // namespace globe::location

@@ -13,19 +13,32 @@ using util::Result;
 
 SecureResolver::SecureResolver(net::Transport& transport, net::Endpoint root_server,
                                crypto::RsaPublicKey anchor_key)
-    : transport_(&transport), root_server_(root_server), anchor_(std::move(anchor_key)) {}
+    : transport_(&transport), root_server_(root_server), anchor_(std::move(anchor_key)) {
+  auto& registry = obs::global_registry();
+  resolves_ok_ = &registry.counter("naming.resolves", {{"outcome", "ok"}});
+  resolves_failed_ = &registry.counter("naming.resolves", {{"outcome", "error"}});
+  cache_hits_ = &registry.counter("naming.cache_hits");
+  referrals_ = &registry.counter("naming.referrals");
+  signatures_counter_ = &registry.counter("naming.signatures_verified");
+}
 
 Result<Bytes> SecureResolver::resolve(const std::string& name) {
   if (cache_enabled_) {
     auto it = cache_.find(name);
     if (it != cache_.end()) {
       if (it->second.expires > transport_->now()) {
+        cache_hits_->inc();
         return it->second.oid;
       }
       cache_.erase(it);
     }
   }
+  auto result = resolve_walk(name);
+  (result.is_ok() ? resolves_ok_ : resolves_failed_)->inc();
+  return result;
+}
 
+Result<Bytes> SecureResolver::resolve_walk(const std::string& name) {
   std::string zone;  // start at the root
   net::Endpoint server = root_server_;
   crypto::RsaPublicKey zone_key = anchor_;
@@ -46,6 +59,7 @@ Result<Bytes> SecureResolver::resolve(const std::string& name) {
     // Verify the zone signature over the record (one public-key op).
     transport_->charge(net::CpuOp::kRsaVerify, 1);
     ++signatures_verified_;
+    signatures_counter_->inc();
     if (!crypto::rsa_verify_sha256(zone_key, reply->blob.record,
                                    reply->blob.signature)) {
       return Result<Bytes>(ErrorCode::kBadSignature,
@@ -69,6 +83,7 @@ Result<Bytes> SecureResolver::resolve(const std::string& name) {
     }
 
     // Referral: descend into the child zone.
+    referrals_->inc();
     auto del = DelegationRecord::parse(reply->blob.record);
     if (!del.is_ok()) return del.status();
     if (!name_in_zone(name, del->zone) || !name_in_zone(del->zone, zone) ||

@@ -9,6 +9,7 @@
 #include "crypto/rsa.hpp"
 #include "naming/records.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace globe::naming {
 
@@ -33,6 +34,8 @@ class SecureResolver {
   std::size_t signatures_verified() const { return signatures_verified_; }
 
  private:
+  util::Result<util::Bytes> resolve_walk(const std::string& name);
+
   struct CacheEntry {
     util::Bytes oid;
     util::SimTime expires;
@@ -44,6 +47,13 @@ class SecureResolver {
   bool cache_enabled_ = false;
   std::map<std::string, CacheEntry> cache_;
   std::size_t signatures_verified_ = 0;
+  // Registry series: resolves by outcome, cache hits, referral hops,
+  // signatures verified.
+  obs::Counter* resolves_ok_;
+  obs::Counter* resolves_failed_;
+  obs::Counter* cache_hits_;
+  obs::Counter* referrals_;
+  obs::Counter* signatures_counter_;
 };
 
 }  // namespace globe::naming

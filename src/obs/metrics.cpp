@@ -1,0 +1,161 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace globe::obs {
+
+namespace {
+
+Labels normalize(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument("histogram bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  q = std::clamp(q, 0.0, 1.0);
+  auto counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0;
+
+  // Rank of the target observation (1-based, ceil so q=1 hits the last).
+  std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(total) + 0.5));
+  rank = std::min(rank, total);
+
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (seen + counts[i] < rank) {
+      seen += counts[i];
+      continue;
+    }
+    if (i == bounds_.size()) {
+      // Overflow bucket: the histogram cannot resolve past the last bound.
+      return bounds_.empty() ? 0 : bounds_.back();
+    }
+    double lo = i == 0 ? 0.0 : bounds_[i - 1];
+    double hi = bounds_[i];
+    double within = (static_cast<double>(rank - seen)) /
+                    static_cast<double>(counts[i]);
+    return lo + (hi - lo) * within;
+  }
+  return bounds_.empty() ? 0 : bounds_.back();  // unreachable
+}
+
+void Histogram::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  Key key{name, normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[std::move(key)];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  Key key{name, normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[std::move(key)];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds, Labels labels) {
+  Key key{name, normalize(std::move(labels))};
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[std::move(key)];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& [key, counter] : counters_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kCounter;
+    s.value = static_cast<double>(counter->value());
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kGauge;
+    s.value = gauge->value();
+    snap.samples.push_back(std::move(s));
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    MetricSample s;
+    s.name = key.name;
+    s.labels = key.labels;
+    s.kind = MetricSample::Kind::kHistogram;
+    s.value = histogram->sum();
+    s.bounds = histogram->bounds();
+    s.bucket_counts = histogram->bucket_counts();
+    s.count = histogram->count();
+    s.p50 = histogram->quantile(0.50);
+    s.p90 = histogram->quantile(0.90);
+    s.p99 = histogram->quantile(0.99);
+    snap.samples.push_back(std::move(s));
+  }
+  std::sort(snap.samples.begin(), snap.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+            });
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, counter] : counters_) counter->reset();
+  for (auto& [key, gauge] : gauges_) gauge->set(0);
+  for (auto& [key, histogram] : histograms_) histogram->reset();
+}
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+}  // namespace globe::obs

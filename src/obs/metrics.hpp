@@ -1,0 +1,144 @@
+// Observability substrate (S23): a thread-safe metrics registry.
+//
+// Every layer of the stack — proxy, object server, naming, location,
+// replication — reports what it does through counters, gauges and
+// fixed-bucket histograms addressed by (name, label set).  A registry
+// snapshot is a plain value that the exporters (export.hpp) turn into
+// flat text for humans or JSON for the BENCH_*.json artifacts, so the
+// paper's §4 decomposition ("where does secure-fetch time go?") is
+// observable at every layer instead of a single ad-hoc field.
+//
+// Concurrency: metric handles returned by the registry are stable for the
+// registry's lifetime and individually thread-safe (atomics); the registry
+// itself serializes registration and snapshotting with a mutex.  Handlers
+// running on ThreadPool workers may increment concurrently.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace globe::obs {
+
+/// Label set identifying one time series of a metric.  Stored sorted by
+/// key; the registry normalizes whatever order the caller passes.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous value that can move both ways (queue depth, replica count).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are strictly increasing upper bounds
+/// (inclusive); one implicit overflow bucket catches everything above the
+/// last bound.  Quantiles are estimated by linear interpolation inside the
+/// bucket holding the target rank — exact bucket choice, approximate
+/// position, the standard fixed-bucket trade-off.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  std::uint64_t count() const;
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> bucket_counts() const;
+
+  /// Estimated q-quantile (q in [0,1]).  Returns 0 when empty.  Ranks that
+  /// land in the overflow bucket report the last finite bound (the
+  /// histogram cannot see past it).
+  double quantile(double q) const;
+
+  /// Drops every observation, keeping the bucket layout.
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<double> sum_{0.0};
+};
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  std::string name;
+  Labels labels;
+  Kind kind = Kind::kCounter;
+  double value = 0;  // counter/gauge value; histogram sum
+
+  // Histogram-only fields (empty otherwise).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;
+  std::uint64_t count = 0;
+  double p50 = 0, p90 = 0, p99 = 0;
+};
+
+/// Point-in-time copy of a whole registry, ordered by (name, labels).
+struct Snapshot {
+  std::vector<MetricSample> samples;
+};
+
+class MetricsRegistry {
+ public:
+  /// Returns the series for (name, labels), creating it on first use.
+  /// References stay valid for the registry's lifetime (reset() included:
+  /// reset zeroes values but never deletes series).
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  /// `bounds` applies on first registration; later calls for the same
+  /// series return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       Labels labels = {});
+
+  Snapshot snapshot() const;
+
+  /// Zeroes every counter/gauge and drops every histogram observation,
+  /// keeping handles valid — lets one process run several independent
+  /// bench scenarios.
+  void reset();
+
+ private:
+  struct Key {
+    std::string name;
+    Labels labels;
+    bool operator<(const Key& o) const {
+      return name != o.name ? name < o.name : labels < o.labels;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-wide default registry.  Components report here unless handed a
+/// specific registry; benches snapshot/reset it between scenarios.
+MetricsRegistry& global_registry();
+
+}  // namespace globe::obs

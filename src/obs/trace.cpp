@@ -1,0 +1,101 @@
+#include "obs/trace.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace globe::obs {
+
+util::SimDuration span_total(const SpanRecord& root, std::string_view name) {
+  util::SimDuration total = root.name == name ? root.duration : 0;
+  for (const SpanRecord& child : root.children) total += span_total(child, name);
+  return total;
+}
+
+const SpanRecord* find_span(const SpanRecord& root, std::string_view name) {
+  if (root.name == name) return &root;
+  for (const SpanRecord& child : root.children) {
+    if (const SpanRecord* found = find_span(child, name)) return found;
+  }
+  return nullptr;
+}
+
+Tracer::Tracer(NowFn now) : now_(std::move(now)) {}
+
+Tracer::Tracer(const util::Clock& clock)
+    : now_([&clock] { return clock.now(); }) {}
+
+Tracer::Span::Span(Span&& other) noexcept
+    : tracer_(other.tracer_), node_(other.node_) {
+  other.node_ = nullptr;
+}
+
+Tracer::Span& Tracer::Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    node_ = other.node_;
+    other.node_ = nullptr;
+  }
+  return *this;
+}
+
+Tracer::Span::~Span() { end(); }
+
+void Tracer::Span::end() {
+  if (node_ == nullptr) return;
+  tracer_->end_node(node_);
+  node_ = nullptr;
+}
+
+Tracer::Span Tracer::span(std::string name) {
+  SpanRecord node;
+  node.name = std::move(name);
+  node.start = now_();
+
+  SpanRecord* placed;
+  if (stack_.empty()) {
+    root_ = std::make_unique<SpanRecord>(std::move(node));
+    placed = root_.get();
+  } else {
+    // Appending to the innermost open span only: pointers held in stack_
+    // are the ancestors of `placed`, whose own children vectors are
+    // untouched, so they stay valid.
+    stack_.back()->children.push_back(std::move(node));
+    placed = &stack_.back()->children.back();
+  }
+  stack_.push_back(placed);
+  return Span(this, placed);
+}
+
+void Tracer::end_node(SpanRecord* node) {
+  // A handle can outlive its span when an ancestor's end() already closed
+  // it; ending twice is a no-op.
+  bool open = false;
+  for (SpanRecord* s : stack_) {
+    if (s == node) {
+      open = true;
+      break;
+    }
+  }
+  if (!open) return;
+
+  util::SimTime now = now_();
+  // Close `node` and any open descendants (innermost first) at the same
+  // instant.
+  while (!stack_.empty()) {
+    SpanRecord* top = stack_.back();
+    stack_.pop_back();
+    top->duration = now >= top->start ? now - top->start : 0;
+    if (top == node) break;
+  }
+  if (stack_.empty() && root_) {
+    finished_.push_back(std::move(*root_));
+    root_.reset();
+  }
+}
+
+std::vector<SpanRecord> Tracer::take_finished() {
+  return std::exchange(finished_, {});
+}
+
+}  // namespace globe::obs

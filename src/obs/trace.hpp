@@ -1,0 +1,90 @@
+// Nested trace spans over a pluggable clock.
+//
+// A Tracer timestamps spans through a caller-supplied "now" function, so
+// the same instrumented code records *virtual* SimNet time when driven by
+// a simulated flow (`[&] { return flow->now(); }`) and wall-clock time in
+// the live TCP examples (`[] { return RealClock{}.now(); }`).  Spans nest
+// strictly: a span opened while another is in progress becomes its child,
+// which is exactly the shape of the proxy's Fig. 3 pipeline — one "fetch"
+// root with resolve / locate / key_check / identity / integrity_verify /
+// element_verify children (the paper's Fig. 4 numerator is the sum of the
+// last four).
+//
+// A Tracer belongs to one logical flow, like net::Transport: it is NOT
+// thread-safe.  Use one tracer per concurrent fetch.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+
+namespace globe::obs {
+
+/// One completed span: half-open interval [start, start + duration) with
+/// completed children, in start order.
+struct SpanRecord {
+  std::string name;
+  util::SimTime start = 0;
+  util::SimDuration duration = 0;
+  std::vector<SpanRecord> children;
+};
+
+/// Sum of the durations of every span named `name` in the tree (the tree
+/// may contain several, e.g. one `key_check` per replica attempted).
+util::SimDuration span_total(const SpanRecord& root, std::string_view name);
+
+/// First span named `name` in depth-first order, or nullptr.
+const SpanRecord* find_span(const SpanRecord& root, std::string_view name);
+
+class Tracer {
+ public:
+  using NowFn = std::function<util::SimTime()>;
+
+  explicit Tracer(NowFn now);
+  /// Convenience over a util::Clock (which must outlive the tracer).
+  explicit Tracer(const util::Clock& clock);
+
+  /// RAII handle: the span ends when end() is called or the handle is
+  /// destroyed, whichever comes first.  Ending a span that still has open
+  /// children ends the children too (at the same instant).
+  class Span {
+   public:
+    Span(Span&& other) noexcept;
+    Span& operator=(Span&& other) noexcept;
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+    ~Span();
+
+    void end();
+
+   private:
+    friend class Tracer;
+    Span(Tracer* tracer, SpanRecord* node) : tracer_(tracer), node_(node) {}
+
+    Tracer* tracer_ = nullptr;
+    SpanRecord* node_ = nullptr;  // null once ended
+  };
+
+  /// Opens a span as a child of the innermost open span (or as a new root).
+  Span span(std::string name);
+
+  /// Completed root spans, oldest first; clears the tracer's record.
+  /// Roots still open are not returned.
+  std::vector<SpanRecord> take_finished();
+
+  std::size_t open_spans() const { return stack_.size(); }
+
+ private:
+  void end_node(SpanRecord* node);
+
+  NowFn now_;
+  std::vector<SpanRecord> finished_;
+  std::unique_ptr<SpanRecord> root_;   // in-progress root (stable address)
+  std::vector<SpanRecord*> stack_;     // open spans, outermost first
+};
+
+}  // namespace globe::obs

@@ -17,6 +17,10 @@ DynamicReplicator::DynamicReplicator(globedoc::ObjectOwner& owner,
     state.config = std::move(region);
     regions_.emplace(state.config.name, std::move(state));
   }
+  auto& registry = obs::global_registry();
+  replicas_created_ = &registry.counter("replication.replicas_created");
+  replicas_retired_ = &registry.counter("replication.replicas_retired");
+  replica_gauge_ = &registry.gauge("replication.dynamic_replicas");
 }
 
 void DynamicReplicator::prune(RegionState& state, util::SimTime now) const {
@@ -74,15 +78,18 @@ Status DynamicReplicator::rebalance(util::SimTime now) {
                                                state.config.location_site, snapshot);
       if (!created.is_ok()) return created;
       state.replicated = true;
+      replicas_created_->inc();
       GLOBE_LOG_INFO("replicator", "replicated into ", name, " at ", rps, " rps");
     } else if (state.replicated && rps <= config_.retire_below_rps) {
       Status removed = owner_->unpublish_replica(
           *transport_, state.config.object_server, state.config.location_site);
       if (!removed.is_ok()) return removed;
       state.replicated = false;
+      replicas_retired_->inc();
       GLOBE_LOG_INFO("replicator", "retired replica in ", name, " at ", rps, " rps");
     }
   }
+  replica_gauge_->set(static_cast<double>(replica_count()));
   return Status::ok();
 }
 

@@ -11,6 +11,7 @@
 
 #include "globedoc/owner.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 
 namespace globe::replication {
 
@@ -59,6 +60,9 @@ class DynamicReplicator {
   net::Transport* transport_;
   Config config_;
   std::map<std::string, RegionState> regions_;
+  obs::Counter* replicas_created_;
+  obs::Counter* replicas_retired_;
+  obs::Gauge* replica_gauge_;
 };
 
 }  // namespace globe::replication

@@ -8,7 +8,12 @@ namespace globe::replication {
 
 ReplicaMaintainer::ReplicaMaintainer(globedoc::ObjectServer& server,
                                      net::Transport& transport, Config config)
-    : server_(&server), transport_(&transport), config_(config) {}
+    : server_(&server), transport_(&transport), config_(config) {
+  auto& registry = obs::global_registry();
+  checked_counter_ = &registry.counter("replication.maintainer.checked");
+  refreshed_counter_ = &registry.counter("replication.maintainer.refreshed");
+  failed_counter_ = &registry.counter("replication.maintainer.failed");
+}
 
 void ReplicaMaintainer::track(const globedoc::Oid& oid,
                               std::vector<net::Endpoint> sources,
@@ -46,6 +51,9 @@ ReplicaMaintainer::TickReport ReplicaMaintainer::tick(util::SimTime now) {
     }
     if (!refreshed) ++report.failed;
   }
+  checked_counter_->inc(report.checked);
+  refreshed_counter_->inc(report.refreshed);
+  failed_counter_->inc(report.failed);
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "globedoc/server.hpp"
+#include "obs/metrics.hpp"
 #include "replication/refresher.hpp"
 
 namespace globe::replication {
@@ -58,6 +59,9 @@ class ReplicaMaintainer {
   net::Transport* transport_;
   Config config_;
   std::map<globedoc::Oid, Entry> entries_;
+  obs::Counter* checked_counter_;
+  obs::Counter* refreshed_counter_;
+  obs::Counter* failed_counter_;
 };
 
 }  // namespace globe::replication

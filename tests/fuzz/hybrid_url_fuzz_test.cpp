@@ -1,0 +1,137 @@
+// Hybrid URL fuzzing: the URL parser sees attacker-chosen request targets
+// (any browser can point at the proxy), so it must never crash and must
+// uphold its round-trip contract on every input it accepts.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "globedoc/hybrid_url.hpp"
+
+namespace globe::globedoc {
+namespace {
+
+using util::Bytes;
+
+/// Whatever parse accepts must round-trip through to_string -> parse.
+void check_round_trip(std::string_view input) {
+  auto parsed = parse_hybrid_url(input);
+  if (!parsed.is_ok()) return;
+  // Accepted URLs always have a non-empty object and element.
+  EXPECT_FALSE(parsed->object_name.empty()) << input;
+  EXPECT_FALSE(parsed->element_name.empty()) << input;
+
+  auto again = parse_hybrid_url(parsed->to_string());
+  ASSERT_TRUE(again.is_ok()) << input;
+  EXPECT_EQ(again->object_name, parsed->object_name) << input;
+  EXPECT_EQ(again->element_name, parsed->element_name) << input;
+}
+
+TEST(HybridUrlFuzz, EdgeCases) {
+  const char* cases[] = {
+      "",
+      "/",
+      "//",
+      "http://globe/",
+      "http://globe//",
+      "http://globe///",
+      "globe://",
+      "globe:///x",
+      "/globe/",
+      "/globe//",
+      "http://globe/name",        // no element
+      "http://globe/name/",       // empty element name
+      "http://globe//element",    // empty object name
+      "globe:///element",         // empty object name (scheme form)
+      "/globe/a/",                // empty element (target form)
+      "http://globe/a/b",         // minimal valid
+      "HTTP://GLOBE/a/b",         // prefixes are case-sensitive
+      "http://globe/a/b/c/d/e",   // deep element path
+      "http://globe/a//b",        // empty path segment inside element
+      "http://glob/a/b",          // near-miss prefix
+      "http://globex/a/b",
+      " http://globe/a/b",        // leading whitespace not stripped
+      "http://globe /a/b",
+  };
+  for (const char* c : cases) {
+    SCOPED_TRACE(c);
+    (void)is_hybrid_url(c);
+    check_round_trip(c);
+  }
+
+  // Empty element name is malformed, not an empty fetch.
+  EXPECT_FALSE(parse_hybrid_url("http://globe/name/").is_ok());
+  EXPECT_FALSE(parse_hybrid_url("globe://name/").is_ok());
+  // Empty object name is malformed.
+  EXPECT_FALSE(parse_hybrid_url("http://globe//element").is_ok());
+}
+
+TEST(HybridUrlFuzz, PercentEncodingPassesThroughVerbatim) {
+  // The parser does not percent-decode: the element name is matched against
+  // the integrity certificate exactly as published, so "%2e%2e" must stay
+  // "%2e%2e" (no decode-then-traverse confusion).
+  auto url = parse_hybrid_url("http://globe/news.vu.nl/img%2Flogo.gif");
+  ASSERT_TRUE(url.is_ok());
+  EXPECT_EQ(url->object_name, "news.vu.nl");
+  EXPECT_EQ(url->element_name, "img%2Flogo.gif");
+
+  auto dotdot = parse_hybrid_url("http://globe/news.vu.nl/%2e%2e/secret");
+  ASSERT_TRUE(dotdot.is_ok());
+  EXPECT_EQ(dotdot->element_name, "%2e%2e/secret");
+  check_round_trip("http://globe/a%20b/c%00d");
+}
+
+TEST(HybridUrlFuzz, OversizedNames) {
+  // OID-sized and far-oversized hex names parse without truncation: length
+  // limits are the verifier's job (a bogus name simply fails to resolve).
+  std::string oid_hex(40, 'a');        // SHA-1 OID as hex
+  std::string oversized(100'000, 'b');  // pathological
+  for (const std::string& object : {oid_hex, oversized}) {
+    auto url = parse_hybrid_url("http://globe/" + object + "/e");
+    ASSERT_TRUE(url.is_ok());
+    EXPECT_EQ(url->object_name.size(), object.size());
+    EXPECT_EQ(url->element_name, "e");
+  }
+  auto url = parse_hybrid_url("globe://o/" + oversized);
+  ASSERT_TRUE(url.is_ok());
+  EXPECT_EQ(url->element_name.size(), oversized.size());
+}
+
+class HybridUrlRandomFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridUrlRandomFuzz, ParserSurvivesRandomInput) {
+  auto rng = crypto::HmacDrbg::from_seed(static_cast<std::uint64_t>(GetParam()));
+  const std::string prefixes[] = {"", "http://globe/", "globe://", "/globe/",
+                                  "http://globe", "globe:/"};
+  for (std::size_t len : {0u, 1u, 2u, 5u, 16u, 64u, 255u, 1024u}) {
+    Bytes raw = rng.bytes(len);
+    std::string tail(raw.begin(), raw.end());
+    for (const std::string& prefix : prefixes) {
+      std::string input = prefix + tail;
+      (void)is_hybrid_url(input);
+      check_round_trip(input);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridUrlRandomFuzz, ::testing::Range(0, 16));
+
+TEST(HybridUrlFuzz, MutatedValidUrls) {
+  auto rng = crypto::HmacDrbg::from_seed(777);
+  const std::string valid = "http://globe/news.vu.nl/img/logo.gif";
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = valid;
+    Bytes r = rng.bytes(3);
+    std::size_t pos = r[0] % mutated.size();
+    switch (r[1] % 3) {
+      case 0: mutated[pos] = static_cast<char>(r[2]); break;           // flip
+      case 1: mutated.erase(pos, 1 + r[2] % 4); break;                 // cut
+      case 2: mutated.insert(pos, 1, static_cast<char>(r[2])); break;  // grow
+    }
+    (void)is_hybrid_url(mutated);
+    check_round_trip(mutated);
+  }
+}
+
+}  // namespace
+}  // namespace globe::globedoc

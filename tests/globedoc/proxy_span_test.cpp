@@ -1,0 +1,113 @@
+// The proxy's per-fetch span tree: structure matches the Fig. 3 pipeline
+// and the security-stage spans sum to the reported security_time (they ARE
+// the Fig. 4 numerator — derived, not separately accumulated).
+#include <gtest/gtest.h>
+
+#include "globedoc/proxy.hpp"
+#include "obs/trace.hpp"
+#include "tests/globedoc/world_fixture.hpp"
+
+namespace globe::globedoc {
+namespace {
+
+using globe::globedoc::testing::WorldFixture;
+
+struct ProxySpanFixture : WorldFixture {};
+
+TEST_F(ProxySpanFixture, TraceHasOneSpanPerPipelineStage) {
+  GlobeDocProxy proxy(*client_flow, proxy_config());
+  auto result = proxy.fetch(object_name, "index.html");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  const obs::SpanRecord& trace = result->metrics.trace;
+  EXPECT_EQ(trace.name, FetchStage::kFetch);
+  for (const char* stage :
+       {FetchStage::kResolve, FetchStage::kLocate, FetchStage::kKeyCheck,
+        FetchStage::kIdentity, FetchStage::kIntegrityVerify,
+        FetchStage::kElementVerify}) {
+    const obs::SpanRecord* span = obs::find_span(trace, stage);
+    ASSERT_NE(span, nullptr) << "missing span: " << stage;
+    EXPECT_GT(span->duration, 0u) << stage;
+  }
+}
+
+TEST_F(ProxySpanFixture, SecurityStagesSumToReportedSecurityTime) {
+  GlobeDocProxy proxy(*client_flow, proxy_config());
+  auto result = proxy.fetch(object_name, "index.html");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  const auto& m = result->metrics;
+  util::SimDuration sum = obs::span_total(m.trace, FetchStage::kKeyCheck) +
+                          obs::span_total(m.trace, FetchStage::kIdentity) +
+                          obs::span_total(m.trace, FetchStage::kIntegrityVerify) +
+                          obs::span_total(m.trace, FetchStage::kElementVerify);
+  EXPECT_EQ(sum, m.security_time);
+  EXPECT_GT(m.security_time, 0u);
+  EXPECT_LT(m.security_time, m.total_time);
+}
+
+TEST_F(ProxySpanFixture, WithoutIdentityChecksIdentitySpanIsAbsent) {
+  GlobeDocProxy proxy(*client_flow, proxy_config(/*identity=*/false));
+  auto result = proxy.fetch(object_name, "index.html");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  const obs::SpanRecord& trace = result->metrics.trace;
+  EXPECT_EQ(obs::find_span(trace, FetchStage::kIdentity), nullptr);
+  util::SimDuration sum = obs::span_total(trace, FetchStage::kKeyCheck) +
+                          obs::span_total(trace, FetchStage::kIntegrityVerify) +
+                          obs::span_total(trace, FetchStage::kElementVerify);
+  EXPECT_EQ(sum, result->metrics.security_time);
+}
+
+TEST_F(ProxySpanFixture, RootSpanCoversTotalTime) {
+  GlobeDocProxy proxy(*client_flow, proxy_config());
+  auto result = proxy.fetch(object_name, "index.html");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+
+  const auto& m = result->metrics;
+  EXPECT_EQ(m.trace.duration, m.total_time);
+  // Children are contained in the root's half-open interval.
+  for (const auto& child : m.trace.children) {
+    EXPECT_GE(child.start, m.trace.start);
+    EXPECT_LE(child.start + child.duration, m.trace.start + m.trace.duration);
+  }
+}
+
+TEST_F(ProxySpanFixture, CachedRefetchSkipsResolveAndLocate) {
+  auto config = proxy_config();
+  config.cache_bindings = true;
+  GlobeDocProxy proxy(*client_flow, config);
+  ASSERT_TRUE(proxy.fetch(object_name, "index.html").is_ok());
+
+  auto result = proxy.fetch(object_name, "story.txt");
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  const obs::SpanRecord& trace = result->metrics.trace;
+  // The binding is cached: no resolve / locate / key-check work this time,
+  // but the element itself is still verified.
+  EXPECT_EQ(obs::find_span(trace, FetchStage::kResolve), nullptr);
+  EXPECT_EQ(obs::find_span(trace, FetchStage::kLocate), nullptr);
+  EXPECT_EQ(obs::find_span(trace, FetchStage::kKeyCheck), nullptr);
+  ASSERT_NE(obs::find_span(trace, FetchStage::kElementVerify), nullptr);
+  EXPECT_EQ(obs::span_total(trace, FetchStage::kElementVerify),
+            result->metrics.security_time);
+}
+
+TEST_F(ProxySpanFixture, FetchCountersTrackOutcomes) {
+  auto& registry = obs::global_registry();
+  GlobeDocProxy proxy(*client_flow, proxy_config());
+  std::uint64_t ok_before =
+      registry.counter("proxy.fetches", {{"outcome", "ok"}}).value();
+  std::uint64_t err_before =
+      registry.counter("proxy.fetches", {{"outcome", "error"}}).value();
+
+  ASSERT_TRUE(proxy.fetch(object_name, "index.html").is_ok());
+  ASSERT_FALSE(proxy.fetch(object_name, "no-such-element").is_ok());
+
+  EXPECT_EQ(registry.counter("proxy.fetches", {{"outcome", "ok"}}).value(),
+            ok_before + 1);
+  EXPECT_EQ(registry.counter("proxy.fetches", {{"outcome", "error"}}).value(),
+            err_before + 1);
+}
+
+}  // namespace
+}  // namespace globe::globedoc

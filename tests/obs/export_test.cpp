@@ -1,0 +1,107 @@
+// Exporters: text/JSON rendering of snapshots and span trees.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace globe::obs {
+namespace {
+
+TEST(Export, TextFormat) {
+  MetricsRegistry registry;
+  registry.counter("requests", {{"outcome", "ok"}}).inc(3);
+  registry.gauge("depth").set(1.5);
+
+  std::string text = to_text(registry.snapshot());
+  EXPECT_NE(text.find("requests{outcome=ok} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("depth 1.5\n"), std::string::npos);
+}
+
+TEST(Export, JsonCounterAndGauge) {
+  MetricsRegistry registry;
+  registry.counter("hits", {{"a", "1"}}).inc(2);
+
+  std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("{\"name\":\"hits\",\"labels\":{\"a\":\"1\"},"
+                      "\"kind\":\"counter\",\"value\":2}"),
+            std::string::npos);
+}
+
+TEST(Export, JsonHistogramBuckets) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(100.0);  // overflow
+
+  std::string json = to_json(registry.snapshot());
+  EXPECT_NE(json.find("\"kind\":\"histogram\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":2"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":1,\"count\":1}"), std::string::npos);
+  EXPECT_NE(json.find("{\"le\":\"inf\",\"count\":1}"), std::string::npos);
+}
+
+TEST(Export, JsonEscaping) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+}
+
+TEST(Export, SpanTreeJson) {
+  SpanRecord root;
+  root.name = "fetch";
+  root.start = 10;
+  root.duration = 100;
+  SpanRecord child;
+  child.name = "resolve";
+  child.start = 12;
+  child.duration = 30;
+  root.children.push_back(child);
+
+  EXPECT_EQ(to_json(root),
+            "{\"name\":\"fetch\",\"start_ns\":10,\"duration_ns\":100,"
+            "\"children\":[{\"name\":\"resolve\",\"start_ns\":12,"
+            "\"duration_ns\":30,\"children\":[]}]}");
+}
+
+TEST(Export, DeterministicOrdering) {
+  MetricsRegistry registry;
+  registry.counter("b").inc();
+  registry.counter("a", {{"x", "2"}}).inc();
+  registry.counter("a", {{"x", "1"}}).inc();
+
+  std::string json = to_json(registry.snapshot());
+  std::size_t a1 = json.find("\"x\":\"1\"");
+  std::size_t a2 = json.find("\"x\":\"2\"");
+  std::size_t b = json.find("\"name\":\"b\"");
+  EXPECT_LT(a1, a2);
+  EXPECT_LT(a2, b);
+}
+
+TEST(Export, WriteBenchJsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("n").inc(7);
+
+  std::string path = testing::TempDir() + "obs_export_test.json";
+  auto status = write_bench_json(path, "unit_test", registry.snapshot());
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"bench\":\"unit_test\""), std::string::npos);
+  EXPECT_NE(content.find("\"name\":\"n\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Export, WriteBenchJsonBadPath) {
+  MetricsRegistry registry;
+  auto status = write_bench_json("/nonexistent-dir/x/y.json", "b",
+                                 registry.snapshot());
+  EXPECT_FALSE(status.is_ok());
+}
+
+}  // namespace
+}  // namespace globe::obs

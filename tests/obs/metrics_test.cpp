@@ -1,0 +1,184 @@
+// Metrics registry: counters, gauges, histogram bucket/quantile math,
+// label normalization, and thread-safety of concurrent increments.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.hpp"
+
+namespace globe::obs {
+namespace {
+
+TEST(Counter, IncrementsAndResets) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set(0);
+  EXPECT_DOUBLE_EQ(g.value(), 0);
+}
+
+TEST(Histogram, BucketSelection) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // bucket 0 (<= 1)
+  h.observe(1.0);    // bucket 0 (bounds are inclusive)
+  h.observe(5.0);    // bucket 1
+  h.observe(100.0);  // bucket 2
+  h.observe(1e6);    // overflow
+
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+  auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(Histogram, QuantileInterpolation) {
+  Histogram h({10.0, 20.0, 30.0});
+  // 10 observations spread evenly inside (10, 20]: ranks 1..10 are all in
+  // bucket 1, so quantiles interpolate linearly between 10 and 20.
+  for (int i = 0; i < 10; ++i) h.observe(15.0);
+
+  // rank(0.5) = 5 of 10 seen in a bucket covering [10, 20).
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0 + 10.0 * (5.0 / 10.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+  EXPECT_GT(h.quantile(0.9), h.quantile(0.1));
+}
+
+TEST(Histogram, QuantileEdgeCases) {
+  Histogram h({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty
+  h.observe(1e9);                          // overflow only
+  // The histogram cannot see past its last finite bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+}
+
+TEST(Histogram, ResetKeepsLayout) {
+  Histogram h({1.0, 2.0});
+  h.observe(1.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  ASSERT_EQ(h.bounds().size(), 2u);
+  h.observe(1.5);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+}
+
+TEST(Registry, LabelOrderIsNormalized) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("requests", {{"b", "2"}, {"a", "1"}});
+  Counter& b = registry.counter("requests", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(&a, &b);  // same series regardless of label order
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, DistinctLabelsDistinctSeries) {
+  MetricsRegistry registry;
+  Counter& ok = registry.counter("fetches", {{"outcome", "ok"}});
+  Counter& err = registry.counter("fetches", {{"outcome", "error"}});
+  EXPECT_NE(&ok, &err);
+  ok.inc(3);
+  err.inc(1);
+
+  auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 2u);
+  // Sorted by (name, labels): "error" < "ok".
+  EXPECT_EQ(snapshot.samples[0].labels[0].second, "error");
+  EXPECT_DOUBLE_EQ(snapshot.samples[0].value, 1.0);
+  EXPECT_EQ(snapshot.samples[1].labels[0].second, "ok");
+  EXPECT_DOUBLE_EQ(snapshot.samples[1].value, 3.0);
+}
+
+TEST(Registry, HandlesStayValidAcrossReset) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("c");
+  Gauge& g = registry.gauge("g");
+  Histogram& h = registry.histogram("h", {1.0, 2.0});
+  c.inc(7);
+  g.set(7);
+  h.observe(1.5);
+
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // The same references keep working.
+  c.inc();
+  EXPECT_EQ(registry.counter("c").value(), 1u);
+}
+
+TEST(Registry, SnapshotContainsHistogramSummary) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("lat", {10.0, 20.0, 40.0});
+  for (int i = 0; i < 100; ++i) h.observe(15.0);
+
+  auto snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.samples.size(), 1u);
+  const MetricSample& s = snapshot.samples[0];
+  EXPECT_EQ(s.kind, MetricSample::Kind::kHistogram);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.value, 1500.0);
+  ASSERT_EQ(s.bucket_counts.size(), 4u);
+  EXPECT_EQ(s.bucket_counts[1], 100u);
+  EXPECT_GT(s.p50, 10.0);
+  EXPECT_LE(s.p99, 20.0);
+}
+
+TEST(Registry, ConcurrentIncrementsFromThreadPool) {
+  MetricsRegistry registry;
+  Counter& c = registry.counter("hits", {{"worker", "any"}});
+  Histogram& h = registry.histogram("work", {10.0, 100.0, 1000.0});
+
+  constexpr int kTasks = 64;
+  constexpr int kIncsPerTask = 1000;
+  util::ThreadPool pool(8);
+  for (int t = 0; t < kTasks; ++t) {
+    pool.submit([&c, &h, t] {
+      for (int i = 0; i < kIncsPerTask; ++i) {
+        c.inc();
+        h.observe(static_cast<double>(t));
+      }
+    });
+  }
+  pool.wait_idle();
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kTasks) * kIncsPerTask);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kTasks) * kIncsPerTask);
+}
+
+TEST(Registry, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry registry;
+  util::ThreadPool pool(8);
+  for (int t = 0; t < 32; ++t) {
+    pool.submit([&registry, t] {
+      // Half the tasks hit the same series, half create distinct ones.
+      registry.counter("shared").inc();
+      registry.counter("per_task", {{"t", std::to_string(t)}}).inc();
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(registry.counter("shared").value(), 32u);
+  EXPECT_EQ(registry.snapshot().samples.size(), 33u);
+}
+
+TEST(GlobalRegistry, IsASingleton) {
+  EXPECT_EQ(&global_registry(), &global_registry());
+}
+
+}  // namespace
+}  // namespace globe::obs

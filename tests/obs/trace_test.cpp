@@ -1,0 +1,168 @@
+// Trace spans: nesting, RAII end, timing against a manually-driven clock.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/clock.hpp"
+
+namespace globe::obs {
+namespace {
+
+using util::ManualClock;
+using util::millis;
+
+TEST(Tracer, SingleSpanMeasuresClockAdvance) {
+  ManualClock clock(millis(100));
+  Tracer tracer(clock);
+  {
+    auto span = tracer.span("work");
+    clock.advance(millis(25));
+  }
+  auto finished = tracer.take_finished();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0].name, "work");
+  EXPECT_EQ(finished[0].start, millis(100));
+  EXPECT_EQ(finished[0].duration, millis(25));
+  EXPECT_TRUE(finished[0].children.empty());
+}
+
+TEST(Tracer, SpansNestStrictly) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    auto fetch = tracer.span("fetch");
+    clock.advance(millis(1));
+    {
+      auto resolve = tracer.span("resolve");
+      clock.advance(millis(2));
+    }
+    {
+      auto locate = tracer.span("locate");
+      clock.advance(millis(3));
+      {
+        auto hop = tracer.span("hop");
+        clock.advance(millis(4));
+      }
+    }
+    clock.advance(millis(5));
+  }
+
+  auto finished = tracer.take_finished();
+  ASSERT_EQ(finished.size(), 1u);
+  const SpanRecord& fetch = finished[0];
+  EXPECT_EQ(fetch.name, "fetch");
+  EXPECT_EQ(fetch.duration, millis(1 + 2 + 3 + 4 + 5));
+  ASSERT_EQ(fetch.children.size(), 2u);
+  EXPECT_EQ(fetch.children[0].name, "resolve");
+  EXPECT_EQ(fetch.children[0].duration, millis(2));
+  EXPECT_EQ(fetch.children[1].name, "locate");
+  EXPECT_EQ(fetch.children[1].duration, millis(3 + 4));
+  ASSERT_EQ(fetch.children[1].children.size(), 1u);
+  EXPECT_EQ(fetch.children[1].children[0].name, "hop");
+  EXPECT_EQ(fetch.children[1].children[0].duration, millis(4));
+}
+
+TEST(Tracer, ExplicitEndStopsTheClockEarly) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  auto span = tracer.span("early");
+  clock.advance(millis(10));
+  span.end();
+  clock.advance(millis(99));  // after end: not counted
+  auto finished = tracer.take_finished();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0].duration, millis(10));
+}
+
+TEST(Tracer, EndingParentClosesOpenChildren) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  auto parent = tracer.span("parent");
+  auto child = tracer.span("child");
+  clock.advance(millis(7));
+  parent.end();  // child is still open: closed at the same instant
+  EXPECT_EQ(tracer.open_spans(), 0u);
+
+  auto finished = tracer.take_finished();
+  ASSERT_EQ(finished.size(), 1u);
+  ASSERT_EQ(finished[0].children.size(), 1u);
+  EXPECT_EQ(finished[0].children[0].duration, millis(7));
+  // The child handle's later destruction must be a harmless no-op.
+}
+
+TEST(Tracer, SequentialRootsAccumulate) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  for (int i = 1; i <= 3; ++i) {
+    auto span = tracer.span("op");
+    clock.advance(millis(static_cast<std::uint64_t>(i)));
+  }
+  auto finished = tracer.take_finished();
+  ASSERT_EQ(finished.size(), 3u);
+  EXPECT_EQ(finished[2].duration, millis(3));
+  EXPECT_TRUE(tracer.take_finished().empty());  // cleared
+}
+
+TEST(Tracer, OpenRootIsNotReturned) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  auto span = tracer.span("open");
+  EXPECT_TRUE(tracer.take_finished().empty());
+  EXPECT_EQ(tracer.open_spans(), 1u);
+}
+
+TEST(Tracer, MoveTransfersOwnership) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    auto a = tracer.span("moved");
+    Tracer::Span b = std::move(a);
+    clock.advance(millis(4));
+    // Only b's destruction ends the span.
+  }
+  auto finished = tracer.take_finished();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(finished[0].duration, millis(4));
+}
+
+TEST(SpanHelpers, TotalSumsEveryMatchingSpan) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    auto fetch = tracer.span("fetch");
+    for (int i = 0; i < 3; ++i) {
+      auto attempt = tracer.span("key_check");
+      clock.advance(millis(5));
+    }
+  }
+  auto finished = tracer.take_finished();
+  ASSERT_EQ(finished.size(), 1u);
+  EXPECT_EQ(span_total(finished[0], "key_check"), millis(15));
+  EXPECT_EQ(span_total(finished[0], "fetch"), millis(15));
+  EXPECT_EQ(span_total(finished[0], "missing"), 0u);
+}
+
+TEST(SpanHelpers, FindLocatesFirstDepthFirst) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    auto root = tracer.span("root");
+    {
+      auto a = tracer.span("a");
+      auto needle = tracer.span("needle");
+      clock.advance(millis(1));
+    }
+    {
+      auto needle2 = tracer.span("needle");
+      clock.advance(millis(2));
+    }
+  }
+  auto finished = tracer.take_finished();
+  const SpanRecord* found = find_span(finished[0], "needle");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->duration, millis(1));  // depth-first: the nested one
+  EXPECT_EQ(find_span(finished[0], "absent"), nullptr);
+}
+
+}  // namespace
+}  // namespace globe::obs
