@@ -43,8 +43,9 @@ class MerkleTree {
   MerkleProof prove(std::size_t index) const;
 
   /// Recomputes the root implied by (leaf data, proof) and compares.
-  static bool verify(util::BytesView leaf_data, const MerkleProof& proof,
-                     util::BytesView expected_root);
+  [[nodiscard]] static bool verify(util::BytesView leaf_data,
+                                   const MerkleProof& proof,
+                                   util::BytesView expected_root);
 
   static util::Bytes hash_leaf(util::BytesView data);
   static util::Bytes hash_interior(util::BytesView left, util::BytesView right);

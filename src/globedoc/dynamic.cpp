@@ -70,17 +70,17 @@ DynamicReplicaServer::DynamicReplicaServer(std::string name,
 
 void DynamicReplicaServer::host(const Oid& oid, const std::string& template_name,
                                 Generator generator) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   generators_[{oid, template_name}] = std::move(generator);
 }
 
 void DynamicReplicaServer::set_cheat(std::function<Bytes(Bytes)> corruptor) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   cheat_ = std::move(corruptor);
 }
 
 std::size_t DynamicReplicaServer::queries_served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return queries_served_;
 }
 
@@ -105,7 +105,7 @@ Result<Bytes> DynamicReplicaServer::handle_query(net::ServerContext& ctx,
     Generator generator;
     std::function<Bytes(Bytes)> cheat;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       auto it = generators_.find({*oid, template_name});
       if (it == generators_.end()) {
         return Result<Bytes>(ErrorCode::kNotFound,

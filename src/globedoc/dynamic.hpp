@@ -21,7 +21,6 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -30,6 +29,7 @@
 #include "globedoc/oid.hpp"
 #include "net/transport.hpp"
 #include "rpc/rpc.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace globe::globedoc {
@@ -60,8 +60,8 @@ struct DynamicReceipt {
   static util::Result<DynamicReceipt> parse(util::BytesView data);
 
   /// Signature + response binding check.
-  bool verify(const crypto::RsaPublicKey& server_key,
-              util::BytesView response) const;
+  [[nodiscard]] bool verify(const crypto::RsaPublicKey& server_key,
+                            util::BytesView response) const;
 };
 
 /// Hosts dynamic templates and signs everything it serves.
@@ -73,16 +73,18 @@ class DynamicReplicaServer {
   const std::string& name() const { return name_; }
 
   /// Installs a generator for (oid, template).
-  void host(const Oid& oid, const std::string& template_name, Generator generator);
+  void host(const Oid& oid, const std::string& template_name, Generator generator)
+      GLOBE_EXCLUDES(mutex_);
 
   void register_with(rpc::ServiceDispatcher& dispatcher);
 
   /// Test hook: corrupts every served response *after* receipt signing is
   /// decided — i.e. the server lies and signs the lie (the case auditing
   /// must catch).
-  void set_cheat(std::function<util::Bytes(util::Bytes)> corruptor);
+  void set_cheat(std::function<util::Bytes(util::Bytes)> corruptor)
+      GLOBE_EXCLUDES(mutex_);
 
-  std::size_t queries_served() const;
+  std::size_t queries_served() const GLOBE_EXCLUDES(mutex_);
 
  private:
   util::Result<util::Bytes> handle_query(net::ServerContext& ctx,
@@ -90,10 +92,11 @@ class DynamicReplicaServer {
 
   std::string name_;
   crypto::RsaKeyPair key_;
-  mutable std::mutex mutex_;
-  std::map<std::pair<Oid, std::string>, Generator> generators_;
-  std::function<util::Bytes(util::Bytes)> cheat_;
-  std::size_t queries_served_ = 0;
+  mutable util::Mutex mutex_;
+  std::map<std::pair<Oid, std::string>, Generator> generators_
+      GLOBE_GUARDED_BY(mutex_);
+  std::function<util::Bytes(util::Bytes)> cheat_ GLOBE_GUARDED_BY(mutex_);
+  std::size_t queries_served_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 
 /// A verifiable accusation: the receipt (server-signed) plus what the
@@ -104,7 +107,7 @@ struct MisbehaviorProof {
 
   /// Valid iff the receipt signature verifies under `server_key` AND the
   /// origin response hashes differently from what the server attested.
-  bool verify(const crypto::RsaPublicKey& server_key) const;
+  [[nodiscard]] bool verify(const crypto::RsaPublicKey& server_key) const;
 };
 
 /// Client-side: queries a replica, verifies receipts, and probabilistically

@@ -52,17 +52,18 @@ class CertificateAuthority {
 class TrustStore {
  public:
   void trust(const std::string& ca_name, crypto::RsaPublicKey key);
-  bool trusts(const std::string& ca_name) const;
+  [[nodiscard]] bool trusts(const std::string& ca_name) const;
   std::size_t size() const { return cas_.size(); }
 
   /// Full verification of one certificate: trusted issuer, valid signature,
   /// not expired, and issued for `expected_oid`.
-  util::Status verify(const IdentityCertificate& cert, const Oid& expected_oid,
-                      util::SimTime now) const;
+  [[nodiscard]] util::Status verify(const IdentityCertificate& cert,
+                                    const Oid& expected_oid,
+                                    util::SimTime now) const;
 
   /// Scans `certs` and returns the subject of the first certificate that
   /// verifies (the proxy's "Certified as:" string), or nullopt.
-  std::optional<std::string> first_trusted_subject(
+  [[nodiscard]] std::optional<std::string> first_trusted_subject(
       const std::vector<IdentityCertificate>& certs, const Oid& expected_oid,
       util::SimTime now) const;
 

@@ -46,10 +46,10 @@ class IntegrityCertificate {
   const std::vector<ElementEntry>& entries() const { return entries_; }
   const util::Bytes& signature() const { return signature_; }
 
-  const ElementEntry* find(const std::string& name) const;
+  [[nodiscard]] const ElementEntry* find(const std::string& name) const;
 
   /// Verifies the signature under the object's public key.
-  bool verify_signature(const crypto::RsaPublicKey& key) const;
+  [[nodiscard]] bool verify_signature(const crypto::RsaPublicKey& key) const;
 
   /// The three checks of §3.2.2 for one retrieved element:
   ///   NOT_FOUND     — no entry for `requested_name`;
@@ -58,8 +58,9 @@ class IntegrityCertificate {
   ///   EXPIRED       — entry validity interval passed.
   /// Signature verification is separate (verify_signature) because it is
   /// done once per binding, not once per element.
-  util::Status check_element(const std::string& requested_name,
-                             const PageElement& served, util::SimTime now) const;
+  [[nodiscard]] util::Status check_element(
+      const std::string& requested_name, const PageElement& served,
+      util::SimTime now) const;
 
   /// Wire encoding: signed body + signature.
   util::Bytes serialize() const;

@@ -34,7 +34,7 @@ class Oid {
   std::string to_hex() const;
 
   /// The self-certifying check: does `key` hash to this OID?
-  bool matches_key(const crypto::RsaPublicKey& key) const;
+  [[nodiscard]] bool matches_key(const crypto::RsaPublicKey& key) const;
 
   auto operator<=>(const Oid&) const = default;
 

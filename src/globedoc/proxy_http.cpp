@@ -12,7 +12,7 @@ ProxyHttpServer::ProxyHttpServer(std::unique_ptr<GlobeDocProxy> proxy)
     : proxy_(std::move(proxy)) {}
 
 std::size_t ProxyHttpServer::requests_served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return requests_served_;
 }
 
@@ -25,7 +25,7 @@ net::MessageHandler ProxyHttpServer::handler() {
           400, "Bad Request",
           util::to_bytes("<html><body>400 Bad Request</body></html>"));
     } else {
-      std::lock_guard<std::mutex> lock(mutex_);
+      util::LockGuard lock(mutex_);
       ++requests_served_;
       response = proxy_->handle_browser_request(*request);
     }

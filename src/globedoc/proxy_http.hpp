@@ -8,9 +8,9 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 
 #include "globedoc/proxy.hpp"
+#include "util/mutex.hpp"
 
 namespace globe::globedoc {
 
@@ -22,14 +22,18 @@ class ProxyHttpServer {
 
   net::MessageHandler handler();
 
-  GlobeDocProxy& proxy() { return *proxy_; }
+  /// Setup/inspection escape hatch: grants unsynchronized access to the
+  /// wrapped proxy.  Callers must not race with a live handler().
+  GlobeDocProxy& proxy() GLOBE_NO_THREAD_SAFETY_ANALYSIS { return *proxy_; }
 
-  std::size_t requests_served() const;
+  std::size_t requests_served() const GLOBE_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::unique_ptr<GlobeDocProxy> proxy_;
-  std::size_t requests_served_ = 0;
+  mutable util::Mutex mutex_;
+  // One user proxy serves one browser (paper Fig. 3): the proxy object and
+  // the request counter are both driven under the handler mutex.
+  std::unique_ptr<GlobeDocProxy> proxy_ GLOBE_PT_GUARDED_BY(mutex_);
+  std::size_t requests_served_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace globe::globedoc

@@ -65,47 +65,47 @@ ObjectServer::ObjectServer(std::string name, std::uint64_t nonce_seed)
 }
 
 void ObjectServer::authorize(const crypto::RsaPublicKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   keystore_.insert(key.serialize());
 }
 
 void ObjectServer::revoke(const crypto::RsaPublicKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   keystore_.erase(key.serialize());
 }
 
 bool ObjectServer::is_authorized(const crypto::RsaPublicKey& key) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return keystore_.count(key.serialize()) > 0;
 }
 
 std::size_t ObjectServer::replica_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return replicas_.size();
 }
 
 bool ObjectServer::hosts(const Oid& oid) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return replicas_.count(oid) > 0;
 }
 
 void ObjectServer::install_replica_unchecked(const ReplicaState& state) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   replicas_[state.certificate.oid()] = state;
 }
 
 void ObjectServer::set_resource_limits(const ResourceLimits& limits) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   limits_ = limits;
 }
 
 ResourceLimits ObjectServer::resource_limits() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return limits_;
 }
 
 std::uint64_t ObjectServer::hosted_bytes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::uint64_t total = 0;
   for (const auto& [oid, state] : replicas_) total += state.content_bytes();
   return total;
@@ -117,7 +117,7 @@ bool ObjectServer::lease_expired_locked(const Oid& oid, util::SimTime now) const
 }
 
 std::size_t ObjectServer::expire_leases(util::SimTime now) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   std::size_t evicted = 0;
   for (auto it = lease_until_.begin(); it != lease_until_.end();) {
     if (it->second <= now) {
@@ -161,12 +161,12 @@ HostingGrant ObjectServer::check_capacity_locked(std::uint64_t bytes,
 }
 
 std::size_t ObjectServer::elements_served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return elements_served_;
 }
 
 std::uint64_t ObjectServer::content_bytes_served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return content_bytes_served_;
 }
 
@@ -205,7 +205,7 @@ Result<Bytes> ObjectServer::handle_negotiate(net::ServerContext&, BytesView payl
     std::uint64_t requested_lease = r.u64();
     r.expect_end();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     HostingGrant grant = check_capacity_locked(bytes, nullptr);
     if (grant.accepted) {
       if (limits_.max_lease == 0) {
@@ -230,7 +230,7 @@ Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
     std::string name = r.str();
     r.expect_end();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = replicas_.find(*oid);
     if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
       return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
@@ -258,7 +258,7 @@ Result<Bytes> ObjectServer::handle_list_elements(net::ServerContext& ctx,
     if (!oid.is_ok()) return oid.status();
     r.expect_end();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = replicas_.find(*oid);
     if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
       return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
@@ -280,7 +280,7 @@ Result<Bytes> ObjectServer::handle_get_public_key(net::ServerContext& ctx,
     auto oid = read_oid(r);
     if (!oid.is_ok()) return oid.status();
     r.expect_end();
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = replicas_.find(*oid);
     if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
       return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
@@ -299,7 +299,7 @@ Result<Bytes> ObjectServer::handle_get_integrity_cert(net::ServerContext& ctx,
     auto oid = read_oid(r);
     if (!oid.is_ok()) return oid.status();
     r.expect_end();
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = replicas_.find(*oid);
     if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
       return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
@@ -318,7 +318,7 @@ Result<Bytes> ObjectServer::handle_get_identity_certs(net::ServerContext& ctx,
     auto oid = read_oid(r);
     if (!oid.is_ok()) return oid.status();
     r.expect_end();
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = replicas_.find(*oid);
     if (it == replicas_.end() || lease_expired_locked(*oid, ctx.now())) {
       return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
@@ -336,7 +336,7 @@ Result<Bytes> ObjectServer::handle_challenge(net::ServerContext&, BytesView payl
   if (!payload.empty()) {
     return Result<Bytes>(ErrorCode::kProtocol, "challenge takes no payload");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   // Bound against nonce flooding: evict the OLDEST outstanding challenge
   // (FIFO), so a flood cannot selectively displace a fresh one.
   // (Bounding the FIFO also drains entries whose nonce was already
@@ -358,7 +358,7 @@ Result<Bytes> ObjectServer::check_admin_auth(net::ServerContext& ctx,
                                              const Bytes& signature,
                                              std::string_view tag, BytesView payload) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = outstanding_nonces_.find(nonce);
     if (it == outstanding_nonces_.end()) {
       return Result<Bytes>(ErrorCode::kPermissionDenied, "unknown or replayed nonce");
@@ -401,7 +401,7 @@ Result<Bytes> ObjectServer::handle_create_or_update(net::ServerContext& ctx,
     if (!state.is_ok()) return state.status();
     Oid oid = state->certificate.oid();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto cit = creators_.find(oid);
     if (create) {
       if (cit != creators_.end()) {
@@ -463,7 +463,7 @@ Result<Bytes> ObjectServer::handle_delete(net::ServerContext& ctx, BytesView pay
     auto oid = Oid::from_bytes(oid_bytes);
     if (!oid.is_ok()) return oid.status();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto cit = creators_.find(*oid);
     if (cit == creators_.end()) {
       return Result<Bytes>(ErrorCode::kNotFound, "no replica of " + oid->to_hex());
@@ -487,7 +487,7 @@ Result<Bytes> ObjectServer::handle_list_replicas(net::ServerContext&,
   if (!payload.empty()) {
     return Result<Bytes>(ErrorCode::kProtocol, "list takes no payload");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   util::Writer w;
   w.u32(static_cast<std::uint32_t>(replicas_.size()));
   for (const auto& [oid, state] : replicas_) w.raw(oid.to_bytes());

@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <deque>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 
@@ -27,6 +26,7 @@
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
+#include "util/mutex.hpp"
 
 namespace globe::globedoc {
 
@@ -75,31 +75,32 @@ class ObjectServer {
   ObjectServer(std::string name, std::uint64_t nonce_seed);
 
   /// Keystore ACL management (server administrator's side).
-  void authorize(const crypto::RsaPublicKey& key);
-  void revoke(const crypto::RsaPublicKey& key);
-  bool is_authorized(const crypto::RsaPublicKey& key) const;
+  void authorize(const crypto::RsaPublicKey& key) GLOBE_EXCLUDES(mutex_);
+  void revoke(const crypto::RsaPublicKey& key) GLOBE_EXCLUDES(mutex_);
+  [[nodiscard]] bool is_authorized(const crypto::RsaPublicKey& key) const
+      GLOBE_EXCLUDES(mutex_);
 
   void register_with(rpc::ServiceDispatcher& dispatcher);
 
-  std::size_t replica_count() const;
-  bool hosts(const Oid& oid) const;
+  std::size_t replica_count() const GLOBE_EXCLUDES(mutex_);
+  bool hosts(const Oid& oid) const GLOBE_EXCLUDES(mutex_);
 
   /// Installs a replica bypassing admin auth (local bootstrap in tests).
-  void install_replica_unchecked(const ReplicaState& state);
+  void install_replica_unchecked(const ReplicaState& state) GLOBE_EXCLUDES(mutex_);
 
   /// Resource policy (paper §6 extension).  Limits apply to future creates
   /// and updates; existing replicas are untouched until their lease ends.
-  void set_resource_limits(const ResourceLimits& limits);
-  ResourceLimits resource_limits() const;
+  void set_resource_limits(const ResourceLimits& limits) GLOBE_EXCLUDES(mutex_);
+  ResourceLimits resource_limits() const GLOBE_EXCLUDES(mutex_);
   /// Content bytes currently hosted across all replicas.
-  std::uint64_t hosted_bytes() const;
+  std::uint64_t hosted_bytes() const GLOBE_EXCLUDES(mutex_);
   /// Drops replicas whose lease expired at or before `now`; returns how
   /// many were evicted.  Also applied lazily on every access.
-  std::size_t expire_leases(util::SimTime now);
+  std::size_t expire_leases(util::SimTime now) GLOBE_EXCLUDES(mutex_);
 
   /// Serving statistics.
-  std::size_t elements_served() const;
-  std::uint64_t content_bytes_served() const;
+  std::size_t elements_served() const GLOBE_EXCLUDES(mutex_);
+  std::uint64_t content_bytes_served() const GLOBE_EXCLUDES(mutex_);
 
  private:
   util::Result<util::Bytes> handle_get_element(net::ServerContext&, util::BytesView);
@@ -120,10 +121,12 @@ class ObjectServer {
   /// (excluding `existing_oid`'s current usage when updating).  Returns an
   /// accepted grant or a rejection with a reason.  Caller holds mutex_.
   HostingGrant check_capacity_locked(std::uint64_t bytes,
-                                     const Oid* existing_oid) const;
+                                     const Oid* existing_oid) const
+      GLOBE_REQUIRES(mutex_);
 
   /// Removes a replica whose lease has passed; caller holds mutex_.
-  bool lease_expired_locked(const Oid& oid, util::SimTime now) const;
+  [[nodiscard]] bool lease_expired_locked(const Oid& oid, util::SimTime now) const
+      GLOBE_REQUIRES(mutex_);
 
   /// Validates (nonce, pubkey, signature) against the keystore; returns the
   /// authorized key's serialized form, or an error.  `tag` domain-separates
@@ -133,20 +136,25 @@ class ObjectServer {
                                              const util::Bytes& pubkey,
                                              const util::Bytes& signature,
                                              std::string_view tag,
-                                             util::BytesView payload);
+                                             util::BytesView payload)
+      GLOBE_EXCLUDES(mutex_);
 
   std::string name_;
-  mutable std::mutex mutex_;
-  crypto::HmacDrbg nonce_rng_;
-  std::set<util::Bytes> keystore_;           // authorized serialized public keys
-  std::set<util::Bytes> outstanding_nonces_;
-  std::deque<util::Bytes> nonce_order_;      // FIFO for bounded eviction
-  std::map<Oid, ReplicaState> replicas_;
-  std::map<Oid, util::Bytes> creators_;      // oid -> serialized creator key
-  std::map<Oid, util::SimTime> lease_until_;  // absent = unlimited
-  ResourceLimits limits_;
-  std::size_t elements_served_ = 0;
-  std::uint64_t content_bytes_served_ = 0;
+  mutable util::Mutex mutex_;
+  crypto::HmacDrbg nonce_rng_ GLOBE_GUARDED_BY(mutex_);
+  // authorized serialized public keys
+  std::set<util::Bytes> keystore_ GLOBE_GUARDED_BY(mutex_);
+  std::set<util::Bytes> outstanding_nonces_ GLOBE_GUARDED_BY(mutex_);
+  // FIFO for bounded nonce eviction
+  std::deque<util::Bytes> nonce_order_ GLOBE_GUARDED_BY(mutex_);
+  std::map<Oid, ReplicaState> replicas_ GLOBE_GUARDED_BY(mutex_);
+  // oid -> serialized creator key
+  std::map<Oid, util::Bytes> creators_ GLOBE_GUARDED_BY(mutex_);
+  // absent = unlimited
+  std::map<Oid, util::SimTime> lease_until_ GLOBE_GUARDED_BY(mutex_);
+  ResourceLimits limits_ GLOBE_GUARDED_BY(mutex_);
+  std::size_t elements_served_ GLOBE_GUARDED_BY(mutex_) = 0;
+  std::uint64_t content_bytes_served_ GLOBE_GUARDED_BY(mutex_) = 0;
   // Registry series, labeled by this server's name.
   obs::Counter* requests_counter_;
   obs::Counter* elements_counter_;

@@ -123,7 +123,7 @@ SecureServer::SecureServer(crypto::RsaKeyPair identity, std::string certificate_
 }
 
 std::size_t SecureServer::handshakes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return handshake_count_;
 }
 
@@ -142,7 +142,7 @@ Result<Bytes> SecureServer::handle(net::ServerContext& ctx, BytesView raw) {
         if (client_random.size() != kRandomSize) {
           return Result<Bytes>(ErrorCode::kProtocol, "bad client random");
         }
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::LockGuard lock(mutex_);
         std::uint64_t id = next_session_++;
         Session& s = sessions_[id];
         s.client_random = std::move(client_random);
@@ -162,7 +162,7 @@ Result<Bytes> SecureServer::handle(net::ServerContext& ctx, BytesView raw) {
         if (!premaster.is_ok() || premaster->size() != kPremasterSize) {
           return Result<Bytes>(ErrorCode::kProtocol, "bad premaster");
         }
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::LockGuard lock(mutex_);
         auto it = sessions_.find(id);
         if (it == sessions_.end()) {
           return Result<Bytes>(ErrorCode::kNotFound, "unknown session");
@@ -183,7 +183,7 @@ Result<Bytes> SecureServer::handle(net::ServerContext& ctx, BytesView raw) {
         std::uint64_t id = r.u64();
         Session session;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          util::LockGuard lock(mutex_);
           auto it = sessions_.find(id);
           if (it == sessions_.end() || !it->second.established) {
             return Result<Bytes>(ErrorCode::kNotFound, "no established session");
@@ -202,7 +202,7 @@ Result<Bytes> SecureServer::handle(net::ServerContext& ctx, BytesView raw) {
         util::Writer w;
         Bytes nonce;
         {
-          std::lock_guard<std::mutex> lock(mutex_);
+          util::LockGuard lock(mutex_);
           nonce = rng_.bytes(12);
         }
         crypto::AesCtr ctr(session.server_key, nonce);

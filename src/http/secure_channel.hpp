@@ -19,13 +19,13 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 
 #include "crypto/drbg.hpp"
 #include "crypto/rsa.hpp"
 #include "http/message.hpp"
 #include "net/transport.hpp"
+#include "util/mutex.hpp"
 
 namespace globe::http {
 
@@ -42,7 +42,7 @@ class SecureServer {
   const std::string& certificate_name() const { return cert_name_; }
 
   /// Number of completed handshakes (for tests/benchmarks).
-  std::size_t handshakes() const;
+  std::size_t handshakes() const GLOBE_EXCLUDES(mutex_);
 
  private:
   struct Session {
@@ -53,17 +53,18 @@ class SecureServer {
     bool established = false;
   };
 
-  util::Result<util::Bytes> handle(net::ServerContext& ctx, util::BytesView raw);
+  util::Result<util::Bytes> handle(net::ServerContext& ctx, util::BytesView raw)
+      GLOBE_EXCLUDES(mutex_);
 
   crypto::RsaKeyPair identity_;
   std::string cert_name_;
   util::Bytes certificate_;  // serialized name+pubkey+signature
   net::MessageHandler inner_;
-  mutable std::mutex mutex_;
-  crypto::HmacDrbg rng_;
-  std::unordered_map<std::uint64_t, Session> sessions_;
-  std::uint64_t next_session_ = 1;
-  std::size_t handshake_count_ = 0;
+  mutable util::Mutex mutex_;
+  crypto::HmacDrbg rng_ GLOBE_GUARDED_BY(mutex_);
+  std::unordered_map<std::uint64_t, Session> sessions_ GLOBE_GUARDED_BY(mutex_);
+  std::uint64_t next_session_ GLOBE_GUARDED_BY(mutex_) = 1;
+  std::size_t handshake_count_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 
 /// Client side: performs the handshake on first contact with an endpoint and
@@ -101,7 +102,7 @@ class SecureHttpClient {
 
 /// Serialized self-signed certificate helpers (exposed for tests).
 util::Bytes make_certificate(const std::string& name, const crypto::RsaKeyPair& key);
-util::Result<crypto::RsaPublicKey> verify_certificate(util::BytesView cert,
-                                                      const std::string& expected_name);
+[[nodiscard]] util::Result<crypto::RsaPublicKey> verify_certificate(
+    util::BytesView cert, const std::string& expected_name);
 
 }  // namespace globe::http

@@ -26,22 +26,22 @@ void StaticHttpServer::put_file(const std::string& path, Bytes content) {
   entry.content_type = guess_content_type(path);
   entry.etag = "\"" + util::hex_encode(crypto::Sha1::digest_bytes(content)).substr(0, 16) + "\"";
   entry.content = std::move(content);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   files_[path] = std::move(entry);
 }
 
 void StaticHttpServer::remove_file(const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   files_.erase(path);
 }
 
 bool StaticHttpServer::has_file(const std::string& path) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return files_.count(path) > 0;
 }
 
 std::size_t StaticHttpServer::file_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return files_.size();
 }
 
@@ -54,7 +54,7 @@ HttpResponse StaticHttpServer::handle(const HttpRequest& req) const {
   } else {
     // Strip any query string.
     std::string path = req.target.substr(0, req.target.find('?'));
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = files_.find(path);
     if (it == files_.end()) {
       resp = HttpResponse::make(

@@ -3,13 +3,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "util/mutex.hpp"
 
 namespace globe::http {
 
@@ -19,13 +19,14 @@ class StaticHttpServer {
 
   /// Publishes `content` at `path` (must start with '/').  Content type is
   /// guessed from the suffix; the ETag is precomputed.
-  void put_file(const std::string& path, util::Bytes content);
-  void remove_file(const std::string& path);
-  bool has_file(const std::string& path) const;
-  std::size_t file_count() const;
+  void put_file(const std::string& path, util::Bytes content)
+      GLOBE_EXCLUDES(mutex_);
+  void remove_file(const std::string& path) GLOBE_EXCLUDES(mutex_);
+  bool has_file(const std::string& path) const GLOBE_EXCLUDES(mutex_);
+  std::size_t file_count() const GLOBE_EXCLUDES(mutex_);
 
   /// Serves one parsed request (GET/HEAD only).
-  HttpResponse handle(const HttpRequest& req) const;
+  HttpResponse handle(const HttpRequest& req) const GLOBE_EXCLUDES(mutex_);
 
   /// MessageHandler adapter: request bytes are a serialized HTTP request,
   /// response bytes a serialized HTTP response.
@@ -39,8 +40,8 @@ class StaticHttpServer {
   };
 
   std::string server_name_;
-  mutable std::mutex mutex_;
-  std::map<std::string, FileEntry> files_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, FileEntry> files_ GLOBE_GUARDED_BY(mutex_);
   // Registry series, labeled by server name; status label added per reply.
   obs::Counter* requests_counter_;
   obs::Counter* bytes_counter_;

@@ -141,12 +141,12 @@ void LocationNode::register_with(rpc::ServiceDispatcher& dispatcher) {
 }
 
 std::size_t LocationNode::lookups_served() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return lookups_served_;
 }
 
 std::size_t LocationNode::records_stored() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   return is_site_ ? addresses_.size() : pointers_.size();
 }
 
@@ -154,7 +154,7 @@ Result<std::vector<net::Endpoint>> LocationNode::resolve_down(net::ServerContext
                                                               const Bytes& oid) {
   std::vector<std::string> targets;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = pointers_.find(oid);
     if (it != pointers_.end()) {
       targets.assign(it->second.begin(), it->second.end());
@@ -190,7 +190,7 @@ Result<Bytes> LocationNode::handle_lookup(net::ServerContext& ctx, BytesView pay
   LookupReply reply;
   bool need_down = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     ++lookups_served_;
     if (is_site_) {
       auto it = addresses_.find(oid);
@@ -226,7 +226,7 @@ Result<Bytes> LocationNode::handle_insert(net::ServerContext& ctx, BytesView pay
 
   bool first_for_oid;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto& set = addresses_[req->oid];
     first_for_oid = set.empty();
     set.insert(req->address);
@@ -251,7 +251,7 @@ Result<Bytes> LocationNode::handle_remove(net::ServerContext& ctx, BytesView pay
 
   bool oid_gone = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = addresses_.find(req->oid);
     if (it == addresses_.end() || it->second.erase(req->address) == 0) {
       return Result<Bytes>(ErrorCode::kNotFound, "address not registered");
@@ -280,7 +280,7 @@ Result<Bytes> LocationNode::handle_insert_pointer(net::ServerContext& ctx,
   }
   bool first_for_oid;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto& set = pointers_[req->oid];
     first_for_oid = set.empty();
     set.insert(req->child);
@@ -300,7 +300,7 @@ Result<Bytes> LocationNode::handle_remove_pointer(net::ServerContext& ctx,
   if (!req.is_ok()) return req.status();
   bool oid_gone = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = pointers_.find(req->oid);
     if (it != pointers_.end()) {
       it->second.erase(req->child);

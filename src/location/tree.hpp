@@ -17,7 +17,6 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
@@ -26,6 +25,7 @@
 #include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "util/bytes.hpp"
+#include "util/mutex.hpp"
 
 namespace globe::location {
 
@@ -65,8 +65,8 @@ class LocationNode {
   void register_with(rpc::ServiceDispatcher& dispatcher);
 
   /// Diagnostics for the location-service benchmarks.
-  std::size_t lookups_served() const;
-  std::size_t records_stored() const;
+  std::size_t lookups_served() const GLOBE_EXCLUDES(mutex_);
+  std::size_t records_stored() const GLOBE_EXCLUDES(mutex_);
 
  private:
   util::Result<util::Bytes> handle_lookup(net::ServerContext& ctx,
@@ -90,11 +90,11 @@ class LocationNode {
   net::Endpoint parent_;
   std::map<std::string, net::Endpoint> children_;
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   // Site: OID -> contact addresses.  Interior: OID -> child domains.
-  std::map<util::Bytes, std::set<net::Endpoint>> addresses_;
-  std::map<util::Bytes, std::set<std::string>> pointers_;
-  std::size_t lookups_served_ = 0;
+  std::map<util::Bytes, std::set<net::Endpoint>> addresses_ GLOBE_GUARDED_BY(mutex_);
+  std::map<util::Bytes, std::set<std::string>> pointers_ GLOBE_GUARDED_BY(mutex_);
+  std::size_t lookups_served_ GLOBE_GUARDED_BY(mutex_) = 0;
   // Registry series, labeled by this node's domain.
   obs::Counter* lookups_counter_;
   obs::Counter* lookup_hits_;

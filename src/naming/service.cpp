@@ -56,12 +56,12 @@ void ZoneAuthority::add_oid(const std::string& name, BytesView oid,
   SignedBlob blob;
   blob.record = rec.serialize();
   blob.signature = crypto::rsa_sign_sha256(keys_.priv, blob.record);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   oid_records_[name] = std::move(blob);
 }
 
 void ZoneAuthority::remove_name(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   oid_records_.erase(name);
 }
 
@@ -81,7 +81,7 @@ void ZoneAuthority::delegate(const std::string& child_zone,
   SignedBlob blob;
   blob.record = rec.serialize();
   blob.signature = crypto::rsa_sign_sha256(keys_.priv, blob.record);
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   delegations_[child_zone] = std::move(blob);
 }
 
@@ -90,7 +90,7 @@ Result<NamingReply> ZoneAuthority::lookup(const std::string& name) const {
     return Result<NamingReply>(ErrorCode::kNotFound,
                                "name outside zone " + zone_name_);
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   if (auto it = oid_records_.find(name); it != oid_records_.end()) {
     NamingReply reply;
     reply.kind = NamingReply::Kind::kAnswer;
@@ -116,7 +116,7 @@ Result<NamingReply> ZoneAuthority::lookup(const std::string& name) const {
 }
 
 void NamingServer::add_zone(std::shared_ptr<ZoneAuthority> zone) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   zones_[zone->zone()] = std::move(zone);
 }
 
@@ -145,7 +145,7 @@ Result<Bytes> NamingServer::handle_lookup(net::ServerContext&, BytesView payload
   }
   std::shared_ptr<ZoneAuthority> authority;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = zones_.find(zone);
     if (it == zones_.end()) {
       return Result<Bytes>(ErrorCode::kNotFound, "zone not served here: " + zone);
@@ -166,7 +166,7 @@ Result<Bytes> NamingServer::handle_zone_key(net::ServerContext&, BytesView paylo
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto it = zones_.find(zone);
   if (it == zones_.end()) {
     return Result<Bytes>(ErrorCode::kNotFound, "zone not served here: " + zone);

@@ -14,8 +14,9 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
+
+#include "util/mutex.hpp"
 
 #include "crypto/rsa.hpp"
 #include "naming/records.hpp"
@@ -58,14 +59,16 @@ class ZoneAuthority {
                 const net::Endpoint& child_server, util::SimTime expires);
 
   /// Longest-match lookup inside this zone.
-  util::Result<NamingReply> lookup(const std::string& name) const;
+  [[nodiscard]] util::Result<NamingReply> lookup(const std::string& name) const
+      GLOBE_EXCLUDES(mutex_);
 
  private:
   std::string zone_name_;
   crypto::RsaKeyPair keys_;
-  mutable std::mutex mutex_;
-  std::map<std::string, SignedBlob> oid_records_;        // full name -> signed
-  std::map<std::string, SignedBlob> delegations_;        // child suffix -> signed
+  mutable util::Mutex mutex_;
+  // full name -> signed record / child suffix -> signed delegation
+  std::map<std::string, SignedBlob> oid_records_ GLOBE_GUARDED_BY(mutex_);
+  std::map<std::string, SignedBlob> delegations_ GLOBE_GUARDED_BY(mutex_);
 };
 
 /// Serves one or more zones on an RPC dispatcher.
@@ -82,8 +85,9 @@ class NamingServer {
   util::Result<util::Bytes> handle_zone_key(net::ServerContext& ctx,
                                             util::BytesView payload);
 
-  std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<ZoneAuthority>> zones_;
+  util::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<ZoneAuthority>> zones_
+      GLOBE_GUARDED_BY(mutex_);
 };
 
 }  // namespace globe::naming

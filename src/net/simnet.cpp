@@ -36,7 +36,7 @@ const LinkParams& loopback_link() {
 HostId SimNet::add_host(HostParams params) {
   HostId id{static_cast<std::uint32_t>(hosts_.size())};
   hosts_.push_back(HostState{std::move(params),
-                             std::make_unique<std::recursive_mutex>(),
+                             std::make_unique<util::Mutex>(),
                              {},
                              0});
   return id;
@@ -70,7 +70,7 @@ void SimNet::set_link_down(HostId a, HostId b, bool down) {
 }
 
 void SimNet::bind(const Endpoint& ep, MessageHandler handler) {
-  std::lock_guard<std::mutex> lock(bind_mutex_);
+  util::LockGuard lock(bind_mutex_);
   if (ep.host.value >= hosts_.size()) {
     throw std::out_of_range("SimNet::bind: unknown host");
   }
@@ -82,12 +82,12 @@ void SimNet::bind(const Endpoint& ep, MessageHandler handler) {
 }
 
 void SimNet::unbind(const Endpoint& ep) {
-  std::lock_guard<std::mutex> lock(bind_mutex_);
+  util::LockGuard lock(bind_mutex_);
   handlers_.erase(ep);
 }
 
 bool SimNet::is_bound(const Endpoint& ep) const {
-  std::lock_guard<std::mutex> lock(bind_mutex_);
+  util::LockGuard lock(bind_mutex_);
   return handlers_.count(ep) > 0;
 }
 
@@ -127,7 +127,7 @@ SimTime SimNet::reserve_cpu(HostState& hs, SimTime arrival, SimDuration duration
 SimTime SimNet::horizon() const {
   SimTime latest = 0;
   for (const auto& host : hosts_) {
-    std::lock_guard<std::recursive_mutex> lock(*host.lock);
+    util::LockGuard lock(*host.lock);
     latest = std::max(latest, host.busy_until);
   }
   return latest;
@@ -166,7 +166,7 @@ Result<Bytes> SimNet::deliver(SimFlow& flow, const Endpoint& ep, BytesView reque
   }
   MessageHandler handler;
   {
-    std::lock_guard<std::mutex> lock(bind_mutex_);
+    util::LockGuard lock(bind_mutex_);
     auto it = handlers_.find(ep);
     if (it == handlers_.end()) {
       // Model the RST coming back: one round trip wasted.
@@ -190,23 +190,29 @@ Result<Bytes> SimNet::deliver(SimFlow& flow, const Endpoint& ep, BytesView reque
   HostState& hs = hosts_[ep.host.value];
   Result<Bytes> result(ErrorCode::kInternal, "handler did not run");
   SimTime t_done;
+
+  // Execute the handler as if it started at arrival to learn its service
+  // duration (request overhead + charges + nested waits), then book the
+  // earliest CPU gap of that length.  Timestamps observed inside the
+  // handler can be earlier than the booked slot by the queueing delay;
+  // that skew is negligible against certificate validity scales.
+  //
+  // The handler runs WITHOUT the host lock: handlers make nested cross-host
+  // calls, and holding per-host locks across them builds A->B / B->A lock
+  // cycles.  One-request-at-a-time serialization is modeled in virtual time
+  // by reserve_cpu; handler state carries its own locks.
+  SimFlow server_flow(this, ep.host, arrival);
+  server_flow.charge(CpuOp::kRequest, 1);
+  SimServerContext ctx(server_flow);
+  try {
+    result = handler(ctx, request);
+  } catch (const std::exception& e) {
+    result = Result<Bytes>(ErrorCode::kInternal,
+                           std::string("handler threw: ") + e.what());
+  }
+  SimDuration service = server_flow.now() - arrival;
   {
-    std::lock_guard<std::recursive_mutex> host_lock(*hs.lock);
-    // Execute the handler as if it started at arrival to learn its service
-    // duration (request overhead + charges + nested waits), then book the
-    // earliest CPU gap of that length.  Timestamps observed inside the
-    // handler can be earlier than the booked slot by the queueing delay;
-    // that skew is negligible against certificate validity scales.
-    SimFlow server_flow(this, ep.host, arrival);
-    server_flow.charge(CpuOp::kRequest, 1);
-    SimServerContext ctx(server_flow);
-    try {
-      result = handler(ctx, request);
-    } catch (const std::exception& e) {
-      result = Result<Bytes>(ErrorCode::kInternal,
-                             std::string("handler threw: ") + e.what());
-    }
-    SimDuration service = server_flow.now() - arrival;
+    util::LockGuard host_lock(*hs.lock);
     SimTime start = reserve_cpu(hs, arrival, service);
     t_done = start + service;
   }

@@ -8,26 +8,27 @@
 //  * Each flow (client session) owns a virtual clock.  An RPC advances it by
 //    request delay, server queueing, server CPU (request overhead plus
 //    whatever the handler charges), and response delay.
-//  * Hosts serve one request at a time: a per-host recursive lock serializes
-//    handler execution and a busy-until watermark produces queueing delay,
-//    so flash crowds saturate a host exactly as a single-CPU server would.
+//  * Hosts serve one request at a time — in VIRTUAL time: each request books
+//    the earliest free CPU interval on the serving host (reserve_cpu), so
+//    flash crowds saturate a host exactly as a single-CPU server would.
+//    Real-time handler execution is NOT serialized; handlers synchronize
+//    their own state, and the per-host lock guards only the booking table.
 //  * The first call a flow makes to an endpoint pays one extra round trip
 //    (TCP connection establishment); reset_connections() forgets them.
 //
 // Determinism: with flows driven from one thread the simulation is exact
 // and repeatable.  Flows may also run concurrently on a thread pool
 // (flash-crowd benchmarks); results are then approximate in arrival order
-// but time accounting stays consistent.  Two usage rules in concurrent
-// mode: (1) handlers must never form cyclic cross-host nested calls, or
-// the per-host locks can deadlock; (2) topology mutations (add_host,
-// set_link, set_link_down) are setup-time operations — they are not
-// synchronized against in-flight flows and must only run while no flow is
-// executing.
+// but time accounting stays consistent.  One usage rule in concurrent
+// mode: topology mutations (add_host, set_link, set_link_down) are
+// setup-time operations — they are not synchronized against in-flight
+// flows and must only run while no flow is executing.  Handlers may nest
+// cross-host calls freely: no per-host lock is held across handler
+// execution, so nested calls cannot form lock cycles.
 #pragma once
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -37,6 +38,7 @@
 #include "net/cpu_model.hpp"
 #include "net/transport.hpp"
 #include "util/clock.hpp"
+#include "util/mutex.hpp"
 
 namespace globe::net {
 
@@ -76,9 +78,10 @@ class SimNet {
   void set_link_down(HostId a, HostId b, bool down);
 
   /// Binds a handler at an endpoint; throws std::logic_error if taken.
-  void bind(const Endpoint& ep, MessageHandler handler);
-  void unbind(const Endpoint& ep);
-  bool is_bound(const Endpoint& ep) const;
+  void bind(const Endpoint& ep, MessageHandler handler)
+      GLOBE_EXCLUDES(bind_mutex_);
+  void unbind(const Endpoint& ep) GLOBE_EXCLUDES(bind_mutex_);
+  bool is_bound(const Endpoint& ep) const GLOBE_EXCLUDES(bind_mutex_);
 
   /// Opens a client flow originating at `host`, starting at virtual time
   /// `start`.  The flow keeps a pointer to this SimNet, which must outlive it.
@@ -99,32 +102,36 @@ class SimNet {
 
   struct HostState {
     HostParams params;
-    // Serializes handler execution on this host; recursive so a handler may
-    // call services on its own host.
-    std::unique_ptr<std::recursive_mutex> lock =
-        std::make_unique<std::recursive_mutex>();
+    // Guards the CPU booking table below.  Held only inside reserve_cpu /
+    // horizon — never across handler execution, so nested cross-host calls
+    // cannot build lock-order cycles.  (Heap-allocated so HostState stays
+    // movable inside hosts_.)
+    std::unique_ptr<util::Mutex> lock = std::make_unique<util::Mutex>();
     // Reserved CPU intervals (start -> end).  A request arriving at time t
     // is served in the earliest gap of sufficient length at or after t, so
     // independent flows interleave between each other's RPCs and a host
     // saturates exactly when the offered CPU work exceeds capacity.
-    std::map<util::SimTime, util::SimTime> reservations;
-    util::SimTime busy_until = 0;  // max reservation end (horizon)
+    std::map<util::SimTime, util::SimTime> reservations GLOBE_GUARDED_BY(*lock);
+    util::SimTime busy_until GLOBE_GUARDED_BY(*lock) = 0;  // max reservation end
   };
 
   /// Books `duration` of CPU on `hs` no earlier than `arrival`; returns the
   /// start time.  Caller must hold the host lock.
   static util::SimTime reserve_cpu(HostState& hs, util::SimTime arrival,
-                                   util::SimDuration duration);
+                                   util::SimDuration duration)
+      GLOBE_REQUIRES(*hs.lock);
 
   util::Result<util::Bytes> deliver(SimFlow& flow, const Endpoint& ep,
-                                    util::BytesView request);
+                                    util::BytesView request)
+      GLOBE_EXCLUDES(bind_mutex_);
 
   std::vector<HostState> hosts_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, LinkParams> links_;
   std::unordered_set<std::uint64_t> down_links_;
   LinkParams default_link_;
-  mutable std::mutex bind_mutex_;
-  std::unordered_map<Endpoint, MessageHandler> handlers_;
+  mutable util::Mutex bind_mutex_;
+  std::unordered_map<Endpoint, MessageHandler> handlers_
+      GLOBE_GUARDED_BY(bind_mutex_);
 };
 
 /// A client session with its own virtual clock.  Implements Transport.

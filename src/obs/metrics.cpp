@@ -82,7 +82,7 @@ void Histogram::reset() {
 
 Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
   Key key{name, normalize(std::move(labels))};
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& slot = counters_[std::move(key)];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
@@ -90,7 +90,7 @@ Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
 
 Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
   Key key{name, normalize(std::move(labels))};
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& slot = gauges_[std::move(key)];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
@@ -99,14 +99,14 @@ Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       std::vector<double> bounds, Labels labels) {
   Key key{name, normalize(std::move(labels))};
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto& slot = histograms_[std::move(key)];
   if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 Snapshot MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   Snapshot snap;
   snap.samples.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [key, counter] : counters_) {
@@ -147,7 +147,7 @@ Snapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   for (auto& [key, counter] : counters_) counter->reset();
   for (auto& [key, gauge] : gauges_) gauge->set(0);
   for (auto& [key, histogram] : histograms_) histogram->reset();

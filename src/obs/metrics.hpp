@@ -18,10 +18,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace globe::obs {
 
@@ -108,19 +109,20 @@ class MetricsRegistry {
   /// Returns the series for (name, labels), creating it on first use.
   /// References stay valid for the registry's lifetime (reset() included:
   /// reset zeroes values but never deletes series).
-  Counter& counter(const std::string& name, Labels labels = {});
-  Gauge& gauge(const std::string& name, Labels labels = {});
+  Counter& counter(const std::string& name, Labels labels = {})
+      GLOBE_EXCLUDES(mutex_);
+  Gauge& gauge(const std::string& name, Labels labels = {}) GLOBE_EXCLUDES(mutex_);
   /// `bounds` applies on first registration; later calls for the same
   /// series return the existing histogram unchanged.
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
-                       Labels labels = {});
+                       Labels labels = {}) GLOBE_EXCLUDES(mutex_);
 
-  Snapshot snapshot() const;
+  Snapshot snapshot() const GLOBE_EXCLUDES(mutex_);
 
   /// Zeroes every counter/gauge and drops every histogram observation,
   /// keeping handles valid — lets one process run several independent
   /// bench scenarios.
-  void reset();
+  void reset() GLOBE_EXCLUDES(mutex_);
 
  private:
   struct Key {
@@ -131,10 +133,12 @@ class MetricsRegistry {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mutex_;
+  // Map *structure* is guarded; the pointed-to metric objects are internally
+  // thread-safe atomics updated without the registry lock.
+  std::map<Key, std::unique_ptr<Counter>> counters_ GLOBE_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ GLOBE_GUARDED_BY(mutex_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_ GLOBE_GUARDED_BY(mutex_);
 };
 
 /// Process-wide default registry.  Components report here unless handed a

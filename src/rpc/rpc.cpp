@@ -11,7 +11,7 @@ using util::Result;
 
 void ServiceDispatcher::register_method(std::uint16_t service, std::uint16_t method,
                                         MethodFn fn) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::LockGuard lock(mutex_);
   auto [it, inserted] = methods_.emplace(std::make_pair(service, method), std::move(fn));
   (void)it;
   if (!inserted) {
@@ -34,7 +34,7 @@ Result<Bytes> ServiceDispatcher::dispatch(net::ServerContext& ctx,
   }
   MethodFn fn;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::LockGuard lock(mutex_);
     auto it = methods_.find({service, method});
     if (it == methods_.end()) {
       return Result<Bytes>(ErrorCode::kNotFound,

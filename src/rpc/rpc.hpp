@@ -10,7 +10,8 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 #include "net/transport.hpp"
 #include "util/bytes.hpp"
@@ -37,17 +38,20 @@ using MethodFn =
 /// at setup time; dispatch is thread-safe.
 class ServiceDispatcher {
  public:
-  void register_method(std::uint16_t service, std::uint16_t method, MethodFn fn);
+  void register_method(std::uint16_t service, std::uint16_t method, MethodFn fn)
+      GLOBE_EXCLUDES(mutex_);
 
   /// Adapter to bind on a SimNet endpoint or TcpServer.
   net::MessageHandler handler();
 
   util::Result<util::Bytes> dispatch(net::ServerContext& ctx,
-                                     util::BytesView request) const;
+                                     util::BytesView request) const
+      GLOBE_EXCLUDES(mutex_);
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::pair<std::uint16_t, std::uint16_t>, MethodFn> methods_;
+  mutable util::Mutex mutex_;
+  std::map<std::pair<std::uint16_t, std::uint16_t>, MethodFn> methods_
+      GLOBE_GUARDED_BY(mutex_);
 };
 
 /// Client stub for one remote endpoint.

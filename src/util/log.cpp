@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace globe::util {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+Mutex g_mutex;
 
 const char* level_name(LogLevel l) {
   switch (l) {
@@ -27,7 +28,7 @@ void set_log_level(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel log_level() { return static_cast<LogLevel>(g_level.load()); }
 
 void log_line(LogLevel level, const std::string& component, const std::string& message) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  LockGuard lock(g_mutex);
   std::cerr << "[" << level_name(level) << "] " << component << ": " << message << "\n";
 }
 

@@ -1,0 +1,130 @@
+// Capability-annotated mutex vocabulary for the whole project.
+//
+// globe::util::Mutex / RecursiveMutex wrap the standard mutexes as Clang
+// thread-safety *capabilities*; LockGuard / UniqueLock are the scoped
+// acquisitions; CondVar pairs with UniqueLock for condition waits.  Under
+// GCC (or Clang without GLOBE_THREAD_SAFETY) everything compiles down to
+// the std types with zero overhead; under -Werror=thread-safety every
+// GUARDED_BY field access without the right lock is a compile error.
+//
+// Usage pattern:
+//   class Registry {
+//     mutable Mutex mutex_;
+//     std::map<K, V> entries_ GLOBE_GUARDED_BY(mutex_);
+//    public:
+//     V get(K k) const {
+//       LockGuard lock(mutex_);
+//       return entries_.at(k);   // OK: lock held
+//     }
+//   };
+//
+// Condition waits use UniqueLock + an explicit predicate loop so the
+// analysis can see the guarded reads happen under the lock:
+//   UniqueLock lock(mutex_);
+//   while (!ready_) cv_.wait(lock);
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace globe::util {
+
+class GLOBE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GLOBE_ACQUIRE() { m_.lock(); }
+  void unlock() GLOBE_RELEASE() { m_.unlock(); }
+  bool try_lock() GLOBE_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class UniqueLock;
+  std::mutex m_;
+};
+
+/// Reentrant capability: used only where a handler may legitimately re-enter
+/// its own host's lock (SimNet per-host serialization).  Note the analysis
+/// itself does not model reentrancy; recursive acquisition happens across
+/// call boundaries it does not see, which is exactly the supported pattern.
+class GLOBE_CAPABILITY("mutex") RecursiveMutex {
+ public:
+  RecursiveMutex() = default;
+  RecursiveMutex(const RecursiveMutex&) = delete;
+  RecursiveMutex& operator=(const RecursiveMutex&) = delete;
+
+  void lock() GLOBE_ACQUIRE() { m_.lock(); }
+  void unlock() GLOBE_RELEASE() { m_.unlock(); }
+
+ private:
+  std::recursive_mutex m_;
+};
+
+/// Scoped exclusive acquisition of a Mutex (std::lock_guard equivalent).
+class GLOBE_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& m) GLOBE_ACQUIRE(m) : m_(m) { m_.lock(); }
+  ~LockGuard() GLOBE_RELEASE() { m_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& m_;
+};
+
+/// Scoped exclusive acquisition of a RecursiveMutex.
+class GLOBE_SCOPED_CAPABILITY RecursiveLockGuard {
+ public:
+  explicit RecursiveLockGuard(RecursiveMutex& m) GLOBE_ACQUIRE(m) : m_(m) {
+    m_.lock();
+  }
+  ~RecursiveLockGuard() GLOBE_RELEASE() { m_.unlock(); }
+
+  RecursiveLockGuard(const RecursiveLockGuard&) = delete;
+  RecursiveLockGuard& operator=(const RecursiveLockGuard&) = delete;
+
+ private:
+  RecursiveMutex& m_;
+};
+
+/// Scoped acquisition that a CondVar can temporarily release (the
+/// std::unique_lock shape, restricted to what the analysis can follow).
+class GLOBE_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& m) GLOBE_ACQUIRE(m) : lock_(m.m_) {}
+  ~UniqueLock() GLOBE_RELEASE() = default;
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// Condition variable over Mutex/UniqueLock.  Predicates are written as
+/// explicit `while (!pred) cv.wait(lock);` loops at the call site so guarded
+/// reads in the predicate are visibly under the lock.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, waits, and reacquires before returning.
+  /// The caller keeps holding the capability from the analysis' point of
+  /// view, which matches the predicate-loop usage pattern.
+  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace globe::util

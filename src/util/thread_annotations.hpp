@@ -1,0 +1,75 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// These expand to the `thread_safety` attribute family under Clang (where
+// `cmake -DGLOBE_THREAD_SAFETY=ON` turns the analysis into a hard error via
+// -Werror=thread-safety) and to nothing under every other compiler, so the
+// annotated tree builds unchanged with GCC.  Terminology follows the
+// capability model of the analysis: a Mutex is a *capability*, GUARDED_BY
+// declares which capability protects a field, REQUIRES declares that a
+// function may only be called while holding one.
+//
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html and the
+// annotated capability types in util/mutex.hpp.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define GLOBE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef GLOBE_THREAD_ANNOTATION
+#define GLOBE_THREAD_ANNOTATION(x)  // expands to nothing outside Clang
+#endif
+
+/// Declares a type to be a capability (lockable).  `x` names it in
+/// diagnostics, e.g. GLOBE_CAPABILITY("mutex").
+#define GLOBE_CAPABILITY(x) GLOBE_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor and
+/// releases it in its destructor (LockGuard, UniqueLock).
+#define GLOBE_SCOPED_CAPABILITY GLOBE_THREAD_ANNOTATION(scoped_lockable)
+
+/// Field is protected by the given capability: all reads require at least a
+/// shared hold, all writes an exclusive one.
+#define GLOBE_GUARDED_BY(x) GLOBE_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer field whose *pointee* is protected by the capability.
+#define GLOBE_PT_GUARDED_BY(x) GLOBE_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function acquires the capability (and must not already hold it).
+#define GLOBE_ACQUIRE(...) GLOBE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (and must hold it on entry).
+#define GLOBE_RELEASE(...) GLOBE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability when it returns the given value.
+#define GLOBE_TRY_ACQUIRE(...) \
+  GLOBE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must hold the capability exclusively for the duration of the call
+/// ("_locked" private methods).
+#define GLOBE_REQUIRES(...) GLOBE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Caller must hold at least a shared (reader) hold on the capability.
+#define GLOBE_REQUIRES_SHARED(...) \
+  GLOBE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (prevents self-deadlock on
+/// non-reentrant mutexes).
+#define GLOBE_EXCLUDES(...) GLOBE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations, checked when both mutexes are annotated.
+#define GLOBE_ACQUIRED_BEFORE(...) GLOBE_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define GLOBE_ACQUIRED_AFTER(...) GLOBE_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the named capability (accessor pattern).
+#define GLOBE_RETURN_CAPABILITY(x) GLOBE_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (init/teardown paths,
+/// conditionally-held locks).  Use sparingly and justify at the use site.
+#define GLOBE_NO_THREAD_SAFETY_ANALYSIS \
+  GLOBE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+/// Runtime-checked assertion that the capability is held (trusted by the
+/// analysis from this point on).
+#define GLOBE_ASSERT_CAPABILITY(x) GLOBE_THREAD_ANNOTATION(assert_capability(x))

@@ -14,7 +14,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -23,7 +23,7 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::enqueue(std::function<void()> fn) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (stop_) throw std::runtime_error("ThreadPool: submit after shutdown");
     queue_.push_back(std::move(fn));
   }
@@ -31,16 +31,16 @@ void ThreadPool::enqueue(std::function<void()> fn) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  UniqueLock lock(mutex_);
+  while (!(queue_.empty() && active_ == 0)) idle_cv_.wait(lock);
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      UniqueLock lock(mutex_);
+      while (!(stop_ || !queue_.empty())) cv_.wait(lock);
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -48,7 +48,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -2,14 +2,14 @@
 // TCP object server.  Tasks are type-erased; submit() returns a future.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace globe::util {
 
@@ -34,21 +34,21 @@ class ThreadPool {
   }
 
   /// Blocks until every queued and running task completes.
-  void wait_idle();
+  void wait_idle() GLOBE_EXCLUDES(mutex_);
 
   std::size_t size() const { return workers_.size(); }
 
  private:
-  void enqueue(std::function<void()> fn);
-  void worker_loop();
+  void enqueue(std::function<void()> fn) GLOBE_EXCLUDES(mutex_);
+  void worker_loop() GLOBE_EXCLUDES(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mutex_;
+  CondVar cv_;
+  CondVar idle_cv_;
+  std::deque<std::function<void()>> queue_ GLOBE_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  std::size_t active_ = 0;
-  bool stop_ = false;
+  std::size_t active_ GLOBE_GUARDED_BY(mutex_) = 0;
+  bool stop_ GLOBE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace globe::util

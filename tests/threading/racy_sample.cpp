@@ -1,0 +1,29 @@
+// Deliberately racy sample proving the TSan lane actually detects races.
+//
+// Two threads increment a plain (non-atomic, unlocked) counter.  Under
+// `cmake -DGLOBE_TSAN=ON` the ctest entry `tsan.racy_sample_detected` runs
+// this binary and asserts a NON-zero exit (WILL_FAIL): ThreadSanitizer must
+// report the race and exit with its error code.  If the lane's environment
+// (suppressions file, TSAN_OPTIONS) ever starts masking real races, this
+// canary test fails the build.
+//
+// Only the GLOBE_TSAN branch of tests/CMakeLists.txt builds this target.
+#include <cstdio>
+#include <thread>
+
+namespace {
+int g_counter = 0;  // intentionally unsynchronized
+
+void hammer() {
+  for (int i = 0; i < 100'000; ++i) ++g_counter;
+}
+}  // namespace
+
+int main() {
+  std::thread a(hammer);
+  std::thread b(hammer);
+  a.join();
+  b.join();
+  std::printf("counter=%d\n", g_counter);
+  return 0;
+}

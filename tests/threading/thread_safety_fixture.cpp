@@ -1,0 +1,38 @@
+// Compile-SHOULD-FAIL fixture for the Clang Thread Safety lane.
+//
+// This translation unit touches a GLOBE_GUARDED_BY field without holding its
+// mutex.  Under `cmake -DGLOBE_THREAD_SAFETY=ON` (clang, -Werror=
+// thread-safety) it MUST NOT compile; the ctest entry `thread_safety.negative_
+// fixture_rejected` builds it and asserts failure (WILL_FAIL).  If this file
+// ever compiles in that configuration, the analysis is off and the whole
+// lock-discipline lane is vacuous.
+//
+// It is never part of a normal build: only the GLOBE_THREAD_SAFETY branch of
+// tests/CMakeLists.txt references it, as a build-only target excluded from ALL.
+#include "util/mutex.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(int amount) {
+    globe::util::LockGuard lock(mutex_);
+    balance_ += amount;  // correctly locked
+  }
+
+  int racy_balance() const {
+    return balance_;  // BUG (intentional): guarded read without the lock
+  }
+
+ private:
+  mutable globe::util::Mutex mutex_;
+  int balance_ GLOBE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.deposit(1);
+  return account.racy_balance();
+}

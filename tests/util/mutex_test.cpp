@@ -1,0 +1,86 @@
+// Runtime behavior of the annotated capability types (util/mutex.hpp).
+// The *static* side — that -Werror=thread-safety rejects unlocked access to
+// a GLOBE_GUARDED_BY field — is covered by the compile-should-fail fixture
+// in tests/threading/ (GLOBE_THREAD_SAFETY builds only).
+#include "util/mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace globe::util {
+namespace {
+
+class GuardedCounter {
+ public:
+  void add(int n) {
+    LockGuard lock(mutex_);
+    value_ += n;
+  }
+
+  int value() const {
+    LockGuard lock(mutex_);
+    return value_;
+  }
+
+  void wait_for_at_least(int target) {
+    UniqueLock lock(mutex_);
+    while (value_ < target) cv_.wait(lock);
+  }
+
+  void add_and_notify(int n) {
+    {
+      LockGuard lock(mutex_);
+      value_ += n;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable Mutex mutex_;
+  CondVar cv_;
+  int value_ GLOBE_GUARDED_BY(mutex_) = 0;
+};
+
+TEST(MutexTest, LockGuardSerializesConcurrentIncrements) {
+  GuardedCounter counter;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter.value(), kThreads * kPerThread);
+}
+
+TEST(MutexTest, CondVarWakesWaiterWhenPredicateHolds) {
+  GuardedCounter counter;
+  std::thread waiter([&counter] { counter.wait_for_at_least(3); });
+  for (int i = 0; i < 3; ++i) counter.add_and_notify(1);
+  waiter.join();
+  EXPECT_GE(counter.value(), 3);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex m;
+  ASSERT_TRUE(m.try_lock());
+  std::thread other([&m] { EXPECT_FALSE(m.try_lock()); });
+  other.join();
+  m.unlock();
+}
+
+TEST(MutexTest, RecursiveMutexAllowsReentrantAcquisition) {
+  RecursiveMutex m;
+  RecursiveLockGuard outer(m);
+  {
+    RecursiveLockGuard inner(m);  // must not deadlock
+  }
+}
+
+}  // namespace
+}  // namespace globe::util

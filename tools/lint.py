@@ -1,0 +1,371 @@
+#!/usr/bin/env python3
+"""GlobeDoc project lint: security-discipline invariants the compiler can't see.
+
+Checks (each maps to a guarantee of the paper, "Securely Replicated Web
+Documents"):
+
+  nodiscard      Every verification entry point (verify_* / check_* functions
+                 and the self-certifying matches_key) must be declared
+                 [[nodiscard]] (or return a [[nodiscard]]-class type such as
+                 util::Status / util::Result), so a dropped verification
+                 result is a compiler warning, not a silent security hole.
+
+  unchecked      No statement may discard the result of a verification call
+                 outright: a line consisting of `foo.verify_signature(...);`
+                 with no assignment / condition / return / (void) cast is an
+                 unchecked verification — the §3 attacks (tampering, replay,
+                 stale content) walk straight through such a call site.
+
+  raw-crypto     Raw primitive calls (crypto::sha1/sha256 digests, rsa_sign_*/
+                 rsa_verify_*/rsa_encrypt/rsa_decrypt) are allowed only inside
+                 src/crypto/ and the designated signing/verification sites.
+                 Everything else must go through those sites so there is one
+                 auditable place per protocol check.
+
+  no-rand        rand()/std::rand/srand/random() are banned everywhere: all
+                 randomness flows through the DRBG (crypto::HmacDrbg) or the
+                 seeded simulation RNG (util::SplitMix64), keeping runs
+                 deterministic and nonces unpredictable.
+
+Exit status: 0 when clean, 1 when any violation is found, 2 on usage errors.
+Run `tools/lint.py --self-test` to verify every check still fires on seeded
+violations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+
+# Directories scanned for C++ sources.
+SCAN_DIRS = ["src", "tests", "bench", "examples"]
+CPP_SUFFIXES = {".cpp", ".hpp", ".cc", ".h"}
+
+# ---------------------------------------------------------------------------
+# nodiscard: verification entry points that must carry [[nodiscard]] or
+# return a nodiscard-class type.
+# ---------------------------------------------------------------------------
+
+# Function-name patterns that constitute a verification entry point when they
+# *declare* a function in a header under src/.
+VERIFY_NAME_RE = re.compile(r"\b(verify(?:_\w+)?|check_element|matches_key|trusts)\s*\(")
+
+# Return types that are [[nodiscard]] at class level, so the declaration is
+# protected even without a function-level attribute.
+NODISCARD_CLASS_TYPES = re.compile(r"\butil::(Status|Result)\b|\bStatus\b|\bResult\s*<")
+
+# Declaration sites exempt from the nodiscard rule: definitions of the
+# checker machinery itself and test helpers.
+NODISCARD_EXEMPT_FILES = {"src/util/status.hpp"}
+
+# ---------------------------------------------------------------------------
+# unchecked: discarded verification results.
+# ---------------------------------------------------------------------------
+
+# A statement line that *begins* with (an object expression and) a
+# verification call and ends in `;` discards the result.
+UNCHECKED_RE = re.compile(
+    r"^\s*(?:[A-Za-z_][\w]*(?:\.|->|::))*"
+    r"(?:verify(?:_\w+)?|check_element|matches_key|first_trusted_subject)"
+    r"\s*\(.*\)\s*;\s*(?://.*)?$"
+)
+
+# ---------------------------------------------------------------------------
+# raw-crypto: primitive calls allowed only in designated files.
+# ---------------------------------------------------------------------------
+
+RAW_CRYPTO_RE = re.compile(
+    r"\bcrypto::(Sha1|Sha256)::digest\w*\s*\(|"
+    r"\bcrypto::(sha1|sha256|hkdf_expand_sha256)\s*\(|"
+    r"\bcrypto::rsa_(sign|verify|encrypt|decrypt|generate)\w*\s*\("
+)
+
+# The designated signing/verification sites: one auditable place per
+# protocol-level check (paper §3).  Everything else calls *these*.
+RAW_CRYPTO_ALLOWED = {
+    "src/globedoc/oid.cpp",            # OID = SHA-1(public key)
+    "src/globedoc/element.cpp",        # element digests for cert entries
+    "src/globedoc/integrity.cpp",      # integrity-certificate sign/verify
+    "src/globedoc/identity.cpp",       # CA identity-certificate sign/verify
+    "src/globedoc/dynamic.cpp",        # dynamic receipts sign/verify
+    "src/globedoc/object.cpp",         # object key generation
+    "src/globedoc/server.cpp",         # admin challenge/response signatures
+    "src/globedoc/owner.cpp",          # owner-side signing helpers
+    "src/naming/service.cpp",          # zone record signing
+    "src/naming/resolver.cpp",         # zone record validation
+    "src/http/secure_channel.cpp",     # TLS-like handshake + record crypto
+    "src/http/static_server.cpp",      # ETag generation (non-security digest)
+    "src/replication/refresher.cpp",   # replica re-verification on pull
+}
+# Tests, benches and examples may exercise primitives directly.
+RAW_CRYPTO_ALLOWED_DIRS = ("src/crypto/", "tests/", "bench/", "examples/")
+
+# ---------------------------------------------------------------------------
+# no-rand: libc randomness is banned everywhere.
+# ---------------------------------------------------------------------------
+
+RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:rand|srand|random|drand48)\s*\(")
+
+COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
+
+
+def iter_sources():
+    for d in SCAN_DIRS:
+        root = REPO / d
+        if not root.is_dir():
+            continue
+        for path in sorted(root.rglob("*")):
+            if path.suffix in CPP_SUFFIXES and path.is_file():
+                yield path
+
+
+def relpath(path: pathlib.Path) -> str:
+    return path.relative_to(REPO).as_posix()
+
+
+def strip_strings(line: str) -> str:
+    """Blanks out string/char literals so regexes don't match inside them."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def check_file(path: pathlib.Path, violations: list[str]) -> None:
+    rel = relpath(path)
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+    in_block_comment = False
+    # True when the previous code line leaves an expression open (assignment,
+    # call argument list, boolean operator, return ...): the current line is a
+    # continuation, so a leading verification call is NOT a discarded result.
+    prev_continues = False
+
+    for lineno, raw_line in enumerate(lines, start=1):
+        line = strip_strings(raw_line)
+
+        # Rudimentary block-comment tracking (good enough for this tree's
+        # comment style: no code after */ on the same line).
+        if in_block_comment:
+            if "*/" in line:
+                in_block_comment = False
+            continue
+        if line.lstrip().startswith("/*") and "*/" not in line:
+            in_block_comment = True
+            continue
+        if COMMENT_RE.match(line):
+            continue
+        code = line.split("//", 1)[0]
+
+        # --- no-rand: everywhere ---
+        if RAND_RE.search(code):
+            violations.append(
+                f"{rel}:{lineno}: [no-rand] libc randomness is banned; use "
+                f"crypto::HmacDrbg (nonces/keys) or util::SplitMix64 (simulation)"
+            )
+
+        # --- raw-crypto: outside crypto/ and designated sites ---
+        if (
+            not rel.startswith(RAW_CRYPTO_ALLOWED_DIRS)
+            and rel not in RAW_CRYPTO_ALLOWED
+            and RAW_CRYPTO_RE.search(code)
+        ):
+            violations.append(
+                f"{rel}:{lineno}: [raw-crypto] raw primitive call outside "
+                f"src/crypto and the designated verification sites"
+            )
+
+        # --- unchecked: discarded verification result ---
+        if rel.startswith("src/") and not prev_continues and UNCHECKED_RE.match(code):
+            violations.append(
+                f"{rel}:{lineno}: [unchecked] verification result discarded; "
+                f"branch on it or cast to (void) with a justification"
+            )
+
+        # --- nodiscard: declarations in src/ headers ---
+        if (
+            rel.startswith("src/")
+            and path.suffix in {".hpp", ".h"}
+            and rel not in NODISCARD_EXEMPT_FILES
+        ):
+            m = VERIFY_NAME_RE.search(code)
+            if m:
+                # Only *declarations* (prototype or inline definition start):
+                # the name must be preceded by a return type on this line or a
+                # continuation, and the statement must not be a call.  A call
+                # has something binding the result (handled above) or is
+                # inside an expression; declarations in this tree always have
+                # the return type on the same line.
+                before = code[: m.start()]
+                is_decl = bool(
+                    re.search(r"(bool|util::Status|util::Result<[^>]*>|"
+                              r"std::optional<[^>]*>|Status|Result<[^>]*>)\s*$",
+                              before.strip() and before or "")
+                )
+                if is_decl:
+                    window_start = max(0, lineno - 3)
+                    window = "\n".join(lines[window_start:lineno])
+                    if "[[nodiscard]]" not in window:
+                        violations.append(
+                            f"{rel}:{lineno}: [nodiscard] verification entry "
+                            f"point must be declared [[nodiscard]]"
+                        )
+
+        stripped = code.rstrip()
+        if stripped:
+            prev_continues = bool(
+                re.search(r"(=|\(|,|\|\||&&|!|\?|:|\breturn|\bco_return)\s*$",
+                          stripped)
+            )
+        # blank lines keep the previous continuation state (wrapped exprs
+        # never contain blank lines in this tree, but comments may intervene)
+
+
+def run_lint() -> int:
+    violations: list[str] = []
+    for path in iter_sources():
+        check_file(path, violations)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"\ntools/lint.py: {len(violations)} violation(s) found.")
+        return 1
+    print("tools/lint.py: clean.")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Self-test: every check must fire on a seeded violation and stay quiet on a
+# clean equivalent.
+# ---------------------------------------------------------------------------
+
+SELF_TEST_CASES = [
+    # (name, file-relative-path, snippet, expected-tag or None)
+    ("rand fires", "src/util/seeded.cpp", "  int x = rand();\n", "no-rand"),
+    ("std::rand fires", "src/util/seeded.cpp", "  int x = std::rand();\n", "no-rand"),
+    ("srand fires", "src/util/seeded.cpp", "  srand(42);\n", "no-rand"),
+    ("drbg clean", "src/util/seeded.cpp", "  auto x = rng.bytes(16);\n", None),
+    ("rand in comment clean", "src/util/seeded.cpp", "  // rand() is banned\n", None),
+    ("rand in string clean", "src/util/seeded.cpp", '  log("call rand()");\n', None),
+    (
+        "raw sha1 outside crypto fires",
+        "src/globedoc/proxy.cpp",
+        "  auto d = crypto::Sha1::digest_bytes(body);\n",
+        "raw-crypto",
+    ),
+    (
+        "raw rsa outside crypto fires",
+        "src/location/tree.cpp",
+        "  auto sig = crypto::rsa_sign_sha256(key, body);\n",
+        "raw-crypto",
+    ),
+    (
+        "raw rsa at designated site clean",
+        "src/globedoc/integrity.cpp",
+        "  auto sig = crypto::rsa_sign_sha1(key, body);\n",
+        None,
+    ),
+    (
+        "raw sha1 in test clean",
+        "tests/crypto/sha1_test.cpp",
+        "  auto d = crypto::Sha1::digest_bytes(body);\n",
+        None,
+    ),
+    (
+        "dropped verify fires",
+        "src/globedoc/proxy.cpp",
+        "  cert.verify_signature(key);\n",
+        "unchecked",
+    ),
+    (
+        "dropped check_element fires",
+        "src/replication/refresher.cpp",
+        "  certificate->check_element(name, el, now);\n",
+        "unchecked",
+    ),
+    (
+        "branched verify clean",
+        "src/globedoc/proxy.cpp",
+        "  if (!cert.verify_signature(key)) return bad();\n",
+        None,
+    ),
+    (
+        "assigned verify clean",
+        "src/globedoc/proxy.cpp",
+        "  bool ok = cert.verify_signature(key);\n",
+        None,
+    ),
+    (
+        "void-cast verify clean",
+        "src/globedoc/proxy.cpp",
+        "  (void)cert.verify_signature(key);  // fuzz: only parsing matters\n",
+        None,
+    ),
+    (
+        "unannotated verify decl fires",
+        "src/globedoc/integrity.hpp",
+        "  bool verify_signature(const crypto::RsaPublicKey& key) const;\n",
+        "nodiscard",
+    ),
+    (
+        "annotated verify decl clean",
+        "src/globedoc/integrity.hpp",
+        "  [[nodiscard]] bool verify_signature(const crypto::RsaPublicKey& k) const;\n",
+        None,
+    ),
+    (
+        "status-returning check decl fires without attribute",
+        "src/globedoc/integrity.hpp",
+        "  util::Status check_element(const std::string& n) const;\n",
+        "nodiscard",
+    ),
+]
+
+
+def run_self_test() -> int:
+    import tempfile
+
+    failures = 0
+    for name, rel, snippet, expected in SELF_TEST_CASES:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = pathlib.Path(tmp)
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(snippet)
+            violations: list[str] = []
+            global REPO
+            saved_repo = REPO
+            try:
+                REPO = root
+                check_file(target, violations)
+            finally:
+                REPO = saved_repo
+            tags = {re.search(r"\[([\w-]+)\]", v).group(1) for v in violations}
+            if expected is None:
+                ok = not violations
+                detail = f"unexpected: {violations}" if not ok else ""
+            else:
+                ok = expected in tags
+                detail = f"expected [{expected}], got {sorted(tags) or 'nothing'}"
+            print(f"  {'PASS' if ok else 'FAIL'}: {name}" + (f" ({detail})" if not ok else ""))
+            failures += 0 if ok else 1
+    if failures:
+        print(f"tools/lint.py --self-test: {failures} case(s) FAILED.")
+        return 1
+    print(f"tools/lint.py --self-test: all {len(SELF_TEST_CASES)} cases passed.")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify each check fires on seeded violations")
+    args = parser.parse_args()
+    if args.self_test:
+        return run_self_test()
+    return run_lint()
+
+
+if __name__ == "__main__":
+    sys.exit(main())
