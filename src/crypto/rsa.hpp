@@ -12,6 +12,7 @@
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::crypto {
 
@@ -53,14 +54,16 @@ RsaKeyPair rsa_generate(std::size_t bits, util::RandomSource& rng);
 
 /// PKCS#1 v1.5 signature over SHA-1(msg) — the paper's certificate scheme.
 util::Bytes rsa_sign_sha1(const RsaPrivateKey& key, util::BytesView msg);
-bool rsa_verify_sha1(const RsaPublicKey& key, util::BytesView msg,
-                     util::BytesView signature);
+GLOBE_SANITIZER [[nodiscard]] bool rsa_verify_sha1(const RsaPublicKey& key,
+                                                   util::BytesView msg,
+                                                   util::BytesView signature);
 
 /// PKCS#1 v1.5 signature over SHA-256(msg) — used by identity certificates
 /// and signed naming records.
 util::Bytes rsa_sign_sha256(const RsaPrivateKey& key, util::BytesView msg);
-bool rsa_verify_sha256(const RsaPublicKey& key, util::BytesView msg,
-                       util::BytesView signature);
+GLOBE_SANITIZER [[nodiscard]] bool rsa_verify_sha256(const RsaPublicKey& key,
+                                                     util::BytesView msg,
+                                                     util::BytesView signature);
 
 /// PKCS#1 v1.5 type-2 encryption.  msg must be <= modulus_bytes() - 11.
 util::Result<util::Bytes> rsa_encrypt(const RsaPublicKey& key, util::BytesView msg,

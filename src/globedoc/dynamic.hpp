@@ -31,6 +31,7 @@
 #include "rpc/rpc.hpp"
 #include "util/mutex.hpp"
 #include "util/rng.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -60,8 +61,8 @@ struct DynamicReceipt {
   static util::Result<DynamicReceipt> parse(util::BytesView data);
 
   /// Signature + response binding check.
-  [[nodiscard]] bool verify(const crypto::RsaPublicKey& server_key,
-                            util::BytesView response) const;
+  GLOBE_SANITIZER [[nodiscard]] bool verify(const crypto::RsaPublicKey& server_key,
+                                            util::BytesView response) const;
 };
 
 /// Hosts dynamic templates and signs everything it serves.
@@ -88,7 +89,7 @@ class DynamicReplicaServer {
 
  private:
   util::Result<util::Bytes> handle_query(net::ServerContext& ctx,
-                                         util::BytesView payload);
+                                         GLOBE_UNTRUSTED util::BytesView payload);
 
   std::string name_;
   crypto::RsaKeyPair key_;
@@ -107,7 +108,7 @@ struct MisbehaviorProof {
 
   /// Valid iff the receipt signature verifies under `server_key` AND the
   /// origin response hashes differently from what the server attested.
-  [[nodiscard]] bool verify(const crypto::RsaPublicKey& server_key) const;
+  GLOBE_SANITIZER [[nodiscard]] bool verify(const crypto::RsaPublicKey& server_key) const;
 };
 
 /// Client-side: queries a replica, verifies receipts, and probabilistically

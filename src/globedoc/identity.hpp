@@ -15,6 +15,7 @@
 #include "crypto/rsa.hpp"
 #include "globedoc/oid.hpp"
 #include "util/clock.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -57,13 +58,15 @@ class TrustStore {
 
   /// Full verification of one certificate: trusted issuer, valid signature,
   /// not expired, and issued for `expected_oid`.
-  [[nodiscard]] util::Status verify(const IdentityCertificate& cert,
-                                    const Oid& expected_oid,
-                                    util::SimTime now) const;
+  GLOBE_SANITIZER [[nodiscard]] util::Status verify(const IdentityCertificate& cert,
+                                                    const Oid& expected_oid,
+                                                    util::SimTime now) const;
 
   /// Scans `certs` and returns the subject of the first certificate that
-  /// verifies (the proxy's "Certified as:" string), or nullopt.
-  [[nodiscard]] std::optional<std::string> first_trusted_subject(
+  /// verifies (the proxy's "Certified as:" string), or nullopt.  The
+  /// returned subject is sanitized — it was lifted from a certificate that
+  /// passed full verification.
+  GLOBE_SANITIZER [[nodiscard]] std::optional<std::string> first_trusted_subject(
       const std::vector<IdentityCertificate>& certs, const Oid& expected_oid,
       util::SimTime now) const;
 

@@ -1,14 +1,32 @@
 #include "globedoc/importer.hpp"
 
+#include "crypto/sha1.hpp"
+
 namespace globe::globedoc {
 
 using util::ErrorCode;
 using util::Result;
+using util::Status;
+
+Status check_import_digest(const std::string& path, const PageElement& element,
+                           const ImportManifest& manifest) {
+  if (manifest.empty()) return Status::ok();
+  auto it = manifest.find(path);
+  if (it == manifest.end()) {
+    return Status(ErrorCode::kNotFound, "path not in import manifest: " + path);
+  }
+  if (crypto::Sha1::digest_bytes(element.content) != it->second) {
+    return Status(ErrorCode::kHashMismatch,
+                  "imported content does not match manifest digest: " + path);
+  }
+  return Status::ok();
+}
 
 Result<ImportReport> import_from_http(GlobeDocObject& object,
                                       net::Transport& transport,
                                       const net::Endpoint& source,
-                                      const std::vector<std::string>& paths) {
+                                      const std::vector<std::string>& paths,
+                                      const ImportManifest& manifest) {
   if (paths.empty()) {
     return Result<ImportReport>(ErrorCode::kInvalidArgument, "no paths to import");
   }
@@ -29,6 +47,11 @@ Result<ImportReport> import_from_http(GlobeDocObject& object,
     element.content_type = response->headers.get("Content-Type")
                                .value_or("application/octet-stream");
     element.content = std::move(response->body);
+    Status verified = check_import_digest(path, element, manifest);
+    if (!verified.is_ok()) {
+      report.failed.push_back(path);
+      continue;
+    }
     report.bytes += element.content.size();
     object.put_element(std::move(element));
     ++report.imported;
@@ -38,6 +61,13 @@ Result<ImportReport> import_from_http(GlobeDocObject& object,
                                 "every path failed to import");
   }
   return report;
+}
+
+Result<ImportReport> import_from_http(GlobeDocObject& object,
+                                      net::Transport& transport,
+                                      const net::Endpoint& source,
+                                      const std::vector<std::string>& paths) {
+  return import_from_http(object, transport, source, paths, ImportManifest{});
 }
 
 }  // namespace globe::globedoc

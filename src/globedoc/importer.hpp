@@ -5,27 +5,59 @@
 // Fetches each path from a regular HTTP origin and stores it as a page
 // element (element name = path without the leading '/'; content type from
 // the origin's header).  The caller then signs and publishes as usual.
+//
+// Trust boundary: the origin's replies are plain HTTP — nothing about them
+// is authenticated, yet whatever the importer stores will be *signed by the
+// owner's key* and served as authentic forever after.  An owner importing
+// over a network segment they do not fully control should therefore pass an
+// ImportManifest of expected content digests; each fetched body is checked
+// against it before it may enter the object.  With an empty manifest the
+// importer records the owner's explicit decision to trust the origin
+// (typically localhost), which check_import_digest makes auditable as the
+// single sanitation point on this path (DESIGN.md §9).
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
 #include "globedoc/object.hpp"
 #include "http/client.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
+
+/// path (with leading '/') -> expected SHA-1 of the element content.
+using ImportManifest = std::map<std::string, util::Bytes>;
 
 struct ImportReport {
   std::size_t imported = 0;
   std::size_t bytes = 0;
-  std::vector<std::string> failed;  // paths that did not yield a 200
+  std::vector<std::string> failed;  // paths that did not yield a verified 200
 };
+
+/// Digest gate between the untrusted origin reply and the owner's object.
+/// Empty manifest: accept (owner trusts the origin end to end).  Non-empty
+/// manifest: the path must be listed and the content's SHA-1 must match —
+/// a missing entry or a mismatch rejects the element.
+GLOBE_SANITIZER [[nodiscard]] util::Status check_import_digest(
+    const std::string& path, const PageElement& element,
+    const ImportManifest& manifest);
 
 /// Imports `paths` (each starting with '/') from the origin at `source`
 /// into `object`, replacing elements of the same name.  Partial failures
-/// are recorded in the report rather than aborting the import; the result
-/// is an error only if the report would be empty because every path failed
-/// or the input was invalid.
+/// (transport errors, non-200s, digest mismatches) are recorded in the
+/// report rather than aborting the import; the result is an error only if
+/// the report would be empty because every path failed or the input was
+/// invalid.
+util::Result<ImportReport> import_from_http(GlobeDocObject& object,
+                                            net::Transport& transport,
+                                            const net::Endpoint& source,
+                                            const std::vector<std::string>& paths,
+                                            const ImportManifest& manifest);
+
+/// Unverified convenience overload (empty manifest): the owner vouches for
+/// the origin and the path to it.
 util::Result<ImportReport> import_from_http(GlobeDocObject& object,
                                             net::Transport& transport,
                                             const net::Endpoint& source,

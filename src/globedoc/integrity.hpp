@@ -20,6 +20,7 @@
 #include "globedoc/element.hpp"
 #include "globedoc/oid.hpp"
 #include "util/clock.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -48,8 +49,10 @@ class IntegrityCertificate {
 
   [[nodiscard]] const ElementEntry* find(const std::string& name) const;
 
-  /// Verifies the signature under the object's public key.
-  [[nodiscard]] bool verify_signature(const crypto::RsaPublicKey& key) const;
+  /// Verifies the signature under the object's public key.  Sanitizes the
+  /// certificate itself: a certificate that passed is trusted content.
+  GLOBE_SANITIZER [[nodiscard]] bool verify_signature(
+      const crypto::RsaPublicKey& key) const;
 
   /// The three checks of §3.2.2 for one retrieved element:
   ///   NOT_FOUND     — no entry for `requested_name`;
@@ -58,7 +61,7 @@ class IntegrityCertificate {
   ///   EXPIRED       — entry validity interval passed.
   /// Signature verification is separate (verify_signature) because it is
   /// done once per binding, not once per element.
-  [[nodiscard]] util::Status check_element(
+  GLOBE_SANITIZER [[nodiscard]] util::Status check_element(
       const std::string& requested_name, const PageElement& served,
       util::SimTime now) const;
 

@@ -66,6 +66,36 @@ Result<ReplicaState> ReplicaState::parse(BytesView data) {
   }
 }
 
+util::Status ReplicaState::verify(util::SimTime now) const {
+  auto key = crypto::RsaPublicKey::parse(public_key);
+  if (!key.is_ok()) return key.status();
+  if (!certificate.oid().matches_key(*key)) {
+    return util::Status(ErrorCode::kOidMismatch,
+                        "state public key does not hash to the certificate OID");
+  }
+  if (!certificate.verify_signature(*key)) {
+    return util::Status(ErrorCode::kBadSignature,
+                        "state certificate signature invalid");
+  }
+  // The paper requires a hosting server to store *all* of the object's page
+  // elements (§3.2.2): every entry must be present and fresh, and no element
+  // may ride along outside the signed set.
+  if (elements.size() != certificate.entries().size()) {
+    return util::Status(ErrorCode::kWrongElement,
+                        "element set does not match the certificate entries");
+  }
+  for (const auto& entry : certificate.entries()) {
+    const PageElement* el = find(entry.name);
+    if (el == nullptr) {
+      return util::Status(ErrorCode::kNotFound,
+                          "certificate entry '" + entry.name + "' has no element");
+    }
+    util::Status check = certificate.check_element(entry.name, *el, now);
+    if (!check.is_ok()) return check;
+  }
+  return util::Status::ok();
+}
+
 GlobeDocObject::GlobeDocObject(crypto::RsaKeyPair keys)
     : keys_(std::move(keys)), oid_(Oid::from_public_key(keys_.pub)) {}
 

@@ -14,6 +14,7 @@
 #include "globedoc/integrity.hpp"
 #include "globedoc/oid.hpp"
 #include "util/rng.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -31,6 +32,15 @@ struct ReplicaState {
 
   util::Bytes serialize() const;
   static util::Result<ReplicaState> parse(util::BytesView data);
+
+  /// Self-contained verification of a state received across a trust
+  /// boundary (admin push, peer pull): the public key parses and hashes to
+  /// the certificate's OID (self-certifying check), the certificate
+  /// signature verifies under that key, every element matches its
+  /// certificate entry, and no entry's validity window has already closed
+  /// at `now`.  Identity certificates are NOT checked here — clients judge
+  /// them against their own trust stores (paper §3.1.2).
+  GLOBE_SANITIZER [[nodiscard]] util::Status verify(util::SimTime now) const;
 };
 
 class GlobeDocObject {
@@ -46,7 +56,10 @@ class GlobeDocObject {
   const crypto::RsaPrivateKey& private_key() const { return keys_.priv; }
 
   /// Adds or replaces an element; the state becomes dirty until re-signed.
-  void put_element(PageElement element);
+  /// Trusted sink: whatever lands here will be signed by the owner's key
+  /// and served as authentic — unverified bytes (e.g. a raw HTTP import
+  /// without a digest manifest check) must not reach it.
+  void put_element(GLOBE_TRUSTED_SINK PageElement element);
   void remove_element(const std::string& name);
   const PageElement* element(const std::string& name) const;
   std::vector<std::string> element_names() const;

@@ -13,6 +13,7 @@
 #include "crypto/rsa.hpp"
 #include "util/bytes.hpp"
 #include "util/status.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -33,8 +34,9 @@ class Oid {
   util::BytesView view() const { return util::BytesView(bytes_.data(), bytes_.size()); }
   std::string to_hex() const;
 
-  /// The self-certifying check: does `key` hash to this OID?
-  [[nodiscard]] bool matches_key(const crypto::RsaPublicKey& key) const;
+  /// The self-certifying check: does `key` hash to this OID?  A key that
+  /// passes is authenticated with no third party (paper §3.1.2).
+  GLOBE_SANITIZER [[nodiscard]] bool matches_key(const crypto::RsaPublicKey& key) const;
 
   auto operator<=>(const Oid&) const = default;
 

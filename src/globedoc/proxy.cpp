@@ -14,6 +14,30 @@ using util::ErrorCode;
 using util::Result;
 using util::Status;
 
+namespace {
+
+// Failure pages embed error text that can carry attacker-chosen fragments
+// (element names from the requested URL, addresses and messages relayed from
+// replicas).  Escape it so a hostile replica cannot turn the paper's
+// "Security Check Failed" document into script injection at the client.
+std::string html_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&#39;"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
 GlobeDocProxy::GlobeDocProxy(net::Transport& transport, ProxyConfig config)
     : transport_(&transport),
       config_(std::move(config)),
@@ -280,7 +304,7 @@ http::HttpResponse GlobeDocProxy::handle_browser_request(
         "<html><head><title>Security Check Failed</title></head><body>"
         "<h1>" +
         std::string(security_failure ? "Security Check Failed" : "GlobeDoc Error") +
-        "</h1><p>" + status.to_string() + "</p></body></html>";
+        "</h1><p>" + html_escape(status.to_string()) + "</p></body></html>";
     return http::HttpResponse::make(code, http::reason_for_status(code),
                                     util::to_bytes(body));
   }
@@ -296,7 +320,7 @@ http::HttpResponse GlobeDocProxy::handle_browser_request(
   if (!resp.is_ok()) {
     return http::HttpResponse::make(
         502, "Bad Gateway",
-        util::to_bytes("<html><body>" + resp.status().to_string() +
+        util::to_bytes("<html><body>" + html_escape(resp.status().to_string()) +
                        "</body></html>"));
   }
   return *resp;

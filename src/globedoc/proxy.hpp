@@ -36,6 +36,7 @@
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -98,8 +99,11 @@ class GlobeDocProxy {
 
   /// Browser-facing adapter: hybrid targets go through the secure pipeline
   /// (failures render the paper's "Security Check Failed" page); other
-  /// targets are forwarded to the configured origin.
-  http::HttpResponse handle_browser_request(const http::HttpRequest& request);
+  /// targets are forwarded to the configured origin.  Trusted sink: what
+  /// this returns is handed to the client's browser, so unverified replica
+  /// bytes must never flow into the response (paper §3.3).
+  GLOBE_TRUSTED_SINK http::HttpResponse handle_browser_request(
+      const http::HttpRequest& request);
   void set_origin_fallback(const net::Endpoint& origin) { origin_ = origin; }
 
   /// Drops verified bindings (next fetch re-binds from scratch).
@@ -126,18 +130,25 @@ class GlobeDocProxy {
                                         const std::string& element_name,
                                         FetchMetrics& metrics, obs::Tracer& tracer);
 
-  /// Steps 1-5 against one specific replica address.
-  util::Result<Binding> bind_replica(const Oid& oid, const net::Endpoint& address,
-                                     obs::Tracer& tracer);
+  /// Steps 1-5 against one specific replica address.  Sanitizer: a binding
+  /// only comes back Ok after the self-certifying key check and integrity
+  /// certificate verification succeeded against `address`.
+  GLOBE_SANITIZER util::Result<Binding> bind_replica(const Oid& oid,
+                                                     const net::Endpoint& address,
+                                                     obs::Tracer& tracer);
 
   /// Step 6 against an established binding.
   util::Result<PageElement> fetch_element(const Binding& binding,
                                           const std::string& element_name,
                                           FetchMetrics& metrics, obs::Tracer& tracer);
 
-  /// Stores a verified element with its certificate-entry expiry.
-  void cache_element(const std::string& object_name, const std::string& element_name,
-                     const Binding& binding, const PageElement& element);
+  /// Stores a verified element with its certificate-entry expiry.  Trusted
+  /// sink: only elements that passed check_element() may enter the cache —
+  /// a cached element is served without re-verification until expiry.
+  void cache_element(const std::string& object_name,
+                     const std::string& element_name,
+                     GLOBE_TRUSTED_SINK const Binding& binding,
+                     GLOBE_TRUSTED_SINK const PageElement& element);
 
   struct CachedElement {
     PageElement element;

@@ -91,7 +91,11 @@ bool ObjectServer::hosts(const Oid& oid) const {
 
 void ObjectServer::install_replica_unchecked(const ReplicaState& state) {
   util::LockGuard lock(mutex_);
-  replicas_[state.certificate.oid()] = state;
+  install_locked(state.certificate.oid(), state);
+}
+
+void ObjectServer::install_locked(const Oid& oid, ReplicaState state) {
+  replicas_[oid] = std::move(state);
 }
 
 void ObjectServer::set_resource_limits(const ResourceLimits& limits) {
@@ -399,6 +403,14 @@ Result<Bytes> ObjectServer::handle_create_or_update(net::ServerContext& ctx,
 
     auto state = ReplicaState::parse(state_wire);
     if (!state.is_ok()) return state.status();
+    // Verify before use (paper §3.2.2): admin auth only proves *who* pushed
+    // the state, not that the state is internally authentic.  Hosting an
+    // inconsistent state would make this server serve bytes every client
+    // rejects — or worse, keep serving them if a client-side check ever
+    // regressed.  Key↔OID, certificate signature, element hashes and entry
+    // freshness are all checked here, before anything is installed.
+    util::Status state_ok = state->verify(ctx.now());
+    if (!state_ok.is_ok()) return state_ok;
     Oid oid = state->certificate.oid();
 
     util::LockGuard lock(mutex_);
@@ -438,7 +450,7 @@ Result<Bytes> ObjectServer::handle_create_or_update(net::ServerContext& ctx,
     } else {
       lease_until_.erase(oid);
     }
-    replicas_[oid] = std::move(*state);
+    install_locked(oid, std::move(*state));
     replica_installs_->inc();
     return Bytes{};
   } catch (const util::SerialError& e) {

@@ -27,6 +27,7 @@
 #include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "util/mutex.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -85,8 +86,12 @@ class ObjectServer {
   std::size_t replica_count() const GLOBE_EXCLUDES(mutex_);
   bool hosts(const Oid& oid) const GLOBE_EXCLUDES(mutex_);
 
-  /// Installs a replica bypassing admin auth (local bootstrap in tests).
-  void install_replica_unchecked(const ReplicaState& state) GLOBE_EXCLUDES(mutex_);
+  /// Installs a replica bypassing admin *auth* (local bootstrap in tests
+  /// and the pull path, both of which hold an already-verified state).
+  /// Trusted sink: the state is hosted and served as-is, so it must have
+  /// passed ReplicaState::verify() when it crossed a trust boundary.
+  void install_replica_unchecked(GLOBE_TRUSTED_SINK const ReplicaState& state)
+      GLOBE_EXCLUDES(mutex_);
 
   /// Resource policy (paper §6 extension).  Limits apply to future creates
   /// and updates; existing replicas are untouched until their lease ends.
@@ -103,19 +108,29 @@ class ObjectServer {
   std::uint64_t content_bytes_served() const GLOBE_EXCLUDES(mutex_);
 
  private:
-  util::Result<util::Bytes> handle_get_element(net::ServerContext&, util::BytesView);
-  util::Result<util::Bytes> handle_list_elements(net::ServerContext&, util::BytesView);
-  util::Result<util::Bytes> handle_get_public_key(net::ServerContext&, util::BytesView);
+  // RPC handler payloads arrive straight off the wire from arbitrary callers
+  // and are tainted at entry (GLOBE_UNTRUSTED in parameter position).
+  util::Result<util::Bytes> handle_get_element(net::ServerContext&,
+                                               GLOBE_UNTRUSTED util::BytesView);
+  util::Result<util::Bytes> handle_list_elements(net::ServerContext&,
+                                                 GLOBE_UNTRUSTED util::BytesView);
+  util::Result<util::Bytes> handle_get_public_key(net::ServerContext&,
+                                                  GLOBE_UNTRUSTED util::BytesView);
   util::Result<util::Bytes> handle_get_integrity_cert(net::ServerContext&,
-                                                      util::BytesView);
+                                                      GLOBE_UNTRUSTED util::BytesView);
   util::Result<util::Bytes> handle_get_identity_certs(net::ServerContext&,
-                                                      util::BytesView);
-  util::Result<util::Bytes> handle_challenge(net::ServerContext&, util::BytesView);
+                                                      GLOBE_UNTRUSTED util::BytesView);
+  util::Result<util::Bytes> handle_challenge(net::ServerContext&,
+                                             GLOBE_UNTRUSTED util::BytesView);
   util::Result<util::Bytes> handle_create_or_update(net::ServerContext&,
-                                                    util::BytesView, bool create);
-  util::Result<util::Bytes> handle_delete(net::ServerContext&, util::BytesView);
-  util::Result<util::Bytes> handle_list_replicas(net::ServerContext&, util::BytesView);
-  util::Result<util::Bytes> handle_negotiate(net::ServerContext&, util::BytesView);
+                                                    GLOBE_UNTRUSTED util::BytesView,
+                                                    bool create);
+  util::Result<util::Bytes> handle_delete(net::ServerContext&,
+                                          GLOBE_UNTRUSTED util::BytesView);
+  util::Result<util::Bytes> handle_list_replicas(net::ServerContext&,
+                                                 GLOBE_UNTRUSTED util::BytesView);
+  util::Result<util::Bytes> handle_negotiate(net::ServerContext&,
+                                             GLOBE_UNTRUSTED util::BytesView);
 
   /// Checks the resource policy for a replica of `bytes` content bytes
   /// (excluding `existing_oid`'s current usage when updating).  Returns an
@@ -126,6 +141,11 @@ class ObjectServer {
 
   /// Removes a replica whose lease has passed; caller holds mutex_.
   [[nodiscard]] bool lease_expired_locked(const Oid& oid, util::SimTime now) const
+      GLOBE_REQUIRES(mutex_);
+
+  /// The one place replica state enters the hosted set.  Trusted sink:
+  /// callers on a network path must have run ReplicaState::verify() first.
+  void install_locked(const Oid& oid, GLOBE_TRUSTED_SINK ReplicaState state)
       GLOBE_REQUIRES(mutex_);
 
   /// Validates (nonce, pubkey, signature) against the keystore; returns the

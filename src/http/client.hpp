@@ -4,6 +4,7 @@
 
 #include "http/message.hpp"
 #include "net/transport.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::http {
 
@@ -11,11 +12,14 @@ class HttpClient {
  public:
   explicit HttpClient(net::Transport& transport) : transport_(&transport) {}
 
-  /// GETs `path` from the server at `ep`.
-  util::Result<HttpResponse> get(const net::Endpoint& ep, const std::string& path);
+  /// GETs `path` from the server at `ep`.  The response is plain HTTP:
+  /// nothing about it is authenticated.
+  GLOBE_UNTRUSTED util::Result<HttpResponse> get(const net::Endpoint& ep,
+                                                 const std::string& path);
 
-  /// Sends an arbitrary request.
-  util::Result<HttpResponse> request(const net::Endpoint& ep, const HttpRequest& req);
+  /// Sends an arbitrary request.  Response is untrusted (see get()).
+  GLOBE_UNTRUSTED util::Result<HttpResponse> request(const net::Endpoint& ep,
+                                                     const HttpRequest& req);
 
   net::Transport& transport() { return *transport_; }
 

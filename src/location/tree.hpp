@@ -26,6 +26,7 @@
 #include "rpc/rpc.hpp"
 #include "util/bytes.hpp"
 #include "util/mutex.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::location {
 
@@ -69,16 +70,19 @@ class LocationNode {
   std::size_t records_stored() const GLOBE_EXCLUDES(mutex_);
 
  private:
+  // Wire payloads from arbitrary callers: tainted at entry.  The stored
+  // records stay untrusted by design (§3.1.2) — there is no sanitizer here,
+  // and no trusted sink either: consumers re-verify whatever they fetch.
   util::Result<util::Bytes> handle_lookup(net::ServerContext& ctx,
-                                          util::BytesView payload);
+                                          GLOBE_UNTRUSTED util::BytesView payload);
   util::Result<util::Bytes> handle_insert(net::ServerContext& ctx,
-                                          util::BytesView payload);
+                                          GLOBE_UNTRUSTED util::BytesView payload);
   util::Result<util::Bytes> handle_remove(net::ServerContext& ctx,
-                                          util::BytesView payload);
-  util::Result<util::Bytes> handle_insert_pointer(net::ServerContext& ctx,
-                                                  util::BytesView payload);
-  util::Result<util::Bytes> handle_remove_pointer(net::ServerContext& ctx,
-                                                  util::BytesView payload);
+                                          GLOBE_UNTRUSTED util::BytesView payload);
+  util::Result<util::Bytes> handle_insert_pointer(
+      net::ServerContext& ctx, GLOBE_UNTRUSTED util::BytesView payload);
+  util::Result<util::Bytes> handle_remove_pointer(
+      net::ServerContext& ctx, GLOBE_UNTRUSTED util::BytesView payload);
 
   /// Resolves a pointer downward to concrete addresses (interior nodes).
   util::Result<std::vector<net::Endpoint>> resolve_down(net::ServerContext& ctx,
@@ -108,8 +112,11 @@ class LocationClient {
   LocationClient(net::Transport& transport, net::Endpoint local_site);
 
   /// Expanding-ring search from the local site.  NOT_FOUND when the OID is
-  /// unknown all the way to the root.
-  util::Result<std::vector<net::Endpoint>> lookup(util::BytesView oid);
+  /// unknown all the way to the root.  Location records carry no signatures
+  /// (paper §3.1.2): the addresses returned are untrusted hints that the
+  /// caller may only dial speculatively — every byte fetched from them must
+  /// still pass the self-certifying/integrity checks.
+  GLOBE_UNTRUSTED util::Result<std::vector<net::Endpoint>> lookup(util::BytesView oid);
 
   /// Registers / deregisters a contact address at a specific site node.
   util::Status insert(const net::Endpoint& site, util::BytesView oid,

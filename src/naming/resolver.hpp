@@ -10,6 +10,7 @@
 #include "naming/records.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::naming {
 
@@ -22,8 +23,10 @@ class SecureResolver {
 
   /// Resolves a name to its (verified, fresh) OID.  Security failures map
   /// to the typed codes: BAD_SIGNATURE, EXPIRED, WRONG_ELEMENT (record
-  /// names a different name than asked), PROTOCOL.
-  util::Result<util::Bytes> resolve(const std::string& name);
+  /// names a different name than asked), PROTOCOL.  A successful result is
+  /// a sanitized value: every record on the walk was signature-checked
+  /// against the chain rooted in the configured trust anchor.
+  GLOBE_SANITIZER util::Result<util::Bytes> resolve(const std::string& name);
 
   /// Enables client-side positive caching of verified answers.
   void set_cache_enabled(bool enabled) { cache_enabled_ = enabled; }

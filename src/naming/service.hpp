@@ -22,6 +22,7 @@
 #include "naming/records.hpp"
 #include "net/transport.hpp"
 #include "rpc/rpc.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::naming {
 
@@ -80,10 +81,12 @@ class NamingServer {
   void register_with(rpc::ServiceDispatcher& dispatcher);
 
  private:
+  // Wire payloads from arbitrary callers: tainted at entry.  Replies are
+  // signed with the zone key, so nothing untrusted flows into an answer.
   util::Result<util::Bytes> handle_lookup(net::ServerContext& ctx,
-                                          util::BytesView payload);
+                                          GLOBE_UNTRUSTED util::BytesView payload);
   util::Result<util::Bytes> handle_zone_key(net::ServerContext& ctx,
-                                            util::BytesView payload);
+                                            GLOBE_UNTRUSTED util::BytesView payload);
 
   util::Mutex mutex_;
   std::map<std::string, std::shared_ptr<ZoneAuthority>> zones_

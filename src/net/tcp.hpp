@@ -51,8 +51,10 @@ class TcpTransport final : public Transport {
   TcpTransport() = default;
   ~TcpTransport() override;
 
-  util::Result<util::Bytes> call(const Endpoint& ep,
-                                 util::BytesView request) override;
+  /// recv() path of the live transport: the response bytes come straight
+  /// off a socket (GLOBE_UNTRUSTED inherited from Transport::call).
+  GLOBE_UNTRUSTED util::Result<util::Bytes> call(const Endpoint& ep,
+                                                 util::BytesView request) override;
   util::SimTime now() const override { return clock_.now(); }
   void charge(CpuOp, std::uint64_t) override {}  // wall clock ticks by itself
   HostId local_host() const override { return HostId{0}; }

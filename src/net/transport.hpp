@@ -16,6 +16,7 @@
 #include "util/bytes.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
+#include "util/taint_annotations.hpp"
 
 namespace globe::net {
 
@@ -51,9 +52,11 @@ class Transport {
   virtual ~Transport() = default;
 
   /// Sends `request` to `ep` and blocks for the response.  UNAVAILABLE when
-  /// nothing is bound at `ep` or the link is down.
-  virtual util::Result<util::Bytes> call(const Endpoint& ep,
-                                         util::BytesView request) = 0;
+  /// nothing is bound at `ep` or the link is down.  The reply crossed the
+  /// wire from a host we do not control: every byte of it is untrusted
+  /// until a verification entry point has vouched for it (DESIGN.md §9).
+  GLOBE_UNTRUSTED virtual util::Result<util::Bytes> call(const Endpoint& ep,
+                                                         util::BytesView request) = 0;
 
   /// Current time of this flow.
   virtual util::SimTime now() const = 0;

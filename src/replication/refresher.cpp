@@ -66,7 +66,11 @@ Result<PullResult> pull_replica(net::Transport& transport,
 
   // --- Elements: fetch and verify each against its certificate entry.
   ReplicaState state;
-  state.public_key = *key_raw;
+  // Store the canonical serialization of the *verified* key, not the peer's
+  // raw reply: if parse() ever tolerated non-canonical encodings (trailing
+  // bytes, redundant length prefixes), the raw bytes would be served onward
+  // to clients while only the parsed form was checked against the OID.
+  state.public_key = object_key->serialize();
   state.certificate = *certificate;
   state.elements.reserve(certificate->entries().size());
   for (const auto& entry : certificate->entries()) {

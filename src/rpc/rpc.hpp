@@ -16,6 +16,7 @@
 #include "net/transport.hpp"
 #include "util/bytes.hpp"
 #include "util/serial.hpp"
+#include "util/taint_annotations.hpp"
 #include "util/status.hpp"
 
 namespace globe::rpc {
@@ -57,11 +58,17 @@ class ServiceDispatcher {
 /// Client stub for one remote endpoint.
 class RpcClient {
  public:
-  RpcClient(net::Transport& transport, net::Endpoint endpoint)
+  /// Constructing a stub is the "dial" of a contact address: the endpoint
+  /// must come from a verified record (a signed delegation, a verified
+  /// binding) — untrusted addresses reaching here are flagged by the taint
+  /// pass and need an explicit justification in tools/taint_baseline.txt.
+  RpcClient(net::Transport& transport, GLOBE_TRUSTED_SINK net::Endpoint endpoint)
       : transport_(&transport), endpoint_(endpoint) {}
 
-  util::Result<util::Bytes> call(std::uint16_t service, std::uint16_t method,
-                                 util::BytesView payload) const;
+  /// Reply payloads originate at a remote, possibly malicious, party.
+  GLOBE_UNTRUSTED util::Result<util::Bytes> call(std::uint16_t service,
+                                                 std::uint16_t method,
+                                                 util::BytesView payload) const;
 
   const net::Endpoint& endpoint() const { return endpoint_; }
   net::Transport& transport() const { return *transport_; }

@@ -1,0 +1,47 @@
+// Trust-boundary taint annotations (DESIGN.md §9).
+//
+// The paper's security argument (§3) is a single dataflow invariant: bytes
+// obtained from an untrusted replica, the Location Service, or the wire must
+// pass authenticity/freshness/consistency verification before they are
+// cached, served to a client, installed as replica state, or used to dial a
+// contact address.  These macros mark the three roles of that invariant in
+// the source so `tools/taint_check.py` can prove the path-level property
+// over the whole call graph:
+//
+//   GLOBE_UNTRUSTED     on a function: its return value carries taint (the
+//                       bytes crossed a trust boundary on the way in, e.g.
+//                       an RPC reply payload).  On a parameter: the value is
+//                       untrusted *input* — tainted from function entry
+//                       (e.g. a server handler's wire payload).
+//
+//   GLOBE_SANITIZER     on a function: calling it verifies its arguments
+//                       (and the object it is invoked on); afterwards those
+//                       values — and the call's result — are trusted.  Every
+//                       sanitizer is [[nodiscard]] or returns Status/Result
+//                       (enforced by tools/lint.py), so "called but ignored"
+//                       is caught by the compiler, not by the taint pass.
+//
+//   GLOBE_TRUSTED_SINK  on a parameter: tainted data must never be passed as
+//                       that argument (the state argument of a replica-state
+//                       install, the endpoint argument of a dial, the element
+//                       argument of a cache insert).  On a function: the
+//                       *return value* is the sink — the body must never
+//                       return tainted data (e.g. the proxy's HTTP response
+//                       handed to the client).
+//
+// Under Clang the macros expand to [[clang::annotate]] attributes, so the
+// libclang frontend of tools/taint_check.py sees them in the AST; under
+// other compilers they expand to nothing and the analyzer's fallback
+// frontend recognizes the macro tokens directly in the source text.  Either
+// way they impose zero runtime cost.
+#pragma once
+
+#if defined(__clang__)
+#define GLOBE_UNTRUSTED [[clang::annotate("globe::untrusted")]]
+#define GLOBE_SANITIZER [[clang::annotate("globe::sanitizer")]]
+#define GLOBE_TRUSTED_SINK [[clang::annotate("globe::trusted_sink")]]
+#else
+#define GLOBE_UNTRUSTED
+#define GLOBE_SANITIZER
+#define GLOBE_TRUSTED_SINK
+#endif

@@ -1,0 +1,89 @@
+// Regenerates the checked-in fuzz seed corpora (tests/fuzz/corpus/) from
+// real serialized values, so the seeds track the wire formats.  Usage:
+//
+//   cmake --build build --target fuzz_seed_gen
+//   ./build/tests/fuzz_seed_gen tests/fuzz/corpus
+//
+// Deterministic: fixed DRBG seeds, virtual timestamps.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "crypto/drbg.hpp"
+#include "crypto/rsa.hpp"
+#include "globedoc/integrity.hpp"
+#include "globedoc/object.hpp"
+#include "naming/records.hpp"
+#include "util/serial.hpp"
+
+namespace fs = std::filesystem;
+using globe::util::Bytes;
+
+static void write_file(const fs::path& path, const Bytes& data) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  std::printf("wrote %s (%zu bytes)\n", path.string().c_str(), data.size());
+}
+
+int main(int argc, char** argv) {
+  fs::path root = argc > 1 ? argv[1] : "tests/fuzz/corpus";
+  fs::create_directories(root / "integrity_cert");
+  fs::create_directories(root / "naming_record");
+
+  auto rng = globe::crypto::HmacDrbg::from_seed(20260806);
+  auto keys = globe::crypto::rsa_generate(512, rng);
+
+  // --- integrity_cert seeds ------------------------------------------------
+  {
+    using globe::globedoc::GlobeDocObject;
+    using globe::globedoc::IntegrityCertificate;
+    GlobeDocObject object(keys);
+    object.put_element({"index.html", "text/html",
+                        globe::util::to_bytes("<html>seed</html>")});
+    object.put_element({"logo.gif", "image/gif", Bytes(64, 0x42)});
+    const IntegrityCertificate& two =
+        object.sign_state(1000, globe::util::seconds(3600));
+    write_file(root / "integrity_cert" / "valid_two_entries.bin",
+               two.serialize());
+
+    object.remove_element("logo.gif");
+    const IntegrityCertificate& one =
+        object.sign_state(2000, globe::util::seconds(60));
+    Bytes wire = one.serialize();
+    write_file(root / "integrity_cert" / "valid_one_entry.bin", wire);
+
+    Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
+    write_file(root / "integrity_cert" / "truncated.bin", truncated);
+    write_file(root / "integrity_cert" / "empty.bin", Bytes{});
+  }
+
+  // --- naming_record seeds -------------------------------------------------
+  {
+    using namespace globe::naming;
+    OidRecord oid_rec;
+    oid_rec.name = "news.vu.nl";
+    oid_rec.oid = Bytes(kOidSize, 0xA5);
+    oid_rec.expires = 5000;
+    write_file(root / "naming_record" / "oid_record.bin", oid_rec.serialize());
+
+    DelegationRecord del;
+    del.zone = "vu.nl";
+    del.child_public_key = keys.pub.serialize();
+    del.name_server = globe::net::Endpoint{globe::net::HostId{7}, 53};
+    del.expires = 5000;
+    Bytes del_wire = del.serialize();
+    write_file(root / "naming_record" / "delegation_record.bin", del_wire);
+
+    SignedBlob blob;
+    blob.record = oid_rec.serialize();
+    blob.signature = Bytes(64, 0x5A);
+    write_file(root / "naming_record" / "signed_blob.bin", blob.serialize());
+
+    Bytes truncated(del_wire.begin(), del_wire.begin() + del_wire.size() / 3);
+    write_file(root / "naming_record" / "truncated.bin", truncated);
+    write_file(root / "naming_record" / "empty.bin", Bytes{});
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "crypto/drbg.hpp"
+#include "crypto/sha1.hpp"
 #include "globedoc/proxy.hpp"
 #include "http/static_server.hpp"
 #include "net/simnet.hpp"
@@ -50,6 +51,44 @@ TEST_F(ImporterFixture, ImportsAllPaths) {
   EXPECT_EQ(logo->content_type, "image/gif");
   EXPECT_EQ(logo->content.size(), 300u);
   EXPECT_EQ(object.element("index.html")->content_type, "text/html");
+}
+
+// Verify-before-use regression: with a manifest, a body the origin serves
+// that does not hash to the expected digest must never enter the object —
+// whatever lands there gets signed by the owner's key and served as
+// authentic forever after.
+
+TEST_F(ImporterFixture, ManifestMismatchKeepsElementOut) {
+  GlobeDocObject object(fixture_key(2005));
+  ImportManifest manifest;
+  manifest["/index.html"] =
+      crypto::Sha1::digest_bytes(to_bytes("<html>legacy site</html>"));
+  // The origin serves different bytes for the logo than the manifest says.
+  manifest["/img/logo.gif"] = crypto::Sha1::digest_bytes(to_bytes("expected"));
+  auto report = import_from_http(object, *flow, origin_ep,
+                                 {"/index.html", "/img/logo.gif"}, manifest);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->imported, 1u);
+  ASSERT_EQ(report->failed.size(), 1u);
+  EXPECT_EQ(report->failed[0], "/img/logo.gif");
+  EXPECT_EQ(object.element_count(), 1u);
+  EXPECT_EQ(object.element("img/logo.gif"), nullptr);  // never stored
+  EXPECT_NE(object.element("index.html"), nullptr);
+}
+
+TEST_F(ImporterFixture, ManifestMissingEntryKeepsElementOut) {
+  GlobeDocObject object(fixture_key(2006));
+  ImportManifest manifest;
+  manifest["/index.html"] =
+      crypto::Sha1::digest_bytes(to_bytes("<html>legacy site</html>"));
+  // "/about.txt" is fetched but absent from the manifest: rejected.
+  auto report = import_from_http(object, *flow, origin_ep,
+                                 {"/index.html", "/about.txt"}, manifest);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_EQ(report->imported, 1u);
+  ASSERT_EQ(report->failed.size(), 1u);
+  EXPECT_EQ(report->failed[0], "/about.txt");
+  EXPECT_EQ(object.element("about.txt"), nullptr);
 }
 
 TEST_F(ImporterFixture, PartialFailureReported) {

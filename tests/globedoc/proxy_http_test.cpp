@@ -53,6 +53,22 @@ TEST_F(ProxyHttpFixture, SecurityFailureRendersErrorPage) {
             std::string::npos);
 }
 
+TEST_F(ProxyHttpFixture, ErrorPageEscapesReflectedText) {
+  // The failure page echoes the error description, which can embed
+  // attacker-chosen text (here the requested element name, reflected by the
+  // server's "no element '...'"); it must come out HTML-escaped so the
+  // paper's "Security Check Failed" document can never become script
+  // injection at the browser.
+  http::HttpClient browser(*browser_flow);
+  auto resp =
+      browser.get(proxy_ep, "/globe/news.vu.nl/<script>alert(1)</script>");
+  ASSERT_TRUE(resp.is_ok());
+  EXPECT_EQ(resp->status, 404);
+  std::string body = util::to_string(resp->body);
+  EXPECT_EQ(body.find("<script"), std::string::npos) << body;
+  EXPECT_NE(body.find("&lt;script"), std::string::npos) << body;
+}
+
 TEST_F(ProxyHttpFixture, PlainUrlsPassThroughToOrigin) {
   http::StaticHttpServer origin;
   origin.put_file("/legacy.html", to_bytes("<html>old web</html>"));

@@ -237,6 +237,43 @@ TEST_F(ServerFixture, SecurityInterfaceServesKeyAndCerts) {
   EXPECT_EQ(r.u32(), 0u);  // no identity certs in this fixture object
 }
 
+// Verify-before-use regressions (paper §3.2.2): admin auth proves WHO
+// pushed a state, not that the state is internally authentic.  The server
+// must run ReplicaState::verify() before anything reaches the hosted set.
+
+TEST_F(ServerFixture, TamperedStatePushRejected) {
+  AdminClient admin(*flow, ep, owner_key);
+  ReplicaState tampered = state_v1;
+  ASSERT_FALSE(tampered.elements.empty());
+  tampered.elements[0].content.push_back(0xEE);  // flipped after signing
+  EXPECT_FALSE(admin.create_replica(tampered).is_ok());
+  EXPECT_FALSE(server->hosts(oid));
+  EXPECT_EQ(server->replica_count(), 0u);
+}
+
+TEST_F(ServerFixture, WrongKeyStatePushRejected) {
+  // public_key swapped out: SHA-1(key) no longer matches the certificate's
+  // OID, so the self-certifying check must fail even though the pusher is
+  // fully authorized.
+  AdminClient admin(*flow, ep, owner_key);
+  ReplicaState forged = state_v1;
+  forged.public_key = intruder_key.pub.serialize();
+  EXPECT_FALSE(admin.create_replica(forged).is_ok());
+  EXPECT_FALSE(server->hosts(oid));
+}
+
+TEST_F(ServerFixture, TamperedUpdateKeepsPriorState) {
+  AdminClient admin(*flow, ep, owner_key);
+  ASSERT_TRUE(admin.create_replica(state_v1).is_ok());
+  ReplicaState tampered = state_v2;
+  ASSERT_FALSE(tampered.elements.empty());
+  tampered.elements[0].content.clear();
+  EXPECT_FALSE(admin.update_replica(tampered).is_ok());
+  // The verified v1 replica must still be hosted, untouched.
+  EXPECT_TRUE(server->hosts(oid));
+  EXPECT_EQ(server->replica_count(), 1u);
+}
+
 TEST_F(ServerFixture, MalformedPayloadsRejected) {
   rpc::RpcClient client(*flow, ep);
   EXPECT_EQ(client.call(rpc::kGlobeDocAccess, kGetElement, to_bytes("xx")).code(),

@@ -1,0 +1,14 @@
+// Untrusted bytes passed straight into a trusted sink: must flag.
+// TAINT-EXPECT: flag source=recv_reply sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+void pull() {
+  Bytes raw = recv_reply();
+  install_state(raw);
+}
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// The same flow with a sanitizer between source and sink: must pass.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+GLOBE_SANITIZER Status verify_state(const Bytes& state);
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+void pull() {
+  Bytes raw = recv_reply();
+  Status ok = verify_state(raw);
+  if (!ok.is_ok()) return;
+  install_state(raw);
+}
+
+}  // namespace fix

@@ -1,0 +1,25 @@
+// Taint must survive two unannotated call hops: fetch() wraps the source,
+// repackage() forwards its argument, and only then does it hit the sink.
+// TAINT-EXPECT: flag source=recv_reply sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+Bytes fetch() {
+  Bytes raw = recv_reply();
+  return raw;
+}
+
+Bytes repackage(Bytes blob) {
+  Bytes copy = blob;
+  return copy;
+}
+
+void pull() {
+  Bytes staged = repackage(fetch());
+  install_state(staged);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Sanitize-then-retaint: verification followed by a fresh untrusted
+// assignment must not stay clean (statements are walked in textual order).
+// TAINT-EXPECT: flag source=recv_reply sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+GLOBE_SANITIZER Status verify_state(const Bytes& state);
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+void pull() {
+  Bytes raw = recv_reply();
+  Status ok = verify_state(raw);
+  if (!ok.is_ok()) return;
+  raw = recv_reply();  // fetched again after the check
+  install_state(raw);
+}
+
+}  // namespace fix

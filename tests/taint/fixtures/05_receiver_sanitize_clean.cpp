@@ -1,0 +1,21 @@
+// Sanitizer invoked as a method of the tainted object (state.verify())
+// clears the receiver's taint.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+struct State {
+  GLOBE_SANITIZER Status verify() const;
+};
+
+GLOBE_UNTRUSTED State parse_reply();
+void install_state(GLOBE_TRUSTED_SINK State state);
+
+void pull() {
+  State state = parse_reply();
+  Status ok = state.verify();
+  if (!ok.is_ok()) return;
+  install_state(state);
+}
+
+}  // namespace fix

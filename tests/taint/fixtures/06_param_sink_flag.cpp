@@ -1,0 +1,17 @@
+// Parameter-position sink: only the annotated argument slot is guarded,
+// and a tainted value in that slot must flag.
+// TAINT-EXPECT: flag source=read_record sink=dial
+#include "_prelude.h"
+namespace fix {
+
+struct Endpoint {};
+
+GLOBE_UNTRUSTED Endpoint read_record();
+void dial(int service, GLOBE_TRUSTED_SINK Endpoint where);
+
+void contact() {
+  Endpoint addr = read_record();
+  dial(7, addr);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Tainted data in a NON-sink parameter slot of the same call is allowed:
+// the request id is untrusted but only `where` is the guarded slot.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+struct Endpoint {};
+
+GLOBE_UNTRUSTED int read_id();
+Endpoint local_endpoint();
+void dial(int service, GLOBE_TRUSTED_SINK Endpoint where);
+
+void contact() {
+  int id = read_id();
+  Endpoint addr = local_endpoint();
+  dial(id, addr);
+}
+
+}  // namespace fix

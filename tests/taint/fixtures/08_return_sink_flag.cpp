@@ -1,0 +1,14 @@
+// Function-level sink guards the RETURN value (the response handed to the
+// client): returning unverified bytes must flag.
+// TAINT-EXPECT: flag source=http_get sink=handle_request
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes http_get();
+
+GLOBE_TRUSTED_SINK Bytes handle_request() {
+  Bytes body = http_get();
+  return body;
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// Return-position sink with verification before the return: must pass.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes http_get();
+GLOBE_SANITIZER Status check_element(const Bytes& body);
+
+GLOBE_TRUSTED_SINK Bytes handle_request() {
+  Bytes body = http_get();
+  Status ok = check_element(body);
+  if (!ok.is_ok()) return Bytes{};
+  return body;
+}
+
+}  // namespace fix

@@ -1,0 +1,15 @@
+// GLOBE_UNTRUSTED in parameter position: a server handler's wire payload
+// is tainted from entry.
+// TAINT-EXPECT: flag source=handle_create sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+Status handle_create(GLOBE_UNTRUSTED Bytes payload) {
+  Bytes state = payload;
+  install_state(state);
+  return Status{};
+}
+
+}  // namespace fix

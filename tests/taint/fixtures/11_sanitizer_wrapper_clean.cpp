@@ -1,0 +1,22 @@
+// Derived sanitization: admit() forwards its parameter to an annotated
+// sanitizer, so callers of admit() get the same guarantee interprocedurally.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+GLOBE_SANITIZER Status verify_state(const Bytes& state);
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+Status admit(const Bytes& candidate) {
+  return verify_state(candidate);
+}
+
+void pull() {
+  Bytes raw = recv_reply();
+  Status ok = admit(raw);
+  if (!ok.is_ok()) return;
+  install_state(raw);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// The sink is reached through an unannotated wrapper: the finding must
+// carry the two-hop call chain pull -> store -> install_state.
+// TAINT-EXPECT: flag source=recv_reply sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+void store(Bytes blob) {
+  install_state(blob);
+}
+
+void pull() {
+  Bytes raw = recv_reply();
+  store(raw);
+}
+
+}  // namespace fix

@@ -1,0 +1,21 @@
+// Mutating an aggregate with tainted data (push_back-style) taints the
+// aggregate itself.
+// TAINT-EXPECT: flag source=recv_cert sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+struct State {
+  void add_cert(Bytes cert);
+};
+
+GLOBE_UNTRUSTED Bytes recv_cert();
+void install_state(GLOBE_TRUSTED_SINK State state);
+
+void pull() {
+  State state;
+  Bytes cert = recv_cert();
+  state.add_cert(cert);
+  install_state(state);
+}
+
+}  // namespace fix

@@ -1,0 +1,18 @@
+// Taint acquired inside a conditional block survives past the block
+// (path-insensitive join).
+// TAINT-EXPECT: flag source=recv_reply sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+void pull(bool refresh) {
+  Bytes state;
+  if (refresh) {
+    state = recv_reply();
+  }
+  install_state(state);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// Range-for over a tainted container taints the loop variable.
+// TAINT-EXPECT: flag source=recv_list sink=dial
+#include "_prelude.h"
+namespace fix {
+
+struct Endpoint {};
+struct EndpointList {};
+
+GLOBE_UNTRUSTED EndpointList recv_list();
+void dial(GLOBE_TRUSTED_SINK Endpoint where);
+
+void contact_all() {
+  EndpointList candidates = recv_list();
+  for (const Endpoint& address : candidates) {
+    dial(address);
+  }
+}
+
+}  // namespace fix

@@ -1,0 +1,17 @@
+// Strong update: overwriting a tainted variable with a trusted value
+// clears its taint.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+Bytes local_default();
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+void pull() {
+  Bytes state = recv_reply();
+  state = local_default();
+  install_state(state);
+}
+
+}  // namespace fix

@@ -1,0 +1,16 @@
+// Metadata accessors (.size(), .is_ok(), .status()) of a tainted value do
+// not propagate content taint.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+void record_metric(GLOBE_TRUSTED_SINK int value);
+
+void pull() {
+  Bytes raw = recv_reply();
+  int n = raw.size();
+  record_metric(n);
+}
+
+}  // namespace fix

@@ -1,0 +1,19 @@
+// A sanitizer's RESULT is trusted even when computed from tainted inputs
+// (e.g. the verified OID extracted from a signed record chain).
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+struct Oid {};
+
+GLOBE_UNTRUSTED Bytes recv_record();
+GLOBE_SANITIZER Oid resolve_verified(const Bytes& record);
+void dial_for(GLOBE_TRUSTED_SINK Oid target);
+
+void resolve_and_dial() {
+  Bytes record = recv_record();
+  Oid oid = resolve_verified(record);
+  dial_for(oid);
+}
+
+}  // namespace fix

@@ -1,0 +1,21 @@
+// Source wrapped behind a class method and consumed via a member call
+// chain: RpcClient-style shape.
+// TAINT-EXPECT: flag source=Client::call sink=put_element
+#include "_prelude.h"
+namespace fix {
+
+struct Client {
+  GLOBE_UNTRUSTED Bytes call(int method);
+};
+
+void put_element(GLOBE_TRUSTED_SINK Bytes element);
+
+struct Importer {
+  Client client;
+  void import_one() {
+    Bytes body = client.call(3);
+    put_element(body);
+  }
+};
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// A std-container method call on an untyped local (`em.insert(...)`) must
+// NOT resolve by name onto an unrelated class whose `insert` has a trusted
+// sink parameter.  Regression for the bytes.cpp/LocationClient aliasing bug.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+struct Endpoint {};
+
+struct Registry {
+  // Sink in parameter 0: untrusted data must never pick the dial target.
+  Status insert(GLOBE_TRUSTED_SINK const Endpoint& site, const Bytes& oid,
+                const Bytes& extra);
+};
+
+GLOBE_UNTRUSTED Bytes recv_reply();
+
+Buffer encode() {
+  Bytes raw = recv_reply();
+  auto em = make_buffer();
+  // std::vector-style insert: three arguments, tainted payload among them.
+  // With name-only fallback (the lite frontend cannot type `em`) this would
+  // alias onto Registry::insert and report raw -> sink; the analyzer must
+  // treat it as an external container call instead.
+  em.insert(em.end(), raw, raw);
+  return em;
+}
+
+}  // namespace fix

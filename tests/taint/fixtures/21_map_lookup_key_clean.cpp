@@ -1,0 +1,26 @@
+// A container lookup keyed by untrusted data returns the container's value,
+// which carries the CONTAINER's taint, not the key's: selecting a trusted,
+// pre-configured endpoint out of a routing map by an attacker-chosen name
+// yields a trusted endpoint.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+struct Dialer {
+  // Dialing is the sink: the remote address must come from trusted config.
+  Dialer(GLOBE_TRUSTED_SINK const Bytes& remote);
+};
+
+GLOBE_UNTRUSTED Bytes recv_request();
+Bytes parse_child_name(const Bytes& payload);
+
+void route(const Table& children) {
+  Bytes payload = recv_request();
+  Bytes child_name = parse_child_name(payload);
+  // `children` is trusted configuration; the untrusted key only selects
+  // which trusted entry comes back.
+  auto entry = children.find(child_name);
+  Dialer dial(entry);
+}
+
+}  // namespace fix

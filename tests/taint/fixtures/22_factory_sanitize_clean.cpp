@@ -1,0 +1,30 @@
+// Receiver-type inference through the factory idiom: `auto s = T::parse(x)`
+// types `s` as T, so `s->verify(...)` resolves to T::verify even when an
+// unrelated class also declares an (unannotated) `verify` — the ambiguity
+// that would otherwise leave the sanitizer call unresolved.
+// TAINT-EXPECT: clean
+#include "_prelude.h"
+namespace fix {
+
+struct State {
+  static State parse(const Bytes& wire);
+  GLOBE_SANITIZER Status verify(int now) const;
+};
+
+struct Checksum {
+  // Same name, different effect signature: blocks name-only merging.
+  bool verify(const Bytes& a, const Bytes& b, int mode) const;
+};
+
+GLOBE_UNTRUSTED Bytes recv_state();
+void install(GLOBE_TRUSTED_SINK const State& state);
+
+void admin_push(int now) {
+  Bytes wire = recv_state();
+  auto state = State::parse(wire);
+  Status ok = state.verify(now);
+  if (!ok.is_ok()) return;
+  install(state);
+}
+
+}  // namespace fix

@@ -95,6 +95,7 @@ RAW_CRYPTO_ALLOWED = {
     "src/globedoc/object.cpp",         # object key generation
     "src/globedoc/server.cpp",         # admin challenge/response signatures
     "src/globedoc/owner.cpp",          # owner-side signing helpers
+    "src/globedoc/importer.cpp",       # import-manifest digest gate (§9)
     "src/naming/service.cpp",          # zone record signing
     "src/naming/resolver.cpp",         # zone record validation
     "src/http/secure_channel.cpp",     # TLS-like handshake + record crypto
