@@ -15,11 +15,17 @@
 // spans.  This bench records the full per-stage decomposition into the
 // global metrics registry and, given an output path as argv[1], writes it
 // as a BENCH_*.json artifact via the obs exporter.
+//
+// With distributed trace propagation (DESIGN.md §10) each stage further
+// splits into SERVER time (spans recorded on the far side of the RPCs the
+// stage issued, stitched back by the trace collector) and NET+CLIENT time
+// (the remainder): fig4.stage_server_ns / fig4.stage_net_ns.
 #include <cstdio>
 #include <map>
 #include <vector>
 
 #include "bench/paper_world.hpp"
+#include "obs/collector.hpp"
 #include "obs/export.hpp"
 
 int main(int argc, char** argv) {
@@ -45,6 +51,12 @@ int main(int argc, char** argv) {
   // measure only the fetches below.
   auto& registry = obs::global_registry();
   registry.reset();
+
+  // Keep every trace: the figure wants the exact decomposition of each
+  // fetch, not a tail sample.
+  auto& collector = obs::global_trace_collector();
+  collector.set_policy({/*keep_slower_than=*/0, /*keep_one_in=*/1});
+  collector.clear();
 
   struct Measured {
     globedoc::FetchMetrics metrics;
@@ -95,6 +107,34 @@ int main(int argc, char** argv) {
             .gauge("fig4.stage_ns",
                    {{"client", label}, {"size_kb", size}, {"stage", stage}})
             .set(static_cast<double>(obs::span_total(m.trace, stage)));
+      }
+
+      // The local span tree stops at the proxy; the stitched trace from the
+      // collector also holds the spans recorded ON the naming server, the
+      // location node and the object server (propagated over RPC framing).
+      // Each fetch must have produced exactly one complete stitched trace.
+      auto stitched = collector.find(m.trace_hi, m.trace_lo);
+      if (!stitched || !stitched->complete || stitched->fragments < 2) {
+        std::fprintf(stderr,
+                     "no complete stitched trace for %zu KB from %s "
+                     "(found=%d)\n",
+                     kb, label.c_str(), stitched ? 1 : 0);
+        return 1;
+      }
+      registry.gauge("fig4.server_ns", cell)
+          .set(static_cast<double>(obs::remote_span_total(stitched->root)));
+      for (const char* stage : kStages) {
+        util::SimDuration stage_total = 0, stage_server = 0;
+        for (const auto* span : obs::find_all_spans(stitched->root, stage)) {
+          stage_total += span->duration;
+          stage_server += obs::remote_span_total(*span);
+        }
+        obs::Labels stage_cell{
+            {"client", label}, {"size_kb", size}, {"stage", stage}};
+        registry.gauge("fig4.stage_server_ns", stage_cell)
+            .set(static_cast<double>(stage_server));
+        registry.gauge("fig4.stage_net_ns", stage_cell)
+            .set(static_cast<double>(stage_total - stage_server));
       }
       results[{kb, client}] = Measured{result->metrics};
     }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench/paper_world.hpp"
+#include "obs/collector.hpp"
 #include "obs/export.hpp"
 #include "replication/coordinator.hpp"
 #include "replication/trace.hpp"
@@ -23,6 +24,11 @@ namespace {
 
 struct BucketStats {
   double total_ms = 0;
+  // Split of total_ms via the stitched cross-host trace of each fetch:
+  // server_ms is time inside spans recorded ON the serving hosts (origin or
+  // replica), the rest is network + proxy-side verification.  Under origin
+  // overload the growth is in server_ms (CPU queueing), not the network.
+  double server_ms = 0;
   std::size_t count = 0;
 };
 
@@ -56,6 +62,11 @@ int main(int argc, char** argv) {
 
   std::map<std::string, std::map<std::uint64_t, BucketStats>> results;
   std::map<std::uint64_t, std::size_t> replica_counts;
+
+  // Keep every trace so each fetch can be decomposed right after it runs.
+  auto& collector = obs::global_trace_collector();
+  collector.set_policy({/*keep_slower_than=*/0, /*keep_one_in=*/1});
+  collector.clear();
 
   for (bool dynamic : {false, true}) {
     PaperWorld world;
@@ -104,6 +115,14 @@ int main(int argc, char** argv) {
       std::uint64_t bucket = access.time / kBucket;
       auto& stats = results[label][bucket];
       stats.total_ms += util::to_millis(result->metrics.total_time);
+      auto stitched = collector.find(result->metrics.trace_hi,
+                                     result->metrics.trace_lo);
+      if (!stitched || !stitched->complete) {
+        std::fprintf(stderr, "fetch at t=%.0fs left no stitched trace\n",
+                     util::to_seconds(access.time));
+        return 1;
+      }
+      stats.server_ms += util::to_millis(obs::remote_span_total(stitched->root));
       stats.count += 1;
       if (dynamic) {
         replica_counts[bucket] = 1 + replicator.replica_count();
@@ -140,6 +159,20 @@ int main(int argc, char** argv) {
     registry
         .gauge("flash_crowd.mean_ms", {{"mode", "dynamic"}, {"window_s", window}})
         .set(dyn.count ? dyn.total_ms / static_cast<double>(dyn.count) : 0);
+    registry
+        .gauge("flash_crowd.server_ms", {{"mode", "static"}, {"window_s", window}})
+        .set(stats.server_ms / static_cast<double>(stats.count));
+    registry
+        .gauge("flash_crowd.server_ms", {{"mode", "dynamic"}, {"window_s", window}})
+        .set(dyn.count ? dyn.server_ms / static_cast<double>(dyn.count) : 0);
+    registry
+        .gauge("flash_crowd.net_ms", {{"mode", "static"}, {"window_s", window}})
+        .set((stats.total_ms - stats.server_ms) / static_cast<double>(stats.count));
+    registry
+        .gauge("flash_crowd.net_ms", {{"mode", "dynamic"}, {"window_s", window}})
+        .set(dyn.count
+                 ? (dyn.total_ms - dyn.server_ms) / static_cast<double>(dyn.count)
+                 : 0);
     registry.gauge("flash_crowd.replicas", {{"window_s", window}})
         .set(static_cast<double>(replica_counts[bucket]));
   }

@@ -1,0 +1,209 @@
+// Live telemetry: the admin surface (/metrics, /healthz, /tracez — see
+// DESIGN.md §10) served over a real localhost HTTP socket, populated by
+// secure fetches running in the simulated GlobeDoc world.
+//
+//   ./telemetry_demo [port]      # default 9090
+//   curl -s localhost:9090/metrics
+//   curl -s localhost:9090/healthz
+//   curl -s 'localhost:9090/tracez?min_ms=1'
+//
+// The AdminHttpServer handler is transport-agnostic (serialized request
+// bytes in, serialized response bytes out), so the very same object that
+// tests mount on a SimNet port here sits behind an accept loop speaking
+// plain HTTP/1.1 to curl.  Serves until killed (SIGINT/SIGTERM exit 0).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "crypto/drbg.hpp"
+#include "globedoc/owner.hpp"
+#include "globedoc/proxy.hpp"
+#include "globedoc/server.hpp"
+#include "http/parser.hpp"
+#include "location/builder.hpp"
+#include "naming/service.hpp"
+#include "net/simnet.hpp"
+#include "obs/admin.hpp"
+#include "obs/collector.hpp"
+#include "obs/log.hpp"
+
+using namespace globe;
+
+namespace {
+
+// Presents a SimFlow (a client-side Transport) as the ServerContext the
+// admin handler needs: health probes issued while serving a live request
+// travel over the simulated network like any proxy RPC would.
+class DemoContext final : public net::ServerContext {
+ public:
+  explicit DemoContext(net::SimFlow& flow) : flow_(flow) {}
+  util::SimTime now() const override { return flow_.now(); }
+  void charge(net::CpuOp op, std::uint64_t amount) override {
+    flow_.charge(op, amount);
+  }
+  net::HostId local_host() const override { return flow_.local_host(); }
+  net::Transport& transport() override { return flow_; }
+
+ private:
+  net::SimFlow& flow_;
+};
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+// One connection: frame request bytes off the socket, serve, reply, close.
+void serve_connection(int fd, obs::AdminHttpServer& admin, DemoContext& ctx) {
+  http::MessageFramer framer;
+  framer.set_max_message(64 * 1024);  // admin requests are tiny
+  char buf[4096];
+  auto handler = admin.handler();
+  while (!framer.has_message()) {
+    ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n <= 0) return;  // peer went away or sent garbage past the cap
+    if (!framer.feed(util::BytesView(reinterpret_cast<std::uint8_t*>(buf),
+                                     static_cast<std::size_t>(n)))
+             .is_ok()) {
+      static const char kBad[] =
+          "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n\r\n";
+      (void)!::write(fd, kBad, sizeof kBad - 1);
+      return;
+    }
+  }
+  auto message = framer.take_message();
+  auto response = handler(ctx, message);  // parse failures become 400 inside
+  if (!response.is_ok()) return;
+  std::size_t off = 0;
+  while (off < response->size()) {
+    ssize_t n = ::write(fd, response->data() + off, response->size() - off);
+    if (n <= 0) return;
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 9090;
+  if (argc > 1) port = static_cast<std::uint16_t>(std::atoi(argv[1]));
+
+  // --- The simulated world: infra + client host, one published document.
+  net::SimNet net;
+  auto server_host = net.add_host({"server.vu.nl", net::CpuModel{}});
+  auto client_host = net.add_host({"client.example", net::CpuModel{}});
+  net.set_link(server_host, client_host, {util::millis(15), 1.0e6});
+
+  auto zone_rng = crypto::HmacDrbg::from_seed(1);
+  auto zone_keys = crypto::rsa_generate(1024, zone_rng);
+  auto root_zone = std::make_shared<naming::ZoneAuthority>("", zone_keys);
+  rpc::ServiceDispatcher naming_dispatcher;
+  naming::NamingServer naming_server;
+  naming_server.add_zone(root_zone);
+  naming_server.register_with(naming_dispatcher);
+  net::Endpoint naming_ep{server_host, 53};
+  net.bind(naming_ep, naming_dispatcher.handler());
+
+  location::LocationTree tree(net, {
+                                       {"root", "", server_host, 100, false},
+                                       {"site-server", "root", server_host, 101, true},
+                                       {"site-client", "root", client_host, 101, true},
+                                   });
+
+  auto cred_rng = crypto::HmacDrbg::from_seed(2);
+  auto credentials = crypto::rsa_generate(1024, cred_rng);
+  globedoc::ObjectServer object_server("replica-host-1", 3);
+  object_server.authorize(credentials.pub);
+  rpc::ServiceDispatcher server_dispatcher;
+  object_server.register_with(server_dispatcher);
+  net::Endpoint server_ep{server_host, 8000};
+  net.bind(server_ep, server_dispatcher.handler());
+
+  auto object_rng = crypto::HmacDrbg::from_seed(4);
+  auto object = globedoc::GlobeDocObject::create(object_rng, 1024);
+  object.put_element({"index.html", "text/html",
+                      util::to_bytes("<html><body>telemetry demo</body></html>")});
+  object.put_element({"logo.gif", "image/gif", util::Bytes(2048, 0x47)});
+  globedoc::ObjectOwner owner(std::move(object), credentials);
+  owner.register_name(*root_zone, "news.vu.nl", util::seconds(86400));
+  auto owner_flow = net.open_flow(server_host);
+  auto state = owner.sign_and_snapshot(owner_flow->now(), util::seconds(3600));
+  auto published = owner.publish_replica(*owner_flow, server_ep,
+                                         tree.endpoint("site-server"), state);
+  if (!published.is_ok()) {
+    std::fprintf(stderr, "publish failed: %s\n", published.to_string().c_str());
+    return 1;
+  }
+
+  // --- Fetches through the verifying proxy populate the process-wide
+  // telemetry: metrics in the global registry, one stitched trace per
+  // fetch in the global collector, events in the global log.
+  obs::global_trace_collector().set_policy(
+      {/*keep_slower_than=*/0, /*keep_one_in=*/1});
+  auto client_flow = net.open_flow(client_host);
+  globedoc::ProxyConfig config;
+  config.naming_root = naming_ep;
+  config.naming_anchor = zone_keys.pub;
+  config.location_site = tree.endpoint("site-client");
+  globedoc::GlobeDocProxy proxy(*client_flow, config);
+  for (const char* element : {"index.html", "logo.gif", "index.html"}) {
+    auto result = proxy.fetch("news.vu.nl", element);
+    if (!result.is_ok()) {
+      std::fprintf(stderr, "fetch failed: %s\n",
+                   result.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("[proxy] fetched %-10s -> %5zu bytes in %.1f ms (virtual)\n",
+                element, result->element.content.size(),
+                util::to_millis(result->metrics.total_time));
+  }
+
+  // --- The admin surface over a real socket.
+  obs::AdminConfig admin_config;
+  admin_config.service = "telemetry-demo";  // registry/collector/log: globals
+  obs::AdminHttpServer admin(admin_config);
+  proxy.register_health_checks(admin);
+  DemoContext ctx(*client_flow);
+
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) { std::perror("socket"); return 1; }
+  int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    std::perror("bind/listen");
+    return 1;
+  }
+  // sigaction without SA_RESTART: a signal must make the blocking accept()
+  // fail with EINTR so the loop can notice g_stop (std::signal would
+  // restart the syscall on glibc and the process would never exit).
+  struct sigaction sa{};
+  sa.sa_handler = on_signal;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  std::signal(SIGPIPE, SIG_IGN);
+  std::printf("[admin] serving on http://127.0.0.1:%u "
+              "(/metrics /healthz /tracez)\n", port);
+  std::fflush(stdout);
+
+  while (!g_stop) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    serve_connection(fd, admin, ctx);
+    ::close(fd);
+  }
+  ::close(listen_fd);
+  std::printf("[admin] shut down\n");
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include "globedoc/element.hpp"
 #include "globedoc/server.hpp"
 #include "location/tree.hpp"
+#include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
 #include "util/serial.hpp"
 
@@ -17,14 +18,24 @@ namespace {
 struct RpcHeader {
   std::uint16_t service = 0;
   std::uint16_t method = 0;
+  std::size_t prefix = 0;  // bytes before the service id (trace header)
   BytesView payload;
 };
 
 bool read_header(BytesView request, RpcHeader& out) {
-  if (request.size() < 4) return false;
-  out.service = static_cast<std::uint16_t>(std::uint16_t{request[0]} << 8 | request[1]);
-  out.method = static_cast<std::uint16_t>(std::uint16_t{request[2]} << 8 | request[3]);
-  out.payload = request.subspan(4);
+  // A competent man-in-the-middle speaks the full framing: skip the
+  // optional trace header (marker 0xFFFF, version, context) if present.
+  std::size_t off = 0;
+  if (request.size() >= 2 && request[0] == 0xff && request[1] == 0xff) {
+    off = 2 + 1 + obs::TraceContext::kWireSize;
+  }
+  if (request.size() < off + 4) return false;
+  out.prefix = off;
+  out.service = static_cast<std::uint16_t>(std::uint16_t{request[off]} << 8 |
+                                           request[off + 1]);
+  out.method = static_cast<std::uint16_t>(std::uint16_t{request[off + 2]} << 8 |
+                                          request[off + 3]);
+  out.payload = request.subspan(off + 4);
   return true;
 }
 
@@ -67,6 +78,7 @@ net::MessageHandler element_swap_attack(net::MessageHandler inner,
       (void)r.str();  // discard the requested name
       r.expect_end();
       util::Writer w;
+      w.raw(request.first(header.prefix));  // preserve any trace header
       w.u16(header.service);
       w.u16(header.method);
       w.raw(oid);

@@ -2,6 +2,8 @@
 
 #include "crypto/sha1.hpp"
 #include "globedoc/server.hpp"
+#include "obs/admin.hpp"
+#include "obs/log.hpp"
 #include "rpc/rpc.hpp"
 #include "util/log.hpp"
 #include "util/serial.hpp"
@@ -173,6 +175,10 @@ Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
                                          const std::string& element_name) {
   FetchMetrics metrics;
   obs::Tracer tracer([this] { return transport_->now(); });
+  tracer.set_host("proxy");
+  tracer.set_sink(config_.trace_collector != nullptr
+                      ? config_.trace_collector
+                      : &obs::global_trace_collector());
   auto result = fetch_inner(object_name, element_name, metrics, tracer);
 
   // The root span closed when fetch_inner returned; derive the Fig. 4
@@ -186,6 +192,8 @@ Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
         obs::span_total(trace, FetchStage::kIntegrityVerify) +
         obs::span_total(trace, FetchStage::kElementVerify);
     result->metrics.trace = std::move(trace);
+    result->metrics.trace_hi = tracer.trace_hi();
+    result->metrics.trace_lo = tracer.trace_lo();
   }
   (result.is_ok() ? fetches_ok_ : fetches_failed_)->inc();
   return result;
@@ -210,6 +218,9 @@ Result<FetchResult> GlobeDocProxy::fetch_inner(const std::string& object_name,
         element_cache_hits_->inc();
         return FetchResult{it->second.element, it->second.certified_as, metrics};
       }
+      obs::global_event_log().emit(
+          obs::EventLevel::kDebug, "proxy", "element_cache_evict",
+          object_name + "/" + element_name + " expired", transport_->now());
       element_cache_.erase(it);
     }
   }
@@ -257,25 +268,52 @@ Result<FetchResult> GlobeDocProxy::fetch_inner(const std::string& object_name,
     auto binding = bind_replica(*oid, address, tracer);
     if (!binding.is_ok()) {
       last_error = binding.status();
-      GLOBE_LOG_INFO("proxy", "binding to ", address.to_string(),
-                     " failed: ", last_error.to_string());
+      obs::global_event_log().emit(
+          obs::EventLevel::kWarn, "proxy", "binding_failed",
+          address.to_string() + ": " + last_error.to_string(),
+          transport_->now());
       continue;
     }
     auto element = fetch_element(*binding, element_name, metrics, tracer);
     if (!element.is_ok()) {
       last_error = element.status();
-      GLOBE_LOG_INFO("proxy", "element fetch from ", address.to_string(),
-                     " failed: ", last_error.to_string());
+      obs::global_event_log().emit(
+          obs::EventLevel::kWarn, "proxy", "element_rejected",
+          address.to_string() + ": " + last_error.to_string(),
+          transport_->now());
       continue;
     }
     if (config_.cache_bindings) {
       bindings_[object_name] = *binding;
     }
+    last_replica_.store((std::uint64_t{1} << 63) |
+                            (std::uint64_t{address.host.value} << 16) |
+                            address.port,
+                        std::memory_order_relaxed);
     metrics.total_time = transport_->now() - start;
     cache_element(object_name, element_name, *binding, *element);
     return FetchResult{std::move(*element), binding->certified_as, metrics};
   }
   return last_error;
+}
+
+void GlobeDocProxy::register_health_checks(obs::AdminHttpServer& admin) {
+  admin.add_health_check("naming", [this](net::ServerContext& ctx) {
+    return obs::reachability_probe(ctx, config_.naming_root);
+  });
+  admin.add_health_check("location", [this](net::ServerContext& ctx) {
+    return obs::reachability_probe(ctx, config_.location_site);
+  });
+  // Replica channel: the endpoint of the last successful fetch.  Vacuously
+  // ready until one exists (nothing to probe yet).
+  admin.add_health_check("replica", [this](net::ServerContext& ctx) {
+    std::uint64_t packed = last_replica_.load(std::memory_order_relaxed);
+    if ((packed >> 63) == 0) return util::Status::ok();
+    net::Endpoint replica{
+        net::HostId{static_cast<std::uint32_t>((packed >> 16) & 0xFFFFFFFF)},
+        static_cast<std::uint16_t>(packed & 0xFFFF)};
+    return obs::reachability_probe(ctx, replica);
+  });
 }
 
 http::HttpResponse GlobeDocProxy::handle_browser_request(

@@ -34,9 +34,16 @@
 #include "location/tree.hpp"
 #include "naming/resolver.hpp"
 #include "net/transport.hpp"
+#include "obs/collector.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/taint_annotations.hpp"
+
+#include <atomic>
+
+namespace globe::obs {
+class AdminHttpServer;  // obs/admin.hpp
+}
 
 namespace globe::globedoc {
 
@@ -53,6 +60,10 @@ struct ProxyConfig {
   // of §3.2.2 doubles as a sound cache TTL (the "Verif" client strategy of
   // ref [13]).
   bool cache_elements = false;
+  // Completed fetch traces (and, via RPC propagation, the server-side
+  // fragments they caused) are stitched here; nullptr means the process-wide
+  // obs::global_trace_collector().
+  obs::TraceCollector* trace_collector = nullptr;
 };
 
 /// Stage names of the per-fetch span tree (children of the "fetch" root).
@@ -80,6 +91,11 @@ struct FetchMetrics {
   /// pipeline stages (FetchStage names).  Timestamps come from the
   /// transport clock — virtual time under SimNet, wall time over TCP.
   obs::SpanRecord trace;
+  /// 128-bit id of the distributed trace this fetch recorded; use it with
+  /// TraceCollector::find() to get the stitched cross-host tree (the local
+  /// `trace` above has no server-side spans).
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
 };
 
 struct FetchResult {
@@ -113,6 +129,12 @@ class GlobeDocProxy {
   /// Drops cached elements; expired entries are also evicted lazily.
   void clear_element_cache() { element_cache_.clear(); }
   std::size_t element_cache_size() const { return element_cache_.size(); }
+
+  /// Registers this proxy's readiness probes on an admin surface:
+  /// "naming" (root name server reachable), "location" (local Location
+  /// Service node reachable), "replica" (the channel to the last replica
+  /// served from, once one exists).  The proxy must outlive `admin`.
+  void register_health_checks(obs::AdminHttpServer& admin);
 
   net::Transport& transport() { return *transport_; }
 
@@ -158,6 +180,10 @@ class GlobeDocProxy {
 
   net::Transport* transport_;
   ProxyConfig config_;
+  // Endpoint of the replica the last successful fetch was served from,
+  // packed ((1<<63) | host<<16 | port) so health probes on another thread
+  // read it without a lock; 0 = none yet.
+  std::atomic<std::uint64_t> last_replica_{0};
   // Registry series (global registry; handles live as long as the process).
   obs::Counter* fetches_ok_;
   obs::Counter* fetches_failed_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/admin.hpp"
+#include "obs/log.hpp"
 #include "util/serial.hpp"
 
 namespace globe::globedoc {
@@ -172,6 +174,31 @@ std::size_t ObjectServer::elements_served() const {
 std::uint64_t ObjectServer::content_bytes_served() const {
   util::LockGuard lock(mutex_);
   return content_bytes_served_;
+}
+
+void ObjectServer::register_health_checks(obs::AdminHttpServer& admin) {
+  admin.add_health_check("store", [this](net::ServerContext&) {
+    util::LockGuard lock(mutex_);
+    (void)replicas_.size();  // replica table accessible
+    return Status::ok();
+  });
+  admin.add_health_check("capacity", [this](net::ServerContext&) {
+    util::LockGuard lock(mutex_);
+    if (limits_.max_replicas != 0 && replicas_.size() >= limits_.max_replicas) {
+      return Status(ErrorCode::kUnavailable,
+                    name_ + " at replica capacity (" +
+                        std::to_string(replicas_.size()) + "/" +
+                        std::to_string(limits_.max_replicas) + ")");
+    }
+    if (limits_.max_total_bytes != 0) {
+      std::uint64_t used = 0;
+      for (const auto& [oid, state] : replicas_) used += state.content_bytes();
+      if (used >= limits_.max_total_bytes) {
+        return Status(ErrorCode::kUnavailable, name_ + " at byte capacity");
+      }
+    }
+    return Status::ok();
+  });
 }
 
 void ObjectServer::register_with(rpc::ServiceDispatcher& dispatcher) {
@@ -361,15 +388,22 @@ Result<Bytes> ObjectServer::check_admin_auth(net::ServerContext& ctx,
                                              const Bytes& nonce, const Bytes& pubkey,
                                              const Bytes& signature,
                                              std::string_view tag, BytesView payload) {
+  auto denied = [&](const char* why) {
+    obs::global_event_log().emit(obs::EventLevel::kWarn, "server",
+                                 "admin_auth_failed",
+                                 name_ + ": " + why + " (" + std::string(tag) + ")",
+                                 ctx.now());
+    return Result<Bytes>(ErrorCode::kPermissionDenied, why);
+  };
   {
     util::LockGuard lock(mutex_);
     auto it = outstanding_nonces_.find(nonce);
     if (it == outstanding_nonces_.end()) {
-      return Result<Bytes>(ErrorCode::kPermissionDenied, "unknown or replayed nonce");
+      return denied("unknown or replayed nonce");
     }
     outstanding_nonces_.erase(it);  // single use
     if (keystore_.count(pubkey) == 0) {
-      return Result<Bytes>(ErrorCode::kPermissionDenied, "key not in keystore");
+      return denied("key not in keystore");
     }
   }
   auto key = crypto::RsaPublicKey::parse(pubkey);
@@ -377,7 +411,7 @@ Result<Bytes> ObjectServer::check_admin_auth(net::ServerContext& ctx,
   ctx.charge(net::CpuOp::kRsaVerify, 1);
   if (!crypto::rsa_verify_sha256(*key, admin_signed_payload(tag, nonce, payload),
                                  signature)) {
-    return Result<Bytes>(ErrorCode::kPermissionDenied, "bad admin signature");
+    return denied("bad admin signature");
   }
   return pubkey;
 }
@@ -452,6 +486,11 @@ Result<Bytes> ObjectServer::handle_create_or_update(net::ServerContext& ctx,
     }
     install_locked(oid, std::move(*state));
     replica_installs_->inc();
+    obs::global_event_log().emit(obs::EventLevel::kInfo, "server",
+                                 "replica_install",
+                                 name_ + ": " + oid.to_hex() +
+                                     (create ? " created" : " updated"),
+                                 ctx.now());
     return Bytes{};
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
@@ -488,6 +527,9 @@ Result<Bytes> ObjectServer::handle_delete(net::ServerContext& ctx, BytesView pay
     replicas_.erase(*oid);
     lease_until_.erase(*oid);
     replica_deletes_->inc();
+    obs::global_event_log().emit(obs::EventLevel::kInfo, "server",
+                                 "replica_delete", name_ + ": " + oid->to_hex(),
+                                 ctx.now());
     return Bytes{};
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());

@@ -29,6 +29,10 @@
 #include "util/mutex.hpp"
 #include "util/taint_annotations.hpp"
 
+namespace globe::obs {
+class AdminHttpServer;  // obs/admin.hpp
+}
+
 namespace globe::globedoc {
 
 enum AccessMethod : std::uint16_t {
@@ -106,6 +110,12 @@ class ObjectServer {
   /// Serving statistics.
   std::size_t elements_served() const GLOBE_EXCLUDES(mutex_);
   std::uint64_t content_bytes_served() const GLOBE_EXCLUDES(mutex_);
+
+  /// Registers this server's readiness probes on an admin surface:
+  /// "store" (replica table accessible) and "capacity" (degraded once the
+  /// administrator's max_replicas limit is reached).  The server must
+  /// outlive `admin`.
+  void register_health_checks(obs::AdminHttpServer& admin);
 
  private:
   // RPC handler payloads arrive straight off the wire from arbitrary callers

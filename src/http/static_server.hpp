@@ -8,6 +8,7 @@
 #include "http/message.hpp"
 #include "http/parser.hpp"
 #include "net/transport.hpp"
+#include "obs/health.hpp"
 #include "obs/metrics.hpp"
 #include "util/mutex.hpp"
 
@@ -31,6 +32,11 @@ class StaticHttpServer {
   /// MessageHandler adapter: request bytes are a serialized HTTP request,
   /// response bytes a serialized HTTP response.
   net::MessageHandler handler();
+
+  /// Readiness probe for an admin surface ("docroot"): unhealthy while the
+  /// document root is empty (nothing published yet, or torn down).  The
+  /// server must outlive the returned probe.
+  obs::HealthProbe docroot_health_check() const;
 
  private:
   struct FileEntry {

@@ -1,0 +1,181 @@
+#include "obs/admin.hpp"
+
+#include <sstream>
+
+#include "http/parser.hpp"
+#include "obs/export.hpp"
+
+namespace globe::obs {
+
+using http::HttpRequest;
+using http::HttpResponse;
+using util::Bytes;
+using util::BytesView;
+using util::Result;
+using util::Status;
+
+namespace {
+
+/// Upper bound on the min_ms filter: ~11.5 days, far beyond any trace, and
+/// small enough that millis() cannot overflow.
+constexpr std::uint64_t kMaxMinMs = 1'000'000'000;
+
+/// Strict sanitizer for the /tracez query string.  Accepts exactly "" or
+/// "min_ms=<1..10 digits>"; everything else — stray parameters, empty
+/// value, signs, whitespace, overlong numbers — is INVALID_ARGUMENT.  The
+/// input came off the wire; after this gate only a bounded integer
+/// survives, so nothing attacker-controlled can reach a response body.
+GLOBE_SANITIZER Result<std::uint64_t> parse_tracez_query(
+    GLOBE_UNTRUSTED const std::string& query) {
+  if (query.empty()) return std::uint64_t{0};
+  constexpr std::string_view kKey = "min_ms=";
+  if (query.size() <= kKey.size() || query.compare(0, kKey.size(), kKey) != 0) {
+    return Status(util::ErrorCode::kInvalidArgument, "unknown query parameter");
+  }
+  std::string_view digits = std::string_view(query).substr(kKey.size());
+  if (digits.size() > 10) {
+    return Status(util::ErrorCode::kInvalidArgument, "min_ms out of range");
+  }
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status(util::ErrorCode::kInvalidArgument, "min_ms not a number");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value > kMaxMinMs) {
+    return Status(util::ErrorCode::kInvalidArgument, "min_ms out of range");
+  }
+  return value;
+}
+
+/// Static error bodies only: a 4xx must not echo what the peer sent.
+HttpResponse error_response(int status, std::string_view body) {
+  return HttpResponse::make(status, http::reason_for_status(status),
+                            util::to_bytes(body), "text/plain");
+}
+
+void trace_to_json(std::ostringstream& os, const StitchedTrace& trace) {
+  os << "{\"trace_id\":\"" << trace.trace_id()
+     << "\",\"duration_ms\":" << util::to_millis(trace.duration())
+     << ",\"complete\":" << (trace.complete ? "true" : "false")
+     << ",\"fragments\":" << trace.fragments
+     << ",\"root\":" << to_json(trace.root) << '}';
+}
+
+}  // namespace
+
+Status reachability_probe(net::ServerContext& ctx, const net::Endpoint& ep) {
+  Result<Bytes> reply = ctx.transport().call(ep, Bytes(4, 0));
+  if (!reply.is_ok() && reply.code() == util::ErrorCode::kUnavailable) {
+    return Status(util::ErrorCode::kUnavailable,
+                  ep.to_string() + " unreachable");
+  }
+  return Status::ok();
+}
+
+AdminHttpServer::AdminHttpServer(AdminConfig config)
+    : config_(std::move(config)) {
+  if (config_.registry == nullptr) config_.registry = &global_registry();
+  if (config_.collector == nullptr) config_.collector = &global_trace_collector();
+  if (config_.events == nullptr) config_.events = &global_event_log();
+}
+
+void AdminHttpServer::add_health_check(std::string name, HealthProbe probe) {
+  util::LockGuard lock(mutex_);
+  checks_.emplace_back(std::move(name), std::move(probe));
+}
+
+HttpResponse AdminHttpServer::serve_metrics() {
+  HttpResponse resp = HttpResponse::make(
+      200, "OK", util::to_bytes(to_text(config_.registry->snapshot())),
+      "text/plain");
+  return resp;
+}
+
+HttpResponse AdminHttpServer::serve_healthz(net::ServerContext& ctx) {
+  // Snapshot the check list, then probe WITHOUT the lock: probes make
+  // nested transport calls and must not serialize against registration.
+  std::vector<std::pair<std::string, HealthProbe>> checks;
+  {
+    util::LockGuard lock(mutex_);
+    checks = checks_;
+  }
+  bool all_ok = true;
+  std::ostringstream os;
+  os << "{\"service\":\"" << json_escape(config_.service) << "\",\"checks\":[";
+  for (std::size_t i = 0; i < checks.size(); ++i) {
+    Status s = checks[i].second(ctx);
+    if (!s.is_ok()) all_ok = false;
+    if (i > 0) os << ',';
+    os << "{\"name\":\"" << json_escape(checks[i].first)
+       << "\",\"ok\":" << (s.is_ok() ? "true" : "false");
+    if (!s.is_ok()) os << ",\"error\":\"" << json_escape(s.to_string()) << '"';
+    os << '}';
+  }
+  os << "],\"status\":\"" << (all_ok ? "ok" : "degraded") << "\"}";
+  int status = all_ok ? 200 : 503;
+  config_.events->emit(all_ok ? EventLevel::kDebug : EventLevel::kWarn,
+                       "admin", "healthz",
+                       config_.service + " " + (all_ok ? "ok" : "degraded"),
+                       ctx.now());
+  return HttpResponse::make(status, http::reason_for_status(status),
+                            util::to_bytes(os.str()), "application/json");
+}
+
+HttpResponse AdminHttpServer::serve_tracez(const std::string& query) {
+  Result<std::uint64_t> min_ms = parse_tracez_query(query);
+  if (!min_ms.is_ok()) {
+    return error_response(400, "400 bad query: expected min_ms=<millis>\n");
+  }
+  std::vector<StitchedTrace> traces =
+      config_.collector->recent(64, util::millis(*min_ms));
+  std::ostringstream os;
+  os << "{\"min_ms\":" << *min_ms
+     << ",\"seen\":" << config_.collector->traces_seen()
+     << ",\"kept\":" << config_.collector->traces_kept() << ",\"traces\":[";
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    if (i > 0) os << ',';
+    trace_to_json(os, traces[i]);
+  }
+  os << "]}";
+  return HttpResponse::make(200, "OK", util::to_bytes(os.str()),
+                            "application/json");
+}
+
+HttpResponse AdminHttpServer::handle(net::ServerContext& ctx,
+                                     const HttpRequest& request) {
+  if (request.method != "GET") {
+    HttpResponse resp = error_response(405, "405 method not allowed\n");
+    resp.headers.set("Allow", "GET");
+    return resp;
+  }
+  std::string path = request.target;
+  std::string query;
+  if (std::size_t q = path.find('?'); q != std::string::npos) {
+    query = path.substr(q + 1);
+    path.resize(q);
+  }
+  if (path == "/metrics") {
+    if (!query.empty()) return error_response(400, "400 bad query\n");
+    return serve_metrics();
+  }
+  if (path == "/healthz") {
+    if (!query.empty()) return error_response(400, "400 bad query\n");
+    return serve_healthz(ctx);
+  }
+  if (path == "/tracez") return serve_tracez(query);
+  return error_response(404, "404 not found\n");
+}
+
+net::MessageHandler AdminHttpServer::handler() {
+  return [this](net::ServerContext& ctx, BytesView raw) -> Result<Bytes> {
+    Result<HttpRequest> req = http::parse_request(raw);
+    if (!req.is_ok()) {
+      return error_response(400, "400 bad request\n").serialize();
+    }
+    return handle(ctx, *req).serialize();
+  };
+}
+
+}  // namespace globe::obs

@@ -70,7 +70,14 @@ void sample_to_json(std::ostringstream& os, const MetricSample& s) {
 void span_to_json(std::ostringstream& os, const SpanRecord& span) {
   os << "{\"name\":\"" << json_escape(span.name)
      << "\",\"start_ns\":" << span.start
-     << ",\"duration_ns\":" << span.duration << ",\"children\":[";
+     << ",\"duration_ns\":" << span.duration;
+  // Tracing fields are emitted only when set, so span trees built without
+  // ids (plain local tracing) keep their original shape.
+  if (span.span_id != 0) os << ",\"span_id\":" << span.span_id;
+  if (!span.host.empty()) {
+    os << ",\"host\":\"" << json_escape(span.host) << '"';
+  }
+  os << ",\"children\":[";
   for (std::size_t i = 0; i < span.children.size(); ++i) {
     if (i > 0) os << ',';
     span_to_json(os, span.children[i]);

@@ -1,0 +1,19 @@
+// Readiness-probe vocabulary shared by the admin surface (obs/admin.hpp)
+// and the components that offer probes.  Header-only and free of the HTTP
+// stack, so globe_http components can hand out probes without a dependency
+// cycle (globe_obs_admin links globe_http, not the other way around).
+#pragma once
+
+#include <functional>
+
+#include "net/transport.hpp"
+#include "util/status.hpp"
+
+namespace globe::obs {
+
+/// One readiness probe.  Returns OK when the subsystem is usable; the
+/// status message of a failure is surfaced in /healthz.  Probes may use
+/// `ctx.transport()` for nested reachability calls and must be thread-safe.
+using HealthProbe = std::function<util::Status(net::ServerContext& ctx)>;
+
+}  // namespace globe::obs

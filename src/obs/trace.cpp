@@ -1,9 +1,61 @@
 #include "obs/trace.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <cstdio>
 #include <utility>
 
 namespace globe::obs {
+
+namespace {
+
+/// splitmix64 finalizer: a bijection on u64, so distinct counter values can
+/// never collide.  Used instead of util::SplitMix64 to avoid shared mutable
+/// state — each id mixes a fresh atomic counter value.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::atomic<std::uint64_t> g_id_counter{1};
+
+/// Innermost open span of this thread, as seen by the RPC layer.
+thread_local TraceContext t_current_context;
+
+}  // namespace
+
+std::uint64_t next_span_id() {
+  std::uint64_t id = mix64(g_id_counter.fetch_add(1, std::memory_order_relaxed));
+  return id != 0 ? id : 1;
+}
+
+std::string TraceContext::trace_id() const {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(trace_hi),
+                static_cast<unsigned long long>(trace_lo));
+  return buf;
+}
+
+void TraceContext::encode(util::Writer& w) const {
+  w.u64(trace_hi);
+  w.u64(trace_lo);
+  w.u64(parent_span);
+  w.u8(sampled ? 1 : 0);
+}
+
+TraceContext TraceContext::decode(util::Reader& r) {
+  TraceContext ctx;
+  ctx.trace_hi = r.u64();
+  ctx.trace_lo = r.u64();
+  ctx.parent_span = r.u64();
+  ctx.sampled = (r.u8() & 1) != 0;
+  return ctx;
+}
+
+TraceContext current_trace_context() { return t_current_context; }
 
 util::SimDuration span_total(const SpanRecord& root, std::string_view name) {
   util::SimDuration total = root.name == name ? root.duration : 0;
@@ -17,6 +69,31 @@ const SpanRecord* find_span(const SpanRecord& root, std::string_view name) {
     if (const SpanRecord* found = find_span(child, name)) return found;
   }
   return nullptr;
+}
+
+namespace {
+void collect_spans(const SpanRecord& root, std::string_view name,
+                   std::vector<const SpanRecord*>& out) {
+  if (root.name == name) out.push_back(&root);
+  for (const SpanRecord& child : root.children) collect_spans(child, name, out);
+}
+}  // namespace
+
+std::vector<const SpanRecord*> find_all_spans(const SpanRecord& root,
+                                              std::string_view name) {
+  std::vector<const SpanRecord*> out;
+  collect_spans(root, name, out);
+  return out;
+}
+
+util::SimDuration remote_span_total(const SpanRecord& root,
+                                    std::string_view prefix) {
+  if (root.name.compare(0, prefix.size(), prefix) == 0) return root.duration;
+  util::SimDuration total = 0;
+  for (const SpanRecord& child : root.children) {
+    total += remote_span_total(child, prefix);
+  }
+  return total;
 }
 
 Tracer::Tracer(NowFn now) : now_(std::move(now)) {}
@@ -47,13 +124,39 @@ void Tracer::Span::end() {
   node_ = nullptr;
 }
 
+void Tracer::publish_current() {
+  if (stack_.empty()) {
+    t_current_context = enclosing_;
+    return;
+  }
+  t_current_context = TraceContext{trace_hi_, trace_lo_,
+                                   stack_.back()->span_id, sampled_};
+}
+
 Tracer::Span Tracer::span(std::string name) {
   SpanRecord node;
   node.name = std::move(name);
   node.start = now_();
+  node.span_id = next_span_id();
 
   SpanRecord* placed;
   if (stack_.empty()) {
+    // Root: join the adopted remote trace if there is one, else start a
+    // fresh trace; remember the thread context in force so it can be
+    // restored when this root closes (tracers on one thread nest strictly).
+    enclosing_ = t_current_context;
+    if (inherited_.valid()) {
+      trace_hi_ = inherited_.trace_hi;
+      trace_lo_ = inherited_.trace_lo;
+      root_parent_ = inherited_.parent_span;
+      sampled_ = inherited_.sampled;
+    } else {
+      trace_hi_ = next_span_id();
+      trace_lo_ = next_span_id();
+      root_parent_ = 0;
+      sampled_ = true;
+    }
+    node.host = host_;
     root_ = std::make_unique<SpanRecord>(std::move(node));
     placed = root_.get();
   } else {
@@ -64,6 +167,7 @@ Tracer::Span Tracer::span(std::string name) {
     placed = &stack_.back()->children.back();
   }
   stack_.push_back(placed);
+  publish_current();
   return Span(this, placed);
 }
 
@@ -88,7 +192,12 @@ void Tracer::end_node(SpanRecord* node) {
     top->duration = now >= top->start ? now - top->start : 0;
     if (top == node) break;
   }
+  publish_current();
   if (stack_.empty() && root_) {
+    if (sink_ != nullptr && sampled_) {
+      sink_->record(TraceFragment{trace_hi_, trace_lo_, root_parent_, sampled_,
+                                  *root_});
+    }
     finished_.push_back(std::move(*root_));
     root_.reset();
   }

@@ -1,4 +1,4 @@
-// Nested trace spans over a pluggable clock.
+// Nested trace spans over a pluggable clock, with cross-process context.
 //
 // A Tracer timestamps spans through a caller-supplied "now" function, so
 // the same instrumented code records *virtual* SimNet time when driven by
@@ -10,10 +10,24 @@
 // element_verify children (the paper's Fig. 4 numerator is the sum of the
 // last four).
 //
+// Distributed tracing (DESIGN.md §10): every span carries a 64-bit span id
+// and belongs to a trace identified by a 128-bit trace id.  The innermost
+// open span of the calling thread is published as a thread-local
+// TraceContext; the RPC layer injects it into request framing and the
+// server-side dispatcher adopts it, so a proxy fetch that fans out to the
+// naming resolver, the location tree and an object replica produces span
+// fragments that all share ONE trace id.  A TraceSink (obs/collector.hpp)
+// receives completed root fragments and stitches them back into a single
+// cross-host tree.
+//
 // A Tracer belongs to one logical flow, like net::Transport: it is NOT
-// thread-safe.  Use one tracer per concurrent fetch.
+// thread-safe, and a flow must stay on one thread while it has open spans
+// (the propagated context is thread-local).  Use one tracer per concurrent
+// fetch.  Tracers sharing a thread must nest strictly (open/close like a
+// stack), which the RAII Span handles guarantee in practice.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -21,8 +35,39 @@
 #include <vector>
 
 #include "util/clock.hpp"
+#include "util/serial.hpp"
 
 namespace globe::obs {
+
+/// Propagated trace context: which trace the caller is inside, and which of
+/// its spans is the parent of whatever the callee opens next.  The wire
+/// form rides an optional RPC framing header (docs/PROTOCOL.md).
+struct TraceContext {
+  std::uint64_t trace_hi = 0;    // 128-bit trace id, high half
+  std::uint64_t trace_lo = 0;    // 128-bit trace id, low half
+  std::uint64_t parent_span = 0; // innermost open span of the caller (0 = root)
+  bool sampled = true;           // cleared → downstream records nothing
+
+  /// A context is valid when it names a trace (the all-zero id is "none").
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+
+  /// 32 lowercase hex chars (the usual W3C-style rendering).
+  std::string trace_id() const;
+
+  /// Wire form: u64 hi, u64 lo, u64 parent, u8 flags (bit 0 = sampled).
+  static constexpr std::size_t kWireSize = 25;
+  void encode(util::Writer& w) const;
+  /// Throws util::SerialError on truncation (Reader bounds checking).
+  static TraceContext decode(util::Reader& r);
+};
+
+/// Context of the innermost open span on this thread (invalid when none).
+/// This is what RpcClient injects into outgoing request framing.
+TraceContext current_trace_context();
+
+/// Fresh process-unique span id (never 0).  Deterministic per process run:
+/// ids come from an atomic counter passed through a splitmix64 mix.
+std::uint64_t next_span_id();
 
 /// One completed span: half-open interval [start, start + duration) with
 /// completed children, in start order.
@@ -30,6 +75,8 @@ struct SpanRecord {
   std::string name;
   util::SimTime start = 0;
   util::SimDuration duration = 0;
+  std::uint64_t span_id = 0;  // unique within the trace
+  std::string host;           // recording side's label (roots only; "" = unset)
   std::vector<SpanRecord> children;
 };
 
@@ -40,6 +87,37 @@ util::SimDuration span_total(const SpanRecord& root, std::string_view name);
 /// First span named `name` in depth-first order, or nullptr.
 const SpanRecord* find_span(const SpanRecord& root, std::string_view name);
 
+/// Every span named `name`, depth-first.  Pointers are into `root`.
+std::vector<const SpanRecord*> find_all_spans(const SpanRecord& root,
+                                              std::string_view name);
+
+/// Total time spent on the far side of an RPC within this subtree: the sum
+/// of the durations of *maximal* spans whose name starts with `prefix`
+/// (recursion stops at a match, so a server span that itself contains
+/// nested RPC spans is counted once).  Server-side RPC spans are named
+/// "rpc:<service>/<method>" by the dispatcher.
+util::SimDuration remote_span_total(const SpanRecord& root,
+                                    std::string_view prefix = "rpc:");
+
+/// One completed span tree plus the trace coordinates needed to stitch it
+/// under its remote parent.
+struct TraceFragment {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  std::uint64_t parent_span = 0;  // 0 = this fragment is the trace root
+  bool sampled = true;
+  SpanRecord span;
+};
+
+/// Receives completed root fragments.  Implementations must be thread-safe
+/// (fragments arrive from every flow); obs/collector.hpp provides the
+/// session-wide stitching implementation.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void record(TraceFragment fragment) = 0;
+};
+
 class Tracer {
  public:
   using NowFn = std::function<util::SimTime()>;
@@ -47,6 +125,20 @@ class Tracer {
   explicit Tracer(NowFn now);
   /// Convenience over a util::Clock (which must outlive the tracer).
   explicit Tracer(const util::Clock& clock);
+
+  /// Completed root spans are also delivered to `sink` (in addition to
+  /// take_finished()).  Pass nullptr to detach.  The sink must outlive the
+  /// tracer's last span.
+  void set_sink(TraceSink* sink) { sink_ = sink; }
+
+  /// Label stamped on root spans (e.g. "proxy", an object server's name).
+  void set_host(std::string host) { host_ = std::move(host); }
+
+  /// Adopts a remote caller's context: root spans opened after this join
+  /// the caller's trace as children of `ctx.parent_span` instead of
+  /// starting a fresh trace.  This is what the server-side RPC dispatcher
+  /// calls with the context extracted from request framing.
+  void adopt(const TraceContext& ctx) { inherited_ = ctx; }
 
   /// RAII handle: the span ends when end() is called or the handle is
   /// destroyed, whichever comes first.  Ending a span that still has open
@@ -78,10 +170,23 @@ class Tracer {
 
   std::size_t open_spans() const { return stack_.size(); }
 
+  /// Trace id of the current (or most recently completed) root span; 0/0
+  /// before the first span opens.
+  std::uint64_t trace_hi() const { return trace_hi_; }
+  std::uint64_t trace_lo() const { return trace_lo_; }
+
  private:
   void end_node(SpanRecord* node);
+  void publish_current();
 
   NowFn now_;
+  TraceSink* sink_ = nullptr;
+  std::string host_;
+  TraceContext inherited_;             // adopted remote context (may be invalid)
+  std::uint64_t trace_hi_ = 0, trace_lo_ = 0;
+  std::uint64_t root_parent_ = 0;      // parent span id of the open root
+  bool sampled_ = true;
+  TraceContext enclosing_;             // thread context saved at root open
   std::vector<SpanRecord> finished_;
   std::unique_ptr<SpanRecord> root_;   // in-progress root (stable address)
   std::vector<SpanRecord*> stack_;     // open spans, outermost first

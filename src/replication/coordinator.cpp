@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/log.hpp"
 #include "util/log.hpp"
 
 namespace globe::replication {
@@ -79,14 +80,18 @@ Status DynamicReplicator::rebalance(util::SimTime now) {
       if (!created.is_ok()) return created;
       state.replicated = true;
       replicas_created_->inc();
-      GLOBE_LOG_INFO("replicator", "replicated into ", name, " at ", rps, " rps");
+      obs::global_event_log().emit(
+          obs::EventLevel::kInfo, "replication", "replica_created",
+          name + " at " + std::to_string(rps) + " rps", now);
     } else if (state.replicated && rps <= config_.retire_below_rps) {
       Status removed = owner_->unpublish_replica(
           *transport_, state.config.object_server, state.config.location_site);
       if (!removed.is_ok()) return removed;
       state.replicated = false;
       replicas_retired_->inc();
-      GLOBE_LOG_INFO("replicator", "retired replica in ", name, " at ", rps, " rps");
+      obs::global_event_log().emit(
+          obs::EventLevel::kInfo, "replication", "replica_retired",
+          name + " at " + std::to_string(rps) + " rps", now);
     }
   }
   replica_gauge_->set(static_cast<double>(replica_count()));

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/sha1.hpp"
+#include "obs/log.hpp"
 #include "rpc/rpc.hpp"
 #include "util/serial.hpp"
 
@@ -24,6 +25,16 @@ Result<PullResult> pull_replica(net::Transport& transport,
   util::Writer oid_req;
   oid_req.raw(oid.to_bytes());
 
+  // A rejected pull is security-relevant (the peer served something that
+  // failed verification) — record it joinable to the enclosing trace.
+  auto reject = [&](ErrorCode code, std::string message) {
+    obs::global_event_log().emit(obs::EventLevel::kWarn, "replication",
+                                 "pull_rejected",
+                                 source.to_string() + ": " + message,
+                                 transport.now());
+    return Result<PullResult>(code, std::move(message));
+  };
+
   // --- Public key: self-certifying check against the OID.
   auto key_raw =
       peer.call(rpc::kGlobeDocSecurity, globedoc::kGetPublicKey, oid_req.buffer());
@@ -32,8 +43,8 @@ Result<PullResult> pull_replica(net::Transport& transport,
   if (!object_key.is_ok()) return object_key.status();
   transport.charge(net::CpuOp::kSha1, key_raw->size());
   if (!oid.matches_key(*object_key)) {
-    return Result<PullResult>(ErrorCode::kOidMismatch,
-                              "peer served a key not hashing to the OID");
+    return reject(ErrorCode::kOidMismatch,
+                  "peer served a key not hashing to the OID");
   }
 
   // --- Integrity certificate: signature, object binding, freshness, version.
@@ -44,12 +55,11 @@ Result<PullResult> pull_replica(net::Transport& transport,
   if (!certificate.is_ok()) return certificate.status();
   transport.charge(net::CpuOp::kRsaVerify, 1);
   if (!certificate->verify_signature(*object_key)) {
-    return Result<PullResult>(ErrorCode::kBadSignature,
-                              "peer certificate signature invalid");
+    return reject(ErrorCode::kBadSignature, "peer certificate signature invalid");
   }
   if (certificate->oid() != oid) {
-    return Result<PullResult>(ErrorCode::kWrongElement,
-                              "peer certificate for a different object");
+    return reject(ErrorCode::kWrongElement,
+                  "peer certificate for a different object");
   }
   if (certificate->version() <= local_version) {
     return Result<PullResult>(ErrorCode::kInvalidArgument,
@@ -59,8 +69,8 @@ Result<PullResult> pull_replica(net::Transport& transport,
   // Refuse to propagate already-stale state: every entry must still be live.
   for (const auto& entry : certificate->entries()) {
     if (entry.expires <= transport.now()) {
-      return Result<PullResult>(ErrorCode::kExpired,
-                                "peer state already expired: " + entry.name);
+      return reject(ErrorCode::kExpired,
+                    "peer state already expired: " + entry.name);
     }
   }
 
@@ -85,7 +95,10 @@ Result<PullResult> pull_replica(net::Transport& transport,
     transport.charge(net::CpuOp::kSha1, raw->size());
     util::Status check =
         certificate->check_element(entry.name, *element, transport.now());
-    if (!check.is_ok()) return check;
+    if (!check.is_ok()) {
+      return reject(check.code(), "element " + entry.name + " failed: " +
+                                      check.to_string());
+    }
     state.elements.push_back(std::move(*element));
   }
 
@@ -118,6 +131,11 @@ Result<PullResult> pull_replica(net::Transport& transport,
   }
   result.installed = true;
   local.install_replica_unchecked(state);
+  obs::global_event_log().emit(
+      obs::EventLevel::kInfo, "replication", "pull_installed",
+      oid.to_hex() + " v" + std::to_string(result.version) + " from " +
+          source.to_string(),
+      transport.now());
   return result;
 }
 

@@ -2,12 +2,43 @@
 
 #include <stdexcept>
 
+#include "obs/collector.hpp"
+
 namespace globe::rpc {
 
 using util::Bytes;
 using util::BytesView;
 using util::ErrorCode;
 using util::Result;
+
+namespace {
+
+const char* service_name(std::uint16_t service) {
+  switch (service) {
+    case kNamingService: return "naming";
+    case kLocationService: return "location";
+    case kGlobeDocAccess: return "gd.access";
+    case kGlobeDocSecurity: return "gd.security";
+    case kGlobeDocAdmin: return "gd.admin";
+    case kHttpGateway: return "http";
+    case kGlobeDocDynamic: return "gd.dynamic";
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::string rpc_span_name(std::uint16_t service, std::uint16_t method) {
+  std::string name = "rpc:";
+  if (const char* known = service_name(service)) {
+    name += known;
+  } else {
+    name += std::to_string(service);
+  }
+  name += '/';
+  name += std::to_string(method);
+  return name;
+}
 
 void ServiceDispatcher::register_method(std::uint16_t service, std::uint16_t method,
                                         MethodFn fn) {
@@ -20,19 +51,44 @@ void ServiceDispatcher::register_method(std::uint16_t service, std::uint16_t met
   }
 }
 
+void ServiceDispatcher::set_trace_sink(obs::TraceSink* sink) {
+  util::LockGuard lock(mutex_);
+  trace_sink_ = sink;
+}
+
+void ServiceDispatcher::set_trace_host(std::string host) {
+  util::LockGuard lock(mutex_);
+  trace_host_ = std::move(host);
+}
+
 Result<Bytes> ServiceDispatcher::dispatch(net::ServerContext& ctx,
                                           BytesView request) const {
   std::uint16_t service, method;
   util::BytesView payload;
+  obs::TraceContext caller;
   try {
     util::Reader r(request);
-    service = r.u16();
+    std::uint16_t first = r.u16();
+    if (first == kTraceMarker) {
+      // Optional trace header: version byte, then the caller's context.
+      // Legacy peers never produce the marker (service ids are small), so
+      // untagged requests take the plain path below unchanged.
+      std::uint8_t version = r.u8();
+      obs::TraceContext decoded = obs::TraceContext::decode(r);
+      if (version == kTraceVersion) caller = decoded;
+      service = r.u16();
+      payload = request.subspan(2 + 1 + obs::TraceContext::kWireSize + 4);
+    } else {
+      service = first;
+      payload = request.subspan(4);
+    }
     method = r.u16();
-    payload = request.subspan(4);
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
   }
   MethodFn fn;
+  obs::TraceSink* sink;
+  std::string host;
   {
     util::LockGuard lock(mutex_);
     auto it = methods_.find({service, method});
@@ -42,7 +98,22 @@ Result<Bytes> ServiceDispatcher::dispatch(net::ServerContext& ctx,
                                std::to_string(method));
     }
     fn = it->second;
+    sink = trace_sink_;
+    host = trace_host_;
   }
+
+  if (!caller.valid() || !caller.sampled) return fn(ctx, payload);
+
+  // Open the server-side span as a child of the caller's innermost span.
+  // SimNet runs handlers inline on the caller's thread; the tracer saves
+  // the caller's thread-local context at root open and restores it when the
+  // root closes, so client-side spans resume correctly afterwards.
+  obs::Tracer tracer([&ctx] { return ctx.now(); });
+  tracer.set_host(host.empty() ? "host" + std::to_string(ctx.local_host().value)
+                               : host);
+  tracer.set_sink(sink != nullptr ? sink : &obs::global_trace_collector());
+  tracer.adopt(caller);
+  auto span = tracer.span(rpc_span_name(service, method));
   return fn(ctx, payload);
 }
 
@@ -55,6 +126,12 @@ net::MessageHandler ServiceDispatcher::handler() {
 Result<Bytes> RpcClient::call(std::uint16_t service, std::uint16_t method,
                               BytesView payload) const {
   util::Writer w;
+  obs::TraceContext trace = obs::current_trace_context();
+  if (trace.valid() && trace.sampled) {
+    w.u16(kTraceMarker);
+    w.u8(kTraceVersion);
+    trace.encode(w);
+  }
   w.u16(service);
   w.u16(method);
   w.raw(payload);

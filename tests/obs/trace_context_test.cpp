@@ -1,0 +1,219 @@
+// TraceContext wire form and thread-local propagation (DESIGN.md §10).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/clock.hpp"
+
+namespace globe::obs {
+namespace {
+
+using util::ManualClock;
+using util::millis;
+
+TEST(TraceContext, InvalidUntilItNamesATrace) {
+  TraceContext ctx;
+  EXPECT_FALSE(ctx.valid());
+  ctx.trace_lo = 1;
+  EXPECT_TRUE(ctx.valid());
+  ctx = TraceContext{};
+  ctx.trace_hi = 1;
+  EXPECT_TRUE(ctx.valid());
+}
+
+TEST(TraceContext, EncodeDecodeRoundTrip) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0xfedcba9876543210ULL;
+  ctx.parent_span = 0xdeadbeefcafef00dULL;
+  ctx.sampled = false;
+
+  util::Writer w;
+  ctx.encode(w);
+  EXPECT_EQ(w.buffer().size(), TraceContext::kWireSize);
+
+  util::Reader r(w.buffer());
+  TraceContext back = TraceContext::decode(r);
+  EXPECT_EQ(back.trace_hi, ctx.trace_hi);
+  EXPECT_EQ(back.trace_lo, ctx.trace_lo);
+  EXPECT_EQ(back.parent_span, ctx.parent_span);
+  EXPECT_FALSE(back.sampled);
+
+  ctx.sampled = true;
+  util::Writer w2;
+  ctx.encode(w2);
+  util::Reader r2(w2.buffer());
+  EXPECT_TRUE(TraceContext::decode(r2).sampled);
+}
+
+TEST(TraceContext, DecodeThrowsOnTruncation) {
+  util::Bytes short_buf(TraceContext::kWireSize - 1, 0);
+  util::Reader r(short_buf);
+  EXPECT_THROW(TraceContext::decode(r), util::SerialError);
+}
+
+TEST(TraceContext, TraceIdIs32LowercaseHexChars) {
+  TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0x00000000000000ffULL;
+  std::string id = ctx.trace_id();
+  EXPECT_EQ(id, "0123456789abcdef00000000000000ff");
+}
+
+TEST(NextSpanId, NonZeroAndUnique) {
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t id = next_span_id();
+    EXPECT_NE(id, 0u);
+    EXPECT_TRUE(seen.insert(id).second);
+  }
+}
+
+TEST(CurrentTraceContext, PublishedWhileSpansAreOpenOnly) {
+  EXPECT_FALSE(current_trace_context().valid());
+  ManualClock clock;
+  Tracer tracer(clock);
+  {
+    auto root = tracer.span("fetch");
+    TraceContext at_root = current_trace_context();
+    EXPECT_TRUE(at_root.valid());
+    EXPECT_EQ(at_root.trace_hi, tracer.trace_hi());
+    EXPECT_EQ(at_root.trace_lo, tracer.trace_lo());
+    EXPECT_NE(at_root.parent_span, 0u);
+    {
+      auto child = tracer.span("resolve");
+      TraceContext at_child = current_trace_context();
+      EXPECT_EQ(at_child.trace_hi, at_root.trace_hi);
+      EXPECT_EQ(at_child.trace_lo, at_root.trace_lo);
+      // The innermost open span is now the propagated parent.
+      EXPECT_NE(at_child.parent_span, at_root.parent_span);
+    }
+    EXPECT_EQ(current_trace_context().parent_span, at_root.parent_span);
+  }
+  EXPECT_FALSE(current_trace_context().valid());
+}
+
+TEST(CurrentTraceContext, FreshRootsGetDistinctTraceIds) {
+  ManualClock clock;
+  Tracer tracer(clock);
+  std::uint64_t first_hi, first_lo;
+  {
+    auto span = tracer.span("a");
+    first_hi = tracer.trace_hi();
+    first_lo = tracer.trace_lo();
+  }
+  {
+    auto span = tracer.span("b");
+    EXPECT_TRUE(tracer.trace_hi() != first_hi || tracer.trace_lo() != first_lo);
+  }
+}
+
+TEST(Tracer, AdoptJoinsTheCallersTrace) {
+  ManualClock clock;
+  TraceContext caller;
+  caller.trace_hi = 7;
+  caller.trace_lo = 9;
+  caller.parent_span = 1234;
+
+  Tracer tracer(clock);
+  tracer.adopt(caller);
+  {
+    auto span = tracer.span("rpc:naming/1");
+    EXPECT_EQ(tracer.trace_hi(), 7u);
+    EXPECT_EQ(tracer.trace_lo(), 9u);
+    TraceContext inner = current_trace_context();
+    EXPECT_EQ(inner.trace_hi, 7u);
+    EXPECT_EQ(inner.trace_lo, 9u);
+    // The published parent is the server-side span, not the caller's.
+    EXPECT_NE(inner.parent_span, 1234u);
+  }
+}
+
+TEST(Tracer, AdoptedRootRestoresTheEnclosingContext) {
+  // SimNet runs handlers inline: a server-side tracer opens its root while
+  // the client's span is the thread's current context, and must restore it.
+  ManualClock clock;
+  Tracer client(clock);
+  auto fetch = client.span("fetch");
+  TraceContext client_ctx = current_trace_context();
+
+  {
+    Tracer server(clock);
+    server.adopt(client_ctx);
+    auto rpc = server.span("rpc:location/2");
+    EXPECT_NE(current_trace_context().parent_span, client_ctx.parent_span);
+  }
+  TraceContext restored = current_trace_context();
+  EXPECT_EQ(restored.trace_hi, client_ctx.trace_hi);
+  EXPECT_EQ(restored.parent_span, client_ctx.parent_span);
+  fetch.end();
+  EXPECT_FALSE(current_trace_context().valid());
+}
+
+struct CapturingSink final : TraceSink {
+  std::vector<TraceFragment> fragments;
+  void record(TraceFragment fragment) override {
+    fragments.push_back(std::move(fragment));
+  }
+};
+
+TEST(Tracer, CompletedRootsReachTheSinkAsFragments) {
+  ManualClock clock;
+  CapturingSink sink;
+  Tracer tracer(clock);
+  tracer.set_sink(&sink);
+  tracer.set_host("proxy");
+  {
+    auto span = tracer.span("fetch");
+    clock.advance(millis(3));
+  }
+  ASSERT_EQ(sink.fragments.size(), 1u);
+  const TraceFragment& f = sink.fragments[0];
+  EXPECT_EQ(f.trace_hi, tracer.trace_hi());
+  EXPECT_EQ(f.trace_lo, tracer.trace_lo());
+  EXPECT_EQ(f.parent_span, 0u);  // a fresh root, not an adopted one
+  EXPECT_TRUE(f.sampled);
+  EXPECT_EQ(f.span.name, "fetch");
+  EXPECT_EQ(f.span.host, "proxy");
+  EXPECT_EQ(f.span.duration, millis(3));
+  EXPECT_NE(f.span.span_id, 0u);
+}
+
+TEST(Tracer, AdoptedFragmentCarriesTheRemoteParent) {
+  ManualClock clock;
+  CapturingSink sink;
+  TraceContext caller;
+  caller.trace_hi = 11;
+  caller.trace_lo = 22;
+  caller.parent_span = 33;
+
+  Tracer tracer(clock);
+  tracer.set_sink(&sink);
+  tracer.adopt(caller);
+  { auto span = tracer.span("rpc:gd.access/1"); }
+  ASSERT_EQ(sink.fragments.size(), 1u);
+  EXPECT_EQ(sink.fragments[0].trace_hi, 11u);
+  EXPECT_EQ(sink.fragments[0].trace_lo, 22u);
+  EXPECT_EQ(sink.fragments[0].parent_span, 33u);
+}
+
+TEST(Tracer, UnsampledContextRecordsNothingDownstream) {
+  ManualClock clock;
+  CapturingSink sink;
+  TraceContext caller;
+  caller.trace_hi = 5;
+  caller.trace_lo = 6;
+  caller.parent_span = 7;
+  caller.sampled = false;
+
+  Tracer tracer(clock);
+  tracer.set_sink(&sink);
+  tracer.adopt(caller);
+  { auto span = tracer.span("rpc:naming/1"); }
+  EXPECT_TRUE(sink.fragments.empty());
+}
+
+}  // namespace
+}  // namespace globe::obs

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/simnet.hpp"
+#include "obs/collector.hpp"
 
 namespace globe::rpc {
 namespace {
@@ -86,6 +87,139 @@ TEST_F(RpcFixture, EmptyPayloadAllowed) {
   auto r = client.call(kNamingService, 1, Bytes{});
   ASSERT_TRUE(r.is_ok());
   EXPECT_EQ(util::to_string(*r), "A");
+}
+
+// --- Distributed trace propagation over the request framing ----------------
+
+struct TracedRpcFixture : RpcFixture {
+  void SetUp() override {
+    RpcFixture::SetUp();
+    collector.set_policy({/*keep_slower_than=*/0, /*keep_one_in=*/1});
+    dispatcher.set_trace_sink(&collector);
+    dispatcher.set_trace_host("srv");
+    // A method that captures the trace context in force on the server side.
+    dispatcher.register_method(
+        kGlobeDocAccess, 7,
+        [this](net::ServerContext&, BytesView) -> Result<Bytes> {
+          server_ctx = obs::current_trace_context();
+          return Bytes{};
+        });
+  }
+
+  obs::TraceCollector collector{16};
+  obs::TraceContext server_ctx;
+};
+
+TEST_F(TracedRpcFixture, CallerContextPropagatesAndStitchesAsChild) {
+  obs::Tracer tracer([this] { return flow->now(); });
+  tracer.set_sink(&collector);
+  tracer.set_host("client");
+
+  RpcClient client(*flow, ep);
+  std::uint64_t fetch_parent;
+  {
+    auto fetch = tracer.span("fetch");
+    fetch_parent = obs::current_trace_context().parent_span;
+    auto r = client.call(kGlobeDocAccess, 7, util::to_bytes("x"));
+    ASSERT_TRUE(r.is_ok());
+    // After the inline server span closed, the client's own context must be
+    // back in force.
+    EXPECT_EQ(obs::current_trace_context().parent_span, fetch_parent);
+  }
+
+  // The server-side handler ran INSIDE the caller's trace: same trace id,
+  // but under the dispatcher's server span, not directly under "fetch".
+  EXPECT_EQ(server_ctx.trace_hi, tracer.trace_hi());
+  EXPECT_EQ(server_ctx.trace_lo, tracer.trace_lo());
+  EXPECT_NE(server_ctx.parent_span, 0u);
+  EXPECT_NE(server_ctx.parent_span, fetch_parent);
+
+  // Stitched: one trace, the server fragment a child of the fetch root.
+  EXPECT_EQ(collector.traces_seen(), 1u);
+  auto trace = collector.find(tracer.trace_hi(), tracer.trace_lo());
+  ASSERT_TRUE(trace.has_value());
+  EXPECT_TRUE(trace->complete);
+  EXPECT_EQ(trace->fragments, 2u);
+  EXPECT_EQ(trace->root.name, "fetch");
+  EXPECT_EQ(trace->root.host, "client");
+  ASSERT_EQ(trace->root.children.size(), 1u);
+  EXPECT_EQ(trace->root.children[0].name, "rpc:gd.access/7");
+  EXPECT_EQ(trace->root.children[0].host, "srv");
+  EXPECT_EQ(trace->root.children[0].span_id, server_ctx.parent_span);
+}
+
+TEST_F(TracedRpcFixture, UntracedCallsRecordNoServerSpans) {
+  RpcClient client(*flow, ep);
+  ASSERT_TRUE(client.call(kGlobeDocAccess, 7, Bytes{}).is_ok());
+  EXPECT_FALSE(server_ctx.valid());
+  EXPECT_EQ(collector.traces_seen(), 0u);
+  EXPECT_EQ(collector.pending_fragments(), 0u);
+}
+
+TEST_F(TracedRpcFixture, UnsampledContextIsNotInjected) {
+  obs::TraceContext unsampled;
+  unsampled.trace_hi = 1;
+  unsampled.trace_lo = 2;
+  unsampled.parent_span = 3;
+  unsampled.sampled = false;
+
+  obs::Tracer tracer([this] { return flow->now(); });
+  tracer.adopt(unsampled);
+  auto span = tracer.span("fetch");
+  std::uint64_t fetch_span = obs::current_trace_context().parent_span;
+  RpcClient client(*flow, ep);
+  ASSERT_TRUE(client.call(kGlobeDocAccess, 7, Bytes{}).is_ok());
+  // SimNet runs the handler inline on the caller's thread, so it observes
+  // the caller's own (unsampled) context — but the dispatcher must not have
+  // opened a server child span, and nothing may reach the collector.
+  EXPECT_FALSE(server_ctx.sampled);
+  EXPECT_EQ(server_ctx.parent_span, fetch_span);
+  span.end();
+  EXPECT_EQ(collector.traces_seen(), 0u);
+  EXPECT_EQ(collector.pending_fragments(), 0u);
+}
+
+TEST_F(TracedRpcFixture, UntaggedLegacyFramingStillDispatches) {
+  // A peer that predates the trace header: plain u16 service, u16 method.
+  util::Writer w;
+  w.u16(kNamingService);
+  w.u16(1);
+  w.raw(util::to_bytes("y"));
+  auto r = flow->call(ep, w.buffer());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(util::to_string(*r), "yA");
+  EXPECT_EQ(collector.traces_seen(), 0u);
+}
+
+TEST_F(TracedRpcFixture, UnknownTraceHeaderVersionIsToleratedNotTrusted) {
+  // Marker present but a future version: the request must still dispatch,
+  // with the unrecognized context ignored.
+  obs::TraceContext ctx;
+  ctx.trace_hi = 5;
+  ctx.trace_lo = 6;
+  ctx.parent_span = 7;
+  util::Writer w;
+  w.u16(kTraceMarker);
+  w.u8(kTraceVersion + 1);
+  ctx.encode(w);
+  w.u16(kNamingService);
+  w.u16(1);
+  w.raw(util::to_bytes("z"));
+  auto r = flow->call(ep, w.buffer());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(util::to_string(*r), "zA");
+  EXPECT_EQ(collector.traces_seen(), 0u);
+  EXPECT_EQ(collector.pending_fragments(), 0u);
+}
+
+TEST_F(TracedRpcFixture, TruncatedTraceHeaderRejectedAsProtocolError) {
+  util::Writer w;
+  w.u16(kTraceMarker);
+  w.u8(kTraceVersion);
+  // Header promises a TraceContext but delivers only 4 bytes of it.
+  w.u32(0xdeadbeef);
+  auto r = flow->call(ep, w.buffer());
+  EXPECT_EQ(r.code(), util::ErrorCode::kProtocol);
 }
 
 }  // namespace

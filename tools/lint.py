@@ -27,6 +27,12 @@ Documents"):
                  seeded simulation RNG (util::SplitMix64), keeping runs
                  deterministic and nonces unpredictable.
 
+  metric-catalog Every metric name registered with obs::MetricsRegistry
+                 (`.counter("...")` / `.gauge("...")` / `.histogram("...")`)
+                 in src/ or bench/ must be documented in docs/metrics.md
+                 (listed in backticks).  /metrics is part of the operational
+                 surface; an undocumented series is an unreviewable one.
+
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage errors.
 Run `tools/lint.py --self-test` to verify every check still fires on seeded
 violations.
@@ -110,6 +116,16 @@ RAW_CRYPTO_ALLOWED_DIRS = ("src/crypto/", "tests/", "bench/", "examples/")
 # ---------------------------------------------------------------------------
 
 RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:rand|srand|random|drand48)\s*\(")
+
+# ---------------------------------------------------------------------------
+# metric-catalog: registered metric names must appear in docs/metrics.md.
+# ---------------------------------------------------------------------------
+
+# A registry registration with a literal series name.  The registry API takes
+# the name as the first argument, always a string literal in this tree.
+METRIC_REG_RE = re.compile(r'\.\s*(counter|gauge|histogram)\s*\(\s*"([^"]+)"')
+METRIC_CATALOG = "docs/metrics.md"
+METRIC_SCAN_DIRS = ("src", "bench")
 
 COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
@@ -223,10 +239,35 @@ def check_file(path: pathlib.Path, violations: list[str]) -> None:
         # never contain blank lines in this tree, but comments may intervene)
 
 
+def check_metric_catalog(violations: list[str]) -> None:
+    """Every registered metric series name must be listed in the catalog."""
+    catalog_path = REPO / METRIC_CATALOG
+    cataloged: set[str] = set()
+    if catalog_path.is_file():
+        cataloged = set(re.findall(r"`([^`\n]+)`",
+                                   catalog_path.read_text(encoding="utf-8")))
+    for path in iter_sources():
+        rel = relpath(path)
+        if not rel.startswith(tuple(d + "/" for d in METRIC_SCAN_DIRS)):
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8", errors="replace").splitlines(),
+                start=1):
+            if COMMENT_RE.match(line):
+                continue
+            for kind, name in METRIC_REG_RE.findall(line):
+                if name not in cataloged:
+                    violations.append(
+                        f"{rel}:{lineno}: [metric-catalog] {kind} \"{name}\" "
+                        f"is not documented in {METRIC_CATALOG}"
+                    )
+
+
 def run_lint() -> int:
     violations: list[str] = []
     for path in iter_sources():
         check_file(path, violations)
+    check_metric_catalog(violations)
     for v in violations:
         print(v)
     if violations:
@@ -321,6 +362,32 @@ SELF_TEST_CASES = [
         "  util::Status check_element(const std::string& n) const;\n",
         "nodiscard",
     ),
+    # The self-test catalog (see run_self_test) documents exactly one
+    # series: `proxy.fetches`.
+    (
+        "uncataloged metric fires",
+        "src/obs/usage.cpp",
+        '  registry.counter("proxy.surprise_total").inc();\n',
+        "metric-catalog",
+    ),
+    (
+        "uncataloged bench gauge fires",
+        "bench/bench_fig9.cpp",
+        '  registry.gauge("fig9.mystery_ns", cell).set(1.0);\n',
+        "metric-catalog",
+    ),
+    (
+        "cataloged metric clean",
+        "src/obs/usage.cpp",
+        '  registry.counter("proxy.fetches", {{"outcome", "ok"}}).inc();\n',
+        None,
+    ),
+    (
+        "metric in comment clean",
+        "src/obs/usage.cpp",
+        '  // registry.counter("proxy.surprise_total") would be flagged\n',
+        None,
+    ),
 ]
 
 
@@ -334,12 +401,18 @@ def run_self_test() -> int:
             target = root / rel
             target.parent.mkdir(parents=True, exist_ok=True)
             target.write_text(snippet)
+            # Minimal catalog so metric-catalog cases can distinguish a
+            # documented series from an undocumented one.
+            catalog = root / METRIC_CATALOG
+            catalog.parent.mkdir(parents=True, exist_ok=True)
+            catalog.write_text("# Metric catalog\n\n`proxy.fetches`\n")
             violations: list[str] = []
             global REPO
             saved_repo = REPO
             try:
                 REPO = root
                 check_file(target, violations)
+                check_metric_catalog(violations)
             finally:
                 REPO = saved_repo
             tags = {re.search(r"\[([\w-]+)\]", v).group(1) for v in violations}
