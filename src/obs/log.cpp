@@ -51,6 +51,14 @@ EventLog::EventLog(std::size_t capacity)
 
 void EventLog::emit(EventLevel level, std::string component, std::string event,
                     std::string detail, util::SimTime time) {
+  // Early-out before building the record or mirroring, so suppressed events
+  // cost one lock round-trip and nothing else (the "cheap below the minimum
+  // level" promise in the header).
+  {
+    util::LockGuard lock(mutex_);
+    if (level < min_level_) return;
+  }
+
   EventRecord record;
   record.level = level;
   record.time = time;

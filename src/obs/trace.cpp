@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <random>
 #include <utility>
 
 namespace globe::obs {
@@ -19,7 +20,16 @@ std::uint64_t mix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
-std::atomic<std::uint64_t> g_id_counter{1};
+/// Per-process entropy folded into the counter's start, so independently
+/// started processes (the wire header crosses real process boundaries in
+/// the TCP deployment) don't all emit the identical span-id sequence.
+std::uint64_t id_counter_seed() {
+  std::random_device rd;
+  std::uint64_t seed = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  return seed != 0 ? seed : 1;
+}
+
+std::atomic<std::uint64_t> g_id_counter{id_counter_seed()};
 
 /// Innermost open span of this thread, as seen by the RPC layer.
 thread_local TraceContext t_current_context;

@@ -65,8 +65,11 @@ struct TraceContext {
 /// This is what RpcClient injects into outgoing request framing.
 TraceContext current_trace_context();
 
-/// Fresh process-unique span id (never 0).  Deterministic per process run:
-/// ids come from an atomic counter passed through a splitmix64 mix.
+/// Fresh span id (never 0).  Ids come from an atomic counter passed through
+/// a splitmix64 mix, so they are unique within a process; the counter starts
+/// at a per-process random seed, so independently started processes produce
+/// distinct sequences (collision across processes is ~birthday-bound on 64
+/// bits, not guaranteed-impossible).
 std::uint64_t next_span_id();
 
 /// One completed span: half-open interval [start, start + duration) with

@@ -72,17 +72,25 @@ Result<Bytes> ServiceDispatcher::dispatch(net::ServerContext& ctx,
     if (first == kTraceMarker) {
       // Optional trace header: version byte, then the caller's context.
       // Legacy peers never produce the marker (service ids are small), so
-      // untagged requests take the plain path below unchanged.
+      // untagged requests take the plain path below unchanged.  The context
+      // length is version-defined, so an unknown version cannot be framed
+      // past safely and is rejected rather than guessed at.
       std::uint8_t version = r.u8();
-      obs::TraceContext decoded = obs::TraceContext::decode(r);
-      if (version == kTraceVersion) caller = decoded;
+      if (version != kTraceVersion) {
+        return Result<Bytes>(ErrorCode::kProtocol,
+                             "unsupported trace header version " +
+                                 std::to_string(version));
+      }
+      caller = obs::TraceContext::decode(r);
       service = r.u16();
-      payload = request.subspan(2 + 1 + obs::TraceContext::kWireSize + 4);
     } else {
       service = first;
-      payload = request.subspan(4);
     }
     method = r.u16();
+    // Slice only after the Reader bounds-checked the whole header:
+    // subspan(off) with off > size() is UB, so a truncated frame must throw
+    // above before any offset is formed.
+    payload = request.subspan(request.size() - r.remaining());
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
   }

@@ -17,7 +17,9 @@
 // proxy fetch and the work it causes on every serving host share one trace
 // id.  The marker can never collide with a real first field: service ids
 // are small, so a legacy request's first u16 is never 0xFFFF.  Untagged
-// requests (old peers, raw probes) dispatch exactly as before.
+// requests (old peers, raw probes) dispatch exactly as before.  The context
+// length is fixed per version, so a marker with any other version byte is
+// rejected as a protocol error — there is no way to skip an unknown layout.
 #pragma once
 
 #include <cstdint>

@@ -191,9 +191,10 @@ TEST_F(TracedRpcFixture, UntaggedLegacyFramingStillDispatches) {
   EXPECT_EQ(collector.traces_seen(), 0u);
 }
 
-TEST_F(TracedRpcFixture, UnknownTraceHeaderVersionIsToleratedNotTrusted) {
-  // Marker present but a future version: the request must still dispatch,
-  // with the unrecognized context ignored.
+TEST_F(TracedRpcFixture, UnknownTraceHeaderVersionRejectedAsProtocolError) {
+  // Marker present but a future version: the context length is defined per
+  // version, so the dispatcher cannot know where the header ends and must
+  // reject rather than mis-frame service/method out of the context bytes.
   obs::TraceContext ctx;
   ctx.trace_hi = 5;
   ctx.trace_lo = 6;
@@ -206,10 +207,34 @@ TEST_F(TracedRpcFixture, UnknownTraceHeaderVersionIsToleratedNotTrusted) {
   w.u16(1);
   w.raw(util::to_bytes("z"));
   auto r = flow->call(ep, w.buffer());
-  ASSERT_TRUE(r.is_ok());
-  EXPECT_EQ(util::to_string(*r), "zA");
+  EXPECT_EQ(r.code(), util::ErrorCode::kProtocol);
   EXPECT_EQ(collector.traces_seen(), 0u);
   EXPECT_EQ(collector.pending_fragments(), 0u);
+}
+
+TEST_F(TracedRpcFixture, ShortLegacyFrameRejectedAsProtocolError) {
+  // 2 bytes: a service id with no method.  Must come back as kProtocol from
+  // the Reader's bounds check, never reach subspan() past the buffer end.
+  util::Writer w;
+  w.u16(kNamingService);
+  auto r = flow->call(ep, w.buffer());
+  EXPECT_EQ(r.code(), util::ErrorCode::kProtocol);
+}
+
+TEST_F(TracedRpcFixture, TraceHeaderWithoutMethodRejectedAsProtocolError) {
+  // Full trace header + service id, but the method u16 is missing.
+  obs::TraceContext ctx;
+  ctx.trace_hi = 5;
+  ctx.trace_lo = 6;
+  ctx.parent_span = 7;
+  ctx.sampled = true;
+  util::Writer w;
+  w.u16(kTraceMarker);
+  w.u8(kTraceVersion);
+  ctx.encode(w);
+  w.u16(kNamingService);
+  auto r = flow->call(ep, w.buffer());
+  EXPECT_EQ(r.code(), util::ErrorCode::kProtocol);
 }
 
 TEST_F(TracedRpcFixture, TruncatedTraceHeaderRejectedAsProtocolError) {
