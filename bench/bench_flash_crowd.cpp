@@ -7,13 +7,24 @@
 // the observed rate crosses the threshold and client latency collapses to
 // LAN levels.  Every fetch runs the full secure pipeline (real signatures,
 // real verification).
+//
+// The run is also watched the way an operator would watch it: the Paris
+// proxies share a scrapable per-node registry, and a TelemetryAggregator
+// polls it over the simulated WAN once per window.  The per-replica
+// windowed p99 it derives from the proxy.fetch_ms bucket deltas
+// (flash_crowd.replica_p99_ms) shows the same A3 story tail-first — the
+// origin's p99 explodes under the crowd while the Paris replica's stays
+// at LAN level the moment it exists.
+#include <algorithm>
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench/paper_world.hpp"
 #include "obs/collector.hpp"
 #include "obs/export.hpp"
+#include "obs/telemetry.hpp"
 #include "replication/coordinator.hpp"
 #include "replication/trace.hpp"
 
@@ -62,6 +73,11 @@ int main(int argc, char** argv) {
 
   std::map<std::string, std::map<std::uint64_t, BucketStats>> results;
   std::map<std::uint64_t, std::size_t> replica_counts;
+  // mode -> window index -> replica endpoint -> windowed p99 (ms), as the
+  // aggregator derives it from scraped proxy.fetch_ms bucket deltas.
+  std::map<std::string, std::map<std::uint64_t, std::map<std::string, double>>>
+      replica_p99;
+  std::map<std::string, std::uint64_t> scrape_errors;
 
   // Keep every trace so each fetch can be decomposed right after it runs.
   auto& collector = obs::global_trace_collector();
@@ -94,7 +110,40 @@ int main(int argc, char** argv) {
     const char* label = dynamic ? "dynamic" : "static";
     util::SimTime next_rebalance = util::seconds(30);
 
+    // The telemetry plane riding along: every Paris proxy records into one
+    // scrapable per-node registry, polled across the WAN from Amsterdam.
+    obs::MetricsRegistry proxy_registry;
+    obs::TelemetryNode proxy_telemetry(proxy_registry, "paris-proxy", "proxy");
+    rpc::ServiceDispatcher telemetry_dispatcher;
+    proxy_telemetry.register_with(telemetry_dispatcher);
+    net::Endpoint telemetry_ep{world.topo.paris, 9100};
+    world.topo.net.bind(telemetry_ep, telemetry_dispatcher.handler());
+    obs::TelemetryAggregator aggregator;
+    aggregator.add_target({"paris-proxy", "proxy", telemetry_ep});
+    auto monitor_flow = world.topo.net.open_flow(world.topo.amsterdam_primary);
+
+    // Scrape rounds land ~kBucket apart; the +30 s slack makes the trailing
+    // window reliably span back to the previous round.
+    auto scrape_window = [&](util::SimTime at, std::uint64_t window_index) {
+      monitor_flow->set_time(std::max(monitor_flow->now(), at));
+      aggregator.scrape_round(*monitor_flow);
+      for (const obs::Labels& series : aggregator.series_labels("proxy.fetch_ms")) {
+        auto delta = aggregator.windowed_histogram(
+            "proxy.fetch_ms", series, kBucket + util::seconds(30));
+        if (!delta || delta->count == 0) continue;
+        for (const auto& [key, value] : series) {
+          if (key == "replica") replica_p99[label][window_index][value] = delta->p99;
+        }
+      }
+    };
+    aggregator.scrape_round(*monitor_flow);  // baseline round at t~0
+    util::SimTime next_scrape = kBucket;
+
     for (const auto& access : trace) {
+      if (access.time >= next_scrape) {
+        scrape_window(access.time, next_scrape / kBucket - 1);
+        next_scrape += kBucket;
+      }
       if (dynamic) {
         replicator.record_access("paris", access.time);
         if (access.time >= next_rebalance) {
@@ -104,8 +153,9 @@ int main(int argc, char** argv) {
         }
       }
       auto flow = world.topo.net.open_flow(world.topo.paris, access.time);
-      globedoc::GlobeDocProxy proxy(*flow,
-                                    world.proxy_config_for(world.topo.paris));
+      auto proxy_config = world.proxy_config_for(world.topo.paris);
+      proxy_config.registry = &proxy_registry;
+      globedoc::GlobeDocProxy proxy(*flow, proxy_config);
       auto result = proxy.fetch(kDoc, "index.html");
       if (!result.is_ok()) {
         std::fprintf(stderr, "fetch failed: %s\n",
@@ -127,6 +177,13 @@ int main(int argc, char** argv) {
       if (dynamic) {
         replica_counts[bucket] = 1 + replicator.replica_count();
       }
+    }
+    // Close out the last window, then tally this mode's scrape health.
+    if (next_scrape <= base.duration) {
+      scrape_window(base.duration, next_scrape / kBucket - 1);
+    }
+    for (const obs::NodeStatus& node : aggregator.nodes()) {
+      scrape_errors[label] += node.scrapes_failed;
     }
   }
 
@@ -175,6 +232,32 @@ int main(int argc, char** argv) {
                  : 0);
     registry.gauge("flash_crowd.replicas", {{"window_s", window}})
         .set(static_cast<double>(replica_counts[bucket]));
+    for (const char* mode : {"static", "dynamic"}) {
+      for (const auto& [replica, p99] : replica_p99[mode][bucket]) {
+        registry
+            .gauge("flash_crowd.replica_p99_ms",
+                   {{"mode", mode}, {"replica", replica}, {"window_s", window}})
+            .set(p99);
+      }
+    }
+  }
+
+  std::printf("\nAggregator-observed windowed p99 (ms) per replica, dynamic "
+              "deployment:\n\n");
+  print_row({"t_start_s", "replica", "p99_ms"});
+  for (const auto& [window_index, per_replica] : replica_p99["dynamic"]) {
+    for (const auto& [replica, p99] : per_replica) {
+      char t[32], p[32];
+      std::snprintf(t, sizeof t, "%llu",
+                    static_cast<unsigned long long>(window_index * kBucket /
+                                                    util::kSecond));
+      std::snprintf(p, sizeof p, "%.1f", p99);
+      print_row({t, replica.c_str(), p});
+    }
+  }
+  for (const auto& [mode, failed] : scrape_errors) {
+    registry.gauge("flash_crowd.scrape_errors", {{"mode", mode}})
+        .set(static_cast<double>(failed));
   }
 
   if (argc > 1) {

@@ -1,11 +1,21 @@
-// Live telemetry: the admin surface (/metrics, /healthz, /tracez — see
-// DESIGN.md §10) served over a real localhost HTTP socket, populated by
-// secure fetches running in the simulated GlobeDoc world.
+// Live telemetry plane: a per-node-instrumented GlobeDoc fleet (proxy,
+// object server, naming server) scraped by a central TelemetryAggregator
+// over SimNet RPC, watched by an SLO burn-rate evaluator, and surfaced on
+// a real localhost HTTP socket (/metrics /healthz /tracez /federate
+// /alertz — see DESIGN.md §10-11).
 //
 //   ./telemetry_demo [port]      # default 9090
-//   curl -s localhost:9090/metrics
-//   curl -s localhost:9090/healthz
+//   curl -s localhost:9090/metrics        # the proxy node's local view
+//   curl -s localhost:9090/federate       # merged fleet view + health
+//   curl -s localhost:9090/alertz         # SLO burn-rate alerts (JSON)
 //   curl -s 'localhost:9090/tracez?min_ms=1'
+//
+// The simulated world runs a short incident before the socket opens:
+// seven healthy 10-second rounds of verified fetches, then the
+// server<->client link degrades to 300 ms and four more rounds push the
+// per-replica proxy.fetch_ms series over its latency budget, so /alertz
+// shows the fetch-latency alert firing against the slow replica and
+// /federate shows the windowed :rate1m / :p99_5m series that caught it.
 //
 // The AdminHttpServer handler is transport-agnostic (serialized request
 // bytes in, serialized response bytes out), so the very same object that
@@ -32,6 +42,8 @@
 #include "obs/admin.hpp"
 #include "obs/collector.hpp"
 #include "obs/log.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 
 using namespace globe;
 
@@ -98,13 +110,19 @@ int main(int argc, char** argv) {
   auto client_host = net.add_host({"client.example", net::CpuModel{}});
   net.set_link(server_host, client_host, {util::millis(15), 1.0e6});
 
+  // Each role owns a registry so the telemetry plane can scrape and label
+  // it individually (node=, role= stamped by its TelemetryNode).
+  obs::MetricsRegistry naming_registry, server_registry, proxy_registry;
+
   auto zone_rng = crypto::HmacDrbg::from_seed(1);
   auto zone_keys = crypto::rsa_generate(1024, zone_rng);
   auto root_zone = std::make_shared<naming::ZoneAuthority>("", zone_keys);
   rpc::ServiceDispatcher naming_dispatcher;
-  naming::NamingServer naming_server;
+  naming::NamingServer naming_server(&naming_registry);
   naming_server.add_zone(root_zone);
   naming_server.register_with(naming_dispatcher);
+  obs::TelemetryNode naming_telemetry(naming_registry, "ns-1", "naming");
+  naming_telemetry.register_with(naming_dispatcher);
   net::Endpoint naming_ep{server_host, 53};
   net.bind(naming_ep, naming_dispatcher.handler());
 
@@ -116,10 +134,13 @@ int main(int argc, char** argv) {
 
   auto cred_rng = crypto::HmacDrbg::from_seed(2);
   auto credentials = crypto::rsa_generate(1024, cred_rng);
-  globedoc::ObjectServer object_server("replica-host-1", 3);
+  globedoc::ObjectServer object_server("replica-host-1", 3, &server_registry);
   object_server.authorize(credentials.pub);
   rpc::ServiceDispatcher server_dispatcher;
   object_server.register_with(server_dispatcher);
+  obs::TelemetryNode server_telemetry(server_registry, "os-1",
+                                      "object-server");
+  server_telemetry.register_with(server_dispatcher);
   net::Endpoint server_ep{server_host, 8000};
   net.bind(server_ep, server_dispatcher.handler());
 
@@ -139,9 +160,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // --- Fetches through the verifying proxy populate the process-wide
-  // telemetry: metrics in the global registry, one stitched trace per
-  // fetch in the global collector, events in the global log.
+  // --- The verifying proxy, itself a scrapable fleet member.
   obs::global_trace_collector().set_policy(
       {/*keep_slower_than=*/0, /*keep_one_in=*/1});
   auto client_flow = net.open_flow(client_host);
@@ -149,22 +168,84 @@ int main(int argc, char** argv) {
   config.naming_root = naming_ep;
   config.naming_anchor = zone_keys.pub;
   config.location_site = tree.endpoint("site-client");
+  config.registry = &proxy_registry;
   globedoc::GlobeDocProxy proxy(*client_flow, config);
-  for (const char* element : {"index.html", "logo.gif", "index.html"}) {
-    auto result = proxy.fetch("news.vu.nl", element);
-    if (!result.is_ok()) {
-      std::fprintf(stderr, "fetch failed: %s\n",
-                   result.status().to_string().c_str());
-      return 1;
+  rpc::ServiceDispatcher proxy_dispatcher;
+  obs::TelemetryNode proxy_telemetry(proxy_registry, "proxy-1", "proxy");
+  proxy_telemetry.register_with(proxy_dispatcher);
+  net::Endpoint proxy_telemetry_ep{client_host, 9101};
+  net.bind(proxy_telemetry_ep, proxy_dispatcher.handler());
+
+  // --- The cluster plane: aggregator scraping all three nodes, and an SLO
+  // on the per-replica fetch latency.  500 ms sits on a proxy.fetch_ms
+  // bucket boundary; healthy fetches over the 15 ms link run ~170-260 ms
+  // (crypto-dominated), degraded ones blow far past it.
+  obs::TelemetryAggregator aggregator;
+  aggregator.add_target({"proxy-1", "proxy", proxy_telemetry_ep});
+  aggregator.add_target({"os-1", "object-server", server_ep});
+  aggregator.add_target({"ns-1", "naming", naming_ep});
+
+  obs::SloEvaluator slo(aggregator);
+  obs::SloSpec latency;
+  latency.name = "fetch-latency";
+  latency.type = obs::SloSpec::Type::kLatency;
+  latency.metric = "proxy.fetch_ms";
+  latency.threshold_ms = 500;
+  latency.objective = 0.9;
+  latency.short_window = util::seconds(60);
+  latency.long_window = util::seconds(300);
+  latency.burn_threshold = 2.0;
+  slo.add_spec(latency);
+
+  // One 10-second ops round: a couple of verified fetches, a scrape round,
+  // an SLO evaluation.
+  std::uint64_t round = 0;
+  auto ops_round = [&]() -> bool {
+    client_flow->set_time(util::seconds(10) * ++round);
+    for (const char* element : {"index.html", "logo.gif"}) {
+      auto result = proxy.fetch("news.vu.nl", element);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "fetch failed: %s\n",
+                     result.status().to_string().c_str());
+        return false;
+      }
+      std::printf(
+          "[round %2llu] fetched %-10s -> %5zu bytes in %6.1f ms (virtual)\n",
+          static_cast<unsigned long long>(round), element,
+          result->element.content.size(),
+          util::to_millis(result->metrics.total_time));
     }
-    std::printf("[proxy] fetched %-10s -> %5zu bytes in %.1f ms (virtual)\n",
-                element, result->element.content.size(),
-                util::to_millis(result->metrics.total_time));
+    aggregator.scrape_round(*client_flow);
+    slo.evaluate(client_flow->now());
+    return true;
+  };
+
+  for (int i = 0; i < 7; ++i) {
+    if (!ops_round()) return 1;
+  }
+  std::printf("[net] degrading server<->client link to 300 ms\n");
+  net.set_link(server_host, client_host, {util::millis(300), 1.0e6});
+  for (int i = 0; i < 4; ++i) {
+    if (!ops_round()) return 1;
+  }
+  for (const obs::AlertState& alert : slo.alerts()) {
+    std::string labels;
+    for (const auto& [k, v] : alert.labels) {
+      labels += (labels.empty() ? "" : ",") + k + "=" + v;
+    }
+    std::printf("[slo] %s{%s} %s (burn short %.1f / long %.1f)\n",
+                alert.slo.c_str(), labels.c_str(),
+                obs::alert_state_name(alert.state), alert.burn_short,
+                alert.burn_long);
   }
 
-  // --- The admin surface over a real socket.
+  // --- The admin surface over a real socket.  /metrics serves the proxy
+  // node's local view; /federate and /alertz serve the cluster plane.
   obs::AdminConfig admin_config;
-  admin_config.service = "telemetry-demo";  // registry/collector/log: globals
+  admin_config.service = "telemetry-demo";  // collector/log: process globals
+  admin_config.registry = &proxy_registry;
+  admin_config.aggregator = &aggregator;
+  admin_config.slo = &slo;
   obs::AdminHttpServer admin(admin_config);
   proxy.register_health_checks(admin);
   DemoContext ctx(*client_flow);
@@ -191,7 +272,7 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   std::signal(SIGPIPE, SIG_IGN);
   std::printf("[admin] serving on http://127.0.0.1:%u "
-              "(/metrics /healthz /tracez)\n", port);
+              "(/metrics /healthz /tracez /federate /alertz)\n", port);
   std::fflush(stdout);
 
   while (!g_stop) {

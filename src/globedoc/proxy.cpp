@@ -40,17 +40,31 @@ std::string html_escape(const std::string& text) {
 
 }  // namespace
 
+namespace {
+
+/// proxy.fetch_ms bucket bounds (milliseconds).  The SLO latency evaluator
+/// counts whole buckets, so latency objectives should sit on one of these.
+const std::vector<double>& fetch_ms_bounds() {
+  static const std::vector<double> bounds = {1,   2,   5,    10,   20,  50,
+                                             100, 200, 500,  1000, 2000, 5000};
+  return bounds;
+}
+
+}  // namespace
+
 GlobeDocProxy::GlobeDocProxy(net::Transport& transport, ProxyConfig config)
     : transport_(&transport),
       config_(std::move(config)),
-      resolver_(transport, config_.naming_root, config_.naming_anchor),
-      locator_(transport, config_.location_site) {
-  auto& registry = obs::global_registry();
-  fetches_ok_ = &registry.counter("proxy.fetches", {{"outcome", "ok"}});
-  fetches_failed_ = &registry.counter("proxy.fetches", {{"outcome", "error"}});
-  binding_cache_hits_ = &registry.counter("proxy.cache.binding_hits");
-  element_cache_hits_ = &registry.counter("proxy.cache.element_hits");
-  replicas_tried_ = &registry.counter("proxy.replicas_tried");
+      registry_(config_.registry != nullptr ? config_.registry
+                                            : &obs::global_registry()),
+      resolver_(transport, config_.naming_root, config_.naming_anchor,
+                registry_),
+      locator_(transport, config_.location_site, registry_) {
+  fetches_ok_ = &registry_->counter("proxy.fetches", {{"outcome", "ok"}});
+  fetches_failed_ = &registry_->counter("proxy.fetches", {{"outcome", "error"}});
+  binding_cache_hits_ = &registry_->counter("proxy.cache.binding_hits");
+  element_cache_hits_ = &registry_->counter("proxy.cache.element_hits");
+  replicas_tried_ = &registry_->counter("proxy.replicas_tried");
 }
 
 Result<FetchResult> GlobeDocProxy::fetch_url(const std::string& hybrid_url) {
@@ -234,6 +248,10 @@ Result<FetchResult> GlobeDocProxy::fetch_inner(const std::string& object_name,
       auto element = fetch_element(it->second, element_name, metrics, tracer);
       if (element.is_ok()) {
         metrics.total_time = transport_->now() - start;
+        registry_
+            ->histogram("proxy.fetch_ms", fetch_ms_bounds(),
+                        {{"replica", it->second.replica.to_string()}})
+            .observe(util::to_millis(metrics.total_time));
         binding_cache_hits_->inc();
         cache_element(object_name, element_name, it->second, *element);
         return FetchResult{std::move(*element), it->second.certified_as, metrics};
@@ -291,6 +309,12 @@ Result<FetchResult> GlobeDocProxy::fetch_inner(const std::string& object_name,
                             address.port,
                         std::memory_order_relaxed);
     metrics.total_time = transport_->now() - start;
+    // Per-replica end-to-end latency: the series the latency SLO watches,
+    // labeled so a burn-rate alert names the slow replica directly.
+    registry_
+        ->histogram("proxy.fetch_ms", fetch_ms_bounds(),
+                    {{"replica", address.to_string()}})
+        .observe(util::to_millis(metrics.total_time));
     cache_element(object_name, element_name, *binding, *element);
     return FetchResult{std::move(*element), binding->certified_as, metrics};
   }

@@ -64,6 +64,11 @@ struct ProxyConfig {
   // fragments they caused) are stitched here; nullptr means the process-wide
   // obs::global_trace_collector().
   obs::TraceCollector* trace_collector = nullptr;
+  // Registry for this proxy's metrics (proxy.*, and the per-replica
+  // proxy.fetch_ms latency histogram); nullptr means the process-wide
+  // obs::global_registry().  Per-node deployments hand each proxy its own
+  // registry so the telemetry plane can scrape and label it individually.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 /// Stage names of the per-fetch span tree (children of the "fetch" root).
@@ -184,7 +189,9 @@ class GlobeDocProxy {
   // packed ((1<<63) | host<<16 | port) so health probes on another thread
   // read it without a lock; 0 = none yet.
   std::atomic<std::uint64_t> last_replica_{0};
-  // Registry series (global registry; handles live as long as the process).
+  // Registry series (handles live as long as the registry, which must
+  // outlive the proxy).
+  obs::MetricsRegistry* registry_;
   obs::Counter* fetches_ok_;
   obs::Counter* fetches_failed_;
   obs::Counter* binding_cache_hits_;

@@ -55,15 +55,16 @@ Result<HostingGrant> HostingGrant::parse(BytesView data) {
   }
 }
 
-ObjectServer::ObjectServer(std::string name, std::uint64_t nonce_seed)
+ObjectServer::ObjectServer(std::string name, std::uint64_t nonce_seed,
+                           obs::MetricsRegistry* registry)
     : name_(std::move(name)), nonce_rng_(crypto::HmacDrbg::from_seed(nonce_seed)) {
-  auto& registry = obs::global_registry();
+  if (registry == nullptr) registry = &obs::global_registry();
   obs::Labels labels{{"server", name_}};
-  requests_counter_ = &registry.counter("object_server.requests", labels);
-  elements_counter_ = &registry.counter("object_server.elements_served", labels);
-  bytes_counter_ = &registry.counter("object_server.bytes_served", labels);
-  replica_installs_ = &registry.counter("object_server.replica_installs", labels);
-  replica_deletes_ = &registry.counter("object_server.replica_deletes", labels);
+  requests_counter_ = &registry->counter("object_server.requests", labels);
+  elements_counter_ = &registry->counter("object_server.elements_served", labels);
+  bytes_counter_ = &registry->counter("object_server.bytes_served", labels);
+  replica_installs_ = &registry->counter("object_server.replica_installs", labels);
+  replica_deletes_ = &registry->counter("object_server.replica_deletes", labels);
 }
 
 void ObjectServer::authorize(const crypto::RsaPublicKey& key) {

@@ -77,7 +77,10 @@ struct HostingGrant {
 
 class ObjectServer {
  public:
-  ObjectServer(std::string name, std::uint64_t nonce_seed);
+  /// `registry` receives the object_server.* series (labeled with this
+  /// server's name); nullptr means the process-wide obs::global_registry().
+  ObjectServer(std::string name, std::uint64_t nonce_seed,
+               obs::MetricsRegistry* registry = nullptr);
 
   /// Keystore ACL management (server administrator's side).
   void authorize(const crypto::RsaPublicKey& key) GLOBE_EXCLUDES(mutex_);

@@ -10,12 +10,13 @@ using util::Bytes;
 using util::BytesView;
 using util::Result;
 
-StaticHttpServer::StaticHttpServer(std::string server_name)
-    : server_name_(std::move(server_name)) {
-  auto& registry = obs::global_registry();
+StaticHttpServer::StaticHttpServer(std::string server_name,
+                                   obs::MetricsRegistry* registry)
+    : server_name_(std::move(server_name)),
+      registry_(registry != nullptr ? registry : &obs::global_registry()) {
   obs::Labels labels{{"server", server_name_}};
-  requests_counter_ = &registry.counter("http.static.requests", labels);
-  bytes_counter_ = &registry.counter("http.static.bytes_served", labels);
+  requests_counter_ = &registry_->counter("http.static.requests", labels);
+  bytes_counter_ = &registry_->counter("http.static.bytes_served", labels);
 }
 
 void StaticHttpServer::put_file(const std::string& path, Bytes content) {
@@ -75,9 +76,9 @@ HttpResponse StaticHttpServer::handle(const HttpRequest& req) const {
   resp.headers.set("Server", server_name_);
   requests_counter_->inc();
   bytes_counter_->inc(resp.body.size());
-  obs::global_registry()
-      .counter("http.static.responses", {{"server", server_name_},
-                                         {"status", std::to_string(resp.status)}})
+  registry_
+      ->counter("http.static.responses", {{"server", server_name_},
+                                          {"status", std::to_string(resp.status)}})
       .inc();
   return resp;
 }

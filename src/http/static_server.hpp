@@ -16,7 +16,10 @@ namespace globe::http {
 
 class StaticHttpServer {
  public:
-  explicit StaticHttpServer(std::string server_name = "SimApache/1.3");
+  /// `registry` receives the http.static.* series (labeled with the server
+  /// name); nullptr means the process-wide obs::global_registry().
+  explicit StaticHttpServer(std::string server_name = "SimApache/1.3",
+                            obs::MetricsRegistry* registry = nullptr);
 
   /// Publishes `content` at `path` (must start with '/').  Content type is
   /// guessed from the suffix; the ETag is precomputed.
@@ -49,6 +52,7 @@ class StaticHttpServer {
   mutable util::Mutex mutex_;
   std::map<std::string, FileEntry> files_ GLOBE_GUARDED_BY(mutex_);
   // Registry series, labeled by server name; status label added per reply.
+  obs::MetricsRegistry* registry_;
   obs::Counter* requests_counter_;
   obs::Counter* bytes_counter_;
 };

@@ -4,13 +4,14 @@
 
 namespace globe::location {
 
-LocationTree::LocationTree(net::SimNet& net, const std::vector<DomainSpec>& specs) {
+LocationTree::LocationTree(net::SimNet& net, const std::vector<DomainSpec>& specs,
+                           obs::MetricsRegistry* registry) {
   for (const auto& spec : specs) {
     if (entries_.count(spec.name) > 0) {
       throw std::invalid_argument("duplicate domain: " + spec.name);
     }
     Entry entry;
-    entry.node = std::make_unique<LocationNode>(spec.name, spec.is_site);
+    entry.node = std::make_unique<LocationNode>(spec.name, spec.is_site, registry);
     entry.dispatcher = std::make_unique<rpc::ServiceDispatcher>();
     entry.endpoint = net::Endpoint{spec.host, spec.port};
 

@@ -23,7 +23,10 @@ class LocationTree {
  public:
   /// Builds and binds the tree.  Parents must precede children in `specs`.
   /// Throws std::invalid_argument on dangling parents or duplicate names.
-  LocationTree(net::SimNet& net, const std::vector<DomainSpec>& specs);
+  /// `registry` receives every node's location.node.* series; nullptr means
+  /// the process-wide obs::global_registry().
+  LocationTree(net::SimNet& net, const std::vector<DomainSpec>& specs,
+               obs::MetricsRegistry* registry = nullptr);
 
   net::Endpoint endpoint(const std::string& domain) const;
   LocationNode& node(const std::string& domain);

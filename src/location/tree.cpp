@@ -105,14 +105,15 @@ Result<LookupReply> LookupReply::parse(BytesView data) {
   }
 }
 
-LocationNode::LocationNode(std::string domain, bool is_site)
+LocationNode::LocationNode(std::string domain, bool is_site,
+                           obs::MetricsRegistry* registry)
     : domain_(std::move(domain)), is_site_(is_site) {
-  auto& registry = obs::global_registry();
+  if (registry == nullptr) registry = &obs::global_registry();
   obs::Labels labels{{"domain", domain_}};
-  lookups_counter_ = &registry.counter("location.node.lookups", labels);
-  lookup_hits_ = &registry.counter("location.node.lookup_hits", labels);
-  inserts_counter_ = &registry.counter("location.node.inserts", labels);
-  removes_counter_ = &registry.counter("location.node.removes", labels);
+  lookups_counter_ = &registry->counter("location.node.lookups", labels);
+  lookup_hits_ = &registry->counter("location.node.lookup_hits", labels);
+  inserts_counter_ = &registry->counter("location.node.inserts", labels);
+  removes_counter_ = &registry->counter("location.node.removes", labels);
 }
 
 void LocationNode::set_parent(const net::Endpoint& parent) {
@@ -318,12 +319,13 @@ Result<Bytes> LocationNode::handle_remove_pointer(net::ServerContext& ctx,
   return Bytes{};
 }
 
-LocationClient::LocationClient(net::Transport& transport, net::Endpoint local_site)
+LocationClient::LocationClient(net::Transport& transport, net::Endpoint local_site,
+                               obs::MetricsRegistry* registry)
     : transport_(&transport), local_site_(local_site) {
-  auto& registry = obs::global_registry();
-  lookups_counter_ = &registry.counter("location.client.lookups");
-  rings_histogram_ = &registry.histogram("location.client.rings",
-                                         {1, 2, 3, 4, 5, 6, 8, 12, 16});
+  if (registry == nullptr) registry = &obs::global_registry();
+  lookups_counter_ = &registry->counter("location.client.lookups");
+  rings_histogram_ = &registry->histogram("location.client.rings",
+                                          {1, 2, 3, 4, 5, 6, 8, 12, 16});
 }
 
 Result<std::vector<net::Endpoint>> LocationClient::lookup(BytesView oid) {

@@ -53,7 +53,10 @@ struct LookupReply {
 /// interior nodes store pointers to children.
 class LocationNode {
  public:
-  LocationNode(std::string domain, bool is_site);
+  /// `registry` receives the location.node.* series (labeled with this
+  /// node's domain); nullptr means the process-wide obs::global_registry().
+  LocationNode(std::string domain, bool is_site,
+               obs::MetricsRegistry* registry = nullptr);
 
   const std::string& domain() const { return domain_; }
   bool is_site() const { return is_site_; }
@@ -109,7 +112,10 @@ class LocationNode {
 /// Client-side expanding-ring lookup and replica (de)registration.
 class LocationClient {
  public:
-  LocationClient(net::Transport& transport, net::Endpoint local_site);
+  /// `registry` receives the location.client.* series; nullptr means the
+  /// process-wide obs::global_registry().
+  LocationClient(net::Transport& transport, net::Endpoint local_site,
+                 obs::MetricsRegistry* registry = nullptr);
 
   /// Expanding-ring search from the local site.  NOT_FOUND when the OID is
   /// unknown all the way to the root.  Location records carry no signatures

@@ -12,14 +12,15 @@ using util::ErrorCode;
 using util::Result;
 
 SecureResolver::SecureResolver(net::Transport& transport, net::Endpoint root_server,
-                               crypto::RsaPublicKey anchor_key)
+                               crypto::RsaPublicKey anchor_key,
+                               obs::MetricsRegistry* registry)
     : transport_(&transport), root_server_(root_server), anchor_(std::move(anchor_key)) {
-  auto& registry = obs::global_registry();
-  resolves_ok_ = &registry.counter("naming.resolves", {{"outcome", "ok"}});
-  resolves_failed_ = &registry.counter("naming.resolves", {{"outcome", "error"}});
-  cache_hits_ = &registry.counter("naming.cache_hits");
-  referrals_ = &registry.counter("naming.referrals");
-  signatures_counter_ = &registry.counter("naming.signatures_verified");
+  if (registry == nullptr) registry = &obs::global_registry();
+  resolves_ok_ = &registry->counter("naming.resolves", {{"outcome", "ok"}});
+  resolves_failed_ = &registry->counter("naming.resolves", {{"outcome", "error"}});
+  cache_hits_ = &registry->counter("naming.cache_hits");
+  referrals_ = &registry->counter("naming.referrals");
+  signatures_counter_ = &registry->counter("naming.signatures_verified");
 }
 
 Result<Bytes> SecureResolver::resolve(const std::string& name) {

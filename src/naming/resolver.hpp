@@ -17,9 +17,12 @@ namespace globe::naming {
 class SecureResolver {
  public:
   /// `anchor_key` is the root zone's public key configured out of band —
-  /// the single trust anchor, exactly like a DNSsec root key.
+  /// the single trust anchor, exactly like a DNSsec root key.  `registry`
+  /// receives the naming.* client series; nullptr means the process-wide
+  /// obs::global_registry().
   SecureResolver(net::Transport& transport, net::Endpoint root_server,
-                 crypto::RsaPublicKey anchor_key);
+                 crypto::RsaPublicKey anchor_key,
+                 obs::MetricsRegistry* registry = nullptr);
 
   /// Resolves a name to its (verified, fresh) OID.  Security failures map
   /// to the typed codes: BAD_SIGNATURE, EXPIRED, WRONG_ELEMENT (record

@@ -115,6 +115,15 @@ Result<NamingReply> ZoneAuthority::lookup(const std::string& name) const {
   return Result<NamingReply>(ErrorCode::kNotFound, "no record for " + name);
 }
 
+NamingServer::NamingServer(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) registry = &obs::global_registry();
+  lookups_answer_ = &registry->counter("naming.server.lookups", {{"outcome", "answer"}});
+  lookups_referral_ =
+      &registry->counter("naming.server.lookups", {{"outcome", "referral"}});
+  lookups_miss_ = &registry->counter("naming.server.lookups", {{"outcome", "miss"}});
+  zone_key_requests_ = &registry->counter("naming.server.zone_key_requests");
+}
+
 void NamingServer::add_zone(std::shared_ptr<ZoneAuthority> zone) {
   util::LockGuard lock(mutex_);
   zones_[zone->zone()] = std::move(zone);
@@ -148,12 +157,19 @@ Result<Bytes> NamingServer::handle_lookup(net::ServerContext&, BytesView payload
     util::LockGuard lock(mutex_);
     auto it = zones_.find(zone);
     if (it == zones_.end()) {
+      lookups_miss_->inc();
       return Result<Bytes>(ErrorCode::kNotFound, "zone not served here: " + zone);
     }
     authority = it->second;
   }
   auto reply = authority->lookup(name);
-  if (!reply.is_ok()) return reply.status();
+  if (!reply.is_ok()) {
+    lookups_miss_->inc();
+    return reply.status();
+  }
+  (reply->kind == NamingReply::Kind::kAnswer ? lookups_answer_
+                                             : lookups_referral_)
+      ->inc();
   return reply->serialize();
 }
 
@@ -166,6 +182,7 @@ Result<Bytes> NamingServer::handle_zone_key(net::ServerContext&, BytesView paylo
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
   }
+  zone_key_requests_->inc();
   util::LockGuard lock(mutex_);
   auto it = zones_.find(zone);
   if (it == zones_.end()) {

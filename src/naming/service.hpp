@@ -21,6 +21,7 @@
 #include "crypto/rsa.hpp"
 #include "naming/records.hpp"
 #include "net/transport.hpp"
+#include "obs/metrics.hpp"
 #include "rpc/rpc.hpp"
 #include "util/taint_annotations.hpp"
 
@@ -75,6 +76,11 @@ class ZoneAuthority {
 /// Serves one or more zones on an RPC dispatcher.
 class NamingServer {
  public:
+  /// `registry` receives the naming.server.* series (lookups by outcome,
+  /// zone-key requests); nullptr means the process-wide
+  /// obs::global_registry().
+  explicit NamingServer(obs::MetricsRegistry* registry = nullptr);
+
   void add_zone(std::shared_ptr<ZoneAuthority> zone);
 
   /// Registers kLookup/kZonePublicKey on `dispatcher`.
@@ -91,6 +97,10 @@ class NamingServer {
   util::Mutex mutex_;
   std::map<std::string, std::shared_ptr<ZoneAuthority>> zones_
       GLOBE_GUARDED_BY(mutex_);
+  obs::Counter* lookups_answer_;
+  obs::Counter* lookups_referral_;
+  obs::Counter* lookups_miss_;
+  obs::Counter* zone_key_requests_;
 };
 
 }  // namespace globe::naming

@@ -4,6 +4,8 @@
 
 #include "http/parser.hpp"
 #include "obs/export.hpp"
+#include "obs/slo.hpp"
+#include "obs/telemetry.hpp"
 
 namespace globe::obs {
 
@@ -143,6 +145,36 @@ HttpResponse AdminHttpServer::serve_tracez(const std::string& query) {
                             "application/json");
 }
 
+HttpResponse AdminHttpServer::serve_federate() {
+  // Node health first, as exposition comments — a stale node has NO series
+  // below (its last snapshot is excluded from the merge), so the header is
+  // the only place its absence is explained.
+  std::ostringstream os;
+  for (const NodeStatus& node : config_.aggregator->nodes()) {
+    os << "# node " << node.node << " role=" << node.role << ' '
+       << (node.stale ? "stale" : "fresh") << " ok=" << node.scrapes_ok
+       << " failed=" << node.scrapes_failed;
+    if (!node.last_error.empty()) {
+      // Scrape errors carry transport/protocol detail, not peer-chosen
+      // bytes past the sanitizer; still keep them to one comment line.
+      std::string error = node.last_error;
+      for (char& c : error) {
+        if (c == '\n' || c == '\r') c = ' ';
+      }
+      os << " error=\"" << error << '"';
+    }
+    os << '\n';
+  }
+  os << to_text(config_.aggregator->merged());
+  return HttpResponse::make(200, "OK", util::to_bytes(os.str()), "text/plain");
+}
+
+HttpResponse AdminHttpServer::serve_alertz(net::ServerContext& ctx) {
+  config_.slo->evaluate(ctx.now());
+  return HttpResponse::make(200, "OK", util::to_bytes(config_.slo->to_json()),
+                            "application/json");
+}
+
 HttpResponse AdminHttpServer::handle(net::ServerContext& ctx,
                                      const HttpRequest& request) {
   if (request.method != "GET") {
@@ -165,6 +197,14 @@ HttpResponse AdminHttpServer::handle(net::ServerContext& ctx,
     return serve_healthz(ctx);
   }
   if (path == "/tracez") return serve_tracez(query);
+  if (path == "/federate" && config_.aggregator != nullptr) {
+    if (!query.empty()) return error_response(400, "400 bad query\n");
+    return serve_federate();
+  }
+  if (path == "/alertz" && config_.slo != nullptr) {
+    if (!query.empty()) return error_response(400, "400 bad query\n");
+    return serve_alertz(ctx);
+  }
   return error_response(404, "404 not found\n");
 }
 

@@ -14,6 +14,18 @@
 //   GET /tracez[?min_ms=N]  Recent sampled traces from the collector as
 //                         JSON, newest first, filterable by minimum root
 //                         duration.
+//   GET /federate         Merged cluster snapshot from the telemetry
+//                         aggregator in the same text exposition as
+//                         /metrics (per-node series + cluster aggregates +
+//                         derived :rate1m/:p99_5m), prefixed by one
+//                         "# node ..." comment per scrape target so stale
+//                         nodes are visible.  404 unless an aggregator is
+//                         configured.
+//   GET /alertz           SLO burn-rate alerts as JSON (firing / pending /
+//                         resolved, with offending labels).  Each GET
+//                         re-evaluates the specs against the aggregator's
+//                         ring first.  404 unless an evaluator is
+//                         configured.
 //
 // Security: the request — target, query string included — crossed the wire
 // from an untrusted peer (DESIGN.md §9).  The query is parsed by a strict
@@ -39,6 +51,9 @@
 
 namespace globe::obs {
 
+class TelemetryAggregator;  // obs/telemetry.hpp
+class SloEvaluator;         // obs/slo.hpp
+
 /// Probe helper: true reachability of a peer endpoint.  Sends a minimal
 /// no-op frame and reports UNAVAILABLE only when the transport does (link
 /// down / nothing bound); any in-protocol error reply still proves the peer
@@ -53,6 +68,10 @@ struct AdminConfig {
   MetricsRegistry* registry = nullptr;
   TraceCollector* collector = nullptr;
   EventLog* events = nullptr;
+  /// Cluster-plane sources; these have no process-wide default — leaving
+  /// either null simply 404s its endpoint (/federate, /alertz).
+  TelemetryAggregator* aggregator = nullptr;
+  SloEvaluator* slo = nullptr;
 };
 
 class AdminHttpServer {
@@ -78,6 +97,8 @@ class AdminHttpServer {
   http::HttpResponse serve_healthz(net::ServerContext& ctx)
       GLOBE_EXCLUDES(mutex_);
   http::HttpResponse serve_tracez(const std::string& query);
+  http::HttpResponse serve_federate();
+  http::HttpResponse serve_alertz(net::ServerContext& ctx);
 
   AdminConfig config_;
   mutable util::Mutex mutex_;

@@ -135,7 +135,16 @@ std::string to_text(const Snapshot& snapshot) {
         } else {
           os << "inf";
         }
-        os << ' ' << s.bucket_counts[i] << '\n';
+        os << ' ' << s.bucket_counts[i];
+        // The trace that last landed in this bucket: a slow bucket on
+        // /federate links straight to its /tracez trace.
+        if (i < s.exemplars.size() && s.exemplars[i].valid()) {
+          os << "  # exemplar trace="
+             << TraceContext{s.exemplars[i].trace_hi, s.exemplars[i].trace_lo,
+                             0, true}
+                    .trace_id();
+        }
+        os << '\n';
       }
     } else {
       os << ' ' << number(s.value) << '\n';

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace globe::obs {
 
 namespace {
@@ -12,10 +14,31 @@ Labels normalize(Labels labels) {
   return labels;
 }
 
+/// Series labels + registry defaults for keys the series doesn't set,
+/// re-sorted so snapshot ordering stays canonical.
+Labels with_defaults(const Labels& labels, const Labels& defaults) {
+  if (defaults.empty()) return labels;
+  Labels out = labels;
+  for (const auto& def : defaults) {
+    bool present = false;
+    for (const auto& have : labels) {
+      if (have.first == def.first) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) out.push_back(def);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace
 
 Histogram::Histogram(std::vector<double> bounds)
-    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1) {
+    : bounds_(std::move(bounds)),
+      counts_(bounds_.size() + 1),
+      exemplars_(bounds_.size() + 1) {
   if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
       std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
     throw std::invalid_argument("histogram bounds must be strictly increasing");
@@ -27,6 +50,11 @@ void Histogram::observe(double v) {
       std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
   counts_[i].fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(v, std::memory_order_relaxed);
+  TraceContext ctx = current_trace_context();
+  if (ctx.valid() && ctx.sampled) {
+    exemplars_[i].hi.store(ctx.trace_hi, std::memory_order_relaxed);
+    exemplars_[i].lo.store(ctx.trace_lo, std::memory_order_relaxed);
+  }
 }
 
 std::uint64_t Histogram::count() const {
@@ -43,9 +71,18 @@ std::vector<std::uint64_t> Histogram::bucket_counts() const {
   return out;
 }
 
-double Histogram::quantile(double q) const {
+std::vector<Exemplar> Histogram::exemplars() const {
+  std::vector<Exemplar> out(exemplars_.size());
+  for (std::size_t i = 0; i < exemplars_.size(); ++i) {
+    out[i].trace_hi = exemplars_[i].hi.load(std::memory_order_relaxed);
+    out[i].trace_lo = exemplars_[i].lo.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double q) {
   q = std::clamp(q, 0.0, 1.0);
-  auto counts = bucket_counts();
   std::uint64_t total = 0;
   for (std::uint64_t c : counts) total += c;
   if (total == 0) return 0;
@@ -62,22 +99,57 @@ double Histogram::quantile(double q) const {
       seen += counts[i];
       continue;
     }
-    if (i == bounds_.size()) {
+    if (i >= bounds.size()) {
       // Overflow bucket: the histogram cannot resolve past the last bound.
-      return bounds_.empty() ? 0 : bounds_.back();
+      return bounds.empty() ? 0 : bounds.back();
     }
-    double lo = i == 0 ? 0.0 : bounds_[i - 1];
-    double hi = bounds_[i];
+    double lo = i == 0 ? 0.0 : bounds[i - 1];
+    double hi = bounds[i];
     double within = (static_cast<double>(rank - seen)) /
                     static_cast<double>(counts[i]);
     return lo + (hi - lo) * within;
   }
-  return bounds_.empty() ? 0 : bounds_.back();  // unreachable
+  return bounds.empty() ? 0 : bounds.back();  // unreachable
+}
+
+double Histogram::quantile(double q) const {
+  return bucket_quantile(bounds_, bucket_counts(), q);
 }
 
 void Histogram::reset() {
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (auto& e : exemplars_) {
+    e.hi.store(0, std::memory_order_relaxed);
+    e.lo.store(0, std::memory_order_relaxed);
+  }
   sum_.store(0.0, std::memory_order_relaxed);
+}
+
+bool merge_histogram_sample(MetricSample& into, const MetricSample& from) {
+  if (into.kind != MetricSample::Kind::kHistogram ||
+      from.kind != MetricSample::Kind::kHistogram) {
+    return false;
+  }
+  if (into.bounds != from.bounds ||
+      into.bucket_counts.size() != from.bucket_counts.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < into.bucket_counts.size(); ++i) {
+    into.bucket_counts[i] += from.bucket_counts[i];
+  }
+  into.count += from.count;
+  into.value += from.value;  // histogram sum
+  if (!from.exemplars.empty()) {
+    if (into.exemplars.empty()) into.exemplars.resize(into.bucket_counts.size());
+    for (std::size_t i = 0;
+         i < from.exemplars.size() && i < into.exemplars.size(); ++i) {
+      if (from.exemplars[i].valid()) into.exemplars[i] = from.exemplars[i];
+    }
+  }
+  into.p50 = bucket_quantile(into.bounds, into.bucket_counts, 0.50);
+  into.p90 = bucket_quantile(into.bounds, into.bucket_counts, 0.90);
+  into.p99 = bucket_quantile(into.bounds, into.bucket_counts, 0.99);
+  return true;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
@@ -105,6 +177,16 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+void MetricsRegistry::set_default_labels(Labels labels) {
+  util::LockGuard lock(mutex_);
+  default_labels_ = normalize(std::move(labels));
+}
+
+Labels MetricsRegistry::default_labels() const {
+  util::LockGuard lock(mutex_);
+  return default_labels_;
+}
+
 Snapshot MetricsRegistry::snapshot() const {
   util::LockGuard lock(mutex_);
   Snapshot snap;
@@ -112,7 +194,7 @@ Snapshot MetricsRegistry::snapshot() const {
   for (const auto& [key, counter] : counters_) {
     MetricSample s;
     s.name = key.name;
-    s.labels = key.labels;
+    s.labels = with_defaults(key.labels, default_labels_);
     s.kind = MetricSample::Kind::kCounter;
     s.value = static_cast<double>(counter->value());
     snap.samples.push_back(std::move(s));
@@ -120,7 +202,7 @@ Snapshot MetricsRegistry::snapshot() const {
   for (const auto& [key, gauge] : gauges_) {
     MetricSample s;
     s.name = key.name;
-    s.labels = key.labels;
+    s.labels = with_defaults(key.labels, default_labels_);
     s.kind = MetricSample::Kind::kGauge;
     s.value = gauge->value();
     snap.samples.push_back(std::move(s));
@@ -128,11 +210,12 @@ Snapshot MetricsRegistry::snapshot() const {
   for (const auto& [key, histogram] : histograms_) {
     MetricSample s;
     s.name = key.name;
-    s.labels = key.labels;
+    s.labels = with_defaults(key.labels, default_labels_);
     s.kind = MetricSample::Kind::kHistogram;
     s.value = histogram->sum();
     s.bounds = histogram->bounds();
     s.bucket_counts = histogram->bucket_counts();
+    s.exemplars = histogram->exemplars();
     s.count = histogram->count();
     s.p50 = histogram->quantile(0.50);
     s.p90 = histogram->quantile(0.90);

@@ -52,11 +52,26 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+/// 128-bit trace id attached to a histogram bucket: the trace that last
+/// observed into it.  {0,0} = no exemplar recorded.
+struct Exemplar {
+  std::uint64_t trace_hi = 0;
+  std::uint64_t trace_lo = 0;
+  bool valid() const { return (trace_hi | trace_lo) != 0; }
+};
+
 /// Fixed-bucket histogram: `bounds` are strictly increasing upper bounds
 /// (inclusive); one implicit overflow bucket catches everything above the
 /// last bound.  Quantiles are estimated by linear interpolation inside the
 /// bucket holding the target rank — exact bucket choice, approximate
 /// position, the standard fixed-bucket trade-off.
+///
+/// Exemplars: every observation made while the calling thread is inside a
+/// sampled trace span stamps its bucket with that trace's id, so a slow
+/// bucket in /metrics or /federate links straight to a /tracez trace.
+/// Best-effort under concurrency (the two id halves are separate relaxed
+/// atomics, so a torn pair can mix two concurrent traces) — acceptable for
+/// a debugging aid, never used for control decisions.
 class Histogram {
  public:
   explicit Histogram(std::vector<double> bounds);
@@ -68,6 +83,8 @@ class Histogram {
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket counts; size() == bounds().size() + 1 (last = overflow).
   std::vector<std::uint64_t> bucket_counts() const;
+  /// Per-bucket exemplars, same indexing as bucket_counts().
+  std::vector<Exemplar> exemplars() const;
 
   /// Estimated q-quantile (q in [0,1]).  Returns 0 when empty.  Ranks that
   /// land in the overflow bucket report the last finite bound (the
@@ -78,10 +95,22 @@ class Histogram {
   void reset();
 
  private:
+  struct BucketExemplar {
+    std::atomic<std::uint64_t> hi{0};
+    std::atomic<std::uint64_t> lo{0};
+  };
+
   std::vector<double> bounds_;
   std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::vector<BucketExemplar> exemplars_;           // parallel to counts_
   std::atomic<double> sum_{0.0};
 };
+
+/// The quantile estimator of Histogram::quantile over explicit bucket
+/// counts (`counts.size() == bounds.size() + 1`, last = overflow) — shared
+/// with merged snapshot samples, whose buckets exist only as plain vectors.
+double bucket_quantile(const std::vector<double>& bounds,
+                       const std::vector<std::uint64_t>& counts, double q);
 
 /// One metric's state at snapshot time.
 struct MetricSample {
@@ -95,6 +124,7 @@ struct MetricSample {
   // Histogram-only fields (empty otherwise).
   std::vector<double> bounds;
   std::vector<std::uint64_t> bucket_counts;
+  std::vector<Exemplar> exemplars;  // per bucket; may be empty (none recorded)
   std::uint64_t count = 0;
   double p50 = 0, p90 = 0, p99 = 0;
 };
@@ -103,6 +133,14 @@ struct MetricSample {
 struct Snapshot {
   std::vector<MetricSample> samples;
 };
+
+/// Merges histogram sample `from` into `into` bucket-wise: counts and sums
+/// add, quantiles are re-estimated from the merged buckets, and `from`'s
+/// exemplars overwrite where present (last writer wins, matching gauge
+/// semantics).  Returns false — leaving `into` untouched — when either
+/// sample is not a histogram or the bucket layouts differ: snapshots from
+/// different build generations must not silently blend.
+bool merge_histogram_sample(MetricSample& into, const MetricSample& from);
 
 class MetricsRegistry {
  public:
@@ -116,6 +154,12 @@ class MetricsRegistry {
   /// series return the existing histogram unchanged.
   Histogram& histogram(const std::string& name, std::vector<double> bounds,
                        Labels labels = {}) GLOBE_EXCLUDES(mutex_);
+
+  /// Labels stamped on every sample at snapshot time — how a per-node
+  /// registry tags itself (node=, role=) without touching each call site.
+  /// A series label with the same key wins over the default.
+  void set_default_labels(Labels labels) GLOBE_EXCLUDES(mutex_);
+  Labels default_labels() const GLOBE_EXCLUDES(mutex_);
 
   Snapshot snapshot() const GLOBE_EXCLUDES(mutex_);
 
@@ -139,6 +183,7 @@ class MetricsRegistry {
   std::map<Key, std::unique_ptr<Counter>> counters_ GLOBE_GUARDED_BY(mutex_);
   std::map<Key, std::unique_ptr<Gauge>> gauges_ GLOBE_GUARDED_BY(mutex_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_ GLOBE_GUARDED_BY(mutex_);
+  Labels default_labels_ GLOBE_GUARDED_BY(mutex_);
 };
 
 /// Process-wide default registry.  Components report here unless handed a

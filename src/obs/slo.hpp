@@ -1,0 +1,135 @@
+// Declarative SLOs over the federated telemetry plane (DESIGN.md §11).
+//
+// A SloSpec states an objective over metrics the TelemetryAggregator
+// already collects — no instrumented component knows SLOs exist:
+//
+//   * availability: of the windowed delta of a counter family (all series
+//     matching `filter`, summed across label values), the fraction matching
+//     `good_labels` must be >= objective.  Evaluated per node= label value,
+//     so the alert that fires names the offending node.
+//   * latency: of the windowed observations of a histogram series, the
+//     fraction at or under threshold_ms must be >= objective.  Evaluated
+//     per label set (one proxy.fetch_ms series per replica), so a single
+//     slow replica fires its own alert.
+//
+// Alerting is multi-window burn-rate (the SRE-workbook shape): the burn
+// rate is bad_fraction / error_budget with error_budget = 1 - objective,
+// so burn 1.0 consumes the budget exactly at the objective's pace.  An
+// alert FIRES only when BOTH the short and the long window burn above
+// `burn_threshold` — the long window proves the problem is sustained, the
+// short window proves it is still happening (and lets the alert resolve
+// quickly once the cause is fixed).  One window above, one below, is
+// PENDING (arriving or draining); both below is RESOLVED.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/telemetry.hpp"
+#include "util/clock.hpp"
+#include "util/mutex.hpp"
+
+namespace globe::obs {
+
+struct SloSpec {
+  enum class Type { kAvailability, kLatency };
+
+  std::string name;     // alert/SLO identifier, e.g. "proxy-fetch-latency"
+  Type type = Type::kAvailability;
+  std::string metric;   // counter (availability) or histogram (latency)
+  Labels filter;        // base labels a series must contain to participate
+
+  // Availability only: labels marking the GOOD subset of `metric`.
+  Labels good_labels;
+
+  // Latency only: an observation is good when <= threshold_ms.  The
+  // threshold should sit on a bucket boundary of the histogram — the
+  // evaluator counts whole buckets and refuses to guess inside one (a
+  // threshold between bounds is rounded UP to the next boundary).
+  double threshold_ms = 0;
+
+  double objective = 0.99;  // required good fraction, in (0, 1)
+
+  util::SimDuration short_window = util::seconds(60);
+  util::SimDuration long_window = util::seconds(300);
+  double burn_threshold = 2.0;  // fire when both windows burn above this
+};
+
+enum class AlertStateKind { kPending, kFiring, kResolved };
+
+const char* alert_state_name(AlertStateKind state);
+
+/// One alert instance: a spec applied to one offending label set.
+struct AlertState {
+  std::string slo;      // SloSpec::name
+  std::string metric;
+  Labels labels;        // offending series labels (node=, replica=, ...)
+  AlertStateKind state = AlertStateKind::kPending;
+  double burn_short = 0;
+  double burn_long = 0;
+  util::SimTime since = 0;  // when the current state was entered
+};
+
+/// Evaluates every spec against the aggregator's ring.  Call evaluate()
+/// after each scrape round (or on each /alertz hit); alerts() / to_json()
+/// report the latest states.  Thread-safe.
+class SloEvaluator {
+ public:
+  /// `self_registry` receives the evaluator's own slo.* series; nullptr
+  /// means the aggregator's self registry.
+  explicit SloEvaluator(const TelemetryAggregator& aggregator,
+                        MetricsRegistry* self_registry = nullptr);
+
+  /// Specs must reference cataloged metric names (docs/metrics.md) — the
+  /// project lint's slo-catalog check enforces this on literals.
+  void add_spec(SloSpec spec) GLOBE_EXCLUDES(mutex_);
+  std::size_t spec_count() const GLOBE_EXCLUDES(mutex_);
+
+  /// Recomputes every alert instance at time `now` (stamped into `since`
+  /// on state transitions).  Instances appear on first non-clean
+  /// evaluation and persist (as kResolved) afterwards, so /alertz shows
+  /// the firing → resolved history of an incident.
+  void evaluate(util::SimTime now) GLOBE_EXCLUDES(mutex_);
+
+  std::vector<AlertState> alerts() const GLOBE_EXCLUDES(mutex_);
+
+  /// /alertz body: {"alerts":[{slo, metric, labels, state, burn_short,
+  /// burn_long, since_ns}, ...]} sorted by (slo, labels).
+  std::string to_json() const GLOBE_EXCLUDES(mutex_);
+
+ private:
+  struct InstanceKey {
+    std::string slo;
+    Labels labels;
+    bool operator<(const InstanceKey& o) const {
+      return slo != o.slo ? slo < o.slo : labels < o.labels;
+    }
+  };
+
+  /// Burn rates for one instance over both windows; nullopt = no data in
+  /// a window (treated as burn 0: absence of traffic is not an outage —
+  /// availability of zero requests is vacuously met).
+  struct Burn {
+    std::optional<double> short_burn;
+    std::optional<double> long_burn;
+  };
+
+  Burn availability_burn(const SloSpec& spec, const Labels& instance) const;
+  Burn latency_burn(const SloSpec& spec, const Labels& series) const;
+
+  const TelemetryAggregator* aggregator_;
+  MetricsRegistry* registry_;
+  Counter* evaluations_;
+  Gauge* firing_;
+  Gauge* pending_;
+
+  mutable util::Mutex mutex_;
+  std::vector<SloSpec> specs_ GLOBE_GUARDED_BY(mutex_);
+  std::map<InstanceKey, AlertState> instances_ GLOBE_GUARDED_BY(mutex_);
+};
+
+}  // namespace globe::obs

@@ -1,0 +1,604 @@
+#include "obs/telemetry.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "obs/collector.hpp"
+
+namespace globe::obs {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Reader;
+using util::Result;
+using util::Writer;
+
+namespace {
+
+// Doubles ride the wire as their IEEE-754 bit pattern in a u64 — exact
+// round-trip, no locale/precision surprises.
+void put_f64(Writer& w, double v) { w.u64(std::bit_cast<std::uint64_t>(v)); }
+double get_f64(Reader& r) { return std::bit_cast<double>(r.u64()); }
+
+std::uint8_t kind_code(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter: return 0;
+    case MetricSample::Kind::kGauge: return 1;
+    case MetricSample::Kind::kHistogram: return 2;
+  }
+  return 0;
+}
+
+/// Label pairs the aggregator owns: a scraped node cannot claim to be
+/// someone else, so node=/role= on federated samples always come from the
+/// aggregator's own target table, replacing whatever the snapshot carried.
+void force_label(Labels& labels, const std::string& key,
+                 const std::string& value) {
+  for (auto& [k, v] : labels) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  labels.emplace_back(key, value);
+  std::sort(labels.begin(), labels.end());
+}
+
+Labels strip_node_labels(const Labels& labels) {
+  Labels out;
+  out.reserve(labels.size());
+  for (const auto& kv : labels) {
+    if (kv.first != "node" && kv.first != "role") out.push_back(kv);
+  }
+  return out;
+}
+
+bool labels_contain(const Labels& haystack, const Labels& needles) {
+  for (const auto& need : needles) {
+    bool found = false;
+    for (const auto& have : haystack) {
+      if (have == need) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void encode_snapshot(Writer& w, const Snapshot& snapshot) {
+  w.u8(kSnapshotVersion);
+  w.u32(static_cast<std::uint32_t>(snapshot.samples.size()));
+  for (const MetricSample& s : snapshot.samples) {
+    w.u8(kind_code(s.kind));
+    w.str(s.name);
+    w.u8(static_cast<std::uint8_t>(s.labels.size()));
+    for (const auto& [key, value] : s.labels) {
+      w.str(key);
+      w.str(value);
+    }
+    put_f64(w, s.value);
+    if (s.kind != MetricSample::Kind::kHistogram) continue;
+    w.u8(static_cast<std::uint8_t>(s.bounds.size()));
+    for (double b : s.bounds) put_f64(w, b);
+    // bucket_counts.size() == bounds.size() + 1 by construction; the
+    // decoder re-derives it rather than trusting a second length field.
+    for (std::uint64_t c : s.bucket_counts) w.u64(c);
+    if (s.exemplars.empty()) {
+      w.u8(0);
+    } else {
+      w.u8(1);
+      for (const Exemplar& e : s.exemplars) {
+        w.u64(e.trace_hi);
+        w.u64(e.trace_lo);
+      }
+    }
+  }
+}
+
+Result<Snapshot> decode_snapshot(BytesView data) {
+  try {
+    Reader r(data);
+    std::uint8_t version = r.u8();
+    if (version != kSnapshotVersion) {
+      return Result<Snapshot>(ErrorCode::kProtocol,
+                              "unsupported snapshot version " +
+                                  std::to_string(version));
+    }
+    std::uint32_t n = r.u32();
+    if (n > kMaxSeries) {
+      return Result<Snapshot>(ErrorCode::kProtocol,
+                              "snapshot claims " + std::to_string(n) +
+                                  " series (cap " +
+                                  std::to_string(kMaxSeries) + ")");
+    }
+    Snapshot snap;
+    snap.samples.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      MetricSample s;
+      std::uint8_t kind = r.u8();
+      switch (kind) {
+        case 0: s.kind = MetricSample::Kind::kCounter; break;
+        case 1: s.kind = MetricSample::Kind::kGauge; break;
+        case 2: s.kind = MetricSample::Kind::kHistogram; break;
+        default:
+          return Result<Snapshot>(ErrorCode::kProtocol,
+                                  "unknown sample kind " +
+                                      std::to_string(kind));
+      }
+      s.name = r.str();
+      if (s.name.empty()) {
+        return Result<Snapshot>(ErrorCode::kProtocol, "empty metric name");
+      }
+      std::uint8_t labels = r.u8();
+      if (labels > kMaxLabels) {
+        return Result<Snapshot>(ErrorCode::kProtocol,
+                                "sample claims " + std::to_string(labels) +
+                                    " labels (cap " +
+                                    std::to_string(kMaxLabels) + ")");
+      }
+      for (std::uint8_t l = 0; l < labels; ++l) {
+        std::string key = r.str();
+        std::string value = r.str();
+        s.labels.emplace_back(std::move(key), std::move(value));
+      }
+      std::sort(s.labels.begin(), s.labels.end());
+      s.value = get_f64(r);
+      if (!std::isfinite(s.value)) {
+        return Result<Snapshot>(ErrorCode::kProtocol,
+                                "non-finite value for " + s.name);
+      }
+      if (s.kind == MetricSample::Kind::kHistogram) {
+        std::uint8_t bounds = r.u8();
+        if (bounds + std::size_t{1} > kMaxBuckets) {
+          return Result<Snapshot>(ErrorCode::kProtocol,
+                                  "histogram claims " +
+                                      std::to_string(bounds) +
+                                      " bounds (cap " +
+                                      std::to_string(kMaxBuckets - 1) + ")");
+        }
+        s.bounds.reserve(bounds);
+        for (std::uint8_t b = 0; b < bounds; ++b) {
+          double bound = get_f64(r);
+          if (!std::isfinite(bound) ||
+              (!s.bounds.empty() && bound <= s.bounds.back())) {
+            return Result<Snapshot>(
+                ErrorCode::kProtocol,
+                "histogram bounds not strictly increasing in " + s.name);
+          }
+          s.bounds.push_back(bound);
+        }
+        s.bucket_counts.resize(s.bounds.size() + 1);
+        std::uint64_t total = 0;
+        for (std::uint64_t& c : s.bucket_counts) {
+          c = r.u64();
+          if (c > UINT64_MAX - total) {
+            return Result<Snapshot>(ErrorCode::kProtocol,
+                                    "histogram count overflow in " + s.name);
+          }
+          total += c;
+        }
+        // Count and quantiles are DERIVED locally, never trusted: a lying
+        // count cannot disagree with the buckets it ships.
+        s.count = total;
+        s.p50 = bucket_quantile(s.bounds, s.bucket_counts, 0.50);
+        s.p90 = bucket_quantile(s.bounds, s.bucket_counts, 0.90);
+        s.p99 = bucket_quantile(s.bounds, s.bucket_counts, 0.99);
+        if (r.u8() != 0) {
+          s.exemplars.resize(s.bucket_counts.size());
+          for (Exemplar& e : s.exemplars) {
+            e.trace_hi = r.u64();
+            e.trace_lo = r.u64();
+          }
+        }
+      }
+      snap.samples.push_back(std::move(s));
+    }
+    r.expect_end();
+    return snap;
+  } catch (const util::SerialError& e) {
+    return Result<Snapshot>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+TelemetryNode::TelemetryNode(MetricsRegistry& registry, std::string node,
+                             std::string role)
+    : registry_(&registry), node_(std::move(node)), role_(std::move(role)) {
+  registry_->set_default_labels({{"node", node_}, {"role", role_}});
+}
+
+void TelemetryNode::register_with(rpc::ServiceDispatcher& dispatcher) {
+  MetricsRegistry* registry = registry_;
+  std::string node = node_;
+  std::string role = role_;
+  dispatcher.register_method(
+      rpc::kTelemetryService, kScrape,
+      [registry, node, role](net::ServerContext&, BytesView) {
+        Writer w;
+        w.str(node);
+        w.str(role);
+        encode_snapshot(w, registry->snapshot());
+        return Result<Bytes>(w.take());
+      });
+}
+
+TelemetryAggregator::TelemetryAggregator() : TelemetryAggregator(Config()) {}
+
+TelemetryAggregator::TelemetryAggregator(Config config)
+    : config_(std::move(config)) {
+  if (config_.self_registry != nullptr) {
+    self_registry_ = config_.self_registry;
+  } else {
+    owned_registry_ = std::make_unique<MetricsRegistry>();
+    owned_registry_->set_default_labels(
+        {{"node", config_.node}, {"role", "aggregator"}});
+    self_registry_ = owned_registry_.get();
+  }
+  scrape_rounds_ = &self_registry_->counter("telemetry.scrape_rounds");
+  nodes_fresh_ = &self_registry_->gauge("telemetry.nodes_fresh");
+  nodes_stale_ = &self_registry_->gauge("telemetry.nodes_stale");
+}
+
+void TelemetryAggregator::add_target(ScrapeTarget target) {
+  util::LockGuard lock(mutex_);
+  NodeStatus status;
+  status.node = target.node;
+  status.role = target.role;
+  status_.emplace(target.node, std::move(status));
+  targets_.push_back(std::move(target));
+}
+
+std::size_t TelemetryAggregator::target_count() const {
+  util::LockGuard lock(mutex_);
+  return targets_.size();
+}
+
+void TelemetryAggregator::scrape_round(net::Transport& transport) {
+  std::vector<ScrapeTarget> targets;
+  {
+    util::LockGuard lock(mutex_);
+    targets = targets_;
+  }
+
+  Tracer tracer([&transport] { return transport.now(); });
+  tracer.set_host(config_.node);
+  tracer.set_sink(config_.trace_sink != nullptr ? config_.trace_sink
+                                                : &global_trace_collector());
+  Round round;
+  round.time = transport.now();
+
+  struct Outcome {
+    bool ok = false;
+    std::string error;
+    Snapshot snapshot;
+  };
+  std::vector<Outcome> outcomes(targets.size());
+  {
+    auto round_span = tracer.span("telemetry.scrape_round");
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      const ScrapeTarget& target = targets[i];
+      Outcome& out = outcomes[i];
+      auto span = tracer.span("scrape:" + target.node);
+      rpc::RpcClient client(transport, target.endpoint);
+      Result<Bytes> reply =
+          client.call(rpc::kTelemetryService, kScrape, BytesView());
+      if (!reply.is_ok()) {
+        out.error = reply.status().to_string();
+        continue;
+      }
+      try {
+        Reader r(*reply);
+        std::string node = r.str();
+        std::string role = r.str();
+        if (node != target.node) {
+          // A scraped endpoint answering with someone else's identity is a
+          // misconfiguration or an impersonation attempt; either way its
+          // data must not be filed under the claimed node.
+          out.error = "identity mismatch: target " + target.node +
+                      " answered as " + node;
+          continue;
+        }
+        (void)role;  // advisory; the target table's role is authoritative
+        BytesView body = BytesView(*reply).subspan(reply->size() - r.remaining());
+        Result<Snapshot> snap = decode_snapshot(body);
+        if (!snap.is_ok()) {
+          out.error = snap.status().to_string();
+          continue;
+        }
+        out.snapshot = std::move(*snap);
+      } catch (const util::SerialError& e) {
+        out.error = std::string("malformed scrape reply: ") + e.what();
+        continue;
+      }
+      for (MetricSample& s : out.snapshot.samples) {
+        force_label(s.labels, "node", target.node);
+        force_label(s.labels, "role", target.role);
+      }
+      out.ok = true;
+    }
+  }
+
+  std::size_t fresh = 0, stale = 0;
+  {
+    util::LockGuard lock(mutex_);
+    for (std::size_t i = 0; i < targets.size(); ++i) {
+      NodeStatus& status = status_[targets[i].node];
+      status.node = targets[i].node;
+      status.role = targets[i].role;
+      if (outcomes[i].ok) {
+        status.stale = false;
+        status.scrapes_ok += 1;
+        status.last_success = round.time;
+        status.last_error.clear();
+        round.per_node[targets[i].node] = std::move(outcomes[i].snapshot);
+        ++fresh;
+      } else {
+        status.stale = true;
+        status.scrapes_failed += 1;
+        status.last_error = outcomes[i].error;
+        ++stale;
+      }
+    }
+    ring_.push_back(std::move(round));
+    while (ring_.size() > config_.max_rounds) ring_.pop_front();
+    round_count_ += 1;
+  }
+
+  // Self-telemetry outside the lock: metric handles are atomics.
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    if (!outcomes[i].ok) {
+      self_registry_
+          ->counter("telemetry.scrape_errors", {{"node", targets[i].node}})
+          .inc();
+    }
+  }
+  scrape_rounds_->inc();
+  nodes_fresh_->set(static_cast<double>(fresh));
+  nodes_stale_->set(static_cast<double>(stale));
+}
+
+Snapshot TelemetryAggregator::merged() const {
+  util::LockGuard lock(mutex_);
+  Snapshot out;
+  if (ring_.empty()) return out;
+  const Round& latest = ring_.back();
+
+  // 1. Per-node series, exactly as scraped (node=/role= enforced above).
+  for (const auto& [node, snap] : latest.per_node) {
+    for (const MetricSample& s : snap.samples) out.samples.push_back(s);
+  }
+
+  // 2. Cluster aggregates: node/role stripped, grouped by (name, labels).
+  auto aggregate = [](const Round& round) {
+    std::map<std::pair<std::string, Labels>, MetricSample> agg;
+    for (const auto& [node, snap] : round.per_node) {
+      for (const MetricSample& s : snap.samples) {
+        std::pair<std::string, Labels> key{s.name, strip_node_labels(s.labels)};
+        auto it = agg.find(key);
+        if (it == agg.end()) {
+          MetricSample cluster = s;
+          cluster.labels = key.second;
+          agg.emplace(std::move(key), std::move(cluster));
+          continue;
+        }
+        MetricSample& cluster = it->second;
+        switch (s.kind) {
+          case MetricSample::Kind::kCounter:
+            cluster.value += s.value;
+            break;
+          case MetricSample::Kind::kGauge:
+            cluster.value = s.value;  // last write wins, node map order
+            break;
+          case MetricSample::Kind::kHistogram:
+            // Incompatible bucket layouts refuse to blend; the first node's
+            // sample stands alone rather than silently absorbing garbage.
+            (void)merge_histogram_sample(cluster, s);
+            break;
+        }
+      }
+    }
+    return agg;
+  };
+
+  auto cluster_now = aggregate(latest);
+  for (const auto& [key, sample] : cluster_now) out.samples.push_back(sample);
+
+  // 3. Derived windowed series from the ring: <name>:rate1m for counters,
+  //    <name>:p99_5m for histograms, computed from aggregate deltas between
+  //    the latest round and the round at each window's far edge.
+  auto derive = [&](util::SimDuration window, bool counters) {
+    const Round* start = window_start_locked(window);
+    if (start == nullptr) return;
+    double dt = util::to_seconds(latest.time - start->time);
+    if (dt <= 0) return;
+    auto cluster_then = aggregate(*start);
+    for (const auto& [key, now_sample] : cluster_now) {
+      auto then = cluster_then.find(key);
+      if (then == cluster_then.end()) continue;
+      const MetricSample& then_sample = then->second;
+      if (counters && now_sample.kind == MetricSample::Kind::kCounter) {
+        double delta = now_sample.value - then_sample.value;
+        if (delta < 0) continue;  // counter reset across the window
+        MetricSample derived;
+        derived.name = now_sample.name + ":rate1m";
+        derived.labels = now_sample.labels;
+        derived.kind = MetricSample::Kind::kGauge;
+        derived.value = delta / dt;
+        out.samples.push_back(std::move(derived));
+      }
+      if (!counters && now_sample.kind == MetricSample::Kind::kHistogram &&
+          now_sample.bounds == then_sample.bounds) {
+        std::vector<std::uint64_t> delta(now_sample.bucket_counts.size());
+        bool valid = then_sample.bucket_counts.size() == delta.size();
+        for (std::size_t i = 0; valid && i < delta.size(); ++i) {
+          if (now_sample.bucket_counts[i] < then_sample.bucket_counts[i]) {
+            valid = false;
+            break;
+          }
+          delta[i] = now_sample.bucket_counts[i] - then_sample.bucket_counts[i];
+        }
+        if (!valid) continue;
+        MetricSample derived;
+        derived.name = now_sample.name + ":p99_5m";
+        derived.labels = now_sample.labels;
+        derived.kind = MetricSample::Kind::kGauge;
+        derived.value = bucket_quantile(now_sample.bounds, delta, 0.99);
+        out.samples.push_back(std::move(derived));
+      }
+    }
+  };
+  derive(util::seconds(60), /*counters=*/true);
+  derive(util::seconds(300), /*counters=*/false);
+
+  // 4. The aggregator's own telemetry.* series ride along so one /federate
+  //    page shows fleet data AND the health of its collection.
+  Snapshot self = self_registry_->snapshot();
+  for (MetricSample& s : self.samples) out.samples.push_back(std::move(s));
+
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name != b.name ? a.name < b.name : a.labels < b.labels;
+            });
+  return out;
+}
+
+std::vector<NodeStatus> TelemetryAggregator::nodes() const {
+  util::LockGuard lock(mutex_);
+  std::vector<NodeStatus> out;
+  out.reserve(status_.size());
+  for (const auto& [node, status] : status_) out.push_back(status);
+  return out;
+}
+
+const MetricSample* TelemetryAggregator::find_sample_locked(
+    const Round& round, const std::string& name, const Labels& labels) const {
+  for (const auto& [node, snap] : round.per_node) {
+    for (const MetricSample& s : snap.samples) {
+      if (s.name == name && s.labels == labels) return &s;
+    }
+  }
+  return nullptr;
+}
+
+const TelemetryAggregator::Round* TelemetryAggregator::window_start_locked(
+    util::SimDuration window) const {
+  if (ring_.size() < 2) return nullptr;
+  const Round& latest = ring_.back();
+  util::SimTime cutoff =
+      latest.time >= window ? latest.time - window : 0;
+  for (const Round& round : ring_) {
+    if (round.time >= cutoff && round.time < latest.time) return &round;
+  }
+  return nullptr;
+}
+
+std::optional<double> TelemetryAggregator::rate(const std::string& name,
+                                                const Labels& labels,
+                                                util::SimDuration window) const {
+  util::LockGuard lock(mutex_);
+  const Round* start = window_start_locked(window);
+  if (start == nullptr) return std::nullopt;
+  const Round& latest = ring_.back();
+  const MetricSample* a = find_sample_locked(*start, name, labels);
+  const MetricSample* b = find_sample_locked(latest, name, labels);
+  if (a == nullptr || b == nullptr) return std::nullopt;
+  double dt = util::to_seconds(latest.time - start->time);
+  if (dt <= 0) return std::nullopt;
+  double delta = b->value - a->value;
+  if (delta < 0) return std::nullopt;  // counter reset
+  return delta / dt;
+}
+
+std::optional<TelemetryAggregator::WindowedSum>
+TelemetryAggregator::windowed_delta_sum(const std::string& name,
+                                        const Labels& filter,
+                                        util::SimDuration window) const {
+  util::LockGuard lock(mutex_);
+  const Round* start = window_start_locked(window);
+  if (start == nullptr) return std::nullopt;
+  const Round& latest = ring_.back();
+  double dt = util::to_seconds(latest.time - start->time);
+  if (dt <= 0) return std::nullopt;
+
+  WindowedSum out;
+  out.seconds = dt;
+  bool matched = false;
+  for (const auto& [node, snap] : latest.per_node) {
+    for (const MetricSample& s : snap.samples) {
+      if (s.name != name || s.kind != MetricSample::Kind::kCounter) continue;
+      if (!labels_contain(s.labels, filter)) continue;
+      const MetricSample* then = find_sample_locked(*start, name, s.labels);
+      if (then == nullptr) continue;
+      double delta = s.value - then->value;
+      if (delta < 0) continue;  // counter reset
+      out.delta += delta;
+      matched = true;
+    }
+  }
+  if (!matched) return std::nullopt;
+  return out;
+}
+
+std::optional<MetricSample> TelemetryAggregator::windowed_histogram(
+    const std::string& name, const Labels& labels,
+    util::SimDuration window) const {
+  util::LockGuard lock(mutex_);
+  const Round* start = window_start_locked(window);
+  if (start == nullptr) return std::nullopt;
+  const Round& latest = ring_.back();
+  const MetricSample* a = find_sample_locked(*start, name, labels);
+  const MetricSample* b = find_sample_locked(latest, name, labels);
+  if (a == nullptr || b == nullptr) return std::nullopt;
+  if (a->kind != MetricSample::Kind::kHistogram ||
+      b->kind != MetricSample::Kind::kHistogram || a->bounds != b->bounds ||
+      a->bucket_counts.size() != b->bucket_counts.size()) {
+    return std::nullopt;
+  }
+  MetricSample out;
+  out.name = name;
+  out.labels = labels;
+  out.kind = MetricSample::Kind::kHistogram;
+  out.bounds = b->bounds;
+  out.bucket_counts.resize(b->bucket_counts.size());
+  out.count = 0;
+  for (std::size_t i = 0; i < out.bucket_counts.size(); ++i) {
+    if (b->bucket_counts[i] < a->bucket_counts[i]) return std::nullopt;
+    out.bucket_counts[i] = b->bucket_counts[i] - a->bucket_counts[i];
+    out.count += out.bucket_counts[i];
+  }
+  out.value = b->value - a->value;
+  out.p50 = bucket_quantile(out.bounds, out.bucket_counts, 0.50);
+  out.p90 = bucket_quantile(out.bounds, out.bucket_counts, 0.90);
+  out.p99 = bucket_quantile(out.bounds, out.bucket_counts, 0.99);
+  return out;
+}
+
+std::vector<Labels> TelemetryAggregator::series_labels(
+    const std::string& name) const {
+  util::LockGuard lock(mutex_);
+  std::vector<Labels> out;
+  if (ring_.empty()) return out;
+  for (const auto& [node, snap] : ring_.back().per_node) {
+    for (const MetricSample& s : snap.samples) {
+      if (s.name == name) out.push_back(s.labels);
+    }
+  }
+  return out;
+}
+
+std::uint64_t TelemetryAggregator::rounds() const {
+  util::LockGuard lock(mutex_);
+  return round_count_;
+}
+
+util::SimTime TelemetryAggregator::last_round_time() const {
+  util::LockGuard lock(mutex_);
+  return ring_.empty() ? 0 : ring_.back().time;
+}
+
+}  // namespace globe::obs

@@ -1,0 +1,216 @@
+// Cluster telemetry plane (DESIGN.md §11): per-node registry federation.
+//
+// Every fleet role (proxy, object server, static server, naming node,
+// location node, replication coordinator) owns a MetricsRegistry tagged
+// with node=/role= labels.  A TelemetryNode exposes that registry over the
+// ordinary RPC layer as `telemetry/scrape` — the snapshot rides the same
+// wire framing as every GlobeDoc protocol, so a scrape crosses SimNet links
+// (and pays their latency) exactly like a fetch does, and carries the
+// caller's trace header so scrape rounds are themselves visible in /tracez.
+//
+// A central TelemetryAggregator polls the fleet:
+//   * one scrape round = one traced RPC per target, each decoded snapshot
+//     stamped with the target's node/role labels;
+//   * snapshots merge across nodes (counter sums, gauge last-write,
+//     histogram bucket-wise merge via obs::merge_histogram_sample);
+//   * every round is retained in a bounded ring of timestamped windows, so
+//     *rates* (counter delta / elapsed) and *windowed quantiles* (quantile
+//     of the bucket deltas over the last W) are computable, not just
+//     lifetime values — this is what the SLO burn-rate evaluator
+//     (obs/slo.hpp) reads;
+//   * a target that times out, is unreachable, or returns a malformed
+//     snapshot is marked stale — its data simply drops out of the merged
+//     view until it answers again (telemetry.scrape_errors counts each
+//     failure) — a flaky untrusted replica can deny its own telemetry, but
+//     never poison the fleet's.
+//
+// Security note: a scraped snapshot crossed the wire from a possibly
+// malicious node (DESIGN.md §9).  decode_snapshot() is the sanitizing gate:
+// strict bounds-checked parsing, hard caps on series/bucket counts, and
+// bucket-layout validation — beyond it the data can still *lie* about that
+// node's numbers (untrusted replicas always could), but it cannot corrupt
+// the aggregator or other nodes' series.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/transport.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rpc/rpc.hpp"
+#include "util/mutex.hpp"
+#include "util/taint_annotations.hpp"
+
+namespace globe::obs {
+
+/// RPC method ids under rpc::kTelemetryService.
+enum TelemetryMethod : std::uint16_t {
+  kScrape = 1,  // {} -> telemetry reply (version, node, role, snapshot)
+};
+
+/// Wire codec for a registry snapshot (u8 version, then the sample list).
+/// Caps: at most kMaxSeries samples, kMaxBuckets buckets per histogram —
+/// a hostile node cannot balloon the aggregator's memory.
+inline constexpr std::uint8_t kSnapshotVersion = 1;
+inline constexpr std::size_t kMaxSeries = 4096;
+inline constexpr std::size_t kMaxBuckets = 64;
+inline constexpr std::size_t kMaxLabels = 16;
+
+void encode_snapshot(util::Writer& w, const Snapshot& snapshot);
+/// Sanitizer: the only path wire bytes take into Snapshot values.  Rejects
+/// truncation, unknown versions, oversized series/label/bucket counts and
+/// non-increasing bucket bounds with kProtocol.
+GLOBE_SANITIZER util::Result<Snapshot> decode_snapshot(
+    GLOBE_UNTRUSTED util::BytesView data);
+
+/// Serves one node's registry as `telemetry/scrape`.  Construction tags the
+/// registry with node=/role= default labels, so locally exported text
+/// (/metrics) and federated snapshots carry identical label sets.
+class TelemetryNode {
+ public:
+  TelemetryNode(MetricsRegistry& registry, std::string node, std::string role);
+
+  void register_with(rpc::ServiceDispatcher& dispatcher);
+
+  const std::string& node() const { return node_; }
+  const std::string& role() const { return role_; }
+  MetricsRegistry& registry() { return *registry_; }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string node_, role_;
+};
+
+/// One fleet member the aggregator polls.
+struct ScrapeTarget {
+  std::string node;   // unique node label, e.g. "proxy-paris"
+  std::string role;   // role label, e.g. "proxy", "object-server"
+  net::Endpoint endpoint;
+};
+
+/// Aggregator-side view of one target's scrape health.
+struct NodeStatus {
+  std::string node;
+  std::string role;
+  bool stale = true;             // latest round had no usable snapshot
+  std::uint64_t scrapes_ok = 0;
+  std::uint64_t scrapes_failed = 0;
+  util::SimTime last_success = 0;
+  std::string last_error;        // most recent failure, "" when none yet
+};
+
+class TelemetryAggregator {
+ public:
+  struct Config {
+    std::size_t max_rounds = 128;  // bounded ring of scrape rounds
+    /// Registry for the aggregator's own telemetry.* series; nullptr gives
+    /// the aggregator a private registry (tagged node=/role= aggregator).
+    MetricsRegistry* self_registry = nullptr;
+    /// Scrape spans land here; nullptr = obs::global_trace_collector().
+    TraceSink* trace_sink = nullptr;
+    std::string node = "aggregator";
+  };
+
+  TelemetryAggregator();
+  explicit TelemetryAggregator(Config config);
+
+  void add_target(ScrapeTarget target) GLOBE_EXCLUDES(mutex_);
+  std::size_t target_count() const GLOBE_EXCLUDES(mutex_);
+
+  /// One scrape round over `transport` at transport.now(): calls every
+  /// target under a "scrape_round" trace (one child span per target), and
+  /// appends the round to the ring.  Thread-compatible like a client flow:
+  /// call from one driving thread.
+  void scrape_round(net::Transport& transport) GLOBE_EXCLUDES(mutex_);
+
+  /// Per-node series of the latest round (fresh nodes only, node=/role=
+  /// labels guaranteed) plus cluster-level aggregates with node/role labels
+  /// stripped (counter sums, gauge last-write in target order, histogram
+  /// bucket merges), plus derived windowed series: for each cluster counter
+  /// a `<name>:rate1m` gauge, for each cluster histogram a `<name>:p99_5m`
+  /// gauge, when the ring spans enough history.
+  Snapshot merged() const GLOBE_EXCLUDES(mutex_);
+
+  std::vector<NodeStatus> nodes() const GLOBE_EXCLUDES(mutex_);
+
+  /// Events/second of a counter series over the trailing window: the value
+  /// delta between the latest round and the oldest round inside the window,
+  /// divided by the actual time spanned.  nullopt without two such rounds
+  /// or when the series is absent.  Labels must match exactly (node= and
+  /// role= included).
+  std::optional<double> rate(const std::string& name, const Labels& labels,
+                             util::SimDuration window) const
+      GLOBE_EXCLUDES(mutex_);
+
+  /// Summed counter delta over the trailing window across every series
+  /// named `name` whose label set CONTAINS all of `filter` (subset match,
+  /// unlike rate()'s exact match) — how the SLO evaluator totals
+  /// "proxy.fetches across all outcomes on node X".  A series must appear
+  /// in both edge rounds to contribute; negative deltas (counter reset)
+  /// drop that series.  nullopt without two spanning rounds or when no
+  /// series matched; .seconds is the actual time spanned.
+  struct WindowedSum {
+    double delta = 0;
+    double seconds = 0;
+  };
+  std::optional<WindowedSum> windowed_delta_sum(const std::string& name,
+                                                const Labels& filter,
+                                                util::SimDuration window) const
+      GLOBE_EXCLUDES(mutex_);
+
+  /// Histogram delta over the trailing window as a sample: bucket counts,
+  /// count and sum are the increments between the window's edge rounds;
+  /// quantiles are re-estimated from the delta buckets.  nullopt without
+  /// two spanning rounds, on a series gap, or on counter-reset (negative
+  /// delta).
+  std::optional<MetricSample> windowed_histogram(const std::string& name,
+                                                 const Labels& labels,
+                                                 util::SimDuration window) const
+      GLOBE_EXCLUDES(mutex_);
+
+  /// Label sets of every series named `name` in the latest round.
+  std::vector<Labels> series_labels(const std::string& name) const
+      GLOBE_EXCLUDES(mutex_);
+
+  std::uint64_t rounds() const GLOBE_EXCLUDES(mutex_);
+  util::SimTime last_round_time() const GLOBE_EXCLUDES(mutex_);
+
+  MetricsRegistry& self_registry() { return *self_registry_; }
+
+ private:
+  struct Round {
+    util::SimTime time = 0;
+    // node -> labeled snapshot (successful scrapes only).
+    std::map<std::string, Snapshot> per_node;
+  };
+
+  /// Latest sample of (name, labels) at or before the window start, plus
+  /// the latest sample overall.  Used by rate()/windowed_histogram().
+  const MetricSample* find_sample_locked(const Round& round,
+                                         const std::string& name,
+                                         const Labels& labels) const
+      GLOBE_REQUIRES(mutex_);
+  const Round* window_start_locked(util::SimDuration window) const
+      GLOBE_REQUIRES(mutex_);
+
+  Config config_;
+  MetricsRegistry* self_registry_;
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  Counter* scrape_rounds_;
+  Gauge* nodes_fresh_;
+  Gauge* nodes_stale_;
+
+  mutable util::Mutex mutex_;
+  std::vector<ScrapeTarget> targets_ GLOBE_GUARDED_BY(mutex_);
+  std::map<std::string, NodeStatus> status_ GLOBE_GUARDED_BY(mutex_);
+  std::deque<Round> ring_ GLOBE_GUARDED_BY(mutex_);  // oldest first
+  std::uint64_t round_count_ GLOBE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace globe::obs

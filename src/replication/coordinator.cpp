@@ -18,10 +18,11 @@ DynamicReplicator::DynamicReplicator(globedoc::ObjectOwner& owner,
     state.config = std::move(region);
     regions_.emplace(state.config.name, std::move(state));
   }
-  auto& registry = obs::global_registry();
-  replicas_created_ = &registry.counter("replication.replicas_created");
-  replicas_retired_ = &registry.counter("replication.replicas_retired");
-  replica_gauge_ = &registry.gauge("replication.dynamic_replicas");
+  auto* registry = config_.registry != nullptr ? config_.registry
+                                               : &obs::global_registry();
+  replicas_created_ = &registry->counter("replication.replicas_created");
+  replicas_retired_ = &registry->counter("replication.replicas_retired");
+  replica_gauge_ = &registry->gauge("replication.dynamic_replicas");
 }
 
 void DynamicReplicator::prune(RegionState& state, util::SimTime now) const {

@@ -31,6 +31,9 @@ class DynamicReplicator {
     double retire_below_rps = 0.5;
     util::SimDuration window = util::seconds(60);
     util::SimDuration certificate_ttl = util::seconds(3600);
+    /// Registry for the replication.* series; nullptr means the
+    /// process-wide obs::global_registry().
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   DynamicReplicator(globedoc::ObjectOwner& owner, net::Transport& transport,

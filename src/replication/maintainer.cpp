@@ -9,10 +9,11 @@ namespace globe::replication {
 ReplicaMaintainer::ReplicaMaintainer(globedoc::ObjectServer& server,
                                      net::Transport& transport, Config config)
     : server_(&server), transport_(&transport), config_(config) {
-  auto& registry = obs::global_registry();
-  checked_counter_ = &registry.counter("replication.maintainer.checked");
-  refreshed_counter_ = &registry.counter("replication.maintainer.refreshed");
-  failed_counter_ = &registry.counter("replication.maintainer.failed");
+  auto* registry = config_.registry != nullptr ? config_.registry
+                                               : &obs::global_registry();
+  checked_counter_ = &registry->counter("replication.maintainer.checked");
+  refreshed_counter_ = &registry->counter("replication.maintainer.refreshed");
+  failed_counter_ = &registry->counter("replication.maintainer.failed");
 }
 
 void ReplicaMaintainer::track(const globedoc::Oid& oid,

@@ -22,6 +22,9 @@ class ReplicaMaintainer {
   struct Config {
     /// Refresh when the earliest certificate entry expires within this.
     util::SimDuration refresh_margin = util::seconds(300);
+    /// Registry for the replication.maintainer.* series; nullptr means the
+    /// process-wide obs::global_registry().
+    obs::MetricsRegistry* registry = nullptr;
   };
 
   ReplicaMaintainer(globedoc::ObjectServer& server, net::Transport& transport,

@@ -22,6 +22,7 @@ const char* service_name(std::uint16_t service) {
     case kGlobeDocAdmin: return "gd.admin";
     case kHttpGateway: return "http";
     case kGlobeDocDynamic: return "gd.dynamic";
+    case kTelemetryService: return "telemetry";
   }
   return nullptr;
 }

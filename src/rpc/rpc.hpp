@@ -47,6 +47,7 @@ enum ServiceId : std::uint16_t {
   kGlobeDocAdmin = 5,     // replica management, keystore-ACL'd (paper §2.1.3)
   kHttpGateway = 6,       // baseline static HTTP server
   kGlobeDocDynamic = 7,   // audited dynamic content (paper §6 extension)
+  kTelemetryService = 8,  // per-node metrics scrape (obs/telemetry.hpp)
 };
 
 using MethodFn =

@@ -33,6 +33,12 @@ Documents"):
                  (listed in backticks).  /metrics is part of the operational
                  surface; an undocumented series is an unreviewable one.
 
+  slo-catalog    Every SLO spec (`obs::SloSpec`) must watch a cataloged
+                 metric: a `.metric = "..."` literal in src/, bench/ or
+                 examples/ whose name is missing from docs/metrics.md is a
+                 spec that can never observe data — a typo there silently
+                 disables the alert it defines.
+
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage errors.
 Run `tools/lint.py --self-test` to verify every check still fires on seeded
 violations.
@@ -126,6 +132,15 @@ RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:rand|srand|random|drand48)\s*\(")
 METRIC_REG_RE = re.compile(r'\.\s*(counter|gauge|histogram)\s*\(\s*"([^"]+)"')
 METRIC_CATALOG = "docs/metrics.md"
 METRIC_SCAN_DIRS = ("src", "bench")
+
+# ---------------------------------------------------------------------------
+# slo-catalog: SLO specs may only reference cataloged metric names.
+# ---------------------------------------------------------------------------
+
+# A literal metric assignment on an SloSpec (`spec.metric = "proxy.fetches"`).
+# The field name is unique to SloSpec in this tree.
+SLO_METRIC_RE = re.compile(r'\.\s*metric\s*=\s*"([^"]+)"')
+SLO_SCAN_DIRS = ("src", "bench", "examples")
 
 COMMENT_RE = re.compile(r"^\s*(//|\*|/\*)")
 
@@ -263,11 +278,37 @@ def check_metric_catalog(violations: list[str]) -> None:
                     )
 
 
+def check_slo_catalog(violations: list[str]) -> None:
+    """Every SLO spec's metric literal must name a cataloged series."""
+    catalog_path = REPO / METRIC_CATALOG
+    cataloged: set[str] = set()
+    if catalog_path.is_file():
+        cataloged = set(re.findall(r"`([^`\n]+)`",
+                                   catalog_path.read_text(encoding="utf-8")))
+    for path in iter_sources():
+        rel = relpath(path)
+        if not rel.startswith(tuple(d + "/" for d in SLO_SCAN_DIRS)):
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8", errors="replace").splitlines(),
+                start=1):
+            if COMMENT_RE.match(line):
+                continue
+            for name in SLO_METRIC_RE.findall(line):
+                if name not in cataloged:
+                    violations.append(
+                        f"{rel}:{lineno}: [slo-catalog] SLO spec watches "
+                        f"\"{name}\", which is not documented in "
+                        f"{METRIC_CATALOG} — the alert can never fire"
+                    )
+
+
 def run_lint() -> int:
     violations: list[str] = []
     for path in iter_sources():
         check_file(path, violations)
     check_metric_catalog(violations)
+    check_slo_catalog(violations)
     for v in violations:
         print(v)
     if violations:
@@ -388,6 +429,30 @@ SELF_TEST_CASES = [
         '  // registry.counter("proxy.surprise_total") would be flagged\n',
         None,
     ),
+    (
+        "slo spec on uncataloged metric fires",
+        "src/obs/slo_setup.cpp",
+        '  spec.metric = "proxy.fetchez";\n',
+        "slo-catalog",
+    ),
+    (
+        "slo spec in example on uncataloged metric fires",
+        "examples/telemetry_demo.cpp",
+        '  latency.metric = "proxy.fetch_millis";\n',
+        "slo-catalog",
+    ),
+    (
+        "slo spec on cataloged metric clean",
+        "src/obs/slo_setup.cpp",
+        '  spec.metric = "proxy.fetches";\n',
+        None,
+    ),
+    (
+        "slo metric in comment clean",
+        "src/obs/slo_setup.cpp",
+        '  // spec.metric = "proxy.fetchez" would be flagged\n',
+        None,
+    ),
 ]
 
 
@@ -413,6 +478,7 @@ def run_self_test() -> int:
                 REPO = root
                 check_file(target, violations)
                 check_metric_catalog(violations)
+                check_slo_catalog(violations)
             finally:
                 REPO = saved_repo
             tags = {re.search(r"\[([\w-]+)\]", v).group(1) for v in violations}
