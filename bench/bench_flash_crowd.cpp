@@ -16,12 +16,17 @@
 // origin's p99 explodes under the crowd while the Paris replica's stays
 // at LAN level the moment it exists.
 #include <algorithm>
+#include <barrier>
+#include <cmath>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/paper_world.hpp"
+#include "cache/tier.hpp"
 #include "obs/collector.hpp"
 #include "obs/export.hpp"
 #include "obs/telemetry.hpp"
@@ -44,6 +49,168 @@ struct BucketStats {
 };
 
 constexpr util::SimDuration kBucket = util::seconds(120);
+
+double percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(samples.size())));
+  return samples[std::min(rank == 0 ? 0 : rank - 1, samples.size() - 1)];
+}
+
+// Thundering herd against one hot element (PR 6): N clients behind a handful
+// of edge proxies hammer herd.vu.nl/index.html inside a 10 s window, then a
+// smaller browse wave walks the sibling assets.  With the shared
+// EdgeCacheTier the herd collapses to ONE verified upstream fill per element
+// (single-flight + verified-once-serve-many) and the siblings arrive via
+// delayed replication before the browse wave asks for them; without it every
+// request is an origin round trip.
+void run_thundering_herd(obs::MetricsRegistry& registry) {
+  const std::string kDoc = "herd.vu.nl";
+  const std::vector<std::string> kAssets = {"style.css", "app.js", "logo.gif",
+                                            "story.txt"};
+  const std::size_t kElements = 1 + kAssets.size();
+  constexpr std::size_t kEdgeProxies = 8;  // worker threads, one proxy each
+  constexpr double kHerdSeconds = 10.0;
+
+  std::printf("\nThundering herd: shared edge-cache tier vs direct fetches\n\n");
+  print_row({"clients", "cache", "origin_fetch", "per_element", "p99_ms",
+             "mean_ms"});
+
+  for (std::size_t clients : {std::size_t{1000}, std::size_t{10000}}) {
+    for (bool cache_on : {false, true}) {
+      PaperWorld world;
+      std::vector<globedoc::PageElement> elements;
+      elements.push_back({"index.html", "text/html",
+                          synthetic_content(8 * 1024, 600)});
+      for (std::size_t i = 0; i < kAssets.size(); ++i) {
+        elements.push_back({kAssets[i], "application/octet-stream",
+                            synthetic_content(8 * 1024, 601 + i)});
+      }
+      world.add_object(kDoc, elements);
+
+      std::unique_ptr<cache::EdgeCacheTier> tier;
+      if (cache_on) {
+        cache::TierConfig tc;
+        tc.registry = &registry;
+        tier = std::make_unique<cache::EdgeCacheTier>(tc);
+      }
+
+      const std::size_t origin_before = world.object_server().elements_served();
+      const util::SimDuration gap = static_cast<util::SimDuration>(
+          kHerdSeconds * static_cast<double>(util::kSecond) /
+          static_cast<double>(clients));
+
+      std::vector<double> herd_ms;
+      std::mutex herd_mutex;
+      bool failed = false;
+      // All edge proxies bind first, then release together onto the cold
+      // cache so their first misses genuinely overlap (the coalescing case).
+      std::barrier start_line(kEdgeProxies);
+      std::vector<std::thread> workers;
+      for (std::size_t t = 0; t < kEdgeProxies; ++t) {
+        workers.emplace_back([&, t] {
+          auto flow = world.topo.net.open_flow(world.topo.paris);
+          auto pc = world.proxy_config_for(world.topo.paris);
+          pc.cache_bindings = true;  // one bind per edge proxy, not per client
+          pc.edge_cache = tier.get();
+          globedoc::GlobeDocProxy proxy(*flow, pc);
+          std::vector<double> local;
+          start_line.arrive_and_wait();
+          for (std::size_t i = t; i < clients; i += kEdgeProxies) {
+            flow->set_time(std::max(
+                flow->now(), static_cast<util::SimTime>(i) * gap));
+            auto result = proxy.fetch(kDoc, "index.html");
+            if (!result.is_ok()) {
+              std::lock_guard<std::mutex> lock(herd_mutex);
+              failed = true;
+              return;
+            }
+            local.push_back(util::to_millis(result->metrics.total_time));
+          }
+          std::lock_guard<std::mutex> lock(herd_mutex);
+          herd_ms.insert(herd_ms.end(), local.begin(), local.end());
+        });
+      }
+      for (auto& worker : workers) worker.join();
+      if (failed) {
+        std::fprintf(stderr, "herd fetch failed (clients=%zu cache=%d)\n",
+                     clients, cache_on ? 1 : 0);
+        std::exit(1);
+      }
+
+      // Background: delayed replication pulls the sibling assets while the
+      // network is quiet, so the browse wave below finds them cached.
+      if (tier) {
+        auto pump_flow = world.topo.net.open_flow(world.topo.paris);
+        while (tier->replicator().pending() > 0) {
+          auto stats = tier->run_delayed_pulls(*pump_flow);
+          if (stats.elements_pulled == 0 && stats.documents_done == 0 &&
+              stats.elements_failed == 0) {
+            break;
+          }
+        }
+      }
+
+      // Browse wave: a tenth of the crowd walks the page's assets.
+      {
+        auto flow = world.topo.net.open_flow(world.topo.paris);
+        auto pc = world.proxy_config_for(world.topo.paris);
+        pc.cache_bindings = true;
+        pc.edge_cache = tier.get();
+        globedoc::GlobeDocProxy proxy(*flow, pc);
+        for (std::size_t i = 0; i < clients / 10; ++i) {
+          auto result = proxy.fetch(kDoc, kAssets[i % kAssets.size()]);
+          if (!result.is_ok()) {
+            std::fprintf(stderr, "browse fetch failed: %s\n",
+                         result.status().to_string().c_str());
+            std::exit(1);
+          }
+        }
+      }
+
+      const std::size_t origin_fetches =
+          world.object_server().elements_served() - origin_before;
+      const double per_element = static_cast<double>(origin_fetches) /
+                                 static_cast<double>(kElements);
+      const double p99 = percentile(herd_ms, 0.99);
+      double mean = 0;
+      for (double ms : herd_ms) mean += ms;
+      mean /= static_cast<double>(herd_ms.size());
+
+      char fetches[32], per_el[32], p99_s[32], mean_s[32];
+      std::snprintf(fetches, sizeof fetches, "%zu", origin_fetches);
+      std::snprintf(per_el, sizeof per_el, "%.2f", per_element);
+      std::snprintf(p99_s, sizeof p99_s, "%.2f", p99);
+      std::snprintf(mean_s, sizeof mean_s, "%.2f", mean);
+      print_row({std::to_string(clients), cache_on ? "on" : "off", fetches,
+                 per_el, p99_s, mean_s});
+
+      const obs::Labels labels = {
+          {"clients", std::to_string(clients)},
+          {"mode", cache_on ? "cache_on" : "cache_off"}};
+      registry.gauge("flash_crowd.origin_fetches_per_element", labels)
+          .set(per_element);
+      registry.gauge("flash_crowd.origin_qps_per_element", labels)
+          .set(per_element / kHerdSeconds);
+      registry.gauge("flash_crowd.herd_p99_ms", labels).set(p99);
+      registry.gauge("flash_crowd.herd_mean_ms", labels).set(mean);
+
+      if (cache_on && per_element > 2.0) {
+        std::fprintf(stderr,
+                     "cache-on herd cost the origin %.2f fetches/element "
+                     "(bound: 2)\n",
+                     per_element);
+        std::exit(1);
+      }
+    }
+  }
+  std::printf(
+      "\nWith the tier the whole herd costs the origin ~1 upstream fetch per\n"
+      "element (coalesced fill + delayed sibling pull) and client p99 stays\n"
+      "flat from 1k to 10k clients; without it origin load scales with the\n"
+      "crowd.\n");
+}
 
 }  // namespace
 
@@ -259,6 +426,8 @@ int main(int argc, char** argv) {
     registry.gauge("flash_crowd.scrape_errors", {{"mode", mode}})
         .set(static_cast<double>(failed));
   }
+
+  run_thundering_herd(registry);
 
   if (argc > 1) {
     auto status =

@@ -50,6 +50,10 @@ class PaperWorld {
 
   globedoc::ObjectOwner& owner(const std::string& name);
 
+  /// The Amsterdam-primary object server (e.g. to read its served-element
+  /// counters as the "origin load" in flash-crowd runs).
+  globedoc::ObjectServer& object_server() { return *object_server_; }
+
  private:
   std::shared_ptr<naming::ZoneAuthority> root_zone_;
   naming::NamingServer naming_server_;

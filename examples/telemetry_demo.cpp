@@ -31,6 +31,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "cache/tier.hpp"
 #include "crypto/drbg.hpp"
 #include "globedoc/owner.hpp"
 #include "globedoc/proxy.hpp"
@@ -164,11 +165,20 @@ int main(int argc, char** argv) {
   obs::global_trace_collector().set_policy(
       {/*keep_slower_than=*/0, /*keep_one_in=*/1});
   auto client_flow = net.open_flow(client_host);
+  // The node's verified edge cache (DESIGN.md §12): after the first round
+  // fills it, repeat fetches serve locally and cache.{hits,misses,...} ride
+  // the same registry into /metrics and the fleet-wide /federate view.
+  // Fetch latency stays binding-dominated (naming + cert round trips), so
+  // the degraded-link SLO story below still plays out.
+  cache::TierConfig tier_config;
+  tier_config.registry = &proxy_registry;
+  cache::EdgeCacheTier edge_cache(tier_config);
   globedoc::ProxyConfig config;
   config.naming_root = naming_ep;
   config.naming_anchor = zone_keys.pub;
   config.location_site = tree.endpoint("site-client");
   config.registry = &proxy_registry;
+  config.edge_cache = &edge_cache;
   globedoc::GlobeDocProxy proxy(*client_flow, config);
   rpc::ServiceDispatcher proxy_dispatcher;
   obs::TelemetryNode proxy_telemetry(proxy_registry, "proxy-1", "proxy");
@@ -215,6 +225,7 @@ int main(int argc, char** argv) {
           result->element.content.size(),
           util::to_millis(result->metrics.total_time));
     }
+    edge_cache.run_delayed_pulls(*client_flow);  // background sibling pulls
     aggregator.scrape_round(*client_flow);
     slo.evaluate(client_flow->now());
     return true;

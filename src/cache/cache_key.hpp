@@ -1,0 +1,34 @@
+// Content-addressed cache key (DESIGN.md §12).
+//
+// An entry is identified by (OID, element name, content hash): the hash is
+// the certificate entry's SHA-1 of the *serialized* element, so two
+// certificate generations that carry the same content share one cache
+// entry, while a republish with new content gets a distinct key — the
+// cache can never confuse versions, and "same bytes, refreshed window"
+// does not double-store.
+#pragma once
+
+#include <string>
+#include <tuple>
+
+#include "globedoc/oid.hpp"
+#include "util/bytes.hpp"
+
+namespace globe::cache {
+
+struct CacheKey {
+  globedoc::Oid oid;
+  std::string element;
+  util::Bytes content_sha1;  // the certificate entry's 20-byte digest
+
+  friend bool operator==(const CacheKey& a, const CacheKey& b) {
+    return a.oid == b.oid && a.element == b.element &&
+           a.content_sha1 == b.content_sha1;
+  }
+  friend bool operator<(const CacheKey& a, const CacheKey& b) {
+    return std::tie(a.oid, a.element, a.content_sha1) <
+           std::tie(b.oid, b.element, b.content_sha1);
+  }
+};
+
+}  // namespace globe::cache

@@ -1,0 +1,102 @@
+// Verified element cache (DESIGN.md §12): bounded, content-addressed LRU.
+//
+// Admission discipline: insert() is a trusted sink — only elements that
+// passed IntegrityCertificate::check_element may enter, and every entry
+// carries the verifying certificate entry's validity end.  From then on
+// the element is served without re-verification ("verified once, served
+// many times") until the window closes; lookup() evicts expired entries
+// instead of serving them.  Capacity is bounded both in entries and in
+// bytes; the least recently used entry goes first.
+//
+// Thread-safe.  The eviction listener runs with the cache lock held and
+// must not call back into this cache (the tier uses it to count evictions
+// and cancel delayed replication — cache lock before replicator lock is
+// the tier's fixed lock order).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <map>
+#include <optional>
+
+#include "cache/cache_key.hpp"
+#include "globedoc/element.hpp"
+#include "util/clock.hpp"
+#include "util/mutex.hpp"
+#include "util/taint_annotations.hpp"
+
+namespace globe::cache {
+
+enum class EvictReason {
+  kCapacity,  // LRU displacement under entry/byte bounds
+  kExpired,   // certificate-entry validity window closed
+  kExplicit,  // erase()/clear()
+};
+
+class ElementCache {
+ public:
+  struct Config {
+    std::size_t max_entries = 4096;
+    std::uint64_t max_bytes = 64ull << 20;  // element content + names
+  };
+
+  struct Hit {
+    globedoc::PageElement element;
+    util::SimTime expires = 0;
+  };
+
+  using EvictionListener = std::function<void(const CacheKey&, EvictReason)>;
+
+  explicit ElementCache(Config config) : config_(config) {}
+
+  /// Setup-time only: must be installed before concurrent use.
+  void set_eviction_listener(EvictionListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  /// Returns the entry and refreshes its recency; an entry whose validity
+  /// window has closed at `now` is evicted (kExpired) and reported a miss.
+  std::optional<Hit> lookup(const CacheKey& key, util::SimTime now)
+      GLOBE_EXCLUDES(mutex_);
+
+  /// Admits a VERIFIED element valid until `expires` (trusted sink: the
+  /// caller must have run check_element under the certificate whose entry
+  /// digest is key.content_sha1).  Oversized elements (> max_bytes alone)
+  /// are not admitted; admission may displace LRU entries.
+  void insert(const CacheKey& key,
+              GLOBE_TRUSTED_SINK const globedoc::PageElement& element,
+              util::SimTime expires) GLOBE_EXCLUDES(mutex_);
+
+  bool contains(const CacheKey& key) const GLOBE_EXCLUDES(mutex_);
+  void erase(const CacheKey& key) GLOBE_EXCLUDES(mutex_);
+  void clear() GLOBE_EXCLUDES(mutex_);
+
+  std::size_t size() const GLOBE_EXCLUDES(mutex_);
+  std::uint64_t bytes() const GLOBE_EXCLUDES(mutex_);
+
+ private:
+  struct Entry {
+    globedoc::PageElement element;
+    util::SimTime expires = 0;
+    std::uint64_t bytes = 0;
+    std::list<CacheKey>::iterator lru_pos;
+  };
+
+  static std::uint64_t entry_bytes(const globedoc::PageElement& element) {
+    return element.content.size() + element.name.size() +
+           element.content_type.size();
+  }
+
+  void evict_locked(std::map<CacheKey, Entry>::iterator it, EvictReason reason)
+      GLOBE_REQUIRES(mutex_);
+
+  Config config_;
+  EvictionListener listener_;  // set before use, then read-only
+  mutable util::Mutex mutex_;
+  std::map<CacheKey, Entry> entries_ GLOBE_GUARDED_BY(mutex_);
+  std::list<CacheKey> lru_ GLOBE_GUARDED_BY(mutex_);  // front = most recent
+  std::uint64_t bytes_ GLOBE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace globe::cache

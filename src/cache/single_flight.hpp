@@ -1,0 +1,90 @@
+// Single-flight coalescing (DESIGN.md §12).
+//
+// N concurrent computations of the same key collapse into ONE: the first
+// caller (the leader) runs the function; everyone else blocks until the
+// leader finishes and receives the same Result — success or error.  An
+// error therefore feeds ALL waiters of that flight (a tampered fill fails
+// the whole coalesced group) and is NOT remembered: the flight is removed
+// when it completes, so the next caller after completion starts a fresh
+// one.  This is what collapses a thundering herd of cache misses into ~1
+// upstream fetch per distinct element.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "util/mutex.hpp"
+#include "util/status.hpp"
+
+namespace globe::cache {
+
+template <typename Key, typename Value>
+class SingleFlight {
+ public:
+  struct Outcome {
+    util::Result<Value> result;
+    bool leader = false;  // this caller ran the computation itself
+  };
+
+  /// Runs `fn` for `key`, or waits for the in-flight run and shares its
+  /// result.  `fn` reports failures via Result; a StatusError escaping it
+  /// is converted so waiters can never be stranded.
+  Outcome run(const Key& key, const std::function<util::Result<Value>()>& fn) {
+    std::shared_ptr<Flight> flight;
+    {
+      util::UniqueLock lock(mutex_);
+      auto it = flights_.find(key);
+      if (it != flights_.end()) {
+        flight = it->second;
+        ++coalesced_waiters_;
+        while (!flight->result.has_value()) cv_.wait(lock);
+        return Outcome{*flight->result, false};
+      }
+      flight = std::make_shared<Flight>();
+      flights_.emplace(key, flight);
+    }
+
+    util::Result<Value> result = [&]() -> util::Result<Value> {
+      try {
+        return fn();
+      } catch (const util::StatusError& e) {
+        return e.status();
+      }
+    }();
+    {
+      util::LockGuard lock(mutex_);
+      flight->result = result;
+      flights_.erase(key);  // errors are not sticky: next caller retries
+    }
+    cv_.notify_all();
+    return Outcome{std::move(result), true};
+  }
+
+  /// Total callers that waited on someone else's flight.
+  std::uint64_t coalesced_waiters() const {
+    util::LockGuard lock(mutex_);
+    return coalesced_waiters_;
+  }
+
+  std::size_t in_flight() const {
+    util::LockGuard lock(mutex_);
+    return flights_.size();
+  }
+
+ private:
+  struct Flight {
+    // Guarded by the owning SingleFlight's mutex_ (per-flight state cannot
+    // carry the capability annotation; every access below holds the lock).
+    std::optional<util::Result<Value>> result;
+  };
+
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::map<Key, std::shared_ptr<Flight>> flights_ GLOBE_GUARDED_BY(mutex_);
+  std::uint64_t coalesced_waiters_ GLOBE_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace globe::cache

@@ -1,0 +1,182 @@
+#include "cache/tier.hpp"
+
+#include "globedoc/fetch_many.hpp"
+#include "util/clock.hpp"
+
+namespace globe::cache {
+namespace {
+
+// Same bucket layout as proxy.fetch_ms so hit-vs-fill latency lines up on
+// one dashboard.
+const std::vector<double>& fill_ms_bounds() {
+  static const std::vector<double> kBounds = {1,   2,   5,   10,   20,   50,
+                                              100, 200, 500, 1000, 2000, 5000};
+  return kBounds;
+}
+
+}  // namespace
+
+EdgeCacheTier::EdgeCacheTier(TierConfig config)
+    : config_(config),
+      cache_(config.cache),
+      replicator_(config.replicator, cache_) {
+  if (config_.registry) {
+    auto& reg = *config_.registry;
+    hits_ = &reg.counter("cache.hits");
+    misses_ = &reg.counter("cache.misses");
+    coalesced_ = &reg.counter("cache.coalesced_waiters");
+    evictions_capacity_ =
+        &reg.counter("cache.evictions", {{"reason", "capacity"}});
+    evictions_expired_ =
+        &reg.counter("cache.evictions", {{"reason", "expired"}});
+    evictions_explicit_ =
+        &reg.counter("cache.evictions", {{"reason", "explicit"}});
+    delayed_pulls_ = &reg.counter("cache.delayed_pulls");
+    delayed_dropped_ = &reg.counter("cache.delayed_dropped");
+    fill_ms_ = &reg.histogram("cache.fill_ms", fill_ms_bounds());
+  }
+  // Runs under the cache lock; replicator_.cancel takes only the replicator
+  // lock, so the tier-wide lock order is cache → replicator.
+  cache_.set_eviction_listener([this](const CacheKey& key, EvictReason why) {
+    switch (why) {
+      case EvictReason::kCapacity:
+        if (evictions_capacity_) evictions_capacity_->inc();
+        break;
+      case EvictReason::kExpired:
+        if (evictions_expired_) evictions_expired_->inc();
+        break;
+      case EvictReason::kExplicit:
+        if (evictions_explicit_) evictions_explicit_->inc();
+        break;
+    }
+    replicator_.cancel(key.oid);
+  });
+}
+
+bool EdgeCacheTier::first_access(const globedoc::Oid& oid) {
+  util::LockGuard lock(seen_mutex_);
+  if (!seen_oids_.insert(oid).second) return false;
+  seen_order_.push_back(oid);
+  // Bound the tracking set; forgetting an old document merely means a later
+  // access may schedule a (deduped) pull again.
+  constexpr std::size_t kMaxSeen = 4096;
+  if (seen_order_.size() > kMaxSeen) {
+    seen_oids_.erase(seen_order_.front());
+    seen_order_.pop_front();
+  }
+  return true;
+}
+
+util::Result<globedoc::EdgeFetch> EdgeCacheTier::fetch_through(
+    net::Transport& transport, const net::Endpoint& replica,
+    const globedoc::Oid& oid, const globedoc::IntegrityCertificate& cert,
+    const std::string& element_name) {
+  const auto* entry = cert.find(element_name);
+  if (entry == nullptr) {
+    return util::Status(util::ErrorCode::kNotFound,
+                        "no certificate entry for element " + element_name);
+  }
+  if (entry->expires <= transport.now()) {
+    // Refuse before touching cache or network: a stale certificate entry
+    // can neither be served nor refreshed from here (the proxy must
+    // re-resolve a fresh certificate first).
+    return util::Status(util::ErrorCode::kExpired,
+                        "certificate entry expired for " + element_name);
+  }
+
+  if (config_.delayed_replication && first_access(oid)) {
+    if (!replicator_.schedule(oid, replica, cert, element_name) &&
+        cert.entries().size() > 1 && delayed_dropped_) {
+      delayed_dropped_->inc();
+    }
+  }
+
+  const CacheKey key{oid, element_name, entry->sha1};
+  if (auto hit = cache_.lookup(key, transport.now())) {
+    if (hits_) hits_->inc();
+    globedoc::EdgeFetch out;
+    out.element = std::move(hit->element);
+    out.cache_hit = true;
+    return out;
+  }
+  if (misses_) misses_->inc();
+
+  auto outcome = flights_.run(key, [&]() -> util::Result<EdgeFill> {
+    return fill(transport, replica, oid, cert, element_name, entry->sha1);
+  });
+  if (!outcome.leader && coalesced_) coalesced_->inc();
+  if (!outcome.result.is_ok()) return outcome.result.status();
+
+  EdgeFill filled = std::move(outcome.result).value();
+  if (!outcome.leader) {
+    // A waiter's flow spent the leader's wall time blocked on the flight:
+    // sync its virtual clock so coalesced latency is modelled, not free.
+    transport.advance_to(filled.completed_at);
+  }
+  globedoc::EdgeFetch out;
+  out.element = std::move(filled.element);
+  out.coalesced = !outcome.leader;
+  return out;
+}
+
+util::Result<EdgeCacheTier::EdgeFill> EdgeCacheTier::fill(
+    net::Transport& transport, const net::Endpoint& replica,
+    const globedoc::Oid& oid, const globedoc::IntegrityCertificate& cert,
+    const std::string& element_name, const util::Bytes& digest) {
+  const util::SimTime start = transport.now();
+
+  // Leader double-check: a caller that missed the cache just before the
+  // previous flight's insert landed becomes leader of a fresh flight.  Serve
+  // the freshly admitted entry instead of re-fetching, so a herd costs the
+  // origin one upstream fetch per element, not one per flight generation.
+  const CacheKey key{oid, element_name, digest};
+  if (auto hit = cache_.lookup(key, transport.now())) {
+    EdgeFill cached;
+    cached.element = std::move(hit->element);
+    cached.completed_at = transport.now();
+    cached.expires = hit->expires;
+    return cached;
+  }
+
+  globedoc::FetchManyRequest request;
+  request.oid = oid;
+  request.include_cert = false;  // filling under an already-verified cert
+  request.names.push_back(element_name);
+  auto response = globedoc::fetch_many(transport, replica, request);
+  if (!response.is_ok()) return response.status();
+
+  const auto& item = response.value().items.front();
+  if (!item.found) {
+    return util::Status(util::ErrorCode::kNotFound,
+                        "replica has no element " + element_name);
+  }
+  auto element = globedoc::PageElement::parse(item.element);
+  if (!element.is_ok()) return element.status();
+
+  transport.charge(net::CpuOp::kSha1, 1);
+  util::Status check =
+      cert.check_element(element_name, *element, transport.now());
+  if (!check.is_ok()) return check;  // nothing cached: failures never admit
+
+  const auto* entry = cert.find(element_name);
+  cache_.insert(key, *element, entry->expires);
+  if (fill_ms_) fill_ms_->observe(util::to_millis(transport.now() - start));
+
+  EdgeFill filled;
+  filled.element = std::move(*element);
+  filled.completed_at = transport.now();
+  filled.expires = entry->expires;
+  return filled;
+}
+
+DelayedReplicator::PumpStats EdgeCacheTier::run_delayed_pulls(
+    net::Transport& transport) {
+  if (!config_.delayed_replication) return {};
+  auto stats = replicator_.pump(transport);
+  if (delayed_pulls_ && stats.elements_pulled > 0) {
+    delayed_pulls_->inc(stats.elements_pulled);
+  }
+  return stats;
+}
+
+}  // namespace globe::cache

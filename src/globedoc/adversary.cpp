@@ -1,6 +1,7 @@
 #include "globedoc/adversary.hpp"
 
 #include "globedoc/element.hpp"
+#include "globedoc/fetch_many.hpp"
 #include "globedoc/server.hpp"
 #include "location/tree.hpp"
 #include "obs/trace.hpp"
@@ -47,13 +48,33 @@ net::MessageHandler tampering_element_attack(net::MessageHandler inner) {
     auto response = inner(ctx, request);
     RpcHeader header;
     if (!response.is_ok() || !read_header(request, header) ||
-        header.service != rpc::kGlobeDocAccess || header.method != kGetElement) {
+        header.service != rpc::kGlobeDocAccess ||
+        (header.method != kGetElement && header.method != kFetchMany)) {
       return response;
+    }
+    Bytes graffiti = util::to_bytes("<!-- owned -->");
+    if (header.method == kFetchMany) {
+      // Batched path: deface the first element present in the batch, leave
+      // the rest genuine — a partial tamper the verifier must still catch.
+      auto batch = FetchManyResponse::parse(*response);
+      if (!batch.is_ok()) return response;
+      for (auto& item : batch->items) {
+        if (!item.found) continue;
+        auto element = PageElement::parse(item.element);
+        if (!element.is_ok()) continue;
+        if (element->content.empty()) {
+          element->content = graffiti;
+        } else {
+          element->content[element->content.size() / 2] ^= 0xff;
+        }
+        item.element = element->serialize();
+        break;
+      }
+      return batch->serialize();
     }
     auto element = PageElement::parse(*response);
     if (!element.is_ok()) return response;
     // Inject a defacement into the genuine element body.
-    Bytes graffiti = util::to_bytes("<!-- owned -->");
     if (element->content.empty()) {
       element->content = graffiti;
     } else {

@@ -1,0 +1,115 @@
+#include "globedoc/fetch_many.hpp"
+
+#include "globedoc/server.hpp"
+#include "rpc/rpc.hpp"
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+
+using util::Bytes;
+using util::BytesView;
+using util::ErrorCode;
+using util::Result;
+
+Bytes FetchManyRequest::serialize() const {
+  util::Writer w;
+  w.raw(oid.to_bytes());
+  w.u8(include_cert ? 1 : 0);
+  w.u32(static_cast<std::uint32_t>(names.size()));
+  for (const auto& name : names) w.str(name);
+  return w.take();
+}
+
+Result<FetchManyRequest> FetchManyRequest::parse(BytesView data) {
+  try {
+    util::Reader r(data);
+    FetchManyRequest req;
+    auto oid = Oid::from_bytes(r.raw(Oid::kSize));
+    if (!oid.is_ok()) return oid.status();
+    req.oid = *oid;
+    req.include_cert = r.u8() != 0;
+    std::uint32_t n = r.u32();
+    if (n == 0 || n > kFetchManyMaxElements) {
+      return Result<FetchManyRequest>(
+          ErrorCode::kProtocol,
+          "fetch_many batch size " + std::to_string(n) + " out of [1, " +
+              std::to_string(kFetchManyMaxElements) + "]");
+    }
+    req.names.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) req.names.push_back(r.str());
+    r.expect_end();
+    return req;
+  } catch (const util::SerialError& e) {
+    return Result<FetchManyRequest>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Bytes FetchManyResponse::serialize() const {
+  util::Writer w;
+  w.u8(certificate.has_value() ? 1 : 0);
+  if (certificate.has_value()) w.bytes(*certificate);
+  w.u32(static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    w.u8(item.found ? 1 : 0);
+    if (item.found) w.bytes(item.element);
+  }
+  return w.take();
+}
+
+Result<FetchManyResponse> FetchManyResponse::parse(BytesView data) {
+  try {
+    util::Reader r(data);
+    FetchManyResponse resp;
+    if (r.u8() != 0) resp.certificate = r.bytes();
+    std::uint32_t n = r.u32();
+    if (n == 0 || n > kFetchManyMaxElements) {
+      return Result<FetchManyResponse>(
+          ErrorCode::kProtocol,
+          "fetch_many reply item count " + std::to_string(n) + " out of [1, " +
+              std::to_string(kFetchManyMaxElements) + "]");
+    }
+    resp.items.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      Item item;
+      item.found = r.u8() != 0;
+      if (item.found) item.element = r.bytes();
+      resp.items.push_back(std::move(item));
+    }
+    r.expect_end();
+    return resp;
+  } catch (const util::SerialError& e) {
+    return Result<FetchManyResponse>(ErrorCode::kProtocol, e.what());
+  }
+}
+
+Result<FetchManyResponse> fetch_many(net::Transport& transport,
+                                     const net::Endpoint& replica,
+                                     const FetchManyRequest& request) {
+  if (request.names.empty() || request.names.size() > kFetchManyMaxElements) {
+    return Result<FetchManyResponse>(
+        ErrorCode::kInvalidArgument,
+        "fetch_many takes 1.." + std::to_string(kFetchManyMaxElements) +
+            " names per round trip");
+  }
+  rpc::RpcClient client(transport, replica);
+  auto raw = client.call(rpc::kGlobeDocAccess, kFetchMany, request.serialize());
+  if (!raw.is_ok()) return raw.status();
+  auto resp = FetchManyResponse::parse(*raw);
+  if (!resp.is_ok()) return resp.status();
+  if (resp->items.size() != request.names.size()) {
+    return Result<FetchManyResponse>(
+        ErrorCode::kProtocol, "fetch_many reply echoed " +
+                                  std::to_string(resp->items.size()) +
+                                  " items for " +
+                                  std::to_string(request.names.size()) +
+                                  " requested names");
+  }
+  if (request.include_cert && !resp->certificate.has_value()) {
+    return Result<FetchManyResponse>(ErrorCode::kProtocol,
+                                     "fetch_many reply omitted the requested "
+                                     "integrity certificate");
+  }
+  return resp;
+}
+
+}  // namespace globe::globedoc

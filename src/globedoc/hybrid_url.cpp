@@ -29,6 +29,13 @@ Result<HybridUrl> parse_hybrid_url(std::string_view url) {
     return Result<HybridUrl>(ErrorCode::kInvalidArgument,
                              "not a hybrid GlobeDoc URL: " + std::string(url));
   }
+  // Canonicalize over query/fragment decoration: GlobeDoc elements are
+  // addressed by (object, element) alone, so "logo.gif?v=2" and
+  // "logo.gif#top" name the SAME element as "logo.gif".  Stripping here
+  // makes decorated duplicates share one cache key, one coalesced fill and
+  // one upstream fetch instead of being treated as distinct content.
+  std::size_t decoration = rest.find_first_of("?#");
+  if (decoration != std::string_view::npos) rest = rest.substr(0, decoration);
   std::size_t slash = rest.find('/');
   if (slash == std::string_view::npos || slash == 0 || slash + 1 >= rest.size()) {
     return Result<HybridUrl>(ErrorCode::kInvalidArgument,

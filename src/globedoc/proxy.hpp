@@ -22,9 +22,12 @@
 // security-specific time of steps 3-6 — the quantity plotted in Figure 4.
 #pragma once
 
+#include <deque>
 #include <optional>
+#include <set>
 #include <string>
 
+#include "globedoc/cache_iface.hpp"
 #include "globedoc/hybrid_url.hpp"
 #include "globedoc/identity.hpp"
 #include "globedoc/integrity.hpp"
@@ -60,6 +63,13 @@ struct ProxyConfig {
   // of §3.2.2 doubles as a sound cache TTL (the "Verif" client strategy of
   // ref [13]).
   bool cache_elements = false;
+  // Shared verified edge-cache tier (src/cache/, DESIGN.md §12).  When set,
+  // step 6 routes through the tier: hits serve locally, misses coalesce into
+  // one batched upstream fill per distinct element.  One tier instance is
+  // typically shared by every proxy/flow on a node — the sharing is what
+  // collapses a thundering herd.  Must outlive the proxy; nullptr = direct
+  // per-request fetches (the pre-tier behaviour).
+  ElementCacheTier* edge_cache = nullptr;
   // Completed fetch traces (and, via RPC propagation, the server-side
   // fragments they caused) are stitched here; nullptr means the process-wide
   // obs::global_trace_collector().
@@ -80,6 +90,7 @@ struct FetchStage {
   static constexpr const char* kIdentity = "identity";                // step 4
   static constexpr const char* kIntegrityVerify = "integrity_verify"; // step 5
   static constexpr const char* kElementVerify = "element_verify";     // step 6
+  static constexpr const char* kEdgeCache = "edge_cache";  // step 6 via tier
 };
 
 struct FetchMetrics {
@@ -92,6 +103,8 @@ struct FetchMetrics {
   std::size_t replicas_tried = 0;
   bool used_cached_binding = false;
   bool used_cached_element = false;  // served from the verified local cache
+  bool served_from_edge_cache = false;  // edge tier hit, zero upstream RPCs
+  bool coalesced_fill = false;  // waited on another flow's in-flight fill
   /// Span tree of this fetch: a "fetch" root whose children are the
   /// pipeline stages (FetchStage names).  Timestamps come from the
   /// transport clock — virtual time under SimNet, wall time over TCP.
@@ -197,12 +210,21 @@ class GlobeDocProxy {
   obs::Counter* binding_cache_hits_;
   obs::Counter* element_cache_hits_;
   obs::Counter* replicas_tried_;
+  obs::Counter* cert_verifies_;
+  obs::Counter* cert_verify_memo_hits_;
   naming::SecureResolver resolver_;
   location::LocationClient locator_;
   std::optional<net::Endpoint> origin_;
   std::map<std::string, Binding> bindings_;  // object name -> verified binding
   // (object name, element name) -> verified element, until entry expiry.
   std::map<std::pair<std::string, std::string>, CachedElement> element_cache_;
+  // Integrity-certificate verification memo: one RSA verify per
+  // (document key, certificate), not one per element fetched.  Keyed on the
+  // EXACT raw bytes of (serialized object key, serialized certificate), so a
+  // memo hit replays a verification of byte-identical inputs — no weaker
+  // than re-running it.  Only successes are remembered; bounded FIFO.
+  std::set<std::pair<util::Bytes, util::Bytes>> cert_verify_memo_;
+  std::deque<std::pair<util::Bytes, util::Bytes>> cert_verify_memo_order_;
 };
 
 }  // namespace globe::globedoc

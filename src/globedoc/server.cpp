@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "globedoc/fetch_many.hpp"
 #include "obs/admin.hpp"
 #include "obs/log.hpp"
 #include "util/serial.hpp"
@@ -61,6 +62,8 @@ ObjectServer::ObjectServer(std::string name, std::uint64_t nonce_seed,
   if (registry == nullptr) registry = &obs::global_registry();
   obs::Labels labels{{"server", name_}};
   requests_counter_ = &registry->counter("object_server.requests", labels);
+  batch_requests_counter_ =
+      &registry->counter("object_server.batch_requests", labels);
   elements_counter_ = &registry->counter("object_server.elements_served", labels);
   bytes_counter_ = &registry->counter("object_server.bytes_served", labels);
   replica_installs_ = &registry->counter("object_server.replica_installs", labels);
@@ -211,6 +214,7 @@ void ObjectServer::register_with(rpc::ServiceDispatcher& dispatcher) {
   };
   bindm(rpc::kGlobeDocAccess, kGetElement, &ObjectServer::handle_get_element);
   bindm(rpc::kGlobeDocAccess, kListElements, &ObjectServer::handle_list_elements);
+  bindm(rpc::kGlobeDocAccess, kFetchMany, &ObjectServer::handle_fetch_many);
   bindm(rpc::kGlobeDocSecurity, kGetPublicKey, &ObjectServer::handle_get_public_key);
   bindm(rpc::kGlobeDocSecurity, kGetIntegrityCert,
         &ObjectServer::handle_get_integrity_cert);
@@ -279,6 +283,40 @@ Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
   } catch (const util::SerialError& e) {
     return Result<Bytes>(ErrorCode::kProtocol, e.what());
   }
+}
+
+Result<Bytes> ObjectServer::handle_fetch_many(net::ServerContext& ctx,
+                                              BytesView payload) {
+  requests_counter_->inc();
+  batch_requests_counter_->inc();
+  auto req = FetchManyRequest::parse(payload);
+  if (!req.is_ok()) return req.status();
+
+  util::LockGuard lock(mutex_);
+  auto it = replicas_.find(req->oid);
+  if (it == replicas_.end() || lease_expired_locked(req->oid, ctx.now())) {
+    return Result<Bytes>(ErrorCode::kNotFound,
+                         "no replica of " + req->oid.to_hex());
+  }
+  FetchManyResponse resp;
+  if (req->include_cert) {
+    resp.certificate = it->second.certificate.serialize();
+  }
+  resp.items.reserve(req->names.size());
+  for (const auto& name : req->names) {
+    FetchManyResponse::Item item;
+    const PageElement* el = it->second.find(name);
+    if (el != nullptr) {
+      item.found = true;
+      item.element = el->serialize();
+      ++elements_served_;
+      content_bytes_served_ += el->content.size();
+      elements_counter_->inc();
+      bytes_counter_->inc(el->content.size());
+    }
+    resp.items.push_back(std::move(item));
+  }
+  return resp.serialize();
 }
 
 Result<Bytes> ObjectServer::handle_list_elements(net::ServerContext& ctx,

@@ -38,6 +38,10 @@ namespace globe::globedoc {
 enum AccessMethod : std::uint16_t {
   kGetElement = 1,    // {oid20, str name} -> serialized PageElement
   kListElements = 2,  // {oid20} -> u32 n, n × str
+  // Batched retrieval: FetchManyRequest -> FetchManyResponse (up to
+  // kFetchManyMaxElements elements + the shared integrity certificate in
+  // ONE round trip; see globedoc/fetch_many.hpp).
+  kFetchMany = 3,
 };
 
 enum SecurityMethod : std::uint16_t {
@@ -127,6 +131,8 @@ class ObjectServer {
                                                GLOBE_UNTRUSTED util::BytesView);
   util::Result<util::Bytes> handle_list_elements(net::ServerContext&,
                                                  GLOBE_UNTRUSTED util::BytesView);
+  util::Result<util::Bytes> handle_fetch_many(net::ServerContext&,
+                                              GLOBE_UNTRUSTED util::BytesView);
   util::Result<util::Bytes> handle_get_public_key(net::ServerContext&,
                                                   GLOBE_UNTRUSTED util::BytesView);
   util::Result<util::Bytes> handle_get_integrity_cert(net::ServerContext&,
@@ -190,6 +196,7 @@ class ObjectServer {
   std::uint64_t content_bytes_served_ GLOBE_GUARDED_BY(mutex_) = 0;
   // Registry series, labeled by this server's name.
   obs::Counter* requests_counter_;
+  obs::Counter* batch_requests_counter_;
   obs::Counter* elements_counter_;
   obs::Counter* bytes_counter_;
   obs::Counter* replica_installs_;

@@ -146,6 +146,9 @@ class SimFlow final : public Transport {
   /// Advances the clock without CPU accounting (think time between requests).
   void advance(util::SimDuration d) { now_ += d; }
   void set_time(util::SimTime t) { now_ = t; }
+  void advance_to(util::SimTime t) override {
+    if (t > now_) now_ = t;
+  }
 
   /// Forgets established connections: the next call to each endpoint pays
   /// the connection-setup round trip again.

@@ -66,6 +66,14 @@ class Transport {
 
   /// Host this flow originates from.
   virtual HostId local_host() const = 0;
+
+  /// Advances this flow's clock to at least `t` (never backwards, no CPU
+  /// accounting).  Used when a request is satisfied by work another flow
+  /// completed at `t` — e.g. a coalesced cache fill: the waiter paid no
+  /// network or CPU of its own, but cannot observe the result before the
+  /// fill that produced it finished.  No-op for wall-clock transports,
+  /// where real time already covers the wait.
+  virtual void advance_to(util::SimTime t) { (void)t; }
 };
 
 }  // namespace globe::net

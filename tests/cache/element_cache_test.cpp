@@ -1,0 +1,129 @@
+// ElementCache: bounded verified store — LRU displacement, expiry eviction,
+// byte accounting, listener reasons.
+#include "cache/element_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace globe::cache {
+namespace {
+
+globedoc::PageElement make_element(const std::string& name, std::size_t bytes) {
+  return {name, "text/plain", util::Bytes(bytes, 0x41)};
+}
+
+CacheKey make_key(const std::string& name, std::uint8_t salt = 0) {
+  CacheKey key;
+  key.element = name;
+  key.content_sha1 = util::Bytes(20, salt);
+  return key;
+}
+
+TEST(ElementCacheTest, InsertThenLookupServesUntilExpiry) {
+  ElementCache cache({.max_entries = 8, .max_bytes = 1 << 20});
+  cache.insert(make_key("index.html"), make_element("index.html", 100), 1000);
+
+  auto hit = cache.lookup(make_key("index.html"), 500);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->element.content.size(), 100u);
+  EXPECT_EQ(hit->expires, 1000u);
+
+  // At the expiry instant the entry is evicted, not served.
+  EXPECT_FALSE(cache.lookup(make_key("index.html"), 1000).has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ElementCacheTest, DistinctContentHashesAreDistinctEntries) {
+  ElementCache cache({.max_entries = 8, .max_bytes = 1 << 20});
+  cache.insert(make_key("a", 1), make_element("a", 10), 1000);
+  cache.insert(make_key("a", 2), make_element("a", 20), 1000);
+  EXPECT_EQ(cache.size(), 2u);  // a republish never aliases old content
+}
+
+TEST(ElementCacheTest, ReinsertSameContentOnlyWidensWindow) {
+  ElementCache cache({.max_entries = 8, .max_bytes = 1 << 20});
+  cache.insert(make_key("a"), make_element("a", 10), 1000);
+  cache.insert(make_key("a"), make_element("a", 10), 2000);  // refreshed cert
+  cache.insert(make_key("a"), make_element("a", 10), 500);   // older cert
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.lookup(make_key("a"), 1500);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->expires, 2000u);
+}
+
+TEST(ElementCacheTest, LruEvictsLeastRecentlyUsedAtEntryBound) {
+  ElementCache cache({.max_entries = 2, .max_bytes = 1 << 20});
+  cache.insert(make_key("a"), make_element("a", 10), 1000);
+  cache.insert(make_key("b"), make_element("b", 10), 1000);
+  ASSERT_TRUE(cache.lookup(make_key("a"), 0).has_value());  // a is now MRU
+  cache.insert(make_key("c"), make_element("c", 10), 1000);
+
+  EXPECT_TRUE(cache.contains(make_key("a")));
+  EXPECT_FALSE(cache.contains(make_key("b")));
+  EXPECT_TRUE(cache.contains(make_key("c")));
+}
+
+TEST(ElementCacheTest, ByteBoundEvictsUntilItFits) {
+  // Each entry costs content + name + MIME type = 100 + 1 + 10 = 111 bytes.
+  ElementCache cache({.max_entries = 100, .max_bytes = 250});
+  cache.insert(make_key("a"), make_element("a", 100), 1000);
+  cache.insert(make_key("b"), make_element("b", 100), 1000);
+  EXPECT_EQ(cache.size(), 2u);
+  cache.insert(make_key("c"), make_element("c", 100), 1000);
+  // Admitting "c" (333 total) displaces the LRU "a"; "b" + "c" fit.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cache.contains(make_key("a")));
+  EXPECT_TRUE(cache.contains(make_key("b")));
+  EXPECT_TRUE(cache.contains(make_key("c")));
+  EXPECT_LE(cache.bytes(), 250u);
+}
+
+TEST(ElementCacheTest, OversizedElementIsNotAdmitted) {
+  ElementCache cache({.max_entries = 8, .max_bytes = 100});
+  cache.insert(make_key("a"), make_element("a", 50), 1000);
+  cache.insert(make_key("big"), make_element("big", 4096), 1000);
+  // The oversized element must not evict the whole cache on a futile admit.
+  EXPECT_FALSE(cache.contains(make_key("big")));
+  EXPECT_TRUE(cache.contains(make_key("a")));
+}
+
+TEST(ElementCacheTest, ListenerReportsReasons) {
+  ElementCache cache({.max_entries = 1, .max_bytes = 1 << 20});
+  std::vector<std::pair<std::string, EvictReason>> events;
+  cache.set_eviction_listener([&](const CacheKey& key, EvictReason reason) {
+    events.emplace_back(key.element, reason);
+  });
+
+  cache.insert(make_key("a"), make_element("a", 10), 1000);
+  cache.insert(make_key("b"), make_element("b", 10), 1000);  // displaces a
+  EXPECT_FALSE(cache.lookup(make_key("b"), 5000).has_value());  // expired
+  cache.insert(make_key("c"), make_element("c", 10), 1000);
+  cache.erase(make_key("c"));
+
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], (std::pair<std::string, EvictReason>{"a", EvictReason::kCapacity}));
+  EXPECT_EQ(events[1], (std::pair<std::string, EvictReason>{"b", EvictReason::kExpired}));
+  EXPECT_EQ(events[2], (std::pair<std::string, EvictReason>{"c", EvictReason::kExplicit}));
+}
+
+TEST(ElementCacheTest, ClearEmptiesAndReportsExplicit) {
+  ElementCache cache({.max_entries = 8, .max_bytes = 1 << 20});
+  int evictions = 0;
+  cache.set_eviction_listener(
+      [&](const CacheKey&, EvictReason reason) {
+        EXPECT_EQ(reason, EvictReason::kExplicit);
+        ++evictions;
+      });
+  cache.insert(make_key("a"), make_element("a", 10), 1000);
+  cache.insert(make_key("b"), make_element("b", 10), 1000);
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(evictions, 2);
+}
+
+}  // namespace
+}  // namespace globe::cache

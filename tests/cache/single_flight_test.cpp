@@ -1,0 +1,150 @@
+// SingleFlight: N concurrent misses → one computation; result OR error is
+// shared by every waiter of that flight; errors are never sticky.
+#include "cache/single_flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/mutex.hpp"
+
+namespace globe::cache {
+namespace {
+
+using util::ErrorCode;
+using util::Result;
+
+TEST(SingleFlightTest, SingleCallerIsLeader) {
+  SingleFlight<int, std::string> sf;
+  auto outcome = sf.run(1, [] { return Result<std::string>("value"); });
+  EXPECT_TRUE(outcome.leader);
+  ASSERT_TRUE(outcome.result.is_ok());
+  EXPECT_EQ(*outcome.result, "value");
+  EXPECT_EQ(sf.coalesced_waiters(), 0u);
+  EXPECT_EQ(sf.in_flight(), 0u);
+}
+
+TEST(SingleFlightTest, ConcurrentCallersCoalesceIntoOneComputation) {
+  SingleFlight<int, int> sf;
+  std::atomic<int> computations{0};
+  util::Mutex gate;
+  util::CondVar gate_cv;
+  bool leader_inside = false;
+  bool release = false;
+
+  constexpr int kThreads = 8;
+  std::atomic<int> leaders{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto outcome = sf.run(7, [&]() -> Result<int> {
+        {
+          util::UniqueLock lock(gate);
+          leader_inside = true;
+          gate_cv.notify_all();
+          // Hold the flight open until every other thread has had time to
+          // pile on, so coalescing is exercised deterministically.
+          while (!release) gate_cv.wait(lock);
+        }
+        return computations.fetch_add(1) + 100;
+      });
+      if (outcome.leader) leaders.fetch_add(1);
+      ASSERT_TRUE(outcome.result.is_ok());
+      EXPECT_EQ(*outcome.result, 100);
+    });
+  }
+  {
+    util::UniqueLock lock(gate);
+    while (!leader_inside) gate_cv.wait(lock);
+  }
+  // Give the other threads a chance to reach the wait queue, then release.
+  while (sf.coalesced_waiters() < kThreads - 1) {
+    std::this_thread::yield();
+  }
+  {
+    util::UniqueLock lock(gate);
+    release = true;
+    gate_cv.notify_all();
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(computations.load(), 1);
+  EXPECT_EQ(leaders.load(), 1);
+  EXPECT_EQ(sf.coalesced_waiters(), kThreads - 1);
+}
+
+TEST(SingleFlightTest, ErrorFeedsAllWaitersAndIsNotSticky) {
+  SingleFlight<int, int> sf;
+  util::Mutex gate;
+  util::CondVar gate_cv;
+  bool leader_inside = false;
+  bool release = false;
+
+  constexpr int kThreads = 4;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&] {
+      auto outcome = sf.run(9, [&]() -> Result<int> {
+        {
+          util::UniqueLock lock(gate);
+          leader_inside = true;
+          gate_cv.notify_all();
+          while (!release) gate_cv.wait(lock);
+        }
+        return Result<int>(ErrorCode::kHashMismatch, "tampered");
+      });
+      if (!outcome.result.is_ok()) {
+        EXPECT_EQ(outcome.result.status().code(), ErrorCode::kHashMismatch);
+        failures.fetch_add(1);
+      }
+    });
+  }
+  {
+    util::UniqueLock lock(gate);
+    while (!leader_inside) gate_cv.wait(lock);
+  }
+  while (sf.coalesced_waiters() < kThreads - 1) std::this_thread::yield();
+  {
+    util::UniqueLock lock(gate);
+    release = true;
+    gate_cv.notify_all();
+  }
+  for (auto& t : threads) t.join();
+
+  // EVERY caller of the poisoned flight saw the error...
+  EXPECT_EQ(failures.load(), kThreads);
+  // ...but the error is not remembered: a fresh call retries and succeeds.
+  auto retry = sf.run(9, [] { return Result<int>(42); });
+  EXPECT_TRUE(retry.leader);
+  ASSERT_TRUE(retry.result.is_ok());
+  EXPECT_EQ(*retry.result, 42);
+}
+
+TEST(SingleFlightTest, ThrownStatusErrorDoesNotStrandWaiters) {
+  SingleFlight<int, int> sf;
+  auto outcome = sf.run(3, []() -> Result<int> {
+    throw util::StatusError(
+        util::Status(ErrorCode::kUnavailable, "link died"));
+  });
+  ASSERT_FALSE(outcome.result.is_ok());
+  EXPECT_EQ(outcome.result.status().code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(sf.in_flight(), 0u);
+}
+
+TEST(SingleFlightTest, DistinctKeysRunIndependently) {
+  SingleFlight<std::string, int> sf;
+  auto a = sf.run("a", [] { return Result<int>(1); });
+  auto b = sf.run("b", [] { return Result<int>(2); });
+  EXPECT_TRUE(a.leader);
+  EXPECT_TRUE(b.leader);
+  EXPECT_EQ(*a.result, 1);
+  EXPECT_EQ(*b.result, 2);
+}
+
+}  // namespace
+}  // namespace globe::cache

@@ -1,0 +1,68 @@
+// libFuzzer harness for the fetch_many wire codecs (DESIGN.md §12).  Both
+// directions decode bytes from the other side of a trust boundary: requests
+// arrive at object servers from arbitrary clients, responses arrive at
+// caches and importers from untrusted replicas.
+//
+// The input's first byte selects the direction; the rest is the payload.
+//
+// Properties checked beyond "does not crash / no ASan report":
+//   * accepted inputs round-trip: parse(serialize(parse(x))) succeeds and
+//     preserves the decoded view;
+//   * decoded batches respect the kFetchManyMaxElements bound (a hostile
+//     peer cannot smuggle an oversized batch past the parser);
+//   * absent items carry no payload bytes.
+//
+// Build with -DGLOBE_FUZZ=ON under Clang for the real fuzzer; otherwise a
+// replay main() turns the seed corpus into a ctest regression.
+#include <cstdint>
+
+#include "globedoc/fetch_many.hpp"
+#include "tests/fuzz/fuzz_corpus_main.hpp"
+#include "util/bytes.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using globe::globedoc::FetchManyRequest;
+  using globe::globedoc::FetchManyResponse;
+  using globe::globedoc::kFetchManyMaxElements;
+  if (size == 0) return 0;
+  globe::util::BytesView payload(data + 1, size - 1);
+
+  if ((data[0] & 1) == 0) {
+    auto req = FetchManyRequest::parse(payload);
+    if (!req.is_ok()) return 0;
+    if (req->names.empty() || req->names.size() > kFetchManyMaxElements) {
+      __builtin_trap();  // parser admitted an out-of-bounds batch
+    }
+    auto again = FetchManyRequest::parse(req->serialize());
+    if (!again.is_ok()) __builtin_trap();  // accepted but not re-parseable
+    if (again->oid != req->oid || again->include_cert != req->include_cert ||
+        again->names != req->names) {
+      __builtin_trap();  // round-trip changed the decoded view
+    }
+  } else {
+    auto resp = FetchManyResponse::parse(payload);
+    if (!resp.is_ok()) return 0;
+    if (resp->items.empty() || resp->items.size() > kFetchManyMaxElements) {
+      __builtin_trap();
+    }
+    auto again = FetchManyResponse::parse(resp->serialize());
+    if (!again.is_ok()) __builtin_trap();
+    if (again->certificate != resp->certificate ||
+        again->items.size() != resp->items.size()) {
+      __builtin_trap();
+    }
+    for (std::size_t i = 0; i < resp->items.size(); ++i) {
+      if (again->items[i].found != resp->items[i].found ||
+          again->items[i].element != resp->items[i].element) {
+        __builtin_trap();
+      }
+      if (!resp->items[i].found && !resp->items[i].element.empty()) {
+        __builtin_trap();  // absent item smuggled payload bytes
+      }
+    }
+  }
+  return 0;
+}
+
+GLOBE_FUZZ_REPLAY_MAIN(GLOBE_FUZZ_CORPUS_DIR)

@@ -12,6 +12,7 @@
 
 #include "crypto/drbg.hpp"
 #include "crypto/rsa.hpp"
+#include "globedoc/fetch_many.hpp"
 #include "globedoc/integrity.hpp"
 #include "globedoc/object.hpp"
 #include "naming/records.hpp"
@@ -57,6 +58,56 @@ int main(int argc, char** argv) {
     Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
     write_file(root / "integrity_cert" / "truncated.bin", truncated);
     write_file(root / "integrity_cert" / "empty.bin", Bytes{});
+  }
+
+  // --- fetch_many seeds ----------------------------------------------------
+  // The harness reads a direction byte first: 0x00 = request, 0x01 = response.
+  {
+    using globe::globedoc::FetchManyRequest;
+    using globe::globedoc::FetchManyResponse;
+    using globe::globedoc::Oid;
+    fs::create_directories(root / "fetch_many");
+    auto tag = [](std::uint8_t direction, const Bytes& wire) {
+      Bytes out;
+      out.reserve(wire.size() + 1);
+      out.push_back(direction);
+      out.insert(out.end(), wire.begin(), wire.end());
+      return out;
+    };
+
+    FetchManyRequest request;
+    request.oid = Oid::from_bytes(Bytes(Oid::kSize, 0xA5)).value();
+    request.include_cert = true;
+    request.names = {"index.html", "logo.gif"};
+    Bytes req_wire = request.serialize();
+    write_file(root / "fetch_many" / "request_two_names.bin",
+               tag(0x00, req_wire));
+    write_file(root / "fetch_many" / "request_truncated.bin",
+               tag(0x00, Bytes(req_wire.begin(),
+                               req_wire.begin() + req_wire.size() / 2)));
+
+    // Out-of-bounds batch sizes the parser must reject, as seeds so the
+    // fuzzer explores the boundary.
+    request.names.clear();
+    write_file(root / "fetch_many" / "request_empty_batch.bin",
+               tag(0x00, request.serialize()));
+    for (std::size_t i = 0; i <= globe::globedoc::kFetchManyMaxElements; ++i) {
+      request.names.push_back("el" + std::to_string(i));
+    }
+    write_file(root / "fetch_many" / "request_oversized_batch.bin",
+               tag(0x00, request.serialize()));
+
+    FetchManyResponse response;
+    response.certificate = globe::util::to_bytes("opaque-certificate-blob");
+    response.items.push_back({true, globe::util::to_bytes("element-bytes")});
+    response.items.push_back({false, {}});
+    Bytes resp_wire = response.serialize();
+    write_file(root / "fetch_many" / "response_cert_two_items.bin",
+               tag(0x01, resp_wire));
+    write_file(root / "fetch_many" / "response_truncated.bin",
+               tag(0x01, Bytes(resp_wire.begin(),
+                               resp_wire.begin() + resp_wire.size() / 2)));
+    write_file(root / "fetch_many" / "empty.bin", Bytes{});
   }
 
   // --- naming_record seeds -------------------------------------------------

@@ -1,0 +1,163 @@
+// Batched element retrieval (kFetchMany): codec round trips, server
+// handler behaviour, and hostile-input rejection.
+#include "globedoc/fetch_many.hpp"
+
+#include <gtest/gtest.h>
+
+#include "globedoc/element.hpp"
+#include "globedoc/integrity.hpp"
+#include "tests/globedoc/world_fixture.hpp"
+#include "util/serial.hpp"
+
+namespace globe::globedoc {
+namespace {
+
+using globe::globedoc::testing::WorldFixture;
+using util::ErrorCode;
+
+TEST(FetchManyCodecTest, RequestRoundTrips) {
+  FetchManyRequest request;
+  request.oid = Oid::from_bytes(util::Bytes(Oid::kSize, 0x7)).value();
+  request.include_cert = true;
+  request.names = {"index.html", "logo.gif"};
+
+  auto parsed = FetchManyRequest::parse(request.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->oid, request.oid);
+  EXPECT_TRUE(parsed->include_cert);
+  EXPECT_EQ(parsed->names, request.names);
+}
+
+TEST(FetchManyCodecTest, ResponseRoundTrips) {
+  FetchManyResponse response;
+  response.certificate = util::to_bytes("not-really-a-cert");
+  response.items.push_back({true, util::to_bytes("element-bytes")});
+  response.items.push_back({false, {}});
+
+  auto parsed = FetchManyResponse::parse(response.serialize());
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_TRUE(parsed->certificate.has_value());
+  EXPECT_EQ(*parsed->certificate, *response.certificate);
+  ASSERT_EQ(parsed->items.size(), 2u);
+  EXPECT_TRUE(parsed->items[0].found);
+  EXPECT_EQ(parsed->items[0].element, response.items[0].element);
+  EXPECT_FALSE(parsed->items[1].found);
+}
+
+TEST(FetchManyCodecTest, RejectsEmptyAndOversizedBatches) {
+  FetchManyRequest request;
+  request.oid = Oid::from_bytes(util::Bytes(Oid::kSize, 0x7)).value();
+
+  // Zero names: nothing to fetch, protocol error on the wire.
+  auto empty = FetchManyRequest::parse(request.serialize());
+  EXPECT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.code(), ErrorCode::kProtocol);
+
+  // One past the batch cap: a hostile client cannot demand unbounded work.
+  for (std::size_t i = 0; i <= kFetchManyMaxElements; ++i) {
+    request.names.push_back("el" + std::to_string(i));
+  }
+  auto oversized = FetchManyRequest::parse(request.serialize());
+  EXPECT_FALSE(oversized.is_ok());
+  EXPECT_EQ(oversized.code(), ErrorCode::kProtocol);
+}
+
+TEST(FetchManyCodecTest, RejectsTruncatedPayloads) {
+  FetchManyRequest request;
+  request.oid = Oid::from_bytes(util::Bytes(Oid::kSize, 0x7)).value();
+  request.names = {"index.html"};
+  util::Bytes wire = request.serialize();
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    auto parsed = FetchManyRequest::parse(
+        util::BytesView(wire.data(), cut));
+    EXPECT_FALSE(parsed.is_ok()) << "accepted a " << cut << "-byte prefix";
+  }
+
+  FetchManyResponse response;
+  response.items.push_back({true, util::to_bytes("x")});
+  util::Bytes resp_wire = response.serialize();
+  for (std::size_t cut = 0; cut < resp_wire.size(); ++cut) {
+    auto parsed = FetchManyResponse::parse(
+        util::BytesView(resp_wire.data(), cut));
+    EXPECT_FALSE(parsed.is_ok()) << "accepted a " << cut << "-byte prefix";
+  }
+}
+
+struct FetchManyServerTest : WorldFixture {};
+
+TEST_F(FetchManyServerTest, BatchReturnsElementsAndCertificate) {
+  FetchManyRequest request;
+  request.oid = owner->object().oid();
+  request.include_cert = true;
+  request.names = {"index.html", "story.txt", "no-such-element"};
+
+  auto response = fetch_many(*client_flow, server_ep, request);
+  ASSERT_TRUE(response.is_ok());
+  ASSERT_TRUE(response->certificate.has_value());
+  ASSERT_EQ(response->items.size(), 3u);
+  EXPECT_TRUE(response->items[0].found);
+  EXPECT_TRUE(response->items[1].found);
+  EXPECT_FALSE(response->items[2].found);
+
+  // The batch carries verifiable content: certificate parses, verifies
+  // under the object key, and each element passes its entry check.
+  auto certificate = IntegrityCertificate::parse(*response->certificate);
+  ASSERT_TRUE(certificate.is_ok());
+  auto snapshot = owner->object().snapshot();
+  auto object_key = crypto::RsaPublicKey::parse(snapshot.public_key);
+  ASSERT_TRUE(object_key.is_ok());
+  EXPECT_TRUE(certificate->verify_signature(*object_key));
+  auto element = PageElement::parse(response->items[1].element);
+  ASSERT_TRUE(element.is_ok());
+  EXPECT_TRUE(certificate
+                  ->check_element("story.txt", *element, client_flow->now())
+                  .is_ok());
+  EXPECT_EQ(util::to_string(element->content), "full text");
+}
+
+TEST_F(FetchManyServerTest, OneRoundTripNotOnePerElement) {
+  // The whole point: latency of a 3-element batch ≈ latency of one element
+  // (one request/response over the 5ms link, not three).
+  FetchManyRequest one;
+  one.oid = owner->object().oid();
+  one.names = {"index.html"};
+  util::SimTime t0 = client_flow->now();
+  ASSERT_TRUE(fetch_many(*client_flow, server_ep, one).is_ok());
+  const util::SimDuration single = client_flow->now() - t0;
+
+  FetchManyRequest three;
+  three.oid = owner->object().oid();
+  three.names = {"index.html", "logo.gif", "story.txt"};
+  t0 = client_flow->now();
+  ASSERT_TRUE(fetch_many(*client_flow, server_ep, three).is_ok());
+  const util::SimDuration batch = client_flow->now() - t0;
+
+  // Allow for the bigger payload's transfer time, but not 3 round trips.
+  EXPECT_LT(batch, 2 * single);
+}
+
+TEST_F(FetchManyServerTest, ClientRejectsOutOfRangeBatchSizes) {
+  FetchManyRequest request;
+  request.oid = owner->object().oid();
+  auto empty = fetch_many(*client_flow, server_ep, request);
+  EXPECT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.code(), ErrorCode::kInvalidArgument);
+
+  for (std::size_t i = 0; i <= kFetchManyMaxElements; ++i) {
+    request.names.push_back("el" + std::to_string(i));
+  }
+  auto oversized = fetch_many(*client_flow, server_ep, request);
+  EXPECT_FALSE(oversized.is_ok());
+  EXPECT_EQ(oversized.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FetchManyServerTest, UnknownObjectIsNotFound) {
+  FetchManyRequest request;
+  request.oid = Oid::from_bytes(util::Bytes(Oid::kSize, 0x55)).value();
+  request.names = {"index.html"};
+  auto response = fetch_many(*client_flow, server_ep, request);
+  EXPECT_FALSE(response.is_ok());
+}
+
+}  // namespace
+}  // namespace globe::globedoc

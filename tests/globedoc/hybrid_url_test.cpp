@@ -43,6 +43,28 @@ TEST(HybridUrlTest, MalformedRejected) {
   EXPECT_FALSE(parse_hybrid_url("").is_ok());
 }
 
+TEST(HybridUrlTest, QueryAndFragmentDecorationCanonicalized) {
+  // Elements are addressed by (object, element) alone: cache-busting query
+  // strings and fragments must not manufacture distinct upstream fetches.
+  for (const char* url : {"http://globe/news.vu.nl/logo.gif?v=2",
+                          "http://globe/news.vu.nl/logo.gif?a=1&b=2",
+                          "http://globe/news.vu.nl/logo.gif#top",
+                          "http://globe/news.vu.nl/logo.gif?v=2#top",
+                          "globe://news.vu.nl/logo.gif?cb=12345"}) {
+    auto parsed = parse_hybrid_url(url);
+    ASSERT_TRUE(parsed.is_ok()) << url;
+    EXPECT_EQ(parsed->object_name, "news.vu.nl") << url;
+    EXPECT_EQ(parsed->element_name, "logo.gif") << url;
+  }
+}
+
+TEST(HybridUrlTest, DecorationOnlyUrlsStayMalformed) {
+  // Stripping decoration must not make previously-invalid URLs valid.
+  EXPECT_FALSE(parse_hybrid_url("http://globe/object?query").is_ok());
+  EXPECT_FALSE(parse_hybrid_url("http://globe/object/?query").is_ok());
+  EXPECT_FALSE(parse_hybrid_url("http://globe/?/element").is_ok());
+}
+
 TEST(HybridUrlTest, RoundTripToString) {
   HybridUrl url{"news.vu.nl", "img/logo.gif"};
   auto parsed = parse_hybrid_url(url.to_string());
