@@ -18,6 +18,7 @@
 
 #include "util/mutex.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::cache {
 
@@ -32,7 +33,10 @@ class SingleFlight {
   /// Runs `fn` for `key`, or waits for the in-flight run and shares its
   /// result.  `fn` reports failures via Result; a StatusError escaping it
   /// is converted so waiters can never be stranded.
-  Outcome run(const Key& key, const std::function<util::Result<Value>()>& fn) {
+  /// Blocking: a coalesced waiter parks on the leader's condvar, and the
+  /// leader runs `fn` (typically a network fill) to completion.
+  GLOBE_BLOCKING Outcome run(const Key& key,
+                             const std::function<util::Result<Value>()>& fn) {
     std::shared_ptr<Flight> flight;
     {
       util::UniqueLock lock(mutex_);

@@ -28,6 +28,7 @@
 #include "util/bytes.hpp"
 #include "util/status.hpp"
 #include "util/taint_annotations.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::globedoc {
 
@@ -63,7 +64,7 @@ struct FetchManyResponse {
 
 /// One kFetchMany round trip against `replica`.  PROTOCOL when the reply
 /// does not echo one item per requested name.
-util::Result<FetchManyResponse> fetch_many(net::Transport& transport,
+GLOBE_BLOCKING util::Result<FetchManyResponse> fetch_many(net::Transport& transport,
                                            const net::Endpoint& replica,
                                            const FetchManyRequest& request);
 

@@ -5,6 +5,7 @@
 #include "http/message.hpp"
 #include "net/transport.hpp"
 #include "util/taint_annotations.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::http {
 
@@ -14,11 +15,11 @@ class HttpClient {
 
   /// GETs `path` from the server at `ep`.  The response is plain HTTP:
   /// nothing about it is authenticated.
-  GLOBE_UNTRUSTED util::Result<HttpResponse> get(const net::Endpoint& ep,
+  GLOBE_BLOCKING GLOBE_UNTRUSTED util::Result<HttpResponse> get(const net::Endpoint& ep,
                                                  const std::string& path);
 
   /// Sends an arbitrary request.  Response is untrusted (see get()).
-  GLOBE_UNTRUSTED util::Result<HttpResponse> request(const net::Endpoint& ep,
+  GLOBE_BLOCKING GLOBE_UNTRUSTED util::Result<HttpResponse> request(const net::Endpoint& ep,
                                                      const HttpRequest& req);
 
   net::Transport& transport() { return *transport_; }

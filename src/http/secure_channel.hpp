@@ -26,6 +26,7 @@
 #include "http/message.hpp"
 #include "net/transport.hpp"
 #include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::http {
 
@@ -76,8 +77,10 @@ class SecureHttpClient {
   SecureHttpClient(net::Transport& transport, std::string expected_name,
                    std::uint64_t rng_seed);
 
-  util::Result<HttpResponse> get(const net::Endpoint& ep, const std::string& path);
-  util::Result<HttpResponse> request(const net::Endpoint& ep, const HttpRequest& req);
+  GLOBE_BLOCKING util::Result<HttpResponse> get(const net::Endpoint& ep,
+                                                const std::string& path);
+  GLOBE_BLOCKING util::Result<HttpResponse> request(const net::Endpoint& ep,
+                                                    const HttpRequest& req);
 
   /// Drops all sessions; next request pays a full handshake (models the
   /// per-connection handshakes of era HTTPS clients).

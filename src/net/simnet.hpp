@@ -39,6 +39,7 @@
 #include "net/transport.hpp"
 #include "util/clock.hpp"
 #include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::net {
 
@@ -137,8 +138,8 @@ class SimNet {
 /// A client session with its own virtual clock.  Implements Transport.
 class SimFlow final : public Transport {
  public:
-  util::Result<util::Bytes> call(const Endpoint& ep,
-                                 util::BytesView request) override;
+  GLOBE_BLOCKING util::Result<util::Bytes> call(const Endpoint& ep,
+                                                util::BytesView request) override;
   util::SimTime now() const override { return now_; }
   void charge(CpuOp op, std::uint64_t amount) override;
   HostId local_host() const override { return host_; }

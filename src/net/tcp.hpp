@@ -14,6 +14,7 @@
 
 #include "net/transport.hpp"
 #include "util/thread_pool.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::net {
 
@@ -53,8 +54,8 @@ class TcpTransport final : public Transport {
 
   /// recv() path of the live transport: the response bytes come straight
   /// off a socket (GLOBE_UNTRUSTED inherited from Transport::call).
-  GLOBE_UNTRUSTED util::Result<util::Bytes> call(const Endpoint& ep,
-                                                 util::BytesView request) override;
+  GLOBE_BLOCKING GLOBE_UNTRUSTED util::Result<util::Bytes> call(
+      const Endpoint& ep, util::BytesView request) override;
   util::SimTime now() const override { return clock_.now(); }
   void charge(CpuOp, std::uint64_t) override {}  // wall clock ticks by itself
   HostId local_host() const override { return HostId{0}; }

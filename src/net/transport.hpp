@@ -17,6 +17,7 @@
 #include "util/clock.hpp"
 #include "util/status.hpp"
 #include "util/taint_annotations.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::net {
 
@@ -55,7 +56,9 @@ class Transport {
   /// nothing is bound at `ep` or the link is down.  The reply crossed the
   /// wire from a host we do not control: every byte of it is untrusted
   /// until a verification entry point has vouched for it (DESIGN.md §9).
-  GLOBE_UNTRUSTED virtual util::Result<util::Bytes> call(const Endpoint& ep,
+  /// Blocking: parks the calling flow until the reply arrives; must not be
+  /// reached while any mutex is held (tools/conc_check.py, DESIGN.md §13).
+  GLOBE_BLOCKING GLOBE_UNTRUSTED virtual util::Result<util::Bytes> call(const Endpoint& ep,
                                                          util::BytesView request) = 0;
 
   /// Current time of this flow.

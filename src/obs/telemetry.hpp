@@ -46,6 +46,7 @@
 #include "rpc/rpc.hpp"
 #include "util/mutex.hpp"
 #include "util/taint_annotations.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::obs {
 
@@ -127,7 +128,9 @@ class TelemetryAggregator {
   /// target under a "scrape_round" trace (one child span per target), and
   /// appends the round to the ring.  Thread-compatible like a client flow:
   /// call from one driving thread.
-  void scrape_round(net::Transport& transport) GLOBE_EXCLUDES(mutex_);
+  /// Blocking: one RPC per fleet target.  Targets are snapshotted under
+  /// the lock; the RPCs themselves run with no lock held.
+  GLOBE_BLOCKING void scrape_round(net::Transport& transport) GLOBE_EXCLUDES(mutex_);
 
   /// Per-node series of the latest round (fresh nodes only, node=/role=
   /// labels guaranteed) plus cluster-level aggregates with node/role labels

@@ -14,6 +14,7 @@
 #include "globedoc/object.hpp"
 #include "globedoc/server.hpp"
 #include "net/transport.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::replication {
 
@@ -36,7 +37,7 @@ struct PullResult {
 ///   HASH_MISMATCH  — some element does not match its certificate entry
 ///   EXPIRED        — the fetched certificate is already stale
 ///   INVALID_ARGUMENT — source state is not newer than local_version
-util::Result<PullResult> pull_replica(net::Transport& transport,
+GLOBE_BLOCKING util::Result<PullResult> pull_replica(net::Transport& transport,
                                       const net::Endpoint& source,
                                       const globedoc::Oid& oid,
                                       globedoc::ObjectServer& local,

@@ -35,6 +35,7 @@
 #include "util/serial.hpp"
 #include "util/taint_annotations.hpp"
 #include "util/status.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::rpc {
 
@@ -102,7 +103,8 @@ class RpcClient {
       : transport_(&transport), endpoint_(endpoint) {}
 
   /// Reply payloads originate at a remote, possibly malicious, party.
-  GLOBE_UNTRUSTED util::Result<util::Bytes> call(std::uint16_t service,
+  /// Blocking: one full round trip on the underlying transport.
+  GLOBE_BLOCKING GLOBE_UNTRUSTED util::Result<util::Bytes> call(std::uint16_t service,
                                                  std::uint16_t method,
                                                  util::BytesView payload) const;
 

@@ -118,7 +118,7 @@ class CondVar {
   /// Atomically releases `lock`, waits, and reacquires before returning.
   /// The caller keeps holding the capability from the analysis' point of
   /// view, which matches the predicate-loop usage pattern.
-  void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
+  GLOBE_BLOCKING void wait(UniqueLock& lock) { cv_.wait(lock.lock_); }
 
   void notify_one() noexcept { cv_.notify_one(); }
   void notify_all() noexcept { cv_.notify_all(); }

@@ -73,3 +73,21 @@
 /// Runtime-checked assertion that the capability is held (trusted by the
 /// analysis from this point on).
 #define GLOBE_ASSERT_CAPABILITY(x) GLOBE_THREAD_ANNOTATION(assert_capability(x))
+
+// ---------------------------------------------------------------------------
+// Blocking annotation (consumed by tools/conc_check.py, DESIGN.md §13).
+//
+// Marks a function that can park the calling thread for an unbounded time:
+// transport sends, RPC round trips, condition-variable waits, coalesced-miss
+// waits, sleeps.  conc_check.py propagates blocking-ness transitively through
+// the call graph and reports any path that reaches a blocking call while a
+// non-exempt mutex is held (the one modeled exemption is a condvar wait on
+// its own lock).  Unlike the capability macros above, this expands under ANY
+// clang — it is a plain `annotate` attribute, not a thread-safety one — so
+// the taint/conc analysis lanes see it even without -DGLOBE_THREAD_SAFETY.
+
+#if defined(__clang__)
+#define GLOBE_BLOCKING [[clang::annotate("globe::blocking")]]
+#else
+#define GLOBE_BLOCKING
+#endif

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace globe::util {
 
@@ -34,7 +35,7 @@ class ThreadPool {
   }
 
   /// Blocks until every queued and running task completes.
-  void wait_idle() GLOBE_EXCLUDES(mutex_);
+  GLOBE_BLOCKING void wait_idle() GLOBE_EXCLUDES(mutex_);
 
   std::size_t size() const { return workers_.size(); }
 

@@ -245,6 +245,83 @@ TEST_F(TierFixture, ConcurrentFillAndEvictionIsRaceFree) {
   EXPECT_LE(tier.element_cache().size(), 2u);
 }
 
+TEST_F(TierFixture, EvictionListenerReentersReplicatorDuringDelayedInsert) {
+  // A one-entry cache makes every pump-driven insert displace the previous
+  // entry, so the eviction listener (running under the CACHE lock) calls
+  // DelayedReplicator::cancel (taking the REPLICATOR lock) while that same
+  // replicator is mid-pump.  This is the cache → replicator order of
+  // tools/lock_hierarchy.txt exercised from inside the replicator's own
+  // insert path: if pump ever held its mutex across cache_->insert, the
+  // reentrant cancel would self-deadlock right here.
+  TierConfig config = tier_config();
+  config.cache.max_entries = 1;
+  EdgeCacheTier tier(config);
+  auto cert = current_cert();
+
+  ASSERT_TRUE(tier.fetch_through(*client_flow, server_ep, oid(), cert,
+                                 "index.html")
+                  .is_ok());
+  ASSERT_EQ(tier.replicator().pending(), 1u);
+  ASSERT_EQ(tier.element_cache().size(), 1u);
+
+  auto stats = tier.run_delayed_pulls(*client_flow);
+  // Both siblings were pulled; each insert displaced the previous entry and
+  // fired the listener with the cache lock held.
+  EXPECT_EQ(stats.elements_pulled, 2u);
+  EXPECT_EQ(stats.elements_failed, 0u);
+  EXPECT_EQ(tier.replicator().pending(), 0u);
+  EXPECT_EQ(tier.element_cache().size(), 1u);
+  EXPECT_EQ(
+      registry.counter("cache.evictions", {{"reason", "capacity"}}).value(),
+      2u);
+}
+
+TEST_F(TierFixture, ConcurrentPumpAndEvictionKeepsLockOrder) {
+  // TSan-exercised variant: pumps (replicator inserting into the cache),
+  // fills (cache inserting + scheduling) and explicit evictions (listener
+  // cancelling into the replicator) race on a one-entry cache.  Any lock
+  // nesting that disagrees with cache → replicator shows up as a TSan
+  // deadlock/race report or a hang under the tsan lane.
+  TierConfig config = tier_config();
+  config.cache.max_entries = 1;
+  EdgeCacheTier tier(config);
+  auto cert = current_cert();
+
+  const std::vector<std::string> names = {"index.html", "logo.gif",
+                                          "story.txt"};
+  constexpr int kIters = 25;
+  auto puller_flow = net.open_flow(client_host);
+  auto filler_flow = net.open_flow(client_host);
+  std::atomic<int> errors{0};
+
+  std::thread filler([&] {
+    for (int it = 0; it < kIters; ++it) {
+      auto result = tier.fetch_through(*filler_flow, server_ep, oid(), cert,
+                                       names[it % names.size()]);
+      if (!result.is_ok()) errors.fetch_add(1);
+    }
+  });
+  std::thread puller([&] {
+    for (int it = 0; it < kIters; ++it) {
+      tier.run_delayed_pulls(*puller_flow);
+      std::this_thread::yield();
+    }
+  });
+  std::thread evictor([&] {
+    for (int it = 0; it < kIters; ++it) {
+      const auto& name = names[it % names.size()];
+      tier.element_cache().erase(CacheKey{oid(), name, cert.find(name)->sha1});
+      std::this_thread::yield();
+    }
+  });
+  filler.join();
+  puller.join();
+  evictor.join();
+
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_LE(tier.element_cache().size(), 1u);
+}
+
 // --- Proxy integration ------------------------------------------------------
 
 TEST_F(TierFixture, CertificateVerifiedOncePerDocumentNotPerElement) {

@@ -1,0 +1,13 @@
+// Compile-SHOULD-FAIL fixture (under Clang): proves GLOBE_BLOCKING really
+// expands to the [[clang::annotate("globe::blocking")]] attribute rather
+// than silently to nothing.  An attribute is ill-formed in expression
+// position, so if the macro expands this TU does not compile — which is
+// what the conc lane asserts.  If it ever compiles under Clang, the macro
+// has gone vacuous and every GLOBE_BLOCKING annotation in src/ is dead:
+// conc_check's clang frontend would stop seeing the blocking surface.
+//
+// Under non-Clang compilers the macro is empty by design and this TU
+// compiles; the check is only meaningful (and only wired up) for Clang.
+#include "util/thread_annotations.hpp"
+
+int probe = GLOBE_BLOCKING 1;

@@ -1,0 +1,29 @@
+// Two ranked locks acquired outer-before-inner: respects the hierarchy.
+// CONC-HIERARCHY: 10 test.Outer.mu_
+// CONC-HIERARCHY: 20 test.Inner.mu_
+// CONC-EXPECT: clean
+#include "_prelude.h"
+
+class Inner {
+ public:
+  void poke() {
+    util::LockGuard g(mu_);
+    ++n_;
+  }
+
+ private:
+  util::Mutex mu_;
+  int n_ = 0;
+};
+
+class Outer {
+ public:
+  void drive() {
+    util::LockGuard g(mu_);
+    inner_.poke();
+  }
+
+ private:
+  util::Mutex mu_;
+  Inner inner_;
+};

@@ -1,0 +1,30 @@
+// Same two locks, nested against the declared ranks: inner held while the
+// outer lock is acquired.
+// CONC-HIERARCHY: 10 test.Outer2.mu_
+// CONC-HIERARCHY: 20 test.Inner2.mu_
+// CONC-EXPECT: flag kind=order detail=test.Outer2.mu_
+#include "_prelude.h"
+
+class Outer2 {
+ public:
+  void poke() {
+    util::LockGuard g(mu_);
+    ++n_;
+  }
+
+ private:
+  util::Mutex mu_;
+  int n_ = 0;
+};
+
+class Inner2 {
+ public:
+  void drive() {
+    util::LockGuard g(mu_);
+    outer_.poke();  // acquires rank 10 while holding rank 20
+  }
+
+ private:
+  util::Mutex mu_;
+  Outer2 outer_;
+};

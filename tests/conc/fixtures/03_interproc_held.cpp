@@ -1,0 +1,30 @@
+// The violating acquisition happens one call away: f holds A.mu_ and calls
+// into B, whose method takes B.mu_ — and the declared ranks say B is outer.
+// CONC-HIERARCHY: 10 test.B3.mu_
+// CONC-HIERARCHY: 20 test.A3.mu_
+// CONC-EXPECT: flag kind=order detail=test.B3.mu_
+#include "_prelude.h"
+
+class B3 {
+ public:
+  void record() {
+    util::LockGuard g(mu_);
+    ++hits_;
+  }
+
+ private:
+  util::Mutex mu_;
+  int hits_ = 0;
+};
+
+class A3 {
+ public:
+  void serve() {
+    util::LockGuard g(mu_);
+    sink_.record();  // interprocedural: B3.mu_ acquired while A3.mu_ held
+  }
+
+ private:
+  util::Mutex mu_;
+  B3 sink_;
+};

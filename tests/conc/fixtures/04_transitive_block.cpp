@@ -1,0 +1,21 @@
+// Two-hop blocking leak: the lock holder calls a helper that calls another
+// helper that finally hits the annotated blocking primitive.
+// CONC-EXPECT: flag kind=block detail=test.Store4.mu_
+#include "_prelude.h"
+
+GLOBE_BLOCKING void rpc_round_trip();
+
+void relay() { rpc_round_trip(); }
+
+void shuttle() { relay(); }
+
+class Store4 {
+ public:
+  void refresh() {
+    util::LockGuard g(mu_);
+    shuttle();  // blocks two hops down, with mu_ still held
+  }
+
+ private:
+  util::Mutex mu_;
+};

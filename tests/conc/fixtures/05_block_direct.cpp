@@ -1,0 +1,17 @@
+// The simplest hazard: an annotated blocking call made directly under a
+// LockGuard.
+// CONC-EXPECT: flag kind=block detail=test.Store5.mu_
+#include "_prelude.h"
+
+GLOBE_BLOCKING void fetch_from_origin();
+
+class Store5 {
+ public:
+  void fill() {
+    util::LockGuard g(mu_);
+    fetch_from_origin();
+  }
+
+ private:
+  util::Mutex mu_;
+};

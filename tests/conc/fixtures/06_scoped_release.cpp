@@ -1,0 +1,21 @@
+// Correct narrow critical section: the guard lives in an inner block and is
+// released before the blocking call runs.
+// CONC-EXPECT: clean
+#include "_prelude.h"
+
+GLOBE_BLOCKING void fetch_from_origin();
+
+class Store6 {
+ public:
+  void fill() {
+    {
+      util::LockGuard g(mu_);
+      ++pending_;
+    }
+    fetch_from_origin();  // lock already dropped
+  }
+
+ private:
+  util::Mutex mu_;
+  int pending_ = 0;
+};

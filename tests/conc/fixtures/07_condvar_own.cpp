@@ -1,0 +1,17 @@
+// The modeled exemption: a condvar wait releases its OWN lock while parked,
+// so waiting under that lock alone is not a finding.
+// CONC-EXPECT: clean
+#include "_prelude.h"
+
+class Queue7 {
+ public:
+  void drain() {
+    util::UniqueLock lk(mu_);
+    while (busy_ > 0) cv_.wait(lk);
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int busy_ = 0;
+};

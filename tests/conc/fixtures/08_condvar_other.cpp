@@ -1,0 +1,21 @@
+// The exemption does NOT extend to other locks: waiting on cv_/mu_ while a
+// second mutex stays held parks the thread with reg_mu_ locked.
+// CONC-HIERARCHY: 10 test.Queue8.reg_mu_
+// CONC-HIERARCHY: 20 test.Queue8.mu_
+// CONC-EXPECT: flag kind=block detail=test.Queue8.reg_mu_
+#include "_prelude.h"
+
+class Queue8 {
+ public:
+  void drain_registered() {
+    util::LockGuard reg(reg_mu_);
+    util::UniqueLock lk(mu_);
+    while (busy_ > 0) cv_.wait(lk);  // reg_mu_ held across the park
+  }
+
+ private:
+  util::Mutex reg_mu_;
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int busy_ = 0;
+};

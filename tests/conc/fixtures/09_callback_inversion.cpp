@@ -1,0 +1,35 @@
+// Order inversion smuggled through a callback: the listener is registered
+// from Owner9, Emitter9 fires it under its own lock, and the listener then
+// takes Owner9's lock — against the declared ranks.
+// CONC-HIERARCHY: 10 test.Owner9.mu_
+// CONC-HIERARCHY: 20 test.Emitter9.mu_
+// CONC-EXPECT: flag kind=order detail=test.Owner9.mu_
+#include "_prelude.h"
+
+class Emitter9 {
+ public:
+  void set_listener(const std::function<void()>& cb) { cb_ = cb; }
+
+  void fire() {
+    util::LockGuard g(mu_);
+    cb_();  // runs the registered listener with mu_ held
+  }
+
+ private:
+  util::Mutex mu_;
+  std::function<void()> cb_;
+};
+
+class Owner9 {
+ public:
+  void attach(Emitter9& e) {
+    e.set_listener([this] {
+      util::LockGuard g(mu_);  // rank 10 acquired under rank 20
+      ++events_;
+    });
+  }
+
+ private:
+  util::Mutex mu_;
+  int events_ = 0;
+};

@@ -1,0 +1,20 @@
+// Manual lock()/unlock() pairs are tracked like guards: the blocking call
+// happens after the explicit unlock, so nothing is held.
+// CONC-EXPECT: clean
+#include "_prelude.h"
+
+GLOBE_BLOCKING void push_upstream();
+
+class Store10 {
+ public:
+  void flush() {
+    mu_.lock();
+    ++epoch_;
+    mu_.unlock();
+    push_upstream();
+  }
+
+ private:
+  util::Mutex mu_;
+  int epoch_ = 0;
+};

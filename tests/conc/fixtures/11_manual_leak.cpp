@@ -1,0 +1,18 @@
+// Manually locked, then blocked before the unlock: the held-set tracking
+// must not assume RAII.
+// CONC-EXPECT: flag kind=block detail=test.Store11.mu_
+#include "_prelude.h"
+
+GLOBE_BLOCKING void push_upstream();
+
+class Store11 {
+ public:
+  void flush() {
+    mu_.lock();
+    push_upstream();  // still holding mu_
+    mu_.unlock();
+  }
+
+ private:
+  util::Mutex mu_;
+};

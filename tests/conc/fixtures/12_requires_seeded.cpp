@@ -1,0 +1,16 @@
+// GLOBE_REQUIRES(mu_) seeds the held set: a _locked helper that blocks is a
+// finding even though no guard appears in its own body.
+// CONC-EXPECT: flag kind=block detail=test.Store12.mu_
+#include "_prelude.h"
+
+GLOBE_BLOCKING void fetch_from_origin();
+
+class Store12 {
+ public:
+  void fill_locked() GLOBE_REQUIRES(mu_) {
+    fetch_from_origin();  // caller holds mu_ by contract
+  }
+
+ private:
+  util::Mutex mu_;
+};

@@ -1,0 +1,21 @@
+// Re-acquiring a RecursiveMutex through a nested call is legal — no
+// self-deadlock finding for the recursive kind.
+// CONC-EXPECT: clean
+#include "_prelude.h"
+
+class Counter13 {
+ public:
+  void bump() {
+    util::RecursiveLockGuard g(mu_);
+    bump_locked();
+  }
+
+  void bump_locked() {
+    util::RecursiveLockGuard g(mu_);
+    ++n_;
+  }
+
+ private:
+  util::RecursiveMutex mu_;
+  int n_ = 0;
+};

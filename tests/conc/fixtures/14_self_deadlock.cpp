@@ -1,0 +1,20 @@
+// Re-acquiring a plain Mutex through a nested call self-deadlocks.
+// CONC-EXPECT: flag kind=deadlock detail=test.Counter14.mu_
+#include "_prelude.h"
+
+class Counter14 {
+ public:
+  void bump() {
+    util::LockGuard g(mu_);
+    bump_again();
+  }
+
+  void bump_again() {
+    util::LockGuard g(mu_);  // same non-recursive mutex, already held
+    ++n_;
+  }
+
+ private:
+  util::Mutex mu_;
+  int n_ = 0;
+};

@@ -1,0 +1,29 @@
+// An acquisition edge that touches a mutex missing from the hierarchy file
+// is its own finding — new locks cannot silently join the graph.
+// CONC-HIERARCHY: 10 test.Ranked15.mu_
+// CONC-EXPECT: flag kind=unranked detail=test.Stray15.mu_
+#include "_prelude.h"
+
+class Stray15 {
+ public:
+  void poke() {
+    util::LockGuard g(mu_);
+    ++n_;
+  }
+
+ private:
+  util::Mutex mu_;  // deliberately absent from the declared hierarchy
+  int n_ = 0;
+};
+
+class Ranked15 {
+ public:
+  void drive() {
+    util::LockGuard g(mu_);
+    stray_.poke();
+  }
+
+ private:
+  util::Mutex mu_;
+  Stray15 stray_;
+};

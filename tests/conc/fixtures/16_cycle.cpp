@@ -1,0 +1,45 @@
+// Two methods nest the same pair of locks in opposite orders: the inverted
+// side violates the ranks, and the acquisition graph has a cycle.
+// CONC-HIERARCHY: 10 test.Left16.mu_
+// CONC-HIERARCHY: 20 test.Right16.mu_
+// CONC-EXPECT: flag kind=order detail=test.Left16.mu_
+// CONC-EXPECT: flag kind=cycle detail=test.Left16.mu_
+#include "_prelude.h"
+
+class Left16;
+
+class Right16 {
+ public:
+  void poke() {
+    util::LockGuard g(mu_);
+    ++n_;
+  }
+
+  void backward(Left16& l);
+
+ private:
+  util::Mutex mu_;
+  int n_ = 0;
+};
+
+class Left16 {
+ public:
+  void forward(Right16& r) {
+    util::LockGuard g(mu_);
+    r.poke();  // Left -> Right: legal, 10 before 20
+  }
+
+  void poke() {
+    util::LockGuard g(mu_);
+    ++n_;
+  }
+
+ private:
+  util::Mutex mu_;
+  int n_ = 0;
+};
+
+inline void Right16::backward(Left16& l) {
+  util::LockGuard g(mu_);
+  l.poke();  // Right -> Left: inverts the ranks and closes the cycle
+}

@@ -1,0 +1,18 @@
+// Blocking with nothing held is the normal case, not a finding.
+// CONC-EXPECT: clean
+#include "_prelude.h"
+
+GLOBE_BLOCKING void rpc_round_trip();
+
+class Client17 {
+ public:
+  void roundtrip() {
+    rpc_round_trip();
+    util::LockGuard g(mu_);
+    ++done_;
+  }
+
+ private:
+  util::Mutex mu_;
+  int done_ = 0;
+};

@@ -1,0 +1,32 @@
+// A condvar wait is exempt for its own lock but still makes the waiting
+// function a blocking primitive for its CALLERS: parking under someone
+// else's lock is a finding at the call site.
+// CONC-HIERARCHY: 10 test.Caller18.mu_
+// CONC-HIERARCHY: 20 test.Parker18.mu_
+// CONC-EXPECT: flag kind=block detail=test.Caller18.mu_
+#include "_prelude.h"
+
+class Parker18 {
+ public:
+  void wait_done() {
+    util::UniqueLock lk(mu_);
+    while (busy_ > 0) cv_.wait(lk);  // clean here: own lock only
+  }
+
+ private:
+  util::Mutex mu_;
+  util::CondVar cv_;
+  int busy_ = 0;
+};
+
+class Caller18 {
+ public:
+  void drain() {
+    util::LockGuard g(mu_);
+    parker_.wait_done();  // parks with Caller18.mu_ held
+  }
+
+ private:
+  util::Mutex mu_;
+  Parker18 parker_;
+};

@@ -1,0 +1,20 @@
+// A lambda routed through a std::function parameter and invoked with no
+// lock held: callback binding must not invent a hazard.
+// CONC-EXPECT: clean
+#include "_prelude.h"
+
+class Runner19 {
+ public:
+  void run_cb(const std::function<void()>& cb) { cb(); }
+
+  void go() {
+    run_cb([this] {
+      util::LockGuard g(mu_);
+      ++n_;
+    });
+  }
+
+ private:
+  util::Mutex mu_;
+  int n_ = 0;
+};

@@ -1,0 +1,19 @@
+// conc_check's GLOBE_BLOCKING marker shares declarations with the taint
+// annotations (e.g. Transport::call is GLOBE_BLOCKING GLOBE_UNTRUSTED).
+// The taint scan must read through it: it is not a source, not a sink, and
+// must not hide the annotation standing next to it.
+// TAINT-EXPECT: flag source=recv_reply sink=install_state
+#include "_prelude.h"
+namespace fix {
+
+GLOBE_BLOCKING GLOBE_UNTRUSTED Bytes recv_reply();
+GLOBE_BLOCKING void push_upstream(const Bytes& out);
+void install_state(GLOBE_TRUSTED_SINK Bytes state);
+
+void pull() {
+  Bytes raw = recv_reply();   // still recognized as a source next to BLOCKING
+  push_upstream(raw);         // GLOBE_BLOCKING alone must NOT make a sink
+  install_state(raw);         // the one real finding
+}
+
+}  // namespace fix

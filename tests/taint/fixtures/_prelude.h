@@ -3,10 +3,12 @@
 #pragma once
 #if defined(__clang__)
 #define GLOBE_UNTRUSTED [[clang::annotate("globe::untrusted")]]
+#define GLOBE_BLOCKING [[clang::annotate("globe::blocking")]]
 #define GLOBE_SANITIZER [[clang::annotate("globe::sanitizer")]]
 #define GLOBE_TRUSTED_SINK [[clang::annotate("globe::trusted_sink")]]
 #else
 #define GLOBE_UNTRUSTED
+#define GLOBE_BLOCKING
 #define GLOBE_SANITIZER
 #define GLOBE_TRUSTED_SINK
 #endif

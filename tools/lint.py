@@ -39,6 +39,13 @@ Documents"):
                  spec that can never observe data — a typo there silently
                  disables the alert it defines.
 
+  lock-rank      Every util::Mutex / util::RecursiveMutex class member in
+                 src/ must hold a rank in tools/lock_hierarchy.txt, so a new
+                 mutex cannot join the lock-acquisition graph unranked and
+                 invisible to tools/conc_check.py's order checking (DESIGN.md
+                 §13).  Scanning is shared with conc_check so the two tools
+                 can never disagree about what counts as a mutex member.
+
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage errors.
 Run `tools/lint.py --self-test` to verify every check still fires on seeded
 violations.
@@ -303,12 +310,44 @@ def check_slo_catalog(violations: list[str]) -> None:
                     )
 
 
+LOCK_HIERARCHY = "tools/lock_hierarchy.txt"
+
+
+def check_lock_hierarchy(violations: list[str]) -> None:
+    """Every mutex member in src/ must be ranked in the lock hierarchy."""
+    # Reuse conc_check's scanner (same directory) so lint and the analyzer
+    # agree, byte for byte, on what a mutex member and its lock id are.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    try:
+        import conc_check
+    finally:
+        sys.path.pop(0)
+    ranks = conc_check.load_hierarchy(str(REPO / LOCK_HIERARCHY))
+    for path in iter_sources():
+        rel = relpath(path)
+        if not rel.startswith("src/"):
+            continue
+        prog = conc_check.Program()
+        text = conc_check._strip_comments(
+            path.read_text(encoding="utf-8", errors="replace"))
+        conc_check._harvest_mutexes(text, rel, prog)
+        for lock_id, info in sorted(prog.mutexes.items()):
+            if lock_id not in ranks:
+                violations.append(
+                    f"{rel}:{info['line']}: [lock-rank] mutex member "
+                    f"\"{lock_id}\" has no rank in {LOCK_HIERARCHY} — run "
+                    "`tools/conc_check.py --edges src` to place it, then "
+                    f"add a `<rank> {lock_id}` line"
+                )
+
+
 def run_lint() -> int:
     violations: list[str] = []
     for path in iter_sources():
         check_file(path, violations)
     check_metric_catalog(violations)
     check_slo_catalog(violations)
+    check_lock_hierarchy(violations)
     for v in violations:
         print(v)
     if violations:
@@ -453,6 +492,38 @@ SELF_TEST_CASES = [
         '  // spec.metric = "proxy.fetchez" would be flagged\n',
         None,
     ),
+    # The self-test hierarchy (see run_self_test) ranks exactly one lock:
+    # `util.Ranked.mu_`.
+    (
+        "unranked mutex member fires",
+        "src/util/widget.hpp",
+        "class Widget {\n  mutable util::Mutex mu_;\n};\n",
+        "lock-rank",
+    ),
+    (
+        "unranked recursive mutex fires",
+        "src/cache/widget.hpp",
+        "class Widget {\n  util::RecursiveMutex mu_;\n};\n",
+        "lock-rank",
+    ),
+    (
+        "ranked mutex member clean",
+        "src/util/ranked.hpp",
+        "class Ranked {\n  mutable util::Mutex mu_;\n};\n",
+        None,
+    ),
+    (
+        "mutex outside src clean",
+        "tests/util/widget_test.cpp",
+        "class Widget {\n  util::Mutex mu_;\n};\n",
+        None,
+    ),
+    (
+        "mutex in comment clean",
+        "src/util/widget.hpp",
+        "class Widget {\n  // util::Mutex mu_; (gone since PR 3)\n};\n",
+        None,
+    ),
 ]
 
 
@@ -471,6 +542,11 @@ def run_self_test() -> int:
             catalog = root / METRIC_CATALOG
             catalog.parent.mkdir(parents=True, exist_ok=True)
             catalog.write_text("# Metric catalog\n\n`proxy.fetches`\n")
+            # Minimal lock hierarchy so lock-rank cases can distinguish a
+            # ranked mutex from an unranked one.
+            hierarchy = root / LOCK_HIERARCHY
+            hierarchy.parent.mkdir(parents=True, exist_ok=True)
+            hierarchy.write_text("10 util.Ranked.mu_  # self-test seed\n")
             violations: list[str] = []
             global REPO
             saved_repo = REPO
@@ -479,6 +555,7 @@ def run_self_test() -> int:
                 check_file(target, violations)
                 check_metric_catalog(violations)
                 check_slo_catalog(violations)
+                check_lock_hierarchy(violations)
             finally:
                 REPO = saved_repo
             tags = {re.search(r"\[([\w-]+)\]", v).group(1) for v in violations}

@@ -209,7 +209,8 @@ _KEYWORDS = {
 
 _QUAL_MACROS = {"GLOBE_EXCLUDES", "GLOBE_REQUIRES", "GLOBE_GUARDED_BY",
                 "GLOBE_PT_GUARDED_BY", "GLOBE_ACQUIRE", "GLOBE_RELEASE",
-                "GLOBE_NO_THREAD_SAFETY_ANALYSIS", "GLOBE_SCOPED_CAPABILITY"}
+                "GLOBE_NO_THREAD_SAFETY_ANALYSIS", "GLOBE_SCOPED_CAPABILITY",
+                "GLOBE_BLOCKING"}  # conc_check's marker: noise to taint
 
 _CONTROL = {"if", "for", "while", "switch", "catch", "else", "do", "try"}
 
