@@ -29,6 +29,7 @@
 #include "globedoc/integrity.hpp"
 #include "globedoc/oid.hpp"
 #include "net/transport.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 
 namespace globe::cache {
@@ -85,7 +86,7 @@ class DelayedReplicator {
   Config config_;
   ElementCache* cache_;
   mutable util::Mutex mutex_;
-  std::deque<Task> queue_ GLOBE_GUARDED_BY(mutex_);
+  std::deque<Task> queue_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
   std::uint64_t dropped_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 

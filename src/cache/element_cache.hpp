@@ -23,6 +23,7 @@
 #include "cache/cache_key.hpp"
 #include "globedoc/element.hpp"
 #include "util/clock.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 #include "util/taint_annotations.hpp"
 
@@ -94,8 +95,8 @@ class ElementCache {
   Config config_;
   EvictionListener listener_;  // set before use, then read-only
   mutable util::Mutex mutex_;
-  std::map<CacheKey, Entry> entries_ GLOBE_GUARDED_BY(mutex_);
-  std::list<CacheKey> lru_ GLOBE_GUARDED_BY(mutex_);  // front = most recent
+  std::map<CacheKey, Entry> entries_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
+  std::list<CacheKey> lru_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);  // front = most recent
   std::uint64_t bytes_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 

@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "util/mutex.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/status.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -87,7 +88,7 @@ class SingleFlight {
 
   mutable util::Mutex mutex_;
   util::CondVar cv_;
-  std::map<Key, std::shared_ptr<Flight>> flights_ GLOBE_GUARDED_BY(mutex_);
+  std::map<Key, std::shared_ptr<Flight>> flights_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
   std::uint64_t coalesced_waiters_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 

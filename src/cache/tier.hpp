@@ -31,6 +31,7 @@
 #include "cache/single_flight.hpp"
 #include "globedoc/cache_iface.hpp"
 #include "obs/metrics.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 
 namespace globe::cache {
@@ -84,8 +85,8 @@ class EdgeCacheTier final : public globedoc::ElementCacheTier {
   SingleFlight<CacheKey, EdgeFill> flights_;
 
   util::Mutex seen_mutex_;
-  std::set<globedoc::Oid> seen_oids_ GLOBE_GUARDED_BY(seen_mutex_);
-  std::deque<globedoc::Oid> seen_order_ GLOBE_GUARDED_BY(seen_mutex_);
+  std::set<globedoc::Oid> seen_oids_ GLOBE_BOUNDED GLOBE_GUARDED_BY(seen_mutex_);
+  std::deque<globedoc::Oid> seen_order_ GLOBE_BOUNDED GLOBE_GUARDED_BY(seen_mutex_);
 
   // cache.* metric family (nullptr when unmetered).
   obs::Counter* hits_ = nullptr;

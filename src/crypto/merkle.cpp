@@ -91,8 +91,9 @@ MerkleProof MerkleProof::parse(BytesView data) {
   util::Reader r(data);
   MerkleProof proof;
   proof.leaf_index = r.u32();
-  std::uint32_t n = r.u32();
-  proof.steps.reserve(std::min<std::uint32_t>(n, 64));  // wire-supplied count
+  std::uint32_t n = util::checked_count(
+      r.u32(), static_cast<std::uint32_t>(kMaxMerkleProofSteps));
+  proof.steps.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
     MerkleProofStep step;
     step.sibling_is_left = r.u8() != 0;

@@ -17,6 +17,10 @@
 
 namespace globe::crypto {
 
+/// Protocol ceiling on inclusion-proof length.  A 64-step proof covers 2^64
+/// leaves; a peer claiming more is lying, and parse() rejects it outright.
+inline constexpr std::size_t kMaxMerkleProofSteps = 64;
+
 struct MerkleProofStep {
   util::Bytes sibling;   // 20-byte SHA-1 digest
   bool sibling_is_left;  // true when the sibling is the left child

@@ -83,9 +83,18 @@ Result<RsaPublicKey> RsaPublicKey::parse(BytesView data) {
   try {
     util::Reader r(data);
     RsaPublicKey key;
-    key.n = BigInt::from_bytes(r.bytes());
-    key.e = BigInt::from_bytes(r.bytes());
+    Bytes n_bytes = r.bytes();
+    Bytes e_bytes = r.bytes();
     r.expect_end();
+    if (n_bytes.size() > kMaxRsaModulusBytes ||
+        e_bytes.size() > kMaxRsaModulusBytes) {
+      return Result<RsaPublicKey>(
+          ErrorCode::kProtocol,
+          "RSA key component exceeds " +
+              std::to_string(kMaxRsaModulusBytes * 8) + " bits");
+    }
+    key.n = BigInt::from_bytes(n_bytes);
+    key.e = BigInt::from_bytes(e_bytes);
     if (key.n.is_zero() || key.e.is_zero()) {
       return Result<RsaPublicKey>(ErrorCode::kProtocol, "RSA key with zero component");
     }
@@ -109,7 +118,14 @@ Result<RsaPrivateKey> RsaPrivateKey::parse(BytesView data) {
     RsaPrivateKey key;
     for (BigInt* v : {&key.n, &key.e, &key.d, &key.p, &key.q, &key.dp, &key.dq,
                       &key.qinv}) {
-      *v = BigInt::from_bytes(r.bytes());
+      Bytes component = r.bytes();
+      if (component.size() > kMaxRsaModulusBytes) {
+        return Result<RsaPrivateKey>(
+            ErrorCode::kProtocol,
+            "RSA key component exceeds " +
+                std::to_string(kMaxRsaModulusBytes * 8) + " bits");
+      }
+      *v = BigInt::from_bytes(component);
     }
     r.expect_end();
     return key;

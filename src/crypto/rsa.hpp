@@ -9,6 +9,7 @@
 #include <cstdint>
 
 #include "crypto/bigint.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/bytes.hpp"
 #include "util/rng.hpp"
 #include "util/status.hpp"
@@ -16,12 +17,21 @@
 
 namespace globe::crypto {
 
+/// Hard ceiling on an RSA modulus decoded off the wire: 8192 bits.  parse()
+/// rejects anything larger as a protocol error, so a peer cannot make the
+/// verifier allocate or exponentiate against an absurd modulus.
+inline constexpr std::size_t kMaxRsaModulusBytes = 1024;
+
 struct RsaPublicKey {
   BigInt n;  // modulus
   BigInt e;  // public exponent
 
-  /// Size of the modulus in bytes (= signature/ciphertext size).
-  std::size_t modulus_bytes() const { return (n.bit_length() + 7) / 8; }
+  /// Size of the modulus in bytes (= signature/ciphertext size).  Length
+  /// guard: parse() rejects moduli beyond kMaxRsaModulusBytes, so for any
+  /// wire-decoded key the result is capped by construction.
+  GLOBE_LENGTH_GUARD std::size_t modulus_bytes() const {
+    return (n.bit_length() + 7) / 8;
+  }
 
   /// Canonical wire encoding: len-prefixed big-endian n, then e.
   util::Bytes serialize() const;

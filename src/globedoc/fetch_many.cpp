@@ -28,12 +28,11 @@ Result<FetchManyRequest> FetchManyRequest::parse(BytesView data) {
     if (!oid.is_ok()) return oid.status();
     req.oid = *oid;
     req.include_cert = r.u8() != 0;
-    std::uint32_t n = r.u32();
-    if (n == 0 || n > kFetchManyMaxElements) {
-      return Result<FetchManyRequest>(
-          ErrorCode::kProtocol,
-          "fetch_many batch size " + std::to_string(n) + " out of [1, " +
-              std::to_string(kFetchManyMaxElements) + "]");
+    std::uint32_t n = util::checked_count(
+        r.u32(), static_cast<std::uint32_t>(kFetchManyMaxElements));
+    if (n == 0) {
+      return Result<FetchManyRequest>(ErrorCode::kProtocol,
+                                      "fetch_many batch is empty");
     }
     req.names.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) req.names.push_back(r.str());
@@ -61,12 +60,11 @@ Result<FetchManyResponse> FetchManyResponse::parse(BytesView data) {
     util::Reader r(data);
     FetchManyResponse resp;
     if (r.u8() != 0) resp.certificate = r.bytes();
-    std::uint32_t n = r.u32();
-    if (n == 0 || n > kFetchManyMaxElements) {
-      return Result<FetchManyResponse>(
-          ErrorCode::kProtocol,
-          "fetch_many reply item count " + std::to_string(n) + " out of [1, " +
-              std::to_string(kFetchManyMaxElements) + "]");
+    std::uint32_t n = util::checked_count(
+        r.u32(), static_cast<std::uint32_t>(kFetchManyMaxElements));
+    if (n == 0) {
+      return Result<FetchManyResponse>(ErrorCode::kProtocol,
+                                       "fetch_many reply is empty");
     }
     resp.items.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {

@@ -104,8 +104,9 @@ Result<IntegrityCertificate> IntegrityCertificate::parse(BytesView data) {
     if (!oid.is_ok()) return oid.status();
     cert.oid_ = *oid;
     cert.version_ = rb.u64();
-    std::uint32_t n = rb.u32();
-    cert.entries_.reserve(std::min<std::uint32_t>(n, 1024));  // wire-supplied
+    std::uint32_t n = util::checked_count(
+        rb.u32(), static_cast<std::uint32_t>(kMaxCertificateEntries));
+    cert.entries_.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       ElementEntry e;
       e.name = rb.str();

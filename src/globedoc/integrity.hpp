@@ -24,6 +24,11 @@
 
 namespace globe::globedoc {
 
+/// Protocol ceiling on page elements per object (and so on entries per
+/// integrity certificate).  parse() rejects certificates claiming more as a
+/// protocol error before allocating anything for them.
+inline constexpr std::size_t kMaxCertificateEntries = 1024;
+
 struct ElementEntry {
   std::string name;
   util::Bytes sha1;            // 20-byte digest of the serialized element

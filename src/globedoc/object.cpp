@@ -45,15 +45,17 @@ Result<ReplicaState> ReplicaState::parse(BytesView data) {
     auto cert = IntegrityCertificate::parse(r.bytes());
     if (!cert.is_ok()) return cert.status();
     state.certificate = std::move(*cert);
-    std::uint32_t n_ids = r.u32();
-    state.identity_certs.reserve(std::min<std::uint32_t>(n_ids, 64));
+    std::uint32_t n_ids = util::checked_count(
+        r.u32(), static_cast<std::uint32_t>(kMaxIdentityCerts));
+    state.identity_certs.reserve(n_ids);
     for (std::uint32_t i = 0; i < n_ids; ++i) {
       auto id = IdentityCertificate::parse(r.bytes());
       if (!id.is_ok()) return id.status();
       state.identity_certs.push_back(std::move(*id));
     }
-    std::uint32_t n_els = r.u32();
-    state.elements.reserve(std::min<std::uint32_t>(n_els, 1024));
+    std::uint32_t n_els = util::checked_count(
+        r.u32(), static_cast<std::uint32_t>(kMaxCertificateEntries));
+    state.elements.reserve(n_els);
     for (std::uint32_t i = 0; i < n_els; ++i) {
       auto el = PageElement::parse(r.bytes());
       if (!el.is_ok()) return el.status();

@@ -18,6 +18,11 @@
 
 namespace globe::globedoc {
 
+/// Protocol ceiling on identity certificates per replica state.  parse()
+/// rejects states claiming more as a protocol error, never allocating for
+/// the claimed count.
+inline constexpr std::size_t kMaxIdentityCerts = 64;
+
 /// Everything a replica stores (paper §3.2.2: "every server that hosts
 /// GlobeDoc replicas is required to store all of the object's page elements
 /// and the object's integrity certificate").

@@ -39,6 +39,7 @@
 #include "net/transport.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
+#include "util/bounds_annotations.hpp"
 #include "obs/trace.hpp"
 #include "util/taint_annotations.hpp"
 
@@ -223,8 +224,8 @@ class GlobeDocProxy {
   // EXACT raw bytes of (serialized object key, serialized certificate), so a
   // memo hit replays a verification of byte-identical inputs — no weaker
   // than re-running it.  Only successes are remembered; bounded FIFO.
-  std::set<std::pair<util::Bytes, util::Bytes>> cert_verify_memo_;
-  std::deque<std::pair<util::Bytes, util::Bytes>> cert_verify_memo_order_;
+  std::set<std::pair<util::Bytes, util::Bytes>> cert_verify_memo_ GLOBE_BOUNDED;
+  std::deque<std::pair<util::Bytes, util::Bytes>> cert_verify_memo_order_ GLOBE_BOUNDED;
 };
 
 }  // namespace globe::globedoc

@@ -656,9 +656,10 @@ Result<std::vector<Oid>> AdminClient::list_replicas() {
   if (!raw.is_ok()) return raw.status();
   try {
     util::Reader r(*raw);
-    std::uint32_t n = r.u32();
+    std::uint32_t n = util::checked_count(
+        r.u32(), static_cast<std::uint32_t>(kMaxListReplicas));
     std::vector<Oid> oids;
-    oids.reserve(std::min<std::uint32_t>(n, 1024));  // wire-supplied count
+    oids.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
       auto oid = Oid::from_bytes(r.raw(Oid::kSize));
       if (!oid.is_ok()) return oid.status();

@@ -28,6 +28,7 @@
 #include "rpc/rpc.hpp"
 #include "util/mutex.hpp"
 #include "util/taint_annotations.hpp"
+#include "util/bounds_annotations.hpp"
 
 namespace globe::obs {
 class AdminHttpServer;  // obs/admin.hpp
@@ -58,6 +59,11 @@ enum AdminMethod : std::uint16_t {
   kListReplicas = 5,   // {} -> u32 n, n × oid20
   kNegotiate = 6,      // {u64 bytes, u64 lease_ns} -> HostingGrant
 };
+
+/// Protocol ceiling on OIDs in a kListReplicas reply (~1.25 MiB of OIDs).
+/// AdminClient::list_replicas rejects replies claiming more as protocol
+/// errors before allocating for the claimed count.
+inline constexpr std::size_t kMaxListReplicas = 65536;
 
 /// Resource limitations a server administrator imposes on hosted replicas
 /// (the hosting-negotiation extension sketched in the paper's §6).
@@ -182,10 +188,10 @@ class ObjectServer {
   mutable util::Mutex mutex_;
   crypto::HmacDrbg nonce_rng_ GLOBE_GUARDED_BY(mutex_);
   // authorized serialized public keys
-  std::set<util::Bytes> keystore_ GLOBE_GUARDED_BY(mutex_);
-  std::set<util::Bytes> outstanding_nonces_ GLOBE_GUARDED_BY(mutex_);
+  std::set<util::Bytes> keystore_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
+  std::set<util::Bytes> outstanding_nonces_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
   // FIFO for bounded nonce eviction
-  std::deque<util::Bytes> nonce_order_ GLOBE_GUARDED_BY(mutex_);
+  std::deque<util::Bytes> nonce_order_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
   std::map<Oid, ReplicaState> replicas_ GLOBE_GUARDED_BY(mutex_);
   // oid -> serialized creator key
   std::map<Oid, util::Bytes> creators_ GLOBE_GUARDED_BY(mutex_);

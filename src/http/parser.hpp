@@ -5,6 +5,7 @@
 
 #include "http/message.hpp"
 #include "util/status.hpp"
+#include "util/bounds_annotations.hpp"
 
 namespace globe::http {
 
@@ -35,7 +36,7 @@ class MessageFramer {
   util::Status try_extract();
 
   util::Bytes buffer_;
-  std::vector<util::Bytes> complete_;
+  std::vector<util::Bytes> complete_ GLOBE_BOUNDED;
   std::size_t max_message_ = 64u * 1024 * 1024;
 };
 

@@ -25,6 +25,7 @@
 #include "crypto/rsa.hpp"
 #include "http/message.hpp"
 #include "net/transport.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -99,7 +100,7 @@ class SecureHttpClient {
   net::Transport* transport_;
   std::string expected_name_;
   crypto::HmacDrbg rng_;
-  std::unordered_map<net::Endpoint, ClientSession> sessions_;
+  std::unordered_map<net::Endpoint, ClientSession> sessions_ GLOBE_BOUNDED;
   std::size_t handshakes_ = 0;
 };
 

@@ -93,8 +93,9 @@ Result<LookupReply> LookupReply::parse(BytesView data) {
     util::Reader r(data);
     LookupReply reply;
     reply.found = r.u8() != 0;
-    std::uint32_t n = r.u32();
-    reply.addresses.reserve(std::min<std::uint32_t>(n, 64));  // wire-supplied
+    std::uint32_t n = util::checked_count(
+        r.u32(), static_cast<std::uint32_t>(kMaxLookupAddresses));
+    reply.addresses.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) reply.addresses.push_back(read_endpoint(r));
     reply.has_parent = r.u8() != 0;
     reply.parent = read_endpoint(r);
@@ -229,6 +230,15 @@ Result<Bytes> LocationNode::handle_insert(net::ServerContext& ctx, BytesView pay
   {
     util::LockGuard lock(mutex_);
     auto& set = addresses_[req->oid];
+    // Without this cap a node could accumulate more addresses than
+    // LookupReply::parse accepts and every compliant client would start
+    // rejecting its replies.
+    if (set.size() >= kMaxLookupAddresses && set.count(req->address) == 0) {
+      return Result<Bytes>(ErrorCode::kInvalidArgument,
+                           "object already has " +
+                               std::to_string(kMaxLookupAddresses) +
+                               " registered addresses");
+    }
     first_for_oid = set.empty();
     set.insert(req->address);
   }

@@ -39,6 +39,10 @@ enum LocationMethod : std::uint16_t {
   kRemovePointer = 5,  // {oid, child domain}   (tree-internal)
 };
 
+/// Protocol ceiling on replica addresses per lookup reply.  parse() rejects
+/// replies claiming more as a protocol error before allocating for them.
+inline constexpr std::size_t kMaxLookupAddresses = 64;
+
 struct LookupReply {
   bool found = false;
   std::vector<net::Endpoint> addresses;  // when found

@@ -46,6 +46,7 @@
 #include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 #include "util/taint_annotations.hpp"
 
@@ -103,7 +104,7 @@ class AdminHttpServer {
   AdminConfig config_;
   mutable util::Mutex mutex_;
   std::vector<std::pair<std::string, HealthProbe>> checks_
-      GLOBE_GUARDED_BY(mutex_);
+      GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
 };
 
 }  // namespace globe::obs

@@ -26,6 +26,7 @@
 
 #include "obs/trace.hpp"
 #include "util/mutex.hpp"
+#include "util/bounds_annotations.hpp"
 
 namespace globe::obs {
 
@@ -97,10 +98,10 @@ class TraceCollector final : public TraceSink {
   TailSamplingPolicy policy_ GLOBE_GUARDED_BY(mutex_);
   // Fragments waiting for their trace's root, in arrival order per trace.
   std::map<TraceKey, std::vector<TraceFragment>> pending_
-      GLOBE_GUARDED_BY(mutex_);
-  std::deque<TraceKey> pending_order_ GLOBE_GUARDED_BY(mutex_);
+      GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
+  std::deque<TraceKey> pending_order_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
   std::size_t pending_count_ GLOBE_GUARDED_BY(mutex_) = 0;
-  std::deque<StitchedTrace> ring_ GLOBE_GUARDED_BY(mutex_);  // oldest first
+  std::deque<StitchedTrace> ring_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);  // oldest first
   std::uint64_t seen_ GLOBE_GUARDED_BY(mutex_) = 0;
   std::uint64_t kept_ GLOBE_GUARDED_BY(mutex_) = 0;
 };

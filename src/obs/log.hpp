@@ -21,6 +21,7 @@
 
 #include "obs/trace.hpp"
 #include "util/clock.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 
 namespace globe::obs {
@@ -82,7 +83,7 @@ class EventLog {
 
   mutable util::Mutex mutex_;
   EventLevel min_level_ GLOBE_GUARDED_BY(mutex_) = EventLevel::kDebug;
-  std::deque<EventRecord> ring_ GLOBE_GUARDED_BY(mutex_);  // oldest first
+  std::deque<EventRecord> ring_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);  // oldest first
   std::uint64_t emitted_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 

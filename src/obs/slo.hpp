@@ -31,6 +31,7 @@
 #include "obs/metrics.hpp"
 #include "obs/telemetry.hpp"
 #include "util/clock.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 
 namespace globe::obs {
@@ -128,8 +129,8 @@ class SloEvaluator {
   Gauge* pending_;
 
   mutable util::Mutex mutex_;
-  std::vector<SloSpec> specs_ GLOBE_GUARDED_BY(mutex_);
-  std::map<InstanceKey, AlertState> instances_ GLOBE_GUARDED_BY(mutex_);
+  std::vector<SloSpec> specs_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
+  std::map<InstanceKey, AlertState> instances_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
 };
 
 }  // namespace globe::obs

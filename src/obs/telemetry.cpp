@@ -110,13 +110,8 @@ Result<Snapshot> decode_snapshot(BytesView data) {
                               "unsupported snapshot version " +
                                   std::to_string(version));
     }
-    std::uint32_t n = r.u32();
-    if (n > kMaxSeries) {
-      return Result<Snapshot>(ErrorCode::kProtocol,
-                              "snapshot claims " + std::to_string(n) +
-                                  " series (cap " +
-                                  std::to_string(kMaxSeries) + ")");
-    }
+    std::uint32_t n = util::checked_count(
+        r.u32(), static_cast<std::uint32_t>(kMaxSeries));
     Snapshot snap;
     snap.samples.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) {
@@ -154,16 +149,10 @@ Result<Snapshot> decode_snapshot(BytesView data) {
                                 "non-finite value for " + s.name);
       }
       if (s.kind == MetricSample::Kind::kHistogram) {
-        std::uint8_t bounds = r.u8();
-        if (bounds + std::size_t{1} > kMaxBuckets) {
-          return Result<Snapshot>(ErrorCode::kProtocol,
-                                  "histogram claims " +
-                                      std::to_string(bounds) +
-                                      " bounds (cap " +
-                                      std::to_string(kMaxBuckets - 1) + ")");
-        }
+        std::uint32_t bounds = util::checked_count(
+            r.u8(), static_cast<std::uint32_t>(kMaxBuckets - 1));
         s.bounds.reserve(bounds);
-        for (std::uint8_t b = 0; b < bounds; ++b) {
+        for (std::uint32_t b = 0; b < bounds; ++b) {
           double bound = get_f64(r);
           if (!std::isfinite(bound) ||
               (!s.bounds.empty() && bound <= s.bounds.back())) {

@@ -45,6 +45,7 @@
 #include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
 #include "util/mutex.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/taint_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -210,9 +211,9 @@ class TelemetryAggregator {
   Gauge* nodes_stale_;
 
   mutable util::Mutex mutex_;
-  std::vector<ScrapeTarget> targets_ GLOBE_GUARDED_BY(mutex_);
-  std::map<std::string, NodeStatus> status_ GLOBE_GUARDED_BY(mutex_);
-  std::deque<Round> ring_ GLOBE_GUARDED_BY(mutex_);  // oldest first
+  std::vector<ScrapeTarget> targets_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
+  std::map<std::string, NodeStatus> status_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
+  std::deque<Round> ring_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);  // oldest first
   std::uint64_t round_count_ GLOBE_GUARDED_BY(mutex_) = 0;
 };
 

@@ -36,6 +36,7 @@
 
 #include "util/clock.hpp"
 #include "util/serial.hpp"
+#include "util/bounds_annotations.hpp"
 
 namespace globe::obs {
 
@@ -190,9 +191,9 @@ class Tracer {
   std::uint64_t root_parent_ = 0;      // parent span id of the open root
   bool sampled_ = true;
   TraceContext enclosing_;             // thread context saved at root open
-  std::vector<SpanRecord> finished_;
+  std::vector<SpanRecord> finished_ GLOBE_BOUNDED;
   std::unique_ptr<SpanRecord> root_;   // in-progress root (stable address)
-  std::vector<SpanRecord*> stack_;     // open spans, outermost first
+  std::vector<SpanRecord*> stack_ GLOBE_BOUNDED;     // open spans, outermost first
 };
 
 }  // namespace globe::obs

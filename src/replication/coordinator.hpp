@@ -12,6 +12,7 @@
 #include "globedoc/owner.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "util/bounds_annotations.hpp"
 
 namespace globe::replication {
 
@@ -62,7 +63,7 @@ class DynamicReplicator {
   globedoc::ObjectOwner* owner_;
   net::Transport* transport_;
   Config config_;
-  std::map<std::string, RegionState> regions_;
+  std::map<std::string, RegionState> regions_ GLOBE_BOUNDED;
   obs::Counter* replicas_created_;
   obs::Counter* replicas_retired_;
   obs::Gauge* replica_gauge_;

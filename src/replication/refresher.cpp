@@ -83,13 +83,13 @@ Result<PullResult> pull_replica(net::Transport& transport,
   // to clients while only the parsed form was checked against the OID.
   state.public_key = object_key->serialize();
   state.certificate = *certificate;
-  state.elements.reserve(certificate->entries().size());
+  const auto& entries = certificate->entries();
+  state.elements.reserve(entries.size());
   // Batched pull: one element/fetch_many round trip per kFetchManyMaxElements
   // entries instead of one RPC per element — the wire win the edge-cache
   // tier's fill path shares (DESIGN.md §12).  Verification is unchanged:
   // every element is still checked individually against its certificate
   // entry, so a tampered item in a batch rejects the whole pull.
-  const auto& entries = certificate->entries();
   for (std::size_t base = 0; base < entries.size();
        base += globedoc::kFetchManyMaxElements) {
     globedoc::FetchManyRequest batch_req;

@@ -34,6 +34,7 @@
 #include "util/bytes.hpp"
 #include "util/serial.hpp"
 #include "util/taint_annotations.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/status.hpp"
 #include "util/thread_annotations.hpp"
 
@@ -87,7 +88,7 @@ class ServiceDispatcher {
  private:
   mutable util::Mutex mutex_;
   std::map<std::pair<std::uint16_t, std::uint16_t>, MethodFn> methods_
-      GLOBE_GUARDED_BY(mutex_);
+      GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
   obs::TraceSink* trace_sink_ GLOBE_GUARDED_BY(mutex_) = nullptr;
   std::string trace_host_ GLOBE_GUARDED_BY(mutex_);
 };

@@ -1,0 +1,40 @@
+// Resource-bound annotations (DESIGN.md §14).
+//
+// The paper treats replicas, the Location Service and the naming service as
+// untrusted, so every length or count field decoded off the wire is
+// attacker-controlled.  Two macros let tools/bounds_check.py prove the two
+// resource invariants over the whole call graph:
+//
+//   GLOBE_LENGTH_GUARD  on a function: calling it validates its size/count
+//                       arguments against an enforced ceiling (rejecting —
+//                       not silently clamping — anything beyond it); after
+//                       the call those values, and the call's result, are
+//                       safe to pass to an allocation-sized call
+//                       (resize/reserve/assign/count-construction).  The
+//                       canonical guards are util::checked_count (explicit
+//                       protocol ceiling) and util::Reader::need (bounds a
+//                       length against the bytes actually present in the
+//                       input).
+//
+//   GLOBE_BOUNDED       on a container data member of a long-lived class
+//                       (servers, caches, replication and observability
+//                       state): declares that every growth path
+//                       (push_back/emplace/insert/append) is paired with an
+//                       enforced capacity check or eviction.  Every
+//                       GLOBE_BOUNDED member must be ranked with its ceiling
+//                       in tools/capacity_bounds.txt (tools/lint.py enforces
+//                       the registry and the annotations agree both ways).
+//
+// Under Clang the macros expand to [[clang::annotate]] attributes read by
+// the libclang frontend of tools/bounds_check.py; under other compilers they
+// expand to nothing and the analyzer's lite frontend recognizes the macro
+// tokens directly in the source text.  Zero runtime cost either way.
+#pragma once
+
+#if defined(__clang__)
+#define GLOBE_LENGTH_GUARD [[clang::annotate("globe::length_guard")]]
+#define GLOBE_BOUNDED [[clang::annotate("globe::bounded")]]
+#else
+#define GLOBE_LENGTH_GUARD
+#define GLOBE_BOUNDED
+#endif

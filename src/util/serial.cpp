@@ -90,6 +90,14 @@ Bytes Reader::raw(std::size_t n) {
   return out;
 }
 
+std::uint32_t checked_count(std::uint32_t n, std::uint32_t max_n) {
+  if (n > max_n) {
+    throw SerialError("wire count " + std::to_string(n) +
+                      " exceeds protocol ceiling " + std::to_string(max_n));
+  }
+  return n;
+}
+
 void Reader::expect_end() const {
   if (!at_end()) {
     throw SerialError("trailing garbage: " + std::to_string(remaining()) +

@@ -11,6 +11,7 @@
 #include <string>
 #include <string_view>
 
+#include "util/bounds_annotations.hpp"
 #include "util/bytes.hpp"
 
 namespace globe::util {
@@ -64,9 +65,18 @@ class Reader {
   void expect_end() const;
 
  private:
-  void need(std::size_t n) const;
+  /// Rejects any read of n bytes beyond what the input actually holds, so
+  /// every Reader allocation is bounded by the input size.
+  GLOBE_LENGTH_GUARD void need(std::size_t n) const;
   BytesView data_;
   std::size_t pos_ = 0;
 };
+
+/// Validates a wire-decoded element count against a protocol ceiling.
+/// Throws SerialError (mapped to a protocol error by every parse path) when
+/// the count exceeds max_n — the message is rejected outright, never
+/// silently truncated, and nothing is allocated for it.
+GLOBE_LENGTH_GUARD std::uint32_t checked_count(std::uint32_t n,
+                                               std::uint32_t max_n);
 
 }  // namespace globe::util

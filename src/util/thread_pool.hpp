@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "util/mutex.hpp"
+#include "util/bounds_annotations.hpp"
 #include "util/thread_annotations.hpp"
 
 namespace globe::util {
@@ -46,8 +47,8 @@ class ThreadPool {
   Mutex mutex_;
   CondVar cv_;
   CondVar idle_cv_;
-  std::deque<std::function<void()>> queue_ GLOBE_GUARDED_BY(mutex_);
-  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
+  std::vector<std::thread> workers_ GLOBE_BOUNDED;
   std::size_t active_ GLOBE_GUARDED_BY(mutex_) = 0;
   bool stop_ GLOBE_GUARDED_BY(mutex_) = false;
 };

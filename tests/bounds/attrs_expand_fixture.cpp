@@ -1,0 +1,14 @@
+// Compile-SHOULD-FAIL fixture (under Clang): proves GLOBE_LENGTH_GUARD and
+// GLOBE_BOUNDED really expand to [[clang::annotate(...)]] attributes rather
+// than silently to nothing.  An attribute is ill-formed in expression
+// position, so if either macro expands this TU does not compile — which is
+// what the bounds lane asserts.  If it ever compiles under Clang, the
+// macros have gone vacuous and every annotation in src/ is dead:
+// bounds_check's clang frontend would see no guards and no declared bounds.
+//
+// Under non-Clang compilers the macros are empty by design and this TU
+// compiles; the check is only meaningful (and only wired up) for Clang.
+#include "util/bounds_annotations.hpp"
+
+int guard_probe = GLOBE_LENGTH_GUARD 1;
+int bounded_probe = GLOBE_BOUNDED 2;

@@ -1,0 +1,9 @@
+// Untrusted entry parameter flows straight into a resize: the canonical
+// untrusted-size allocation.
+// BOUNDS-EXPECT: flag kind=alloc detail=alloc:resize
+#include "_prelude.h"
+
+void handle_frame(GLOBE_UNTRUSTED unsigned n) {
+  std::vector<int> frame;
+  frame.resize(n);
+}

@@ -1,0 +1,12 @@
+// The size passes a GLOBE_LENGTH_GUARD clamp first; the guarded value is a
+// validated size and the allocation is clean.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+GLOBE_LENGTH_GUARD unsigned clamp_count(unsigned n, unsigned max_n);
+
+void handle_frame(GLOBE_UNTRUSTED unsigned n) {
+  unsigned m = clamp_count(n, 1024);
+  std::vector<int> frame;
+  frame.resize(m);
+}

@@ -1,0 +1,11 @@
+// A decoded length field off a tainted wire buffer reaches reserve().
+// BOUNDS-EXPECT: flag kind=alloc detail=alloc:reserve
+#include "_prelude.h"
+
+GLOBE_UNTRUSTED Bytes recv_payload();
+
+void decode() {
+  Bytes wire = recv_payload();
+  std::vector<int> items;
+  items.reserve(wire.u32());
+}

@@ -1,0 +1,16 @@
+// The untrusted size is laundered through a plain helper's return value;
+// the fixpoint carries the source across the call.
+// BOUNDS-EXPECT: flag kind=alloc detail=alloc:resize
+#include "_prelude.h"
+
+GLOBE_UNTRUSTED Bytes recv_payload();
+
+unsigned frame_count() {
+  Bytes wire = recv_payload();
+  return wire.u32();
+}
+
+void decode() {
+  std::vector<int> frames;
+  frames.resize(frame_count());
+}

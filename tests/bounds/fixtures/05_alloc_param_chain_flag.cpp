@@ -1,0 +1,17 @@
+// The allocation happens two hops below the taint: caller -> grow -> fill.
+// The alloc-param summary propagates the sink up the call chain.
+// BOUNDS-EXPECT: flag kind=alloc detail=alloc:resize
+#include "_prelude.h"
+
+void fill(std::vector<int>& out, unsigned n) {
+  out.resize(n);
+}
+
+void grow(std::vector<int>& out, unsigned n) {
+  fill(out, n);
+}
+
+void handle(GLOBE_UNTRUSTED unsigned n) {
+  std::vector<int> items;
+  grow(items, n);
+}

@@ -1,0 +1,16 @@
+// The callee clamps its size parameter before allocating, so passing it an
+// untrusted size is fine: the guard summary marks the parameter validated.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+GLOBE_LENGTH_GUARD unsigned clamp_count(unsigned n, unsigned max_n);
+
+void fill(std::vector<int>& out, unsigned n) {
+  unsigned m = clamp_count(n, 4096);
+  out.resize(m);
+}
+
+void handle(GLOBE_UNTRUSTED unsigned n) {
+  std::vector<int> items;
+  fill(items, n);
+}

@@ -1,0 +1,10 @@
+// Count-constructing a buffer with an attacker-decoded length.
+// BOUNDS-EXPECT: flag kind=alloc detail=alloc:Bytes-ctor
+#include "_prelude.h"
+
+GLOBE_UNTRUSTED Bytes recv_payload();
+
+void decode() {
+  Bytes wire = recv_payload();
+  Bytes out(wire.u32(), 0);
+}

@@ -1,0 +1,11 @@
+// The guard's return value feeds the allocation with no intermediate
+// variable; a guard's result is a validated size by contract.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+GLOBE_LENGTH_GUARD unsigned clamp_count(unsigned n, unsigned max_n);
+
+void handle(GLOBE_UNTRUSTED unsigned n) {
+  std::vector<int> items;
+  items.resize(clamp_count(n, 256));
+}

@@ -1,0 +1,15 @@
+// Guarded once, then overwritten from the wire again: the second decode
+// re-taints the variable and the allocation must flag.
+// BOUNDS-EXPECT: flag kind=alloc detail=alloc:resize
+#include "_prelude.h"
+
+GLOBE_UNTRUSTED Bytes recv_payload();
+GLOBE_LENGTH_GUARD unsigned clamp_count(unsigned n, unsigned max_n);
+
+void decode() {
+  Bytes wire = recv_payload();
+  unsigned n = clamp_count(wire.u32(), 64);
+  n = wire.u32();
+  std::vector<int> items;
+  items.resize(n);
+}

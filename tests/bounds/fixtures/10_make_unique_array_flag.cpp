@@ -1,0 +1,9 @@
+// make_unique<T[]> with an untrusted element count is an allocation-sized
+// call; the array form is what distinguishes it from single-object news.
+// BOUNDS-EXPECT: flag kind=alloc detail=alloc:make_unique
+#include "_prelude.h"
+
+void handle(GLOBE_UNTRUSTED unsigned n) {
+  auto buf = std::make_unique<char[]>(n);
+  (void)buf;
+}

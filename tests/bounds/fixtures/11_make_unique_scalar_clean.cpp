@@ -1,0 +1,11 @@
+// Single-object make_unique forwards the value to a constructor; it does
+// not size an allocation, however tainted the argument.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+struct Widget {};
+
+void handle(GLOBE_UNTRUSTED unsigned n) {
+  auto w = std::make_unique<Widget>(n);
+  (void)w;
+}

@@ -1,0 +1,13 @@
+// Reserving by the *received* buffer's size() is input-bounded: the bytes
+// already arrived, so the allocation cannot exceed what the transport
+// delivered.  size() and friends are metadata filters, not decoded sizes.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+GLOBE_UNTRUSTED Bytes recv_payload();
+
+void decode() {
+  Bytes wire = recv_payload();
+  std::vector<int> items;
+  items.reserve(wire.size());
+}

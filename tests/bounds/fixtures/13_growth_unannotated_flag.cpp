@@ -1,0 +1,12 @@
+// A long-lived cache class accumulates into a member container with no
+// GLOBE_BOUNDED declaration and no registry entry.
+// BOUNDS-EXPECT: flag kind=growth detail=FrameCache.frames_
+#include "_prelude.h"
+
+class FrameCache {
+ public:
+  void add(const Bytes& frame) { frames_.push_back(frame); }
+
+ private:
+  std::vector<Bytes> frames_;
+};

@@ -1,0 +1,16 @@
+// Declared bound + visible eviction: the ring pops its oldest entry past
+// capacity, so the GLOBE_BOUNDED promise is enforced.
+// BOUNDS-EXPECT: clean
+// BOUNDS-CAPACITY: 128 test.EventRing.ring_
+#include "_prelude.h"
+
+class EventRing {
+ public:
+  void add(const Bytes& frame) {
+    ring_.push_back(frame);
+    while (ring_.size() > 128) ring_.pop_front();
+  }
+
+ private:
+  std::deque<Bytes> ring_ GLOBE_BOUNDED;
+};

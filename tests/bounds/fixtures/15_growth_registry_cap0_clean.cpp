@@ -1,0 +1,14 @@
+// Capacity 0 in the registry: the member grows only during trusted
+// configuration (handler registration at startup), so no runtime eviction
+// is demanded.
+// BOUNDS-EXPECT: clean
+// BOUNDS-CAPACITY: 0 test.RouteRegistry.routes_
+#include "_prelude.h"
+
+class RouteRegistry {
+ public:
+  void bind(const std::string& route) { routes_.push_back(route); }
+
+ private:
+  std::vector<std::string> routes_ GLOBE_BOUNDED;
+};

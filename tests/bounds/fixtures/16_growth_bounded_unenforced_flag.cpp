@@ -1,0 +1,13 @@
+// GLOBE_BOUNDED with a non-zero registry capacity but no shrink or size
+// check anywhere in the class: the declared bound is a fiction.
+// BOUNDS-EXPECT: flag kind=growth-unenforced detail=SessionPool.live_
+// BOUNDS-CAPACITY: 64 test.SessionPool.live_
+#include "_prelude.h"
+
+class SessionPool {
+ public:
+  void open(const Bytes& session) { live_.push_back(session); }
+
+ private:
+  std::vector<Bytes> live_ GLOBE_BOUNDED;
+};

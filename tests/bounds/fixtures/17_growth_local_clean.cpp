@@ -1,0 +1,12 @@
+// Growth into a function-local container is request-scoped, not long-lived
+// state; only member containers are watched.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+class ReplyServer {
+ public:
+  void handle(const Bytes& frame) {
+    std::vector<Bytes> scratch;
+    scratch.push_back(frame);
+  }
+};

@@ -1,0 +1,12 @@
+// A value type whose name matches no long-lived pattern, in a non-core
+// subsystem: request-scoped accumulation is not unbounded state.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+class PathBuilder {
+ public:
+  void push(const std::string& seg) { segments_.push_back(seg); }
+
+ private:
+  std::vector<std::string> segments_;
+};

@@ -1,0 +1,14 @@
+// Keyed accumulation (emplace into a member map) in a long-lived registry
+// class grows one entry per distinct key forever.
+// BOUNDS-EXPECT: flag kind=growth detail=PeerRegistry.peers_
+#include "_prelude.h"
+
+class PeerRegistry {
+ public:
+  void observe(const std::string& peer, const Bytes& state) {
+    peers_.emplace(peer, state);
+  }
+
+ private:
+  std::map<std::string, Bytes> peers_;
+};

@@ -1,0 +1,12 @@
+// `member += chunk` is growth too: compound append onto a string member of
+// a long-lived framer-style class.
+// BOUNDS-EXPECT: flag kind=growth detail=StreamCollector.buffer_
+#include "_prelude.h"
+
+class StreamCollector {
+ public:
+  void feed(const std::string& chunk) { buffer_ += chunk; }
+
+ private:
+  std::string buffer_;
+};

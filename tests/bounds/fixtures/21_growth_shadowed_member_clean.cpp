@@ -1,0 +1,14 @@
+// The pushed-to name shadows a member: the local parameter, not the field,
+// receives the growth.
+// BOUNDS-EXPECT: clean
+#include "_prelude.h"
+
+class BatchServer {
+ public:
+  void handle(std::vector<Bytes> frames, const Bytes& extra) {
+    frames.push_back(extra);
+  }
+
+ private:
+  std::vector<Bytes> frames_;
+};

@@ -127,5 +127,15 @@ TEST(MerkleTest, TamperedProofStepFails) {
   EXPECT_FALSE(MerkleTree::verify(leaves[5], proof, tree.root()));
 }
 
+
+TEST(MerkleTest, ForgedProofStepCountRejected) {
+  // Eight bytes claiming 2^32-1 proof steps: a 64-step proof already covers
+  // 2^64 leaves, so anything above the ceiling is rejected before
+  // steps.reserve() allocates.
+  util::Writer w;
+  w.u32(0);            // leaf index
+  w.u32(0xFFFFFFFFu);  // forged step count
+  EXPECT_THROW(MerkleProof::parse(w.take()), util::SerialError);
+}
 }  // namespace
 }  // namespace globe::crypto

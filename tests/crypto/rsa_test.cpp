@@ -5,6 +5,7 @@
 #include "crypto/drbg.hpp"
 #include "crypto/sha1.hpp"
 #include "util/bytes.hpp"
+#include "util/serial.hpp"
 
 namespace globe::crypto {
 namespace {
@@ -191,5 +192,17 @@ TEST(RsaTest, RejectsTooSmallModulusRequest) {
   EXPECT_THROW(rsa_generate(128, rng), std::invalid_argument);
 }
 
+
+TEST(RsaParseTest, RejectsOversizedModulus) {
+  // A wire key claiming a modulus beyond kMaxRsaModulusBytes (8192 bits)
+  // is a protocol error before BigInt::from_bytes materializes it; every
+  // downstream modulus_bytes()-sized buffer stays capped by construction.
+  util::Writer w;
+  w.bytes(Bytes(kMaxRsaModulusBytes + 1, 0xFF));  // n
+  w.bytes(Bytes{0x01, 0x00, 0x01});               // e
+  auto key = RsaPublicKey::parse(w.take());
+  EXPECT_FALSE(key.is_ok());
+  EXPECT_EQ(key.code(), util::ErrorCode::kProtocol);
+}
 }  // namespace
 }  // namespace globe::crypto

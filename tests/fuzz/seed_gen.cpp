@@ -58,6 +58,20 @@ int main(int argc, char** argv) {
     Bytes truncated(wire.begin(), wire.begin() + wire.size() / 2);
     write_file(root / "integrity_cert" / "truncated.bin", truncated);
     write_file(root / "integrity_cert" / "empty.bin", Bytes{});
+
+    // A certificate body claiming 2^32-1 entries in a ~35-byte frame: the
+    // entry count must die at the protocol ceiling before reserve().
+    {
+      globe::util::Writer body;
+      body.raw(Bytes(globe::globedoc::Oid::kSize, 0x7));
+      body.u64(1);            // version
+      body.u32(0xFFFFFFFFu);  // forged entry count
+      globe::util::Writer w;
+      w.bytes(body.take());
+      w.bytes(globe::util::to_bytes("sig"));
+      write_file(root / "integrity_cert" / "forged_entry_count.bin",
+                 w.take());
+    }
   }
 
   // --- fetch_many seeds ----------------------------------------------------
@@ -108,6 +122,23 @@ int main(int argc, char** argv) {
                tag(0x01, Bytes(resp_wire.begin(),
                                resp_wire.begin() + resp_wire.size() / 2)));
     write_file(root / "fetch_many" / "empty.bin", Bytes{});
+
+    // Forged count headers: a few bytes claiming 2^32-1 elements.  The
+    // parser must hit the protocol ceiling (util::checked_count) before
+    // reserving — seeding the boundary keeps the fuzzer exploring it.
+    {
+      globe::util::Writer w;
+      w.raw(Bytes(Oid::kSize, 0xA5));
+      w.u8(0);             // include_cert = false
+      w.u32(0xFFFFFFFFu);  // forged element count
+      write_file(root / "fetch_many" / "request_forged_count.bin",
+                 tag(0x00, w.take()));
+      globe::util::Writer rw;
+      rw.u8(0);             // no certificate
+      rw.u32(0xFFFFFFFFu);  // forged item count
+      write_file(root / "fetch_many" / "response_forged_count.bin",
+                 tag(0x01, rw.take()));
+    }
   }
 
   // --- naming_record seeds -------------------------------------------------

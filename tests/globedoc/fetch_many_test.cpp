@@ -159,5 +159,25 @@ TEST_F(FetchManyServerTest, UnknownObjectIsNotFound) {
   EXPECT_FALSE(response.is_ok());
 }
 
+
+TEST(FetchManyCodecTest, RejectsForgedCountHeaderWithoutAllocating) {
+  // A ~30-byte frame claiming 2^32-1 elements: the count must be rejected
+  // against the protocol ceiling before reserve() ever sees it — a hostile
+  // peer spends a handful of bytes, not our memory.
+  util::Writer w;
+  w.raw(util::Bytes(Oid::kSize, 0x7));
+  w.u8(0);             // include_cert = false
+  w.u32(0xFFFFFFFFu);  // forged element count
+  auto request = FetchManyRequest::parse(w.take());
+  EXPECT_FALSE(request.is_ok());
+  EXPECT_EQ(request.code(), ErrorCode::kProtocol);
+
+  util::Writer rw;
+  rw.u8(0);             // no certificate
+  rw.u32(0xFFFFFFFFu);  // forged item count
+  auto response = FetchManyResponse::parse(rw.take());
+  EXPECT_FALSE(response.is_ok());
+  EXPECT_EQ(response.code(), ErrorCode::kProtocol);
+}
 }  // namespace
 }  // namespace globe::globedoc

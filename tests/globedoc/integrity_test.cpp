@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include "crypto/drbg.hpp"
+#include "util/serial.hpp"
+#include "globedoc/object.hpp"
 
 namespace globe::globedoc {
 namespace {
@@ -139,5 +141,56 @@ TEST(IntegrityCertTest, EmptyObjectCertificate) {
   EXPECT_TRUE(cert.entries().empty());
 }
 
+
+TEST(IntegrityHostileInputTest, RejectsForgedEntryCount) {
+  // A certificate body claiming 2^32-1 entries must be rejected at the
+  // protocol ceiling before entries_.reserve() sees the forged count.
+  util::Writer body;
+  body.raw(Bytes(Oid::kSize, 0x7));
+  body.u64(1);         // version
+  body.u32(0xFFFFFFFFu);  // forged entry count
+  util::Writer w;
+  w.bytes(body.take());
+  w.bytes(to_bytes("sig"));
+  auto cert = IntegrityCertificate::parse(w.take());
+  EXPECT_FALSE(cert.is_ok());
+  EXPECT_EQ(cert.code(), ErrorCode::kProtocol);
+}
+
+TEST(IntegrityHostileInputTest, ReplicaStateRejectsForgedCounts) {
+  // Same ceiling discipline one layer up: ReplicaState's identity-cert and
+  // element counts are clamped before either vector reserves.
+  util::Writer valid_cert_body;
+  valid_cert_body.raw(Bytes(Oid::kSize, 0x7));
+  valid_cert_body.u64(1);
+  valid_cert_body.u32(0);
+  util::Writer cert;
+  cert.bytes(valid_cert_body.take());
+  cert.bytes(to_bytes("sig"));
+
+  util::Writer w;
+  w.bytes(to_bytes("pubkey"));
+  w.bytes(cert.take());
+  w.u32(0xFFFFFFFFu);  // forged identity-cert count
+  auto forged_ids = ReplicaState::parse(w.take());
+  EXPECT_FALSE(forged_ids.is_ok());
+  EXPECT_EQ(forged_ids.code(), ErrorCode::kProtocol);
+
+  util::Writer cert2_body;
+  cert2_body.raw(Bytes(Oid::kSize, 0x7));
+  cert2_body.u64(1);
+  cert2_body.u32(0);
+  util::Writer cert2;
+  cert2.bytes(cert2_body.take());
+  cert2.bytes(to_bytes("sig"));
+  util::Writer w2;
+  w2.bytes(to_bytes("pubkey"));
+  w2.bytes(cert2.take());
+  w2.u32(0);           // no identity certs
+  w2.u32(0xFFFFFFFFu);  // forged element count
+  auto forged_els = ReplicaState::parse(w2.take());
+  EXPECT_FALSE(forged_els.is_ok());
+  EXPECT_EQ(forged_els.code(), ErrorCode::kProtocol);
+}
 }  // namespace
 }  // namespace globe::globedoc

@@ -3,6 +3,7 @@
 #include "location/builder.hpp"
 #include "location/tree.hpp"
 #include "net/simnet.hpp"
+#include "util/serial.hpp"
 
 namespace globe::location {
 namespace {
@@ -220,5 +221,40 @@ TEST(LocationAdversarialTest, GarbageReplyRejected) {
   EXPECT_EQ(client.lookup(oid(2)).code(), ErrorCode::kProtocol);
 }
 
+
+TEST(LookupReplyTest, RejectsForgedAddressCount) {
+  // Four bytes of header claiming 2^32-1 addresses must die at the protocol
+  // ceiling, not in addresses.reserve().
+  util::Writer w;
+  w.u8(1);             // found
+  w.u32(0xFFFFFFFFu);  // forged address count
+  auto reply = LookupReply::parse(w.take());
+  EXPECT_FALSE(reply.is_ok());
+  EXPECT_EQ(reply.code(), ErrorCode::kProtocol);
+}
+
+TEST_F(TreeFixture, InsertCapMatchesReplyCeiling) {
+  // A site node stops registering addresses at kMaxLookupAddresses: past
+  // that, its lookup replies would exceed the ceiling every compliant
+  // client enforces at parse time.
+  LocationClient client(*flow, tree->endpoint("site-ams"));
+  for (std::size_t i = 0; i < kMaxLookupAddresses; ++i) {
+    ASSERT_TRUE(client
+                    .insert(tree->endpoint("site-ams"), oid(42),
+                            replica(3, static_cast<std::uint16_t>(8000 + i)))
+                    .is_ok());
+  }
+  auto over = client.insert(tree->endpoint("site-ams"), oid(42),
+                            replica(3, 9999));
+  EXPECT_FALSE(over.is_ok());
+  EXPECT_EQ(over.code(), ErrorCode::kInvalidArgument);
+  // Re-registering an address that is already present is still fine.
+  EXPECT_TRUE(client.insert(tree->endpoint("site-ams"), oid(42),
+                            replica(3, 8000))
+                  .is_ok());
+  auto r = client.lookup(oid(42));
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r->size(), kMaxLookupAddresses);
+}
 }  // namespace
 }  // namespace globe::location

@@ -543,7 +543,8 @@ TEST_F(FleetFixture, OversizedSnapshotIsRejectedAtDecode) {
   for (const NodeStatus& n : agg.nodes()) {
     if (n.node == "evil-1") {
       EXPECT_TRUE(n.stale);
-      EXPECT_NE(n.last_error.find("series"), std::string::npos) << n.last_error;
+      // util::checked_count rejects the forged series count at the ceiling.
+      EXPECT_NE(n.last_error.find("ceiling"), std::string::npos) << n.last_error;
     }
   }
 }
@@ -634,5 +635,19 @@ TEST(TelemetryAggregatorEdge, EmptyAggregatorAnswersCleanly) {
   EXPECT_EQ(agg.rounds(), 0u);
 }
 
+
+TEST(SnapshotCodec, RejectsOversizedBucketCount) {
+  // Histogram bounds count is capped at kMaxBuckets - 1; a sample claiming
+  // the full u8 range is rejected before bounds.reserve().
+  Writer w;
+  w.u8(kSnapshotVersion);
+  w.u32(1);
+  w.u8(2);  // histogram
+  w.str("h");
+  w.u8(0);  // labels
+  w.u64(0x4000000000000000ULL);  // value 2.0
+  w.u8(static_cast<std::uint8_t>(kMaxBuckets));  // one past the bounds cap
+  EXPECT_EQ(decode_snapshot(w.take()).code(), ErrorCode::kProtocol);
+}
 }  // namespace
 }  // namespace globe::obs

@@ -240,6 +240,9 @@ def _strip_comments(text: str) -> str:
             seg = text[i:(n if j < 0 else j + 2)]
             out.append("\n" * seg.count("\n"))
             i = n if j < 0 else j + 2
+        elif c == "'" and i > 0 and text[i - 1] in "0123456789abcdefABCDEF" \
+                and i + 1 < n and text[i + 1].isalnum():
+            i += 1  # digit separator (1'000'000), not a char literal
         elif c in "\"'":
             quote, j = c, i + 1
             while j < n and text[j] != quote:

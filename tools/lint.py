@@ -46,6 +46,16 @@ Documents"):
                  §13).  Scanning is shared with conc_check so the two tools
                  can never disagree about what counts as a mutex member.
 
+  capacity-rank  Every GLOBE_BOUNDED container member in src/ must be
+  capacity-stale ranked in tools/capacity_bounds.txt, and every registry
+                 entry must still name a GLOBE_BOUNDED member — the registry
+                 is what tools/bounds_check.py enforces, so a missing line
+                 hides a member from the unbounded-growth check and a stale
+                 line suggests enforcement that no longer exists (DESIGN.md
+                 §14).  Scanning is shared with bounds_check so the two
+                 tools can never disagree about what counts as a bounded
+                 member.
+
 Exit status: 0 when clean, 1 when any violation is found, 2 on usage errors.
 Run `tools/lint.py --self-test` to verify every check still fires on seeded
 violations.
@@ -341,6 +351,50 @@ def check_lock_hierarchy(violations: list[str]) -> None:
                 )
 
 
+CAPACITY_BOUNDS = "tools/capacity_bounds.txt"
+
+
+def check_capacity_registry(violations: list[str]) -> None:
+    """GLOBE_BOUNDED members and tools/capacity_bounds.txt must match 1:1."""
+    # Reuse bounds_check's field harvest (same directory) so lint and the
+    # analyzer agree, byte for byte, on what a bounded member and its id are.
+    sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+    try:
+        import bounds_check
+    finally:
+        sys.path.pop(0)
+    caps = bounds_check.load_capacity(str(REPO / CAPACITY_BOUNDS))
+    bounded: dict[str, tuple[str, int]] = {}
+    for path in iter_sources():
+        rel = relpath(path)
+        if not rel.startswith("src/"):
+            continue
+        prog = bounds_check.Program()
+        text = bounds_check._strip_comments(
+            path.read_text(encoding="utf-8", errors="replace"))
+        bounds_check._harvest_fields(text, rel, prog)
+        for cls, members in prog.field_info.items():
+            for member, info in members.items():
+                if info["bounded"]:
+                    mid = f"{bounds_check.subsys_of(rel)}.{cls}.{member}"
+                    bounded[mid] = (rel, info["line"])
+    for mid, (rel, line) in sorted(bounded.items()):
+        if mid not in caps:
+            violations.append(
+                f"{rel}:{line}: [capacity-rank] GLOBE_BOUNDED member "
+                f"\"{mid}\" has no entry in {CAPACITY_BOUNDS} — add a "
+                f"`<capacity> {mid}` line (capacity 0 = grows only during "
+                "trusted configuration)"
+            )
+    for mid in sorted(caps):
+        if mid not in bounded:
+            violations.append(
+                f"{CAPACITY_BOUNDS}: [capacity-stale] entry \"{mid}\" "
+                "matches no GLOBE_BOUNDED member in src/ — remove the line "
+                "or restore the annotation"
+            )
+
+
 def run_lint() -> int:
     violations: list[str] = []
     for path in iter_sources():
@@ -348,6 +402,7 @@ def run_lint() -> int:
     check_metric_catalog(violations)
     check_slo_catalog(violations)
     check_lock_hierarchy(violations)
+    check_capacity_registry(violations)
     for v in violations:
         print(v)
     if violations:
@@ -524,6 +579,37 @@ SELF_TEST_CASES = [
         "class Widget {\n  // util::Mutex mu_; (gone since PR 3)\n};\n",
         None,
     ),
+    (
+        "unranked bounded member fires",
+        "src/cache/pool.hpp",
+        "class Pool {\n  std::vector<int> items_ GLOBE_BOUNDED;\n};\n",
+        "capacity-rank",
+    ),
+    (
+        "ranked bounded member clean",
+        "src/util/registered.hpp",
+        "class Registered {\n  std::deque<int> ring_ GLOBE_BOUNDED;\n};\n",
+        None,
+    ),
+    (
+        "stale registry entry fires",
+        "tools/capacity_bounds.txt",
+        "64 util.Registered.ring_  # self-test seed\n"
+        "32 util.Ghost.ring_  # member deleted long ago\n",
+        "capacity-stale",
+    ),
+    (
+        "unannotated container member clean",
+        "src/cache/plain.hpp",
+        "class Plain {\n  std::vector<int> items_;\n};\n",
+        None,
+    ),
+    (
+        "bounded member outside src clean",
+        "tests/cache/pool_test.cpp",
+        "class Pool {\n  std::vector<int> items_ GLOBE_BOUNDED;\n};\n",
+        None,
+    ),
 ]
 
 
@@ -547,6 +633,19 @@ def run_self_test() -> int:
             hierarchy = root / LOCK_HIERARCHY
             hierarchy.parent.mkdir(parents=True, exist_ok=True)
             hierarchy.write_text("10 util.Ranked.mu_  # self-test seed\n")
+            # Minimal capacity registry + a matching GLOBE_BOUNDED member so
+            # capacity cases can distinguish ranked from unranked and live
+            # from stale (skipped when the case under test owns these paths).
+            capfile = root / CAPACITY_BOUNDS
+            if not capfile.exists():
+                capfile.write_text("64 util.Registered.ring_  # self-test seed\n")
+            seedmember = root / "src/util/registered.hpp"
+            if not seedmember.exists():
+                seedmember.parent.mkdir(parents=True, exist_ok=True)
+                seedmember.write_text(
+                    "class Registered {\n"
+                    "  std::deque<int> ring_ GLOBE_BOUNDED;\n"
+                    "};\n")
             violations: list[str] = []
             global REPO
             saved_repo = REPO
@@ -556,6 +655,7 @@ def run_self_test() -> int:
                 check_metric_catalog(violations)
                 check_slo_catalog(violations)
                 check_lock_hierarchy(violations)
+                check_capacity_registry(violations)
             finally:
                 REPO = saved_repo
             tags = {re.search(r"\[([\w-]+)\]", v).group(1) for v in violations}
