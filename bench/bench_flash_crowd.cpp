@@ -19,6 +19,7 @@
 #include <barrier>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <mutex>
 #include <string>
@@ -29,6 +30,7 @@
 #include "cache/tier.hpp"
 #include "obs/collector.hpp"
 #include "obs/export.hpp"
+#include "obs/profile.hpp"
 #include "obs/telemetry.hpp"
 #include "replication/coordinator.hpp"
 #include "replication/trace.hpp"
@@ -65,7 +67,7 @@ double percentile(std::vector<double> samples, double p) {
 // (single-flight + verified-once-serve-many) and the siblings arrive via
 // delayed replication before the browse wave asks for them; without it every
 // request is an origin round trip.
-void run_thundering_herd(obs::MetricsRegistry& registry) {
+void run_thundering_herd(obs::MetricsRegistry& registry, bool fast) {
   const std::string kDoc = "herd.vu.nl";
   const std::vector<std::string> kAssets = {"style.css", "app.js", "logo.gif",
                                             "story.txt"};
@@ -77,7 +79,10 @@ void run_thundering_herd(obs::MetricsRegistry& registry) {
   print_row({"clients", "cache", "origin_fetch", "per_element", "p99_ms",
              "mean_ms"});
 
-  for (std::size_t clients : {std::size_t{1000}, std::size_t{10000}}) {
+  std::vector<std::size_t> herd_sizes = {1000, 10000};
+  if (fast) herd_sizes = {1000};  // CI perf lane: one herd size is enough
+
+  for (std::size_t clients : herd_sizes) {
     for (bool cache_on : {false, true}) {
       PaperWorld world;
       std::vector<globedoc::PageElement> elements;
@@ -97,6 +102,11 @@ void run_thundering_herd(obs::MetricsRegistry& registry) {
       }
 
       const std::size_t origin_before = world.object_server().elements_served();
+      // Per-cell crypto attribution: the herd's worker threads carry no
+      // registry scope, so their probes land in the process-global profile
+      // registry — reset it after setup (publication signs/hashes are not
+      // part of the herd) and read the cell's own serving-path deltas.
+      obs::global_profile_registry().reset();
       const util::SimDuration gap = static_cast<util::SimDuration>(
           kHerdSeconds * static_cast<double>(util::kSecond) /
           static_cast<double>(clients));
@@ -196,6 +206,28 @@ void run_thundering_herd(obs::MetricsRegistry& registry) {
       registry.gauge("flash_crowd.herd_p99_ms", labels).set(p99);
       registry.gauge("flash_crowd.herd_mean_ms", labels).set(mean);
 
+      // Serving-path crypto breakdown for the cell.  Call counts are
+      // deterministic (the perf gate pins them exactly: with the tier the
+      // verifies collapse to ~one per element); cpu_ns is real host CPU
+      // and machine-dependent, so the gate skips it.
+      obs::ProfileSnapshot psnap = obs::global_profile_registry().snapshot();
+      std::map<std::string, obs::ProbeStat> by_leaf;
+      for (const auto& sample : psnap.samples) {
+        obs::ProbeStat& agg = by_leaf[sample.leaf];
+        agg.calls += sample.stat.calls;
+        agg.cpu_ns += sample.stat.cpu_ns;
+      }
+      for (const char* probe :
+           {"rsa_verify", "sha1", "cert_verify", "element_verify"}) {
+        const obs::ProbeStat& stat = by_leaf[probe];
+        obs::Labels probe_labels = labels;
+        probe_labels.emplace_back("probe", probe);
+        registry.gauge("flash_crowd.crypto_calls", probe_labels)
+            .set(static_cast<double>(stat.calls));
+        registry.gauge("flash_crowd.crypto_cpu_ns", probe_labels)
+            .set(static_cast<double>(stat.cpu_ns));
+      }
+
       if (cache_on && per_element > 2.0) {
         std::fprintf(stderr,
                      "cache-on herd cost the origin %.2f fetches/element "
@@ -217,19 +249,32 @@ void run_thundering_herd(obs::MetricsRegistry& registry) {
 int main(int argc, char** argv) {
   const std::string kDoc = "hot.vu.nl";
 
+  // Usage: bench_flash_crowd [--fast] [out.json].  --fast is the CI perf
+  // lane's configuration: a shorter crowd and a single herd size, compared
+  // by tools/perf_diff.py against a baseline seeded with the same flag.
+  bool fast = false;
+  const char* out_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fast") == 0) {
+      fast = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
   // The flash crowd: Paris clients hammering one document.
   replication::TraceConfig base;
   base.documents = 1;
   base.regions = 1;
-  base.duration = util::seconds(1200);
+  base.duration = fast ? util::seconds(600) : util::seconds(1200);
   base.accesses_per_second = 0.5;
   base.seed = 7;
   replication::FlashCrowdConfig crowd;
   crowd.document = 0;
   crowd.hot_region = 0;
-  crowd.start = util::seconds(240);
-  crowd.ramp = util::seconds(120);
-  crowd.hold = util::seconds(400);
+  crowd.start = fast ? util::seconds(120) : util::seconds(240);
+  crowd.ramp = fast ? util::seconds(60) : util::seconds(120);
+  crowd.hold = fast ? util::seconds(150) : util::seconds(400);
   // Peak ~70 req/s: close to the origin's service capacity, so the static
   // deployment queues visibly while the replicated one stays at LAN latency.
   crowd.peak_multiplier = 140.0;
@@ -427,16 +472,16 @@ int main(int argc, char** argv) {
         .set(static_cast<double>(failed));
   }
 
-  run_thundering_herd(registry);
+  run_thundering_herd(registry, fast);
 
-  if (argc > 1) {
+  if (out_path != nullptr) {
     auto status =
-        obs::write_bench_json(argv[1], "flash_crowd", registry.snapshot());
+        obs::write_bench_json(out_path, "flash_crowd", registry.snapshot());
     if (!status.is_ok()) {
       std::fprintf(stderr, "write_bench_json: %s\n", status.to_string().c_str());
       return 1;
     }
-    std::printf("\nwrote %s\n", argv[1]);
+    std::printf("\nwrote %s\n", out_path);
   }
 
   std::printf(

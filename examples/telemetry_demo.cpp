@@ -2,13 +2,15 @@
 // object server, naming server) scraped by a central TelemetryAggregator
 // over SimNet RPC, watched by an SLO burn-rate evaluator, and surfaced on
 // a real localhost HTTP socket (/metrics /healthz /tracez /federate
-// /alertz — see DESIGN.md §10-11).
+// /alertz /profilez — see DESIGN.md §10-11, §15).
 //
 //   ./telemetry_demo [port]      # default 9090
 //   curl -s localhost:9090/metrics        # the proxy node's local view
 //   curl -s localhost:9090/federate       # merged fleet view + health
 //   curl -s localhost:9090/alertz         # SLO burn-rate alerts (JSON)
 //   curl -s 'localhost:9090/tracez?min_ms=1'
+//   curl -s localhost:9090/profilez               # CPU cost, top stacks
+//   curl -s 'localhost:9090/profilez?fmt=folded'  # flamegraph input
 //
 // The simulated world runs a short incident before the socket opens:
 // seven healthy 10-second rounds of verified fetches, then the
@@ -112,8 +114,12 @@ int main(int argc, char** argv) {
   net.set_link(server_host, client_host, {util::millis(15), 1.0e6});
 
   // Each role owns a registry so the telemetry plane can scrape and label
-  // it individually (node=, role= stamped by its TelemetryNode).
+  // it individually (node=, role= stamped by its TelemetryNode).  The proxy
+  // additionally owns a cost-profile registry (DESIGN.md §15): every fetch
+  // charges CPU probes into it, /profilez renders it, and scrapes fold it
+  // into the metrics registry as profile.* counters.
   obs::MetricsRegistry naming_registry, server_registry, proxy_registry;
+  obs::ProfileRegistry proxy_profile;
 
   auto zone_rng = crypto::HmacDrbg::from_seed(1);
   auto zone_keys = crypto::rsa_generate(1024, zone_rng);
@@ -179,9 +185,11 @@ int main(int argc, char** argv) {
   config.location_site = tree.endpoint("site-client");
   config.registry = &proxy_registry;
   config.edge_cache = &edge_cache;
+  config.profile = &proxy_profile;
   globedoc::GlobeDocProxy proxy(*client_flow, config);
   rpc::ServiceDispatcher proxy_dispatcher;
-  obs::TelemetryNode proxy_telemetry(proxy_registry, "proxy-1", "proxy");
+  obs::TelemetryNode proxy_telemetry(proxy_registry, "proxy-1", "proxy",
+                                     &proxy_profile);
   proxy_telemetry.register_with(proxy_dispatcher);
   net::Endpoint proxy_telemetry_ep{client_host, 9101};
   net.bind(proxy_telemetry_ep, proxy_dispatcher.handler());
@@ -255,6 +263,7 @@ int main(int argc, char** argv) {
   obs::AdminConfig admin_config;
   admin_config.service = "telemetry-demo";  // collector/log: process globals
   admin_config.registry = &proxy_registry;
+  admin_config.profile = &proxy_profile;
   admin_config.aggregator = &aggregator;
   admin_config.slo = &slo;
   obs::AdminHttpServer admin(admin_config);
@@ -283,7 +292,8 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   std::signal(SIGPIPE, SIG_IGN);
   std::printf("[admin] serving on http://127.0.0.1:%u "
-              "(/metrics /healthz /tracez /federate /alertz)\n", port);
+              "(/metrics /healthz /tracez /federate /alertz /profilez)\n",
+              port);
   std::fflush(stdout);
 
   while (!g_stop) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "util/serial.hpp"
 
 namespace globe::crypto {
@@ -31,6 +32,7 @@ Bytes MerkleTree::hash_interior(BytesView left, BytesView right) {
 }
 
 MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
+  GLOBE_PROFILE_SCOPE("merkle_build");
   if (leaves.empty()) throw std::invalid_argument("MerkleTree: no leaves");
   std::vector<Bytes> level;
   level.reserve(leaves.size());
@@ -49,6 +51,7 @@ MerkleTree::MerkleTree(const std::vector<Bytes>& leaves) {
 }
 
 MerkleProof MerkleTree::prove(std::size_t index) const {
+  GLOBE_PROFILE_SCOPE("merkle_prove");
   if (index >= levels_[0].size()) throw std::out_of_range("MerkleTree::prove");
   MerkleProof proof;
   proof.leaf_index = index;
@@ -67,6 +70,7 @@ MerkleProof MerkleTree::prove(std::size_t index) const {
 
 bool MerkleTree::verify(BytesView leaf_data, const MerkleProof& proof,
                         BytesView expected_root) {
+  GLOBE_PROFILE_SCOPE("merkle_verify");
   Bytes current = hash_leaf(leaf_data);
   for (const auto& step : proof.steps) {
     if (step.sibling.size() != Sha1::kDigestSize) return false;

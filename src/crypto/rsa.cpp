@@ -5,6 +5,7 @@
 #include "crypto/prime.hpp"
 #include "crypto/sha1.hpp"
 #include "crypto/sha256.hpp"
+#include "obs/profile.hpp"
 #include "util/serial.hpp"
 
 namespace globe::crypto {
@@ -163,24 +164,28 @@ RsaKeyPair rsa_generate(std::size_t bits, util::RandomSource& rng) {
 }
 
 Bytes rsa_sign_sha1(const RsaPrivateKey& key, BytesView msg) {
+  GLOBE_PROFILE_SCOPE("rsa_sign");
   auto digest = Sha1::digest(msg);
   return sign_encoded(key, BytesView(kSha1Prefix, sizeof(kSha1Prefix)),
                       BytesView(digest.data(), digest.size()));
 }
 
 bool rsa_verify_sha1(const RsaPublicKey& key, BytesView msg, BytesView signature) {
+  GLOBE_PROFILE_SCOPE("rsa_verify");
   auto digest = Sha1::digest(msg);
   return verify_encoded(key, BytesView(kSha1Prefix, sizeof(kSha1Prefix)),
                         BytesView(digest.data(), digest.size()), signature);
 }
 
 Bytes rsa_sign_sha256(const RsaPrivateKey& key, BytesView msg) {
+  GLOBE_PROFILE_SCOPE("rsa_sign");
   auto digest = Sha256::digest(msg);
   return sign_encoded(key, BytesView(kSha256Prefix, sizeof(kSha256Prefix)),
                       BytesView(digest.data(), digest.size()));
 }
 
 bool rsa_verify_sha256(const RsaPublicKey& key, BytesView msg, BytesView signature) {
+  GLOBE_PROFILE_SCOPE("rsa_verify");
   auto digest = Sha256::digest(msg);
   return verify_encoded(key, BytesView(kSha256Prefix, sizeof(kSha256Prefix)),
                         BytesView(digest.data(), digest.size()), signature);
@@ -188,6 +193,7 @@ bool rsa_verify_sha256(const RsaPublicKey& key, BytesView msg, BytesView signatu
 
 Result<Bytes> rsa_encrypt(const RsaPublicKey& key, BytesView msg,
                           util::RandomSource& rng) {
+  GLOBE_PROFILE_SCOPE("rsa_encrypt");
   std::size_t k = key.modulus_bytes();
   if (k < 11 || msg.size() > k - 11) {
     return Result<Bytes>(ErrorCode::kInvalidArgument, "rsa_encrypt: message too long");
@@ -212,6 +218,7 @@ Result<Bytes> rsa_encrypt(const RsaPublicKey& key, BytesView msg,
 }
 
 Result<Bytes> rsa_decrypt(const RsaPrivateKey& key, BytesView ct) {
+  GLOBE_PROFILE_SCOPE("rsa_decrypt");
   std::size_t k = (key.n.bit_length() + 7) / 8;
   if (ct.size() != k) {
     return Result<Bytes>(ErrorCode::kInvalidArgument, "rsa_decrypt: bad ciphertext size");

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/profile.hpp"
+
 namespace globe::crypto {
 
 namespace {
@@ -107,6 +109,7 @@ void Sha1::process_block(const std::uint8_t* block) {
 }
 
 Sha1::Digest Sha1::digest(util::BytesView data) {
+  GLOBE_PROFILE_SCOPE("sha1");
   Sha1 h;
   h.update(data);
   return h.finish();

@@ -1,6 +1,7 @@
 #include "globedoc/fetch_many.hpp"
 
 #include "globedoc/server.hpp"
+#include "obs/profile.hpp"
 #include "rpc/rpc.hpp"
 #include "util/serial.hpp"
 
@@ -12,6 +13,7 @@ using util::ErrorCode;
 using util::Result;
 
 Bytes FetchManyRequest::serialize() const {
+  GLOBE_PROFILE_SCOPE("fetch_many.encode");
   util::Writer w;
   w.raw(oid.to_bytes());
   w.u8(include_cert ? 1 : 0);
@@ -21,6 +23,7 @@ Bytes FetchManyRequest::serialize() const {
 }
 
 Result<FetchManyRequest> FetchManyRequest::parse(BytesView data) {
+  GLOBE_PROFILE_SCOPE("fetch_many.decode");
   try {
     util::Reader r(data);
     FetchManyRequest req;
@@ -44,6 +47,7 @@ Result<FetchManyRequest> FetchManyRequest::parse(BytesView data) {
 }
 
 Bytes FetchManyResponse::serialize() const {
+  GLOBE_PROFILE_SCOPE("fetch_many.encode");
   util::Writer w;
   w.u8(certificate.has_value() ? 1 : 0);
   if (certificate.has_value()) w.bytes(*certificate);
@@ -56,6 +60,7 @@ Bytes FetchManyResponse::serialize() const {
 }
 
 Result<FetchManyResponse> FetchManyResponse::parse(BytesView data) {
+  GLOBE_PROFILE_SCOPE("fetch_many.decode");
   try {
     util::Reader r(data);
     FetchManyResponse resp;

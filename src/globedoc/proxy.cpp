@@ -44,9 +44,12 @@ namespace {
 
 /// proxy.fetch_ms bucket bounds (milliseconds).  The SLO latency evaluator
 /// counts whole buckets, so latency objectives should sit on one of these.
+/// Sub-millisecond bounds resolve cache-hit latencies, which cost memcopy
+/// time only — without them every hit percentile collapses to 0.
 const std::vector<double>& fetch_ms_bounds() {
-  static const std::vector<double> bounds = {1,   2,   5,    10,   20,  50,
-                                             100, 200, 500,  1000, 2000, 5000};
+  static const std::vector<double> bounds = {0.05, 0.1, 0.2, 0.5,  1,
+                                             2,    5,   10,  20,   50,
+                                             100,  200, 500, 1000, 2000, 5000};
   return bounds;
 }
 
@@ -78,6 +81,7 @@ Result<FetchResult> GlobeDocProxy::fetch_url(const std::string& hybrid_url) {
 Result<GlobeDocProxy::Binding> GlobeDocProxy::bind_replica(const Oid& oid,
                                                            const net::Endpoint& address,
                                                            obs::Tracer& tracer) {
+  GLOBE_PROFILE_SCOPE("bind");
   rpc::RpcClient replica(*transport_, address);
 
   // --- Step 3: public key, self-certifying check (security time).
@@ -103,6 +107,7 @@ Result<GlobeDocProxy::Binding> GlobeDocProxy::bind_replica(const Oid& oid,
 
   // --- Step 4: identity certificates against the user's trusted CAs.
   if (config_.request_identity) {
+    GLOBE_PROFILE_SCOPE("identity");
     auto identity_span = tracer.span(FetchStage::kIdentity);
     auto certs_raw =
         replica.call(rpc::kGlobeDocSecurity, kGetIdentityCerts, oid_req.buffer());
@@ -143,22 +148,27 @@ Result<GlobeDocProxy::Binding> GlobeDocProxy::bind_replica(const Oid& oid,
   // verifications of byte-identical (key, certificate) inputs only, so the
   // hit path is exactly as strong as re-verifying.
   std::pair<Bytes, Bytes> memo_key{binding.object_key.serialize(), *cert_raw};
-  if (cert_verify_memo_.contains(memo_key)) {
-    cert_verify_memo_hits_->inc();
-  } else {
-    transport_->charge(net::CpuOp::kRsaVerify, 1);
-    cert_verifies_->inc();
-    if (!certificate->verify_signature(binding.object_key)) {
-      return Result<Binding>(ErrorCode::kBadSignature,
-                             "integrity certificate signature invalid");
+  {
+    // The probe covers hit and miss alike, so /profilez shows cert_verify
+    // at ~zero ns/call when the memo is absorbing re-binds.
+    GLOBE_PROFILE_SCOPE("cert_verify");
+    if (cert_verify_memo_.contains(memo_key)) {
+      cert_verify_memo_hits_->inc();
+    } else {
+      transport_->charge(net::CpuOp::kRsaVerify, 1);
+      cert_verifies_->inc();
+      if (!certificate->verify_signature(binding.object_key)) {
+        return Result<Binding>(ErrorCode::kBadSignature,
+                               "integrity certificate signature invalid");
+      }
+      constexpr std::size_t kCertMemoCapacity = 64;
+      if (cert_verify_memo_order_.size() >= kCertMemoCapacity) {
+        cert_verify_memo_.erase(cert_verify_memo_order_.front());
+        cert_verify_memo_order_.pop_front();
+      }
+      cert_verify_memo_.insert(memo_key);
+      cert_verify_memo_order_.push_back(std::move(memo_key));
     }
-    constexpr std::size_t kCertMemoCapacity = 64;
-    if (cert_verify_memo_order_.size() >= kCertMemoCapacity) {
-      cert_verify_memo_.erase(cert_verify_memo_order_.front());
-      cert_verify_memo_order_.pop_front();
-    }
-    cert_verify_memo_.insert(memo_key);
-    cert_verify_memo_order_.push_back(std::move(memo_key));
   }
   if (certificate->oid() != oid) {
     return Result<Binding>(ErrorCode::kWrongElement,
@@ -202,9 +212,13 @@ Result<PageElement> GlobeDocProxy::fetch_element(const Binding& binding,
 
   // --- Step 6: authenticity, consistency, freshness (security time).
   auto verify_span = tracer.span(FetchStage::kElementVerify);
-  transport_->charge(net::CpuOp::kSha1, raw->size());
-  Status check =
-      binding.certificate.check_element(element_name, *element, transport_->now());
+  Status check = Status::ok();
+  {
+    GLOBE_PROFILE_SCOPE("element_verify");
+    transport_->charge(net::CpuOp::kSha1, raw->size());
+    check = binding.certificate.check_element(element_name, *element,
+                                              transport_->now());
+  }
   verify_span.end();
   if (!check.is_ok()) return check;
 
@@ -225,6 +239,10 @@ void GlobeDocProxy::cache_element(const std::string& object_name,
 
 Result<FetchResult> GlobeDocProxy::fetch(const std::string& object_name,
                                          const std::string& element_name) {
+  // Everything below — resolver walk, binding crypto, element verification —
+  // is attributed to this proxy's profile registry (DESIGN.md §15).
+  obs::ProfileRegistryScope profile_scope(config_.profile);
+  GLOBE_PROFILE_SCOPE("proxy.fetch");
   FetchMetrics metrics;
   obs::Tracer tracer([this] { return transport_->now(); });
   tracer.set_host("proxy");

@@ -39,6 +39,7 @@
 #include "net/transport.hpp"
 #include "obs/collector.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/bounds_annotations.hpp"
 #include "obs/trace.hpp"
 #include "util/taint_annotations.hpp"
@@ -80,6 +81,10 @@ struct ProxyConfig {
   // obs::global_registry().  Per-node deployments hand each proxy its own
   // registry so the telemetry plane can scrape and label it individually.
   obs::MetricsRegistry* registry = nullptr;
+  // Cost-profile registry (DESIGN.md §15): every probe fired while a fetch
+  // runs — crypto primitives included — is attributed here; nullptr means
+  // the process-wide obs::global_profile_registry().
+  obs::ProfileRegistry* profile = nullptr;
 };
 
 /// Stage names of the per-fetch span tree (children of the "fetch" root).

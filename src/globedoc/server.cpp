@@ -57,8 +57,11 @@ Result<HostingGrant> HostingGrant::parse(BytesView data) {
 }
 
 ObjectServer::ObjectServer(std::string name, std::uint64_t nonce_seed,
-                           obs::MetricsRegistry* registry)
-    : name_(std::move(name)), nonce_rng_(crypto::HmacDrbg::from_seed(nonce_seed)) {
+                           obs::MetricsRegistry* registry,
+                           obs::ProfileRegistry* profile)
+    : name_(std::move(name)),
+      nonce_rng_(crypto::HmacDrbg::from_seed(nonce_seed)),
+      profile_(profile) {
   if (registry == nullptr) registry = &obs::global_registry();
   obs::Labels labels{{"server", name_}};
   requests_counter_ = &registry->counter("object_server.requests", labels);
@@ -209,6 +212,10 @@ void ObjectServer::register_with(rpc::ServiceDispatcher& dispatcher) {
   auto bindm = [&](std::uint16_t service, std::uint16_t method, auto fn) {
     dispatcher.register_method(
         service, method, [this, fn](net::ServerContext& ctx, BytesView payload) {
+          // Single choke point for every bound method: attribute the whole
+          // handler (crypto included) to this server's profile registry.
+          obs::ProfileRegistryScope profile_scope(profile_);
+          GLOBE_PROFILE_SCOPE("server.handle");
           return (this->*fn)(ctx, payload);
         });
   };
@@ -258,6 +265,7 @@ Result<Bytes> ObjectServer::handle_negotiate(net::ServerContext&, BytesView payl
 
 Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
                                                BytesView payload) {
+  GLOBE_PROFILE_SCOPE("server.get_element");
   requests_counter_->inc();
   try {
     util::Reader r(payload);
@@ -287,6 +295,7 @@ Result<Bytes> ObjectServer::handle_get_element(net::ServerContext& ctx,
 
 Result<Bytes> ObjectServer::handle_fetch_many(net::ServerContext& ctx,
                                               BytesView payload) {
+  GLOBE_PROFILE_SCOPE("server.fetch_many");
   requests_counter_->inc();
   batch_requests_counter_->inc();
   auto req = FetchManyRequest::parse(payload);
@@ -344,6 +353,7 @@ Result<Bytes> ObjectServer::handle_list_elements(net::ServerContext& ctx,
 
 Result<Bytes> ObjectServer::handle_get_public_key(net::ServerContext& ctx,
                                                   BytesView payload) {
+  GLOBE_PROFILE_SCOPE("server.get_public_key");
   requests_counter_->inc();
   try {
     util::Reader r(payload);
@@ -363,6 +373,7 @@ Result<Bytes> ObjectServer::handle_get_public_key(net::ServerContext& ctx,
 
 Result<Bytes> ObjectServer::handle_get_integrity_cert(net::ServerContext& ctx,
                                                       BytesView payload) {
+  GLOBE_PROFILE_SCOPE("server.get_integrity_cert");
   requests_counter_->inc();
   try {
     util::Reader r(payload);

@@ -25,6 +25,7 @@
 #include "globedoc/object.hpp"
 #include "net/transport.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "rpc/rpc.hpp"
 #include "util/mutex.hpp"
 #include "util/taint_annotations.hpp"
@@ -89,8 +90,11 @@ class ObjectServer {
  public:
   /// `registry` receives the object_server.* series (labeled with this
   /// server's name); nullptr means the process-wide obs::global_registry().
+  /// `profile` receives the cost probes fired while this server handles an
+  /// RPC (DESIGN.md §15); nullptr means obs::global_profile_registry().
   ObjectServer(std::string name, std::uint64_t nonce_seed,
-               obs::MetricsRegistry* registry = nullptr);
+               obs::MetricsRegistry* registry = nullptr,
+               obs::ProfileRegistry* profile = nullptr);
 
   /// Keystore ACL management (server administrator's side).
   void authorize(const crypto::RsaPublicKey& key) GLOBE_EXCLUDES(mutex_);
@@ -207,6 +211,9 @@ class ObjectServer {
   obs::Counter* bytes_counter_;
   obs::Counter* replica_installs_;
   obs::Counter* replica_deletes_;
+  // Cost-probe destination for RPC handling on this server's behalf;
+  // null = the process-wide global profile registry.
+  obs::ProfileRegistry* profile_;
 };
 
 /// Client helper for the authenticated admin interface.

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "crypto/sha1.hpp"
+#include "obs/profile.hpp"
 
 namespace globe::http {
 
@@ -47,6 +48,7 @@ std::size_t StaticHttpServer::file_count() const {
 }
 
 HttpResponse StaticHttpServer::handle(const HttpRequest& req) const {
+  GLOBE_PROFILE_SCOPE("http.static.handle");
   HttpResponse resp;
   if (req.method != "GET" && req.method != "HEAD") {
     resp = HttpResponse::make(405, reason_for_status(405),

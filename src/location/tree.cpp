@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
 #include "util/serial.hpp"
 
 namespace globe::location {
@@ -339,6 +340,7 @@ LocationClient::LocationClient(net::Transport& transport, net::Endpoint local_si
 }
 
 Result<std::vector<net::Endpoint>> LocationClient::lookup(BytesView oid) {
+  GLOBE_PROFILE_SCOPE("locate");
   lookups_counter_->inc();
   net::Endpoint node = local_site_;
   last_rings_ = 0;

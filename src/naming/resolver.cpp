@@ -1,6 +1,7 @@
 #include "naming/resolver.hpp"
 
 #include "naming/service.hpp"
+#include "obs/profile.hpp"
 #include "rpc/rpc.hpp"
 #include "util/serial.hpp"
 
@@ -24,6 +25,7 @@ SecureResolver::SecureResolver(net::Transport& transport, net::Endpoint root_ser
 }
 
 Result<Bytes> SecureResolver::resolve(const std::string& name) {
+  GLOBE_PROFILE_SCOPE("naming.resolve");
   if (cache_enabled_) {
     auto it = cache_.find(name);
     if (it != cache_.end()) {

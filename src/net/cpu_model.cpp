@@ -27,6 +27,7 @@ util::SimDuration CpuModel::cost(CpuOp op, std::uint64_t amount) const {
     case CpuOp::kRsaEncrypt: return fixed(rsa_encrypt, amount, scale);
     case CpuOp::kRsaDecrypt: return fixed(rsa_decrypt, amount, scale);
     case CpuOp::kRequest: return fixed(request_overhead, amount, scale);
+    case CpuOp::kMemCopy: return per_byte(memcopy_mb_s, amount, scale);
   }
   return 0;
 }

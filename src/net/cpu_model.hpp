@@ -23,6 +23,7 @@ enum class CpuOp : std::uint8_t {
   kRsaEncrypt,  // per public-key encryption
   kRsaDecrypt,  // per private-key decryption
   kRequest,     // per-request server software path (dispatch, I/O)
+  kMemCopy,     // per byte copied out of a local cache (hit serving cost)
 };
 
 struct CpuModel {
@@ -32,6 +33,10 @@ struct CpuModel {
   double sha1_mb_s = 40.0;
   double sha256_mb_s = 30.0;
   double sym_mb_s = 15.0;
+  // Copying bytes out of an in-memory cache is cheap but NOT free: without
+  // it a cache hit takes exactly zero simulated time and every hit-latency
+  // percentile collapses to 0 (the flash-crowd herd_p99 bug).
+  double memcopy_mb_s = 800.0;
   // Fixed-cost operations on the reference host (RSA-1024, e = 65537).
   util::SimDuration rsa_verify = 800 * util::kMicrosecond;
   util::SimDuration rsa_sign = 12 * util::kMillisecond;

@@ -6,6 +6,7 @@
 #include "obs/export.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
+#include "util/serial.hpp"
 
 namespace globe::obs {
 
@@ -51,6 +52,63 @@ GLOBE_SANITIZER Result<std::uint64_t> parse_tracez_query(
   return value;
 }
 
+/// Parsed /profilez query: table by default, folded stacks on request.
+struct ProfilezQuery {
+  bool folded = false;
+  std::uint64_t top_n = 20;
+};
+
+/// Upper bound on the n= row filter: far more stacks than the registry can
+/// hold, and small enough that rendering stays cheap.
+constexpr std::uint64_t kMaxProfileRows = 10'000;
+
+/// Strict sanitizer for the /profilez query string, same discipline as
+/// /tracez: accepts exactly "", "fmt=folded", "n=<1..5 digits>" or
+/// "fmt=folded&n=<1..5 digits>"; anything else — stray parameters, other
+/// fmt words, signs, whitespace — is INVALID_ARGUMENT.  After this gate
+/// only a flag and a bounded integer survive, so nothing attacker-chosen
+/// can reach a response body.
+GLOBE_SANITIZER Result<ProfilezQuery> parse_profilez_query(
+    GLOBE_UNTRUSTED const std::string& query) {
+  ProfilezQuery out;
+  std::string_view rest = query;
+  constexpr std::string_view kFmt = "fmt=folded";
+  if (rest.substr(0, kFmt.size()) == kFmt) {
+    out.folded = true;
+    rest.remove_prefix(kFmt.size());
+    if (!rest.empty()) {
+      if (rest[0] != '&') {
+        return Status(util::ErrorCode::kInvalidArgument, "unknown fmt");
+      }
+      rest.remove_prefix(1);
+      if (rest.empty()) {
+        return Status(util::ErrorCode::kInvalidArgument, "trailing separator");
+      }
+    }
+  }
+  if (rest.empty()) return out;
+  constexpr std::string_view kN = "n=";
+  if (rest.size() <= kN.size() || rest.substr(0, kN.size()) != kN) {
+    return Status(util::ErrorCode::kInvalidArgument, "unknown query parameter");
+  }
+  std::string_view digits = rest.substr(kN.size());
+  if (digits.size() > 5) {  // kMaxProfileRows = 10000 needs five digits
+    return Status(util::ErrorCode::kInvalidArgument, "n out of range");
+  }
+  std::uint64_t value = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') {
+      return Status(util::ErrorCode::kInvalidArgument, "n not a number");
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (value == 0 || value > kMaxProfileRows) {
+    return Status(util::ErrorCode::kInvalidArgument, "n out of range");
+  }
+  out.top_n = value;
+  return out;
+}
+
 /// Static error bodies only: a 4xx must not echo what the peer sent.
 HttpResponse error_response(int status, std::string_view body) {
   return HttpResponse::make(status, http::reason_for_status(status),
@@ -81,6 +139,7 @@ AdminHttpServer::AdminHttpServer(AdminConfig config)
   if (config_.registry == nullptr) config_.registry = &global_registry();
   if (config_.collector == nullptr) config_.collector = &global_trace_collector();
   if (config_.events == nullptr) config_.events = &global_event_log();
+  if (config_.profile == nullptr) config_.profile = &global_profile_registry();
 }
 
 void AdminHttpServer::add_health_check(std::string name, HealthProbe probe) {
@@ -89,10 +148,32 @@ void AdminHttpServer::add_health_check(std::string name, HealthProbe probe) {
 }
 
 HttpResponse AdminHttpServer::serve_metrics() {
+  // Fold the cost profile into the registry first, so every scrape — local
+  // /metrics and the telemetry plane that feeds /federate — sees current
+  // profile.* counters.
+  config_.profile->publish_to(*config_.registry);
   HttpResponse resp = HttpResponse::make(
       200, "OK", util::to_bytes(to_text(config_.registry->snapshot())),
       "text/plain");
   return resp;
+}
+
+HttpResponse AdminHttpServer::serve_profilez(const std::string& query) {
+  Result<ProfilezQuery> parsed = parse_profilez_query(query);
+  if (!parsed.is_ok()) {
+    return error_response(400,
+                          "400 bad query: expected fmt=folded and/or n=<rows>\n");
+  }
+  // Re-clamp the row count through the length guard: top_n sizes the table
+  // buffer, and it arrived in an untrusted query string.
+  std::uint32_t top_n = util::checked_count(
+      static_cast<std::uint32_t>(parsed->top_n),
+      static_cast<std::uint32_t>(kMaxProfileRows));
+  ProfileSnapshot snap = config_.profile->snapshot();
+  std::string body = parsed->folded
+                         ? to_folded(snap)
+                         : to_table(snap, static_cast<std::size_t>(top_n));
+  return HttpResponse::make(200, "OK", util::to_bytes(body), "text/plain");
 }
 
 HttpResponse AdminHttpServer::serve_healthz(net::ServerContext& ctx) {
@@ -197,6 +278,7 @@ HttpResponse AdminHttpServer::handle(net::ServerContext& ctx,
     return serve_healthz(ctx);
   }
   if (path == "/tracez") return serve_tracez(query);
+  if (path == "/profilez") return serve_profilez(query);
   if (path == "/federate" && config_.aggregator != nullptr) {
     if (!query.empty()) return error_response(400, "400 bad query\n");
     return serve_federate();

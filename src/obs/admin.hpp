@@ -26,6 +26,12 @@
 //                         re-evaluates the specs against the aggregator's
 //                         ring first.  404 unless an evaluator is
 //                         configured.
+//   GET /profilez[?fmt=folded][&n=N]
+//                         Cost-profile self view (DESIGN.md §15): by
+//                         default a table of the top-N probe stacks by
+//                         inclusive CPU time (calls, cpu_ns, ns/call,
+//                         wall_ns); with fmt=folded, flamegraph-compatible
+//                         folded stacks ("frame;frame <self_cpu_ns>").
 //
 // Security: the request — target, query string included — crossed the wire
 // from an untrusted peer (DESIGN.md §9).  The query is parsed by a strict
@@ -46,6 +52,7 @@
 #include "obs/health.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/bounds_annotations.hpp"
 #include "util/mutex.hpp"
 #include "util/taint_annotations.hpp"
@@ -69,6 +76,11 @@ struct AdminConfig {
   MetricsRegistry* registry = nullptr;
   TraceCollector* collector = nullptr;
   EventLog* events = nullptr;
+  /// Cost-profile source for /profilez; also published into `registry` as
+  /// profile.* counters on every /metrics scrape, so the fleet view
+  /// (/federate) carries per-node crypto cost.  Null = the process-wide
+  /// global_profile_registry().
+  ProfileRegistry* profile = nullptr;
   /// Cluster-plane sources; these have no process-wide default — leaving
   /// either null simply 404s its endpoint (/federate, /alertz).
   TelemetryAggregator* aggregator = nullptr;
@@ -98,6 +110,7 @@ class AdminHttpServer {
   http::HttpResponse serve_healthz(net::ServerContext& ctx)
       GLOBE_EXCLUDES(mutex_);
   http::HttpResponse serve_tracez(const std::string& query);
+  http::HttpResponse serve_profilez(const std::string& query);
   http::HttpResponse serve_federate();
   http::HttpResponse serve_alertz(net::ServerContext& ctx);
 

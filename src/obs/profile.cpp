@@ -1,0 +1,254 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <ctime>
+#include <iomanip>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+
+namespace globe::obs {
+
+namespace {
+
+std::uint64_t real_wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::uint64_t real_cpu_ns() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ULL +
+           static_cast<std::uint64_t>(ts.tv_nsec);
+  }
+#endif
+  return real_wall_ns();
+}
+
+/// Per-thread probe state: the folded path of open probes plus, per open
+/// frame, the accumulated inclusive time of its finished children (what
+/// self time subtracts).  No lock: each thread owns its own stack.
+struct OpenFrame {
+  std::size_t parent_len = 0;  // path length before this frame's segment
+  std::uint64_t child_wall = 0;
+  std::uint64_t child_cpu = 0;
+};
+
+struct ThreadState {
+  std::string path;
+  std::vector<OpenFrame> frames;
+  ProfileRegistry* scope = nullptr;
+};
+
+thread_local ThreadState t_state;
+
+}  // namespace
+
+ProfileRegistry::ProfileRegistry()
+    : wall_clock_(&real_wall_ns), cpu_clock_(&real_cpu_ns) {}
+
+void ProfileRegistry::set_clocks(ClockFn wall, ClockFn cpu) {
+  if (wall) wall_clock_ = std::move(wall);
+  if (cpu) cpu_clock_ = std::move(cpu);
+}
+
+ProfileRegistry::Shard& ProfileRegistry::shard_for(std::string_view stack) {
+  return shards_[std::hash<std::string_view>{}(stack) % kShards];
+}
+
+const ProfileRegistry::Shard& ProfileRegistry::shard_for(
+    std::string_view stack) const {
+  return shards_[std::hash<std::string_view>{}(stack) % kShards];
+}
+
+void ProfileRegistry::record(std::string_view stack, const ProbeStat& delta) {
+  Shard& shard = shard_for(stack);
+  util::LockGuard lock(shard.mutex);
+  auto it = shard.stacks.find(stack);
+  if (it == shard.stacks.end()) {
+    if (shard.stacks.size() >= kMaxStacksPerShard) {
+      ++shard.dropped;
+      return;
+    }
+    it = shard.stacks.emplace(std::string(stack), ProbeStat{}).first;
+  }
+  ProbeStat& stat = it->second;
+  stat.calls += delta.calls;
+  stat.wall_ns += delta.wall_ns;
+  stat.cpu_ns += delta.cpu_ns;
+  stat.self_wall_ns += delta.self_wall_ns;
+  stat.self_cpu_ns += delta.self_cpu_ns;
+}
+
+ProfileSnapshot ProfileRegistry::snapshot() const {
+  ProfileSnapshot out;
+  for (const Shard& shard : shards_) {
+    util::LockGuard lock(shard.mutex);
+    for (const auto& [stack, stat] : shard.stacks) {
+      ProfileSample sample;
+      sample.stack = stack;
+      std::size_t pos = stack.rfind(';');
+      sample.leaf = pos == std::string::npos ? stack : stack.substr(pos + 1);
+      sample.stat = stat;
+      out.samples.push_back(std::move(sample));
+    }
+  }
+  std::sort(out.samples.begin(), out.samples.end(),
+            [](const ProfileSample& a, const ProfileSample& b) {
+              return a.stack < b.stack;
+            });
+  return out;
+}
+
+void ProfileRegistry::reset() {
+  for (Shard& shard : shards_) {
+    util::LockGuard lock(shard.mutex);
+    shard.stacks.clear();
+  }
+}
+
+std::uint64_t ProfileRegistry::dropped() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    util::LockGuard lock(shard.mutex);
+    total += shard.dropped;
+  }
+  return total;
+}
+
+void ProfileRegistry::publish_to(MetricsRegistry& registry) {
+  ProfileSnapshot snap = snapshot();
+  std::map<std::string, ProbeStat> by_leaf;
+  for (const ProfileSample& sample : snap.samples) {
+    ProbeStat& agg = by_leaf[sample.leaf];
+    agg.calls += sample.stat.calls;
+    agg.wall_ns += sample.stat.wall_ns;
+    agg.cpu_ns += sample.stat.cpu_ns;
+  }
+  util::LockGuard lock(publish_mutex_);
+  for (const auto& [leaf, current] : by_leaf) {
+    auto it = published_.find(leaf);
+    if (it == published_.end()) {
+      if (published_.size() >= kMaxPublishedLeaves) continue;
+      it = published_.emplace(leaf, ProbeStat{}).first;
+    }
+    ProbeStat& prev = it->second;
+    // reset() can pull the aggregate below the last published value; the
+    // delta clamps to 0 and the baseline resyncs so counters stay monotone.
+    auto step = [](std::uint64_t cur, std::uint64_t& last) {
+      std::uint64_t d = cur >= last ? cur - last : 0;
+      last = cur;
+      return d;
+    };
+    Labels labels{{"probe", leaf}};
+    registry.counter("profile.calls", labels).inc(step(current.calls, prev.calls));
+    registry.counter("profile.wall_ns", labels)
+        .inc(step(current.wall_ns, prev.wall_ns));
+    registry.counter("profile.cpu_ns", labels)
+        .inc(step(current.cpu_ns, prev.cpu_ns));
+  }
+}
+
+ProfileRegistry& global_profile_registry() {
+  static ProfileRegistry* registry = new ProfileRegistry();  // never destroyed
+  return *registry;
+}
+
+ProfileRegistryScope::ProfileRegistryScope(ProfileRegistry* registry)
+    : prev_(t_state.scope) {
+  // nullptr = "no opinion": keep the ambient scope so an unconfigured
+  // component nested under a scoped caller doesn't reroute to the global.
+  if (registry != nullptr) t_state.scope = registry;
+}
+
+ProfileRegistryScope::~ProfileRegistryScope() { t_state.scope = prev_; }
+
+ProfileRegistry& ProfileRegistryScope::current() {
+  return t_state.scope != nullptr ? *t_state.scope : global_profile_registry();
+}
+
+CostProbe::CostProbe(const char* label, ProfileRegistry* registry)
+    : registry_(registry), label_(label) {
+  ThreadState& st = t_state;
+  if (registry_ == nullptr) {
+    registry_ = st.scope != nullptr ? st.scope : &global_profile_registry();
+  }
+  if (st.frames.size() >= kMaxDepth) {
+    registry_ = nullptr;  // inert: bounded path length beats a deep stack
+    return;
+  }
+  OpenFrame frame;
+  frame.parent_len = st.path.size();
+  if (!st.path.empty()) st.path.push_back(';');
+  st.path.append(label_);
+  st.frames.push_back(frame);
+  wall_start_ = registry_->wall_now();
+  cpu_start_ = registry_->cpu_now();
+}
+
+CostProbe::~CostProbe() {
+  if (registry_ == nullptr) return;
+  // Clocks read before the frame pop so the probe's own bookkeeping below
+  // is not billed to it.
+  std::uint64_t wall_end = registry_->wall_now();
+  std::uint64_t cpu_end = registry_->cpu_now();
+  ThreadState& st = t_state;
+  OpenFrame frame = st.frames.back();
+  st.frames.pop_back();
+  std::uint64_t wall = wall_end >= wall_start_ ? wall_end - wall_start_ : 0;
+  std::uint64_t cpu = cpu_end >= cpu_start_ ? cpu_end - cpu_start_ : 0;
+  ProbeStat delta;
+  delta.calls = 1;
+  delta.wall_ns = wall;
+  delta.cpu_ns = cpu;
+  delta.self_wall_ns = wall >= frame.child_wall ? wall - frame.child_wall : 0;
+  delta.self_cpu_ns = cpu >= frame.child_cpu ? cpu - frame.child_cpu : 0;
+  registry_->record(st.path, delta);
+  st.path.resize(frame.parent_len);
+  if (!st.frames.empty()) {
+    st.frames.back().child_wall += wall;
+    st.frames.back().child_cpu += cpu;
+  }
+}
+
+std::string to_folded(const ProfileSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const ProfileSample& sample : snapshot.samples) {
+    os << sample.stack << ' ' << sample.stat.self_cpu_ns << '\n';
+  }
+  return os.str();
+}
+
+std::string to_table(const ProfileSnapshot& snapshot, std::size_t top_n) {
+  std::vector<const ProfileSample*> rows;
+  rows.reserve(snapshot.samples.size());
+  for (const ProfileSample& sample : snapshot.samples) rows.push_back(&sample);
+  std::sort(rows.begin(), rows.end(),
+            [](const ProfileSample* a, const ProfileSample* b) {
+              if (a->stat.cpu_ns != b->stat.cpu_ns) {
+                return a->stat.cpu_ns > b->stat.cpu_ns;
+              }
+              return a->stack < b->stack;
+            });
+  if (rows.size() > top_n) rows.resize(top_n);
+  std::ostringstream os;
+  os << "# profile: top " << rows.size() << " of " << snapshot.samples.size()
+     << " stacks by cpu_ns\n";
+  os << std::setw(14) << "cpu_ns" << std::setw(10) << "calls" << std::setw(12)
+     << "ns/call" << std::setw(14) << "wall_ns" << "  stack\n";
+  for (const ProfileSample* row : rows) {
+    std::uint64_t per_call =
+        row->stat.calls == 0 ? 0 : row->stat.cpu_ns / row->stat.calls;
+    os << std::setw(14) << row->stat.cpu_ns << std::setw(10) << row->stat.calls
+       << std::setw(12) << per_call << std::setw(14) << row->stat.wall_ns
+       << "  " << row->stack << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace globe::obs

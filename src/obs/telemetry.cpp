@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "obs/collector.hpp"
+#include "obs/profile.hpp"
 
 namespace globe::obs {
 
@@ -196,18 +197,23 @@ Result<Snapshot> decode_snapshot(BytesView data) {
 }
 
 TelemetryNode::TelemetryNode(MetricsRegistry& registry, std::string node,
-                             std::string role)
-    : registry_(&registry), node_(std::move(node)), role_(std::move(role)) {
+                             std::string role, ProfileRegistry* profile)
+    : registry_(&registry),
+      profile_(profile),
+      node_(std::move(node)),
+      role_(std::move(role)) {
   registry_->set_default_labels({{"node", node_}, {"role", role_}});
 }
 
 void TelemetryNode::register_with(rpc::ServiceDispatcher& dispatcher) {
   MetricsRegistry* registry = registry_;
+  ProfileRegistry* profile = profile_;
   std::string node = node_;
   std::string role = role_;
   dispatcher.register_method(
       rpc::kTelemetryService, kScrape,
-      [registry, node, role](net::ServerContext&, BytesView) {
+      [registry, profile, node, role](net::ServerContext&, BytesView) {
+        if (profile != nullptr) profile->publish_to(*registry);
         Writer w;
         w.str(node);
         w.str(role);

@@ -51,6 +51,8 @@
 
 namespace globe::obs {
 
+class ProfileRegistry;  // obs/profile.hpp
+
 /// RPC method ids under rpc::kTelemetryService.
 enum TelemetryMethod : std::uint16_t {
   kScrape = 1,  // {} -> telemetry reply (version, node, role, snapshot)
@@ -76,7 +78,12 @@ GLOBE_SANITIZER util::Result<Snapshot> decode_snapshot(
 /// (/metrics) and federated snapshots carry identical label sets.
 class TelemetryNode {
  public:
-  TelemetryNode(MetricsRegistry& registry, std::string node, std::string role);
+  /// `profile`, when set, is folded into `registry` as profile.* counters
+  /// right before every scrape reply, so the fleet view carries this node's
+  /// crypto/serving cost attribution (DESIGN.md §15) without a separate
+  /// collection path.  Null = no profile publishing on scrape.
+  TelemetryNode(MetricsRegistry& registry, std::string node, std::string role,
+                ProfileRegistry* profile = nullptr);
 
   void register_with(rpc::ServiceDispatcher& dispatcher);
 
@@ -86,6 +93,7 @@ class TelemetryNode {
 
  private:
   MetricsRegistry* registry_;
+  ProfileRegistry* profile_;
   std::string node_, role_;
 };
 

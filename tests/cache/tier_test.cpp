@@ -11,6 +11,7 @@
 
 #include "globedoc/adversary.hpp"
 #include "globedoc/proxy.hpp"
+#include "obs/profile.hpp"
 #include "tests/globedoc/world_fixture.hpp"
 
 namespace globe::cache {
@@ -338,6 +339,45 @@ TEST_F(TierFixture, CertificateVerifiedOncePerDocumentNotPerElement) {
 
   EXPECT_EQ(registry.counter("proxy.cert_verifies").value(), 1u);
   EXPECT_EQ(registry.counter("proxy.cert_verify_memo_hits").value(), 2u);
+}
+
+TEST_F(TierFixture, CertVerifyProbeShowsMemoHitsCostOnlyProbeOverhead) {
+  // The cert_verify probe wraps hit and miss alike, so the cost profile —
+  // not just the counters — proves the memo works: only the first bind
+  // descends into rsa_verify, and the two memo hits charge nothing beyond
+  // the fixed probe bookkeeping.  A step clock (every read advances 100 ns)
+  // makes the arithmetic exact.
+  obs::ProfileRegistry profile;
+  std::uint64_t clock_ns = 0;
+  profile.set_clocks([&clock_ns] { return clock_ns += 100; },
+                     [&clock_ns] { return clock_ns += 100; });
+  ProxyConfig pc = proxy_config(/*identity=*/false);
+  pc.registry = &registry;
+  pc.profile = &profile;
+  GlobeDocProxy proxy(*client_flow, pc);
+
+  ASSERT_TRUE(proxy.fetch(object_name, "index.html").is_ok());
+  ASSERT_TRUE(proxy.fetch(object_name, "logo.gif").is_ok());
+  ASSERT_TRUE(proxy.fetch(object_name, "story.txt").is_ok());
+
+  obs::ProbeStat cert, cert_rsa;
+  for (const obs::ProfileSample& s : profile.snapshot().samples) {
+    if (s.leaf == "cert_verify") cert = s.stat;
+    if (s.leaf == "rsa_verify" &&
+        s.stack.find(";cert_verify;") != std::string::npos) {
+      cert_rsa = s.stat;
+    }
+  }
+  // Every bind passed through the probe; only the first paid the RSA.
+  EXPECT_EQ(cert.calls, 3u);
+  EXPECT_EQ(cert_rsa.calls, 1u);
+  // Self time is pure probe overhead.  A childless probe spans 2 clock
+  // reads (exit wall + exit cpu): each memo hit costs 200 ns.  The miss
+  // additionally brackets its rsa_verify child's 2 entry reads plus its
+  // own 2 exit reads — 400 ns of self time.  400 + 2 * 200 = 800: the
+  // memo hits sit at the floor, all real crypto lives in the child.
+  EXPECT_EQ(cert.self_cpu_ns, 800u);
+  EXPECT_GT(cert_rsa.cpu_ns, 0u);
 }
 
 TEST_F(TierFixture, MemoMissesWhenCertificateBytesChange) {

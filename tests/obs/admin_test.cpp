@@ -29,6 +29,11 @@ struct AdminFixture : ::testing::Test {
     config.registry = &registry;
     config.collector = &collector;
     config.events = &events;
+    config.profile = &profile;
+    // Deterministic probe clocks: every read advances 100 ns, so probe
+    // costs in /profilez are exact and runs are byte-identical.
+    profile.set_clocks([this] { return clock_ns += 100; },
+                       [this] { return clock_ns += 100; });
     admin = std::make_unique<AdminHttpServer>(config);
 
     admin_ep = net::Endpoint{admin_host, 9900};
@@ -74,6 +79,8 @@ struct AdminFixture : ::testing::Test {
   MetricsRegistry registry;
   TraceCollector collector{16};
   EventLog events{64};
+  ProfileRegistry profile;
+  std::uint64_t clock_ns = 0;
   std::unique_ptr<AdminHttpServer> admin;
   net::Endpoint admin_ep, peer_ep;
   std::unique_ptr<net::SimFlow> flow;
@@ -180,6 +187,68 @@ TEST_F(AdminFixture, BoundaryMinMsValuesAccepted) {
   EXPECT_EQ(get("/tracez?min_ms=0").status, 200);
   EXPECT_EQ(get("/tracez?min_ms=1000000000").status, 200);
   EXPECT_EQ(get("/tracez?min_ms=1000000001").status, 400);
+}
+
+TEST_F(AdminFixture, ProfilezServesTableAndFoldedStacks) {
+  {
+    CostProbe outer("proxy.fetch", &profile);
+    CostProbe inner("rsa_verify", &profile);
+  }
+  HttpResponse table = get("/profilez");
+  EXPECT_EQ(table.status, 200);
+  EXPECT_EQ(table.headers.get("Content-Type").value_or(""), "text/plain");
+  std::string body = util::to_string(table.body);
+  EXPECT_NE(body.find("# profile: top 2 of 2 stacks by cpu_ns"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("proxy.fetch;rsa_verify"), std::string::npos);
+
+  HttpResponse folded = get("/profilez?fmt=folded");
+  EXPECT_EQ(folded.status, 200);
+  // One shared step clock feeds both wall and cpu; the 8 reads (wall+cpu
+  // at each probe entry/exit) advance it 100 ns each, so inner inclusive
+  // cpu = 200 ns and outer self cpu = 600 - 200 = 400 ns.  Folded output
+  // is the self times, byte-exact under the deterministic clock.
+  std::string folded_body = util::to_string(folded.body);
+  EXPECT_EQ(folded_body, "proxy.fetch 400\nproxy.fetch;rsa_verify 200\n");
+
+  // n= truncates the table to the heaviest stacks.
+  HttpResponse top1 = get("/profilez?n=1");
+  EXPECT_EQ(top1.status, 200);
+  EXPECT_NE(util::to_string(top1.body).find("top 1 of 2"), std::string::npos);
+  EXPECT_EQ(get("/profilez?fmt=folded&n=3").status, 200);
+}
+
+TEST_F(AdminFixture, ProfilezMalformedQueriesGet400WithoutReflection) {
+  const std::string evil = "<script>alert(1)</script>";
+  const std::vector<std::string> targets = {
+      "/profilez?fmt=html",       "/profilez?fmt=folded&",
+      "/profilez?n=",             "/profilez?n=0",
+      "/profilez?n=10001",        "/profilez?n=1x",
+      "/profilez?n=1&fmt=folded", /* fixed parameter order, like /tracez */
+      "/profilez?depth=3",        "/profilez?fmt=" + evil};
+  for (const std::string& target : targets) {
+    HttpResponse resp = get(target);
+    EXPECT_EQ(resp.status, 400) << target;
+    std::string body = util::to_string(resp.body);
+    EXPECT_EQ(body.find("script"), std::string::npos) << target;
+    EXPECT_EQ(body.find("html"), std::string::npos) << target;
+    EXPECT_EQ(body.find("depth"), std::string::npos) << target;
+  }
+  EXPECT_EQ(get("/profilez?n=10000").status, 200);
+}
+
+TEST_F(AdminFixture, MetricsScrapePublishesProfileCounters) {
+  {
+    CostProbe probe("rsa_verify", &profile);
+  }
+  HttpResponse resp = get("/metrics");
+  EXPECT_EQ(resp.status, 200);
+  std::string body = util::to_string(resp.body);
+  // The scrape folded the profile into the registry before rendering.
+  EXPECT_NE(body.find("profile.calls{probe=rsa_verify} 1"),
+            std::string::npos) << body;
+  EXPECT_NE(body.find("profile.cpu_ns{probe=rsa_verify}"),
+            std::string::npos);
 }
 
 TEST_F(AdminFixture, NonGetAndUnknownPathsRejected) {

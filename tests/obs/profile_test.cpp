@@ -1,0 +1,360 @@
+// Cost-profile registry (DESIGN.md §15): probe stack folding, self vs
+// inclusive accounting, pluggable deterministic clocks, registry scoping,
+// bounded cardinality, monotone publication, and thread safety (nested
+// probes from many threads racing a snapshotter — run under TSan).
+#include "obs/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace globe::obs {
+namespace {
+
+/// Deterministic step clocks: every read advances by a fixed amount, so a
+/// probe's wall delta is exactly (reads in between + 1) * step, and two
+/// identical runs produce byte-identical folded output.  Atomic so the
+/// concurrency tests can share one clock across threads without the test
+/// itself being the data race.
+struct StepClock {
+  std::atomic<std::uint64_t> now{0};
+  std::uint64_t step;
+  explicit StepClock(std::uint64_t s) : step(s) {}
+  std::uint64_t operator()() { return now.fetch_add(step) + step; }
+};
+
+void install_step_clocks(ProfileRegistry& reg, std::uint64_t wall_step,
+                         std::uint64_t cpu_step) {
+  auto wall = std::make_shared<StepClock>(wall_step);
+  auto cpu = std::make_shared<StepClock>(cpu_step);
+  reg.set_clocks([wall] { return (*wall)(); }, [cpu] { return (*cpu)(); });
+}
+
+const ProfileSample* find_stack(const ProfileSnapshot& snap,
+                                std::string_view stack) {
+  for (const ProfileSample& s : snap.samples) {
+    if (s.stack == stack) return &s;
+  }
+  return nullptr;
+}
+
+TEST(CostProbe, FoldsNestedProbesIntoStacks) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 10, 1);
+  {
+    CostProbe outer("proxy.fetch", &reg);
+    {
+      CostProbe inner("rsa_verify", &reg);
+    }
+  }
+  ProfileSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.samples.size(), 2u);
+  const ProfileSample* outer = find_stack(snap, "proxy.fetch");
+  const ProfileSample* inner = find_stack(snap, "proxy.fetch;rsa_verify");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->leaf, "proxy.fetch");
+  EXPECT_EQ(inner->leaf, "rsa_verify");
+  EXPECT_EQ(outer->stat.calls, 1u);
+  EXPECT_EQ(inner->stat.calls, 1u);
+}
+
+TEST(CostProbe, SelfTimeExcludesChildren) {
+  ProfileRegistry reg;
+  // Wall advances 100 per read; reads are (outer start, inner start, inner
+  // end, outer end), so inner inclusive = 100 and outer inclusive = 300.
+  install_step_clocks(reg, 100, 100);
+  {
+    CostProbe outer("a", &reg);
+    {
+      CostProbe inner("b", &reg);
+    }
+  }
+  ProfileSnapshot snap = reg.snapshot();
+  const ProfileSample* outer = find_stack(snap, "a");
+  const ProfileSample* inner = find_stack(snap, "a;b");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->stat.wall_ns, 100u);
+  EXPECT_EQ(inner->stat.self_wall_ns, 100u);  // leaf: self == inclusive
+  EXPECT_EQ(outer->stat.wall_ns, 300u);
+  // Outer self subtracts the child's inclusive time.
+  EXPECT_EQ(outer->stat.self_wall_ns, 200u);
+  // Inclusive >= self always; the invariant to_folded depends on.
+  for (const ProfileSample& s : snap.samples) {
+    EXPECT_GE(s.stat.wall_ns, s.stat.self_wall_ns) << s.stack;
+    EXPECT_GE(s.stat.cpu_ns, s.stat.self_cpu_ns) << s.stack;
+  }
+}
+
+TEST(CostProbe, MacroCompilesAndRecords) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 1, 1);
+  {
+    ProfileRegistryScope scope(&reg);
+    GLOBE_PROFILE_SCOPE("rsa_verify");
+    GLOBE_PROFILE_SCOPE("sha1");  // same scope, distinct lines, nests
+  }
+  ProfileSnapshot snap = reg.snapshot();
+  EXPECT_NE(find_stack(snap, "rsa_verify"), nullptr);
+  EXPECT_NE(find_stack(snap, "rsa_verify;sha1"), nullptr);
+}
+
+TEST(CostProbe, DeterministicClocksGiveIdenticalFoldedOutput) {
+  // The determinism contract: with virtual clocks installed, two identical
+  // probe sequences produce byte-identical folded stacks — the sim can
+  // assert on /profilez output exactly like it asserts on sim time.
+  auto run = [] {
+    ProfileRegistry reg;
+    install_step_clocks(reg, 7, 3);
+    for (int i = 0; i < 5; ++i) {
+      CostProbe fetch("proxy.fetch", &reg);
+      {
+        CostProbe bind("bind", &reg);
+        CostProbe verify("rsa_verify", &reg);
+      }
+      CostProbe element("element_verify", &reg);
+    }
+    return to_folded(reg.snapshot());
+  };
+  std::string first = run();
+  std::string second = run();
+  EXPECT_FALSE(first.empty());
+  EXPECT_EQ(first, second);
+  // Folded lines are "stack <self_cpu_ns>"; the deepest stack is present.
+  EXPECT_NE(first.find("proxy.fetch;bind;rsa_verify "), std::string::npos);
+}
+
+TEST(CostProbe, ExplicitRegistryBeatsScopeBeatsGlobal) {
+  ProfileRegistry scoped, explicit_reg;
+  install_step_clocks(scoped, 1, 1);
+  install_step_clocks(explicit_reg, 1, 1);
+  {
+    ProfileRegistryScope scope(&scoped);
+    EXPECT_EQ(&ProfileRegistryScope::current(), &scoped);
+    { CostProbe probe("to_scope"); }
+    { CostProbe probe("to_explicit", &explicit_reg); }
+    {
+      // A nullptr scope is "no opinion": the outer scope stays ambient.
+      ProfileRegistryScope noop(nullptr);
+      EXPECT_EQ(&ProfileRegistryScope::current(), &scoped);
+      { CostProbe probe("under_noop"); }
+    }
+  }
+  EXPECT_EQ(&ProfileRegistryScope::current(), &global_profile_registry());
+  ProfileSnapshot scoped_snap = scoped.snapshot();
+  EXPECT_NE(find_stack(scoped_snap, "to_scope"), nullptr);
+  EXPECT_NE(find_stack(scoped_snap, "under_noop"), nullptr);
+  EXPECT_EQ(find_stack(scoped_snap, "to_explicit"), nullptr);
+  EXPECT_NE(find_stack(explicit_reg.snapshot(), "to_explicit"), nullptr);
+}
+
+TEST(CostProbe, DepthOverflowIsInertNotCorrupt) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 1, 1);
+  // Recursion gives the LIFO unwind RAII scoping guarantees; the probes
+  // past kMaxDepth are inert and must not disturb the frames below them.
+  std::function<void(std::size_t)> descend = [&](std::size_t depth) {
+    if (depth == 0) return;
+    CostProbe probe("deep", &reg);
+    descend(depth - 1);
+  };
+  descend(CostProbe::kMaxDepth + 8);
+  ProfileSnapshot snap = reg.snapshot();
+  // Exactly kMaxDepth frames recorded; the deepest stack has that many.
+  std::size_t max_frames = 0;
+  for (const ProfileSample& s : snap.samples) {
+    max_frames = std::max(
+        max_frames,
+        static_cast<std::size_t>(
+            1 + std::count(s.stack.begin(), s.stack.end(), ';')));
+  }
+  EXPECT_EQ(max_frames, CostProbe::kMaxDepth);
+  // And a fresh probe still records normally afterwards.
+  { CostProbe after("after", &reg); }
+  EXPECT_NE(find_stack(reg.snapshot(), "after"), nullptr);
+}
+
+TEST(ProfileRegistry, StackCardinalityIsBoundedAndCounted) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 1, 1);
+  // Far more distinct stacks than the shards can hold; record() directly
+  // (a probe label is a literal in real code — this simulates the backstop
+  // against accidental interpolation).
+  const std::size_t total =
+      ProfileRegistry::kShards * ProfileRegistry::kMaxStacksPerShard * 2;
+  ProbeStat one;
+  one.calls = 1;
+  for (std::size_t i = 0; i < total; ++i) {
+    reg.record("stack_" + std::to_string(i), one);
+  }
+  EXPECT_GT(reg.dropped(), 0u);
+  EXPECT_LE(reg.snapshot().samples.size(),
+            ProfileRegistry::kShards * ProfileRegistry::kMaxStacksPerShard);
+  EXPECT_EQ(reg.snapshot().samples.size() + reg.dropped(), total);
+}
+
+TEST(ProfileRegistry, ResetClearsStacks) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 1, 1);
+  { CostProbe probe("gone", &reg); }
+  EXPECT_EQ(reg.snapshot().samples.size(), 1u);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().samples.empty());
+}
+
+TEST(ProfileRegistry, PublishesMonotoneDeltasPerLeaf) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 10, 10);
+  MetricsRegistry metrics;
+  {
+    CostProbe outer("proxy.fetch", &reg);
+    CostProbe inner("rsa_verify", &reg);
+  }
+  reg.publish_to(metrics);
+  Counter& calls = metrics.counter("profile.calls", {{"probe", "rsa_verify"}});
+  Counter& cpu = metrics.counter("profile.cpu_ns", {{"probe", "rsa_verify"}});
+  EXPECT_EQ(calls.value(), 1u);
+  std::uint64_t cpu_after_one = cpu.value();
+  EXPECT_GT(cpu_after_one, 0u);
+
+  // Publishing again with no new probes adds nothing (delta, not total).
+  reg.publish_to(metrics);
+  EXPECT_EQ(calls.value(), 1u);
+  EXPECT_EQ(cpu.value(), cpu_after_one);
+
+  // More work moves the counters forward by the increment only.
+  {
+    CostProbe outer("proxy.fetch", &reg);
+    CostProbe inner("rsa_verify", &reg);
+  }
+  reg.publish_to(metrics);
+  EXPECT_EQ(calls.value(), 2u);
+  EXPECT_GT(cpu.value(), cpu_after_one);
+
+  // A registry reset() must not make published counters go backwards.
+  std::uint64_t cpu_before_reset = cpu.value();
+  reg.reset();
+  reg.publish_to(metrics);
+  EXPECT_EQ(calls.value(), 2u);
+  EXPECT_EQ(cpu.value(), cpu_before_reset);
+}
+
+TEST(ProfileRegistry, PublishAggregatesLeafAcrossStacks) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 1, 1);
+  MetricsRegistry metrics;
+  // The same leaf under two different parents sums into one probe= series.
+  {
+    CostProbe a("bind", &reg);
+    CostProbe leaf("sha1", &reg);
+  }
+  {
+    CostProbe b("element_verify", &reg);
+    CostProbe leaf("sha1", &reg);
+  }
+  reg.publish_to(metrics);
+  EXPECT_EQ(metrics.counter("profile.calls", {{"probe", "sha1"}}).value(), 2u);
+}
+
+TEST(ProfileRegistry, ConcurrentNestedProbesRaceSnapshots) {
+  // N threads run nested probes while a snapshotter loops; under TSan this
+  // is the data-race check, everywhere else a totals check: every recorded
+  // call survives, none double-counted.
+  ProfileRegistry reg;
+  install_step_clocks(reg, 1, 1);  // one atomic clock shared by all threads
+  constexpr int kThreads = 8;
+  constexpr int kIters = 500;
+  std::atomic<bool> done{false};
+  std::thread snapshotter([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      ProfileSnapshot snap = reg.snapshot();
+      for (const ProfileSample& s : snap.samples) {
+        EXPECT_GE(s.stat.wall_ns, s.stat.self_wall_ns) << s.stack;
+      }
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        CostProbe outer("proxy.fetch", &reg);
+        {
+          CostProbe bind("bind", &reg);
+          CostProbe verify("rsa_verify", &reg);
+        }
+        CostProbe element("element_verify", &reg);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  done.store(true, std::memory_order_release);
+  snapshotter.join();
+
+  ProfileSnapshot snap = reg.snapshot();
+  const std::uint64_t expect = std::uint64_t{kThreads} * kIters;
+  for (const char* stack :
+       {"proxy.fetch", "proxy.fetch;bind", "proxy.fetch;bind;rsa_verify",
+        "proxy.fetch;element_verify"}) {
+    const ProfileSample* s = find_stack(snap, stack);
+    ASSERT_NE(s, nullptr) << stack;
+    EXPECT_EQ(s->stat.calls, expect) << stack;
+  }
+  EXPECT_EQ(reg.dropped(), 0u);
+}
+
+TEST(ProfileRegistry, ConcurrentPublishersKeepCountersMonotone) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 1, 1);
+  MetricsRegistry metrics;
+  std::atomic<bool> stop{false};
+  std::thread publisher([&] {
+    while (!stop.load(std::memory_order_acquire)) reg.publish_to(metrics);
+  });
+  for (int i = 0; i < 2000; ++i) {
+    CostProbe probe("rsa_verify", &reg);
+  }
+  stop.store(true, std::memory_order_release);
+  publisher.join();
+  reg.publish_to(metrics);
+  EXPECT_EQ(metrics.counter("profile.calls", {{"probe", "rsa_verify"}}).value(),
+            2000u);
+}
+
+TEST(ProfileRender, FoldedUsesSelfTimeAndTableRanksInclusive) {
+  ProfileRegistry reg;
+  install_step_clocks(reg, 100, 100);
+  {
+    CostProbe outer("a", &reg);
+    CostProbe inner("b", &reg);
+  }
+  ProfileSnapshot snap = reg.snapshot();
+  std::string folded = to_folded(snap);
+  // Folded emits SELF cpu so frames never double-count: "a" shows 200 (its
+  // 300 inclusive minus the child's 100), "a;b" shows 100.
+  EXPECT_NE(folded.find("a 200\n"), std::string::npos) << folded;
+  EXPECT_NE(folded.find("a;b 100\n"), std::string::npos) << folded;
+
+  std::string table = to_table(snap, 10);
+  // Table ranks by INCLUSIVE cpu: "a" (300) above "a;b" (100).
+  EXPECT_NE(table.find("# profile: top 2 of 2 stacks"), std::string::npos);
+  EXPECT_LT(table.find("  a\n"), table.find("  a;b\n")) << table;
+
+  // top_n truncation keeps the heaviest stack.
+  std::string top1 = to_table(snap, 1);
+  EXPECT_NE(top1.find("top 1 of 2"), std::string::npos);
+  EXPECT_NE(top1.find("  a\n"), std::string::npos);
+  EXPECT_EQ(top1.find("  a;b\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace globe::obs

@@ -202,16 +202,27 @@ MetricSample histogram_sample(MetricsRegistry& reg, const std::string& name) {
 
 TEST(HistogramMerge, PreservesCountSumBucketsAndBracketsQuantiles) {
   std::mt19937 rng(20260806);
-  const std::vector<double> bounds = {1, 2, 5, 10, 20, 50, 100};
+  // The PR 9 latency layout: sub-ms buckets below the 1…100 ms decades, so
+  // cache-hit populations (tens of microseconds) land in real buckets and
+  // the property holds across the full range, not just whole milliseconds.
+  const std::vector<double> bounds = {0.05, 0.1, 0.2, 0.5,
+                                      1,    2,   5,   10, 20, 50, 100};
   for (int iter = 0; iter < 50; ++iter) {
     MetricsRegistry ra, rb;
     auto& ha = ra.histogram("h", bounds);
     auto& hb = rb.histogram("h", bounds);
     std::uniform_int_distribution<int> n_obs(1, 200);
     std::uniform_real_distribution<double> value(0.0, 150.0);
+    // Bimodal population, like a cache in front of a WAN: most
+    // observations are sub-ms hits, the rest spread across the decades.
+    std::uniform_real_distribution<double> hit(0.0, 0.8);
+    std::bernoulli_distribution is_hit(0.6);
+    auto observe = [&](auto& h) {
+      h.observe(is_hit(rng) ? hit(rng) : value(rng));
+    };
     int na = n_obs(rng), nb = n_obs(rng);
-    for (int i = 0; i < na; ++i) ha.observe(value(rng));
-    for (int i = 0; i < nb; ++i) hb.observe(value(rng));
+    for (int i = 0; i < na; ++i) observe(ha);
+    for (int i = 0; i < nb; ++i) observe(hb);
 
     MetricSample a = histogram_sample(ra, "h");
     MetricSample b = histogram_sample(rb, "h");

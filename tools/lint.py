@@ -33,6 +33,12 @@ Documents"):
                  (listed in backticks).  /metrics is part of the operational
                  surface; an undocumented series is an unreviewable one.
 
+  probe-catalog  Every cost-probe label declared at a GLOBE_PROFILE_SCOPE
+                 site in src/ must be documented in docs/metrics.md (listed
+                 in backticks).  Probe labels become the `probe=` label of
+                 the profile.* series and the frames of /profilez stacks —
+                 an undocumented label is an unreviewable flamegraph frame.
+
   slo-catalog    Every SLO spec (`obs::SloSpec`) must watch a cataloged
                  metric: a `.metric = "..."` literal in src/, bench/ or
                  examples/ whose name is missing from docs/metrics.md is a
@@ -149,6 +155,15 @@ RAND_RE = re.compile(r"(?<![\w:.])(?:std::)?(?:rand|srand|random|drand48)\s*\(")
 METRIC_REG_RE = re.compile(r'\.\s*(counter|gauge|histogram)\s*\(\s*"([^"]+)"')
 METRIC_CATALOG = "docs/metrics.md"
 METRIC_SCAN_DIRS = ("src", "bench")
+
+# ---------------------------------------------------------------------------
+# probe-catalog: cost-probe labels must appear in docs/metrics.md.
+# ---------------------------------------------------------------------------
+
+# A scoped cost probe with a literal label (obs/profile.hpp).  The macro is
+# the only sanctioned spelling in src/; labels are always string literals.
+PROBE_RE = re.compile(r'GLOBE_PROFILE_SCOPE\s*\(\s*"([^"]+)"\s*\)')
+PROBE_SCAN_DIRS = ("src",)
 
 # ---------------------------------------------------------------------------
 # slo-catalog: SLO specs may only reference cataloged metric names.
@@ -295,6 +310,30 @@ def check_metric_catalog(violations: list[str]) -> None:
                     )
 
 
+def check_probe_catalog(violations: list[str]) -> None:
+    """Every GLOBE_PROFILE_SCOPE label literal must be in the catalog."""
+    catalog_path = REPO / METRIC_CATALOG
+    cataloged: set[str] = set()
+    if catalog_path.is_file():
+        cataloged = set(re.findall(r"`([^`\n]+)`",
+                                   catalog_path.read_text(encoding="utf-8")))
+    for path in iter_sources():
+        rel = relpath(path)
+        if not rel.startswith(tuple(d + "/" for d in PROBE_SCAN_DIRS)):
+            continue
+        for lineno, line in enumerate(
+                path.read_text(encoding="utf-8", errors="replace").splitlines(),
+                start=1):
+            if COMMENT_RE.match(line):
+                continue
+            for label in PROBE_RE.findall(line):
+                if label not in cataloged:
+                    violations.append(
+                        f"{rel}:{lineno}: [probe-catalog] probe label "
+                        f"\"{label}\" is not documented in {METRIC_CATALOG}"
+                    )
+
+
 def check_slo_catalog(violations: list[str]) -> None:
     """Every SLO spec's metric literal must name a cataloged series."""
     catalog_path = REPO / METRIC_CATALOG
@@ -400,6 +439,7 @@ def run_lint() -> int:
     for path in iter_sources():
         check_file(path, violations)
     check_metric_catalog(violations)
+    check_probe_catalog(violations)
     check_slo_catalog(violations)
     check_lock_hierarchy(violations)
     check_capacity_registry(violations)
@@ -523,6 +563,31 @@ SELF_TEST_CASES = [
         '  // registry.counter("proxy.surprise_total") would be flagged\n',
         None,
     ),
+    # The self-test catalog documents exactly one probe label: `rsa_verify`.
+    (
+        "uncataloged probe label fires",
+        "src/crypto/rsa.cpp",
+        '  GLOBE_PROFILE_SCOPE("rsa_surprise");\n',
+        "probe-catalog",
+    ),
+    (
+        "cataloged probe label clean",
+        "src/crypto/rsa.cpp",
+        '  GLOBE_PROFILE_SCOPE("rsa_verify");\n',
+        None,
+    ),
+    (
+        "probe in comment clean",
+        "src/crypto/rsa.cpp",
+        '  // GLOBE_PROFILE_SCOPE("rsa_surprise") would be flagged\n',
+        None,
+    ),
+    (
+        "probe outside src clean",
+        "bench/bench_fig4_security_overhead.cpp",
+        '  GLOBE_PROFILE_SCOPE("bench_only_frame");\n',
+        None,
+    ),
     (
         "slo spec on uncataloged metric fires",
         "src/obs/slo_setup.cpp",
@@ -627,7 +692,8 @@ def run_self_test() -> int:
             # documented series from an undocumented one.
             catalog = root / METRIC_CATALOG
             catalog.parent.mkdir(parents=True, exist_ok=True)
-            catalog.write_text("# Metric catalog\n\n`proxy.fetches`\n")
+            catalog.write_text(
+                "# Metric catalog\n\n`proxy.fetches`\n`rsa_verify`\n")
             # Minimal lock hierarchy so lock-rank cases can distinguish a
             # ranked mutex from an unranked one.
             hierarchy = root / LOCK_HIERARCHY
@@ -653,6 +719,7 @@ def run_self_test() -> int:
                 REPO = root
                 check_file(target, violations)
                 check_metric_catalog(violations)
+                check_probe_catalog(violations)
                 check_slo_catalog(violations)
                 check_lock_hierarchy(violations)
                 check_capacity_registry(violations)

@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""Schema-aware comparator for BENCH_*.json artifacts (the perf CI gate).
+
+Usage:
+  tools/perf_diff.py BASE.json NEW.json [--tolerances tools/perf_tolerances.txt]
+                     [--all] [--self-test]
+
+Loads two bench artifacts (either shape: a single {"bench", "metrics"} object
+or a merged {"artifact", "benches": [...]}), matches series by
+(bench, metric name, label set) and compares:
+
+  counter / gauge  -> value
+  histogram        -> count and the p99 estimate
+
+Per-metric noise tolerances come from a checked-in rules file (first match
+wins, see tools/perf_tolerances.txt for the format).  A delta beyond
+tolerance is a REGRESSION unless the matching rule declares a better
+direction (better:down for latencies, better:up for throughputs) and the
+delta moved that way — then it is an IMPROVEMENT call-out.  Metrics only in
+NEW are reported as added (informational); metrics only in BASE are
+regressions (a bench silently dropping a series must not pass) unless a
+`skip` rule covers them.  Exit status: 0 clean, 1 regressions, 2 usage.
+
+Stdlib only: json, fnmatch, argparse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+from pathlib import Path
+
+OK = "ok"
+SKIPPED = "skipped"
+ADDED = "added"
+REMOVED = "removed"
+REGRESSION = "REGRESSION"
+IMPROVEMENT = "improvement"
+
+FAILING = {REGRESSION, REMOVED}
+
+
+def load_artifact(path):
+    """Returns {(bench, name, labels_tuple, field): float} for one file."""
+    with open(path) as f:
+        doc = json.load(f)
+    benches = doc["benches"] if "benches" in doc else [doc]
+    series = {}
+    for bench in benches:
+        bench_name = bench["bench"]
+        for sample in bench["metrics"]:
+            labels = tuple(sorted(sample.get("labels", {}).items()))
+            base_key = (bench_name, sample["name"], labels)
+            kind = sample.get("kind", "counter")
+            if kind == "histogram":
+                series[base_key + ("count",)] = float(sample.get("count", 0))
+                series[base_key + ("p99",)] = float(sample.get("p99", 0))
+            else:
+                series[base_key + ("value",)] = float(sample.get("value", 0))
+    return series
+
+
+class Rule:
+    """One tolerance line: glob + optional label filter + directives."""
+
+    def __init__(self, name_glob, label_glob, directives, line_no):
+        self.name_glob = name_glob
+        self.label_glob = label_glob  # "k=v,k=v" with glob values, or "*"
+        self.skip = False
+        self.rel = None  # percent
+        self.abs = None  # absolute units
+        self.better = None  # "up" / "down"
+        self.line_no = line_no
+        for d in directives:
+            if d == "skip":
+                self.skip = True
+            elif d.startswith("rel:"):
+                self.rel = float(d[4:])
+            elif d.startswith("abs:"):
+                self.abs = float(d[4:])
+            elif d.startswith("better:"):
+                if d[7:] not in ("up", "down"):
+                    raise ValueError(f"bad direction {d!r}")
+                self.better = d[7:]
+            else:
+                raise ValueError(f"unknown directive {d!r}")
+
+    def matches(self, name, labels):
+        if not fnmatch.fnmatchcase(name, self.name_glob):
+            return False
+        if self.label_glob == "*":
+            return True
+        have = dict(labels)
+        for pair in self.label_glob.split(","):
+            key, _, want = pair.partition("=")
+            if key not in have or not fnmatch.fnmatchcase(have[key], want):
+                return False
+        return True
+
+
+def parse_tolerances(path):
+    rules = []
+    for line_no, raw in enumerate(Path(path).read_text().splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        if len(parts) < 3:
+            raise ValueError(f"{path}:{line_no}: expected NAME LABELS RULES")
+        try:
+            rules.append(Rule(parts[0], parts[1], parts[2:], line_no))
+        except ValueError as e:
+            raise ValueError(f"{path}:{line_no}: {e}") from None
+    return rules
+
+
+def find_rule(rules, name, labels):
+    for rule in rules:
+        if rule.matches(name, labels):
+            return rule
+    return None
+
+
+def classify(base, new, rule):
+    """Returns (status, delta_pct) for one matched series."""
+    if rule is not None and rule.skip:
+        return SKIPPED, None
+    delta = new - base
+    if base != 0:
+        delta_pct = 100.0 * delta / abs(base)
+    else:
+        delta_pct = None if delta == 0 else float("inf")
+    rel_tol = rule.rel if rule is not None else 0.0
+    abs_tol = rule.abs if rule is not None else 0.0
+    within_abs = abs_tol is not None and abs(delta) <= (abs_tol or 0.0)
+    within_rel = (
+        rel_tol is not None
+        and base != 0
+        and abs(delta) <= abs(base) * (rel_tol or 0.0) / 100.0
+    )
+    if delta == 0 or within_abs or within_rel:
+        return OK, delta_pct
+    better = rule.better if rule is not None else None
+    if better == "down" and delta < 0:
+        return IMPROVEMENT, delta_pct
+    if better == "up" and delta > 0:
+        return IMPROVEMENT, delta_pct
+    return REGRESSION, delta_pct
+
+
+def series_label(key):
+    bench, name, labels, field = key
+    label_text = ",".join(f"{k}={v}" for k, v in labels)
+    text = f"{bench}:{name}"
+    if label_text:
+        text += "{" + label_text + "}"
+    if field != "value":
+        text += f".{field}"
+    return text
+
+
+def fmt_pct(delta_pct):
+    if delta_pct is None:
+        return "-"
+    if delta_pct == float("inf"):
+        return "new!=0"
+    return f"{delta_pct:+.2f}%"
+
+
+def diff(base_series, new_series, rules, show_all):
+    rows = []
+    counts = dict.fromkeys(
+        [OK, SKIPPED, ADDED, REMOVED, REGRESSION, IMPROVEMENT], 0
+    )
+    for key in sorted(set(base_series) | set(new_series)):
+        _, name, labels, _ = key
+        rule = find_rule(rules, name, labels)
+        if key not in new_series:
+            status = SKIPPED if (rule is not None and rule.skip) else REMOVED
+            rows.append((status, key, base_series[key], None, None))
+        elif key not in base_series:
+            status = SKIPPED if (rule is not None and rule.skip) else ADDED
+            rows.append((status, key, None, new_series[key], None))
+        else:
+            status, delta_pct = classify(base_series[key], new_series[key], rule)
+            rows.append((status, key, base_series[key], new_series[key], delta_pct))
+        counts[rows[-1][0]] += 1
+
+    interesting = {REGRESSION, IMPROVEMENT, REMOVED, ADDED}
+    printed_header = False
+    for status, key, base, new, delta_pct in rows:
+        if not show_all and status not in interesting:
+            continue
+        if not printed_header:
+            print(f"{'status':<12} {'base':>16} {'new':>16} {'delta':>10}  series")
+            printed_header = True
+        base_text = "-" if base is None else f"{base:.6g}"
+        new_text = "-" if new is None else f"{new:.6g}"
+        print(
+            f"{status:<12} {base_text:>16} {new_text:>16} "
+            f"{fmt_pct(delta_pct):>10}  {series_label(key)}"
+        )
+    summary = ", ".join(f"{v} {k}" for k, v in counts.items() if v)
+    print(f"perf_diff: {summary}" if summary else "perf_diff: no series compared")
+    if counts[REGRESSION] or counts[REMOVED]:
+        print(
+            f"perf_diff: FAIL — {counts[REGRESSION]} regression(s), "
+            f"{counts[REMOVED]} removed series beyond tolerance"
+        )
+        return 1
+    return 0
+
+
+# --- self-test --------------------------------------------------------------
+
+SELF_TEST_BASE = {
+    "bench": "t",
+    "metrics": [
+        {"name": "a.count", "labels": {}, "kind": "counter", "value": 100},
+        {"name": "a.lat_ms", "labels": {"m": "x"}, "kind": "gauge", "value": 10.0},
+        {"name": "a.gone", "labels": {}, "kind": "counter", "value": 5},
+        {"name": "a.noisy_ns", "labels": {}, "kind": "gauge", "value": 1000.0},
+        {
+            "name": "a.hist",
+            "labels": {},
+            "kind": "histogram",
+            "sum": 10,
+            "count": 4,
+            "p50": 1,
+            "p90": 2,
+            "p99": 2.5,
+            "buckets": [],
+        },
+    ],
+}
+
+SELF_TEST_TOLERANCES = """
+a.noisy_ns  *  skip
+a.lat_ms    m=x  rel:5 better:down
+a.hist      *  rel:10
+*           *  rel:0
+"""
+
+SELF_TEST_CASES = [
+    # (mutation of the NEW artifact, expected exit, expected marker in output)
+    ("identical", lambda m: None, 0, "ok"),
+    ("counter regression", lambda m: m.update(value=101), 1, "REGRESSION"),
+    ("latency regression", lambda m: m.update(value=12.0), 1, "REGRESSION"),
+    ("latency improvement", lambda m: m.update(value=8.0), 0, "improvement"),
+    ("noisy skipped", lambda m: m.update(value=9999.0), 0, "skipped"),
+    ("removed fails", lambda m: None, 1, "removed"),
+    ("hist p99 within tol", lambda m: m.update(p99=2.6), 0, "ok"),
+    ("hist p99 beyond tol", lambda m: m.update(p99=3.5), 1, "REGRESSION"),
+]
+
+
+def run_self_test():
+    import contextlib
+    import copy
+    import io
+    import tempfile
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        tol_path = Path(tmp, "tol.txt")
+        tol_path.write_text(SELF_TEST_TOLERANCES)
+        rules = parse_tolerances(tol_path)
+        for name, mutate, expected_exit, marker in SELF_TEST_CASES:
+            new_doc = copy.deepcopy(SELF_TEST_BASE)
+            by_name = {m["name"]: m for m in new_doc["metrics"]}
+            if name == "counter regression":
+                mutate(by_name["a.count"])
+            elif name in ("latency regression", "latency improvement"):
+                mutate(by_name["a.lat_ms"])
+            elif name == "noisy skipped":
+                mutate(by_name["a.noisy_ns"])
+            elif name == "removed fails":
+                new_doc["metrics"] = [
+                    m for m in new_doc["metrics"] if m["name"] != "a.gone"
+                ]
+            elif name.startswith("hist"):
+                mutate(by_name["a.hist"])
+            base_path = Path(tmp, "base.json")
+            new_path = Path(tmp, "new.json")
+            base_path.write_text(json.dumps(SELF_TEST_BASE))
+            new_path.write_text(json.dumps(new_doc))
+            out = io.StringIO()
+            with contextlib.redirect_stdout(out):
+                exit_code = diff(
+                    load_artifact(base_path), load_artifact(new_path), rules, True
+                )
+            ok = exit_code == expected_exit and marker in out.getvalue()
+            print(f"self-test {'PASS' if ok else 'FAIL'}: {name}")
+            if not ok:
+                failures += 1
+                print(out.getvalue())
+    if failures:
+        print(f"perf_diff self-test: {failures} case(s) FAILED")
+        return 1
+    print(f"perf_diff self-test: all {len(SELF_TEST_CASES)} cases passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("base", nargs="?", help="baseline BENCH json")
+    parser.add_argument("new", nargs="?", help="candidate BENCH json")
+    parser.add_argument(
+        "--tolerances", default=None, help="tolerance rules file (default: none)"
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="print every series, not just call-outs"
+    )
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return run_self_test()
+    if args.base is None or args.new is None:
+        parser.print_usage()
+        return 2
+    rules = parse_tolerances(args.tolerances) if args.tolerances else []
+    return diff(load_artifact(args.base), load_artifact(args.new), rules, args.all)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
