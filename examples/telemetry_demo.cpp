@@ -1,8 +1,9 @@
 // Live telemetry plane: a per-node-instrumented GlobeDoc fleet (proxy,
 // object server, naming server) scraped by a central TelemetryAggregator
-// over SimNet RPC, watched by an SLO burn-rate evaluator, and surfaced on
-// a real localhost HTTP socket (/metrics /healthz /tracez /federate
-// /alertz /profilez — see DESIGN.md §10-11, §15).
+// over SimNet RPC, watched by an SLO burn-rate evaluator and a consistency
+// auditor, and surfaced on a real localhost HTTP socket (/metrics /healthz
+// /tracez /federate /alertz /profilez /replicaz — see DESIGN.md §10-11,
+// §15-16).
 //
 //   ./telemetry_demo [port]      # default 9090
 //   curl -s localhost:9090/metrics        # the proxy node's local view
@@ -11,13 +12,19 @@
 //   curl -s 'localhost:9090/tracez?min_ms=1'
 //   curl -s localhost:9090/profilez               # CPU cost, top stacks
 //   curl -s 'localhost:9090/profilez?fmt=folded'  # flamegraph input
+//   curl -s localhost:9090/replicaz               # per-OID fleet freshness
+//   curl -s 'localhost:9090/replicaz?state=stale' # just the laggards
 //
 // The simulated world runs a short incident before the socket opens:
-// seven healthy 10-second rounds of verified fetches, then the
-// server<->client link degrades to 300 ms and four more rounds push the
-// per-replica proxy.fetch_ms series over its latency budget, so /alertz
-// shows the fetch-latency alert firing against the slow replica and
-// /federate shows the windowed :rate1m / :p99_5m series that caught it.
+// seven healthy 10-second rounds of verified fetches (the owner re-signs
+// each round, and two pull replicas os-2/os-3 track the master os-1), then
+// the server<->client link degrades to 300 ms AND os-2's upstream goes
+// dark.  Four more rounds push the per-replica proxy.fetch_ms series over
+// its latency budget while os-2 falls epochs behind the master, so /alertz
+// shows the fetch-latency alert firing against the slow replica AND the
+// replication-staleness SLO burning, /federate shows the windowed
+// :rate1m / :p99_5m series that caught it, and /replicaz shows os-2 stale
+// (epochs behind, cert window still open) next to a fresh os-3.
 //
 // The AdminHttpServer handler is transport-agnostic (serialized request
 // bytes in, serialized response bytes out), so the very same object that
@@ -44,9 +51,12 @@
 #include "net/simnet.hpp"
 #include "obs/admin.hpp"
 #include "obs/collector.hpp"
+#include "obs/consistency.hpp"
 #include "obs/log.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
+#include "replication/maintainer.hpp"
+#include "replication/refresher.hpp"
 
 using namespace globe;
 
@@ -147,6 +157,8 @@ int main(int argc, char** argv) {
   object_server.register_with(server_dispatcher);
   obs::TelemetryNode server_telemetry(server_registry, "os-1",
                                       "object-server");
+  server_telemetry.set_consistency_source(
+      [&object_server] { return object_server.consistency_report(); });
   server_telemetry.register_with(server_dispatcher);
   net::Endpoint server_ep{server_host, 8000};
   net.bind(server_ep, server_dispatcher.handler());
@@ -166,6 +178,57 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "publish failed: %s\n", published.to_string().c_str());
     return 1;
   }
+
+  // --- Two pull replicas tracking the master os-1 (DESIGN.md §16): os-3
+  // stays healthy, os-2 loses its upstream mid-incident and goes stale.
+  globedoc::Oid doc_oid = owner.object().oid();
+  obs::MetricsRegistry os2_registry, os3_registry;
+  globedoc::ObjectServer os2("replica-host-2", 5, &os2_registry);
+  globedoc::ObjectServer os3("replica-host-3", 6, &os3_registry);
+  rpc::ServiceDispatcher os2_dispatcher, os3_dispatcher;
+  os2.register_with(os2_dispatcher);
+  os3.register_with(os3_dispatcher);
+  obs::TelemetryNode os2_telemetry(os2_registry, "os-2", "object-server");
+  os2_telemetry.set_consistency_source(
+      [&os2] { return os2.consistency_report(); });
+  os2_telemetry.register_with(os2_dispatcher);
+  obs::TelemetryNode os3_telemetry(os3_registry, "os-3", "object-server");
+  os3_telemetry.set_consistency_source(
+      [&os3] { return os3.consistency_report(); });
+  os3_telemetry.register_with(os3_dispatcher);
+  net::Endpoint os2_ep{server_host, 8001};
+  net::Endpoint os3_ep{server_host, 8002};
+  net.bind(os2_ep, os2_dispatcher.handler());
+  net.bind(os3_ep, os3_dispatcher.handler());
+
+  auto os2_flow = net.open_flow(server_host);
+  auto os3_flow = net.open_flow(server_host);
+  auto os2_seed = replication::pull_replica(*os2_flow, server_ep, doc_oid, os2, 0);
+  auto os3_seed = replication::pull_replica(*os3_flow, server_ep, doc_oid, os3, 0);
+  if (!os2_seed.is_ok() || !os3_seed.is_ok()) {
+    std::fprintf(stderr, "replica seed pull failed\n");
+    return 1;
+  }
+  replication::ReplicaMaintainer::Config maintainer_config;
+  maintainer_config.refresh_margin = util::seconds(100000);  // re-pull each tick
+  replication::ReplicaMaintainer os2_maintainer(os2, *os2_flow, maintainer_config);
+  replication::ReplicaMaintainer os3_maintainer(os3, *os3_flow, maintainer_config);
+  os2_maintainer.track(doc_oid, {server_ep}, os2_seed->version,
+                       os2_seed->earliest_expiry);
+  os3_maintainer.track(doc_oid, {server_ep}, os3_seed->version,
+                       os3_seed->earliest_expiry);
+
+  // --- The consistency auditor: cross-checks every replica's reported
+  // (epoch, digest, expiry) against the master's each round; its registry
+  // is a scrape target so the staleness SLO below sees the audit verdicts.
+  obs::MetricsRegistry auditor_registry;
+  obs::ConsistencyAuditor::Config auditor_config;
+  auditor_config.self_registry = &auditor_registry;
+  obs::ConsistencyAuditor auditor(auditor_config);
+  auditor.set_master({"os-1", server_ep});
+  auditor.add_replica({"os-2", os2_ep});
+  auditor.add_replica({"os-3", os3_ep});
+  auto audit_flow = net.open_flow(client_host);
 
   // --- The verifying proxy, itself a scrapable fleet member.
   obs::global_trace_collector().set_policy(
@@ -202,6 +265,14 @@ int main(int argc, char** argv) {
   aggregator.add_target({"proxy-1", "proxy", proxy_telemetry_ep});
   aggregator.add_target({"os-1", "object-server", server_ep});
   aggregator.add_target({"ns-1", "naming", naming_ep});
+  // The auditor's own verdict series join the fleet view (and feed the
+  // replication-staleness SLO) through an ordinary scrape target.
+  obs::TelemetryNode auditor_telemetry(auditor_registry, "auditor", "auditor");
+  rpc::ServiceDispatcher auditor_dispatcher;
+  auditor_telemetry.register_with(auditor_dispatcher);
+  net::Endpoint auditor_ep{client_host, 9102};
+  net.bind(auditor_ep, auditor_dispatcher.handler());
+  aggregator.add_target({"auditor", "auditor", auditor_ep});
 
   obs::SloEvaluator slo(aggregator);
   obs::SloSpec latency;
@@ -214,6 +285,20 @@ int main(int argc, char** argv) {
   latency.long_window = util::seconds(300);
   latency.burn_threshold = 2.0;
   slo.add_spec(latency);
+
+  // Staleness SLO (DESIGN.md §16): at least 95% of the auditor's per-round
+  // replica checks must come back fresh.  With one of two replicas stuck,
+  // the good fraction drops to ~50% and both burn windows blow past 2x.
+  obs::SloSpec staleness;
+  staleness.name = "replication-staleness";
+  staleness.type = obs::SloSpec::Type::kAvailability;
+  staleness.metric = "replication.audit.checks";
+  staleness.good_labels = {{"state", "fresh"}};
+  staleness.objective = 0.95;
+  staleness.short_window = util::seconds(60);
+  staleness.long_window = util::seconds(300);
+  staleness.burn_threshold = 2.0;
+  slo.add_spec(staleness);
 
   // One 10-second ops round: a couple of verified fetches, a scrape round,
   // an SLO evaluation.
@@ -234,6 +319,21 @@ int main(int argc, char** argv) {
           util::to_millis(result->metrics.total_time));
     }
     edge_cache.run_delayed_pulls(*client_flow);  // background sibling pulls
+    // The epoch story: the owner re-signs (master moves to a new epoch),
+    // the pull replicas refresh from it, then the auditor takes its round
+    // — all before the scrape that carries the verdicts to the aggregator.
+    util::SimTime t = client_flow->now();
+    owner_flow->set_time(t);
+    if (!owner.refresh_replicas(*owner_flow, t, util::seconds(3600)).is_ok()) {
+      std::fprintf(stderr, "refresh_replicas failed\n");
+      return false;
+    }
+    os2_flow->set_time(t + util::seconds(2));
+    os3_flow->set_time(t + util::seconds(2));
+    os2_maintainer.tick(os2_flow->now());
+    os3_maintainer.tick(os3_flow->now());
+    audit_flow->set_time(t + util::seconds(4));
+    auditor.audit_round(*audit_flow);
     aggregator.scrape_round(*client_flow);
     slo.evaluate(client_flow->now());
     return true;
@@ -244,6 +344,11 @@ int main(int argc, char** argv) {
   }
   std::printf("[net] degrading server<->client link to 300 ms\n");
   net.set_link(server_host, client_host, {util::millis(300), 1.0e6});
+  // os-2's upstream goes dark: its maintainer now pulls from a dead
+  // endpoint, so the master keeps advancing epochs while os-2 stands
+  // still — stale (cert window still open), never diverged.
+  std::printf("[net] os-2 upstream lost: repointing its maintainer at a dead source\n");
+  os2_maintainer.track(doc_oid, {net::Endpoint{server_host, 9999}}, 0, 0);
   for (int i = 0; i < 4; ++i) {
     if (!ops_round()) return 1;
   }
@@ -266,8 +371,12 @@ int main(int argc, char** argv) {
   admin_config.profile = &proxy_profile;
   admin_config.aggregator = &aggregator;
   admin_config.slo = &slo;
+  admin_config.auditor = &auditor;
   obs::AdminHttpServer admin(admin_config);
   proxy.register_health_checks(admin);
+  // Freshness probe on the master: unhealthy if no state installed within
+  // the budget.  The owner re-signed 10s ago, so this reports ok.
+  object_server.register_freshness_probe(admin, util::seconds(600));
   DemoContext ctx(*client_flow);
 
   int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -292,7 +401,8 @@ int main(int argc, char** argv) {
   ::sigaction(SIGTERM, &sa, nullptr);
   std::signal(SIGPIPE, SIG_IGN);
   std::printf("[admin] serving on http://127.0.0.1:%u "
-              "(/metrics /healthz /tracez /federate /alertz /profilez)\n",
+              "(/metrics /healthz /tracez /federate /alertz /profilez "
+              "/replicaz)\n",
               port);
   std::fflush(stdout);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "crypto/merkle.hpp"
 #include "globedoc/fetch_many.hpp"
 #include "obs/admin.hpp"
 #include "obs/log.hpp"
@@ -98,13 +99,16 @@ bool ObjectServer::hosts(const Oid& oid) const {
   return replicas_.count(oid) > 0;
 }
 
-void ObjectServer::install_replica_unchecked(const ReplicaState& state) {
+void ObjectServer::install_replica_unchecked(const ReplicaState& state,
+                                             util::SimTime now) {
   util::LockGuard lock(mutex_);
-  install_locked(state.certificate.oid(), state);
+  install_locked(state.certificate.oid(), state, now);
 }
 
-void ObjectServer::install_locked(const Oid& oid, ReplicaState state) {
+void ObjectServer::install_locked(const Oid& oid, ReplicaState state,
+                                  util::SimTime now) {
   replicas_[oid] = std::move(state);
+  installed_at_[oid] = now;
 }
 
 void ObjectServer::set_resource_limits(const ResourceLimits& limits) {
@@ -135,6 +139,7 @@ std::size_t ObjectServer::expire_leases(util::SimTime now) {
   for (auto it = lease_until_.begin(); it != lease_until_.end();) {
     if (it->second <= now) {
       replicas_.erase(it->first);
+      installed_at_.erase(it->first);
       creators_.erase(it->first);
       it = lease_until_.erase(it);
       ++evicted;
@@ -206,6 +211,63 @@ void ObjectServer::register_health_checks(obs::AdminHttpServer& admin) {
     }
     return Status::ok();
   });
+}
+
+void ObjectServer::register_freshness_probe(obs::AdminHttpServer& admin,
+                                            util::SimDuration budget) {
+  admin.add_health_check("replication-freshness", [this, budget](
+                                                      net::ServerContext& ctx) {
+    util::LockGuard lock(mutex_);
+    if (replicas_.empty()) return Status::ok();
+    util::SimTime newest = 0;
+    for (const auto& [oid, at] : installed_at_) newest = std::max(newest, at);
+    util::SimTime now = ctx.now();
+    if (now > newest && now - newest > budget) {
+      return Status(ErrorCode::kUnavailable,
+                    name_ + " replication stale: newest state installed " +
+                        std::to_string((now - newest) / util::kSecond) +
+                        "s ago (budget " +
+                        std::to_string(budget / util::kSecond) + "s)");
+    }
+    return Status::ok();
+  });
+}
+
+obs::ConsistencyReport ObjectServer::consistency_report() const {
+  util::LockGuard lock(mutex_);
+  obs::ConsistencyReport report;
+  report.docs.reserve(replicas_.size());
+  for (const auto& [oid, state] : replicas_) {
+    obs::DocConsistency doc;
+    doc.oid = oid.to_bytes();
+    doc.epoch = state.certificate.version();
+    // Digest the elements as STORED (certificate entries could be echoed
+    // verbatim by a tamperer): leaves are per-element SHA-1 digests of the
+    // serialized elements, name order, rolled up into a Merkle root.
+    std::vector<const PageElement*> ordered;
+    ordered.reserve(state.elements.size());
+    for (const PageElement& e : state.elements) ordered.push_back(&e);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const PageElement* a, const PageElement* b) {
+                return a->name < b->name;
+              });
+    if (ordered.empty()) {
+      doc.digest.assign(obs::kConsistencyDigestSize, 0);
+    } else {
+      std::vector<Bytes> leaves;
+      leaves.reserve(ordered.size());
+      for (const PageElement* e : ordered) leaves.push_back(e->digest());
+      doc.digest = crypto::MerkleTree(leaves).root();
+    }
+    doc.earliest_expiry = 0;
+    for (const ElementEntry& entry : state.certificate.entries()) {
+      if (doc.earliest_expiry == 0 || entry.expires < doc.earliest_expiry) {
+        doc.earliest_expiry = entry.expires;
+      }
+    }
+    report.docs.push_back(std::move(doc));
+  }
+  return report;
 }
 
 void ObjectServer::register_with(rpc::ServiceDispatcher& dispatcher) {
@@ -534,7 +596,7 @@ Result<Bytes> ObjectServer::handle_create_or_update(net::ServerContext& ctx,
     } else {
       lease_until_.erase(oid);
     }
-    install_locked(oid, std::move(*state));
+    install_locked(oid, std::move(*state), ctx.now());
     replica_installs_->inc();
     obs::global_event_log().emit(obs::EventLevel::kInfo, "server",
                                  "replica_install",
@@ -575,6 +637,7 @@ Result<Bytes> ObjectServer::handle_delete(net::ServerContext& ctx, BytesView pay
     }
     creators_.erase(cit);
     replicas_.erase(*oid);
+    installed_at_.erase(*oid);
     lease_until_.erase(*oid);
     replica_deletes_->inc();
     obs::global_event_log().emit(obs::EventLevel::kInfo, "server",

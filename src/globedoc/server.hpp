@@ -24,6 +24,7 @@
 #include "crypto/drbg.hpp"
 #include "globedoc/object.hpp"
 #include "net/transport.hpp"
+#include "obs/consistency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "rpc/rpc.hpp"
@@ -111,8 +112,20 @@ class ObjectServer {
   /// and the pull path, both of which hold an already-verified state).
   /// Trusted sink: the state is hosted and served as-is, so it must have
   /// passed ReplicaState::verify() when it crossed a trust boundary.
-  void install_replica_unchecked(GLOBE_TRUSTED_SINK const ReplicaState& state)
+  /// `now` stamps the install time for the freshness probe; callers off the
+  /// network path (test bootstrap at t=0) may leave it defaulted.
+  void install_replica_unchecked(GLOBE_TRUSTED_SINK const ReplicaState& state,
+                                 util::SimTime now = 0)
       GLOBE_EXCLUDES(mutex_);
+
+  /// Per-OID (epoch, content digest, certificate expiry horizon) for the
+  /// consistency observatory (DESIGN.md §16): epoch is the hosted
+  /// integrity certificate's version, the digest a Merkle root over the
+  /// serialized elements THIS server actually stores (name order,
+  /// recomputed per call so post-install tampering is visible), expiry the
+  /// earliest certificate-entry deadline.  Wire this into a TelemetryNode
+  /// via set_consistency_source().
+  obs::ConsistencyReport consistency_report() const GLOBE_EXCLUDES(mutex_);
 
   /// Resource policy (paper §6 extension).  Limits apply to future creates
   /// and updates; existing replicas are untouched until their lease ends.
@@ -133,6 +146,14 @@ class ObjectServer {
   /// administrator's max_replicas limit is reached).  The server must
   /// outlive `admin`.
   void register_health_checks(obs::AdminHttpServer& admin);
+
+  /// Registers the "replication-freshness" probe: unhealthy once the newest
+  /// replica state on this server was installed more than `budget` before
+  /// the probing context's now() — the operator's bound on how long an
+  /// object server may serve without absorbing any refresh.  A server
+  /// hosting nothing is vacuously healthy.
+  void register_freshness_probe(obs::AdminHttpServer& admin,
+                                util::SimDuration budget);
 
  private:
   // RPC handler payloads arrive straight off the wire from arbitrary callers
@@ -174,7 +195,8 @@ class ObjectServer {
 
   /// The one place replica state enters the hosted set.  Trusted sink:
   /// callers on a network path must have run ReplicaState::verify() first.
-  void install_locked(const Oid& oid, GLOBE_TRUSTED_SINK ReplicaState state)
+  void install_locked(const Oid& oid, GLOBE_TRUSTED_SINK ReplicaState state,
+                      util::SimTime now)
       GLOBE_REQUIRES(mutex_);
 
   /// Validates (nonce, pubkey, signature) against the keystore; returns the
@@ -197,6 +219,8 @@ class ObjectServer {
   // FIFO for bounded nonce eviction
   std::deque<util::Bytes> nonce_order_ GLOBE_BOUNDED GLOBE_GUARDED_BY(mutex_);
   std::map<Oid, ReplicaState> replicas_ GLOBE_GUARDED_BY(mutex_);
+  // oid -> when its current state was installed (freshness probe input)
+  std::map<Oid, util::SimTime> installed_at_ GLOBE_GUARDED_BY(mutex_);
   // oid -> serialized creator key
   std::map<Oid, util::Bytes> creators_ GLOBE_GUARDED_BY(mutex_);
   // absent = unlimited

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "http/parser.hpp"
+#include "obs/consistency.hpp"
 #include "obs/export.hpp"
 #include "obs/slo.hpp"
 #include "obs/telemetry.hpp"
@@ -107,6 +108,26 @@ GLOBE_SANITIZER Result<ProfilezQuery> parse_profilez_query(
   }
   out.top_n = value;
   return out;
+}
+
+/// Strict sanitizer for the /replicaz query string.  Accepts exactly "" or
+/// "state=<one of the six ReplicaConsistency names>"; everything else is
+/// INVALID_ARGUMENT.  After this gate only a vetted constant survives —
+/// the filter string in the response is ours, never the peer's.
+GLOBE_SANITIZER Result<std::string> parse_replicaz_query(
+    GLOBE_UNTRUSTED const std::string& query) {
+  if (query.empty()) return std::string();
+  constexpr std::string_view kKey = "state=";
+  if (query.size() <= kKey.size() || query.compare(0, kKey.size(), kKey) != 0) {
+    return Status(util::ErrorCode::kInvalidArgument, "unknown query parameter");
+  }
+  std::string_view want = std::string_view(query).substr(kKey.size());
+  static constexpr std::string_view kStates[] = {
+      "fresh", "stale", "diverged", "expired", "missing", "unreachable"};
+  for (std::string_view state : kStates) {
+    if (want == state) return std::string(state);
+  }
+  return Status(util::ErrorCode::kInvalidArgument, "unknown state filter");
 }
 
 /// Static error bodies only: a 4xx must not echo what the peer sent.
@@ -256,6 +277,33 @@ HttpResponse AdminHttpServer::serve_alertz(net::ServerContext& ctx) {
                             "application/json");
 }
 
+HttpResponse AdminHttpServer::serve_replicaz(const std::string& query) {
+  Result<std::string> filter = parse_replicaz_query(query);
+  if (!filter.is_ok()) {
+    return error_response(
+        400,
+        "400 bad query: expected "
+        "state=<fresh|stale|diverged|expired|missing|unreachable>\n");
+  }
+  std::vector<ReplicaRow> rows = config_.auditor->rows();
+  std::ostringstream os;
+  os << "# replicaz rounds=" << config_.auditor->rounds()
+     << " replicas=" << config_.auditor->replica_count() << " converged="
+     << (config_.auditor->converged() ? "true" : "false") << '\n';
+  os << "# replica oid epoch master lag staleness_ms expiry_s state\n";
+  for (const ReplicaRow& row : rows) {
+    const char* state = replica_consistency_name(row.state);
+    if (!filter->empty() && *filter != state) continue;
+    std::uint64_t lag =
+        row.master_epoch > row.epoch ? row.master_epoch - row.epoch : 0;
+    os << row.replica << ' ' << row.oid_hex << " epoch=" << row.epoch
+       << " master=" << row.master_epoch << " lag=" << lag
+       << " staleness_ms=" << row.staleness_ms
+       << " expiry_s=" << row.expiry_horizon_s << " state=" << state << '\n';
+  }
+  return HttpResponse::make(200, "OK", util::to_bytes(os.str()), "text/plain");
+}
+
 HttpResponse AdminHttpServer::handle(net::ServerContext& ctx,
                                      const HttpRequest& request) {
   if (request.method != "GET") {
@@ -286,6 +334,9 @@ HttpResponse AdminHttpServer::handle(net::ServerContext& ctx,
   if (path == "/alertz" && config_.slo != nullptr) {
     if (!query.empty()) return error_response(400, "400 bad query\n");
     return serve_alertz(ctx);
+  }
+  if (path == "/replicaz" && config_.auditor != nullptr) {
+    return serve_replicaz(query);
   }
   return error_response(404, "404 not found\n");
 }

@@ -32,6 +32,13 @@
 //                         inclusive CPU time (calls, cpu_ns, ns/call,
 //                         wall_ns); with fmt=folded, flamegraph-compatible
 //                         folded stacks ("frame;frame <self_cpu_ns>").
+//   GET /replicaz[?state=S]
+//                         Fleet consistency table from the auditor
+//                         (DESIGN.md §16): one line per (replica, OID) with
+//                         epoch, master epoch, lag, staleness, certificate
+//                         horizon and the fresh/stale/diverged/... state,
+//                         filterable to one state.  404 unless an auditor
+//                         is configured.
 //
 // Security: the request — target, query string included — crossed the wire
 // from an untrusted peer (DESIGN.md §9).  The query is parsed by a strict
@@ -59,8 +66,9 @@
 
 namespace globe::obs {
 
-class TelemetryAggregator;  // obs/telemetry.hpp
-class SloEvaluator;         // obs/slo.hpp
+class TelemetryAggregator;   // obs/telemetry.hpp
+class SloEvaluator;          // obs/slo.hpp
+class ConsistencyAuditor;    // obs/consistency.hpp
 
 /// Probe helper: true reachability of a peer endpoint.  Sends a minimal
 /// no-op frame and reports UNAVAILABLE only when the transport does (link
@@ -82,9 +90,10 @@ struct AdminConfig {
   /// global_profile_registry().
   ProfileRegistry* profile = nullptr;
   /// Cluster-plane sources; these have no process-wide default — leaving
-  /// either null simply 404s its endpoint (/federate, /alertz).
+  /// any null simply 404s its endpoint (/federate, /alertz, /replicaz).
   TelemetryAggregator* aggregator = nullptr;
   SloEvaluator* slo = nullptr;
+  ConsistencyAuditor* auditor = nullptr;
 };
 
 class AdminHttpServer {
@@ -113,6 +122,7 @@ class AdminHttpServer {
   http::HttpResponse serve_profilez(const std::string& query);
   http::HttpResponse serve_federate();
   http::HttpResponse serve_alertz(net::ServerContext& ctx);
+  http::HttpResponse serve_replicaz(const std::string& query);
 
   AdminConfig config_;
   mutable util::Mutex mutex_;

@@ -220,6 +220,19 @@ void TelemetryNode::register_with(rpc::ServiceDispatcher& dispatcher) {
         encode_snapshot(w, registry->snapshot());
         return Result<Bytes>(w.take());
       });
+  std::function<ConsistencyReport()> source = consistency_source_;
+  dispatcher.register_method(
+      rpc::kTelemetryService, kConsistency,
+      [source, node](net::ServerContext&, BytesView) {
+        if (!source) {
+          return Result<Bytes>(ErrorCode::kNotFound,
+                               "no consistency source on " + node);
+        }
+        Writer w;
+        w.str(node);
+        encode_consistency(w, source());
+        return Result<Bytes>(w.take());
+      });
 }
 
 TelemetryAggregator::TelemetryAggregator() : TelemetryAggregator(Config()) {}

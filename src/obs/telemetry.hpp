@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -41,6 +42,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "obs/consistency.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "rpc/rpc.hpp"
@@ -55,7 +57,8 @@ class ProfileRegistry;  // obs/profile.hpp
 
 /// RPC method ids under rpc::kTelemetryService.
 enum TelemetryMethod : std::uint16_t {
-  kScrape = 1,  // {} -> telemetry reply (version, node, role, snapshot)
+  kScrape = 1,       // {} -> telemetry reply (version, node, role, snapshot)
+  kConsistency = 2,  // {} -> node, consistency report (obs/consistency.hpp)
 };
 
 /// Wire codec for a registry snapshot (u8 version, then the sample list).
@@ -87,6 +90,15 @@ class TelemetryNode {
 
   void register_with(rpc::ServiceDispatcher& dispatcher);
 
+  /// Wires the node to answer `telemetry/consistency` with this callback's
+  /// report (an object server's per-OID epoch/digest/expiry view — see
+  /// obs/consistency.hpp).  Must be set before register_with(); nodes
+  /// without a source answer kConsistency with kNotFound, so pure
+  /// proxies and naming nodes stay auditable-free.
+  void set_consistency_source(std::function<ConsistencyReport()> source) {
+    consistency_source_ = std::move(source);
+  }
+
   const std::string& node() const { return node_; }
   const std::string& role() const { return role_; }
   MetricsRegistry& registry() { return *registry_; }
@@ -95,6 +107,7 @@ class TelemetryNode {
   MetricsRegistry* registry_;
   ProfileRegistry* profile_;
   std::string node_, role_;
+  std::function<ConsistencyReport()> consistency_source_;
 };
 
 /// One fleet member the aggregator polls.

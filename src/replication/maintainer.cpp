@@ -2,9 +2,24 @@
 
 #include <algorithm>
 
+#include "obs/log.hpp"
 #include "util/log.hpp"
 
 namespace globe::replication {
+
+namespace {
+
+/// Buckets a refresh failure for the reason= label: did the wire fail, did
+/// it take too long, or did a reachable source serve unverifiable state?
+const char* failure_reason(util::ErrorCode code) {
+  switch (code) {
+    case util::ErrorCode::kTimeout: return "timeout";
+    case util::ErrorCode::kUnavailable: return "transport";
+    default: return "verification";
+  }
+}
+
+}  // namespace
 
 ReplicaMaintainer::ReplicaMaintainer(globedoc::ObjectServer& server,
                                      net::Transport& transport, Config config)
@@ -13,7 +28,12 @@ ReplicaMaintainer::ReplicaMaintainer(globedoc::ObjectServer& server,
                                                : &obs::global_registry();
   checked_counter_ = &registry->counter("replication.maintainer.checked");
   refreshed_counter_ = &registry->counter("replication.maintainer.refreshed");
-  failed_counter_ = &registry->counter("replication.maintainer.failed");
+  failed_verification_ = &registry->counter("replication.maintainer.failed",
+                                            {{"reason", "verification"}});
+  failed_transport_ = &registry->counter("replication.maintainer.failed",
+                                         {{"reason", "transport"}});
+  failed_timeout_ = &registry->counter("replication.maintainer.failed",
+                                       {{"reason", "timeout"}});
 }
 
 void ReplicaMaintainer::track(const globedoc::Oid& oid,
@@ -32,6 +52,7 @@ ReplicaMaintainer::TickReport ReplicaMaintainer::tick(util::SimTime now) {
     if (entry.earliest_expiry > now + config_.refresh_margin) continue;
 
     bool refreshed = false;
+    util::Status last_failure = util::Status::ok();
     for (const auto& source : entry.sources) {
       // Pull accepts any strictly newer, fully verified state.  Passing
       // version-1 tolerates sources at the same version re-signed with a
@@ -47,14 +68,29 @@ ReplicaMaintainer::TickReport ReplicaMaintainer::tick(util::SimTime now) {
                        result->version, " from ", source.to_string());
         break;
       }
+      last_failure = result.status();
       GLOBE_LOG_INFO("maintainer", "source ", source.to_string(),
                      " failed: ", result.status().to_string());
     }
-    if (!refreshed) ++report.failed;
+    if (!refreshed) {
+      ++report.failed;
+      const char* reason = failure_reason(last_failure.code());
+      switch (last_failure.code()) {
+        case util::ErrorCode::kTimeout: failed_timeout_->inc(); break;
+        case util::ErrorCode::kUnavailable: failed_transport_->inc(); break;
+        default: failed_verification_->inc(); break;
+      }
+      // The record joins whatever trace is active on this thread (a bench
+      // or demo tick span), so a failed refresh is debuggable from /tracez.
+      obs::global_event_log().emit(
+          obs::EventLevel::kWarn, "replication", "refresh_failed",
+          oid.to_hex() + " reason=" + reason + ": " +
+              last_failure.to_string(),
+          now);
+    }
   }
   checked_counter_->inc(report.checked);
   refreshed_counter_->inc(report.refreshed);
-  failed_counter_->inc(report.failed);
   return report;
 }
 

@@ -64,7 +64,12 @@ class ReplicaMaintainer {
   std::map<globedoc::Oid, Entry> entries_;
   obs::Counter* checked_counter_;
   obs::Counter* refreshed_counter_;
-  obs::Counter* failed_counter_;
+  // replication.maintainer.failed split by reason= so operators can tell a
+  // partitioned source (transport/timeout) from a hostile or corrupt one
+  // (verification) straight from /metrics.
+  obs::Counter* failed_verification_;
+  obs::Counter* failed_transport_;
+  obs::Counter* failed_timeout_;
 };
 
 }  // namespace globe::replication

@@ -149,7 +149,7 @@ Result<PullResult> pull_replica(net::Transport& transport,
                                  : std::min(result.earliest_expiry, entry.expires);
   }
   result.installed = true;
-  local.install_replica_unchecked(state);
+  local.install_replica_unchecked(state, transport.now());
   obs::global_event_log().emit(
       obs::EventLevel::kInfo, "replication", "pull_installed",
       oid.to_hex() + " v" + std::to_string(result.version) + " from " +
